@@ -1,0 +1,214 @@
+package ccr
+
+// The benchmarks below regenerate each table and figure of the paper's
+// evaluation (§5) through the experiment drivers, at Tiny workload scale so
+// a full -bench=. run stays fast. The publication-scale numbers recorded in
+// EXPERIMENTS.md come from `go run ./cmd/ccrpaper -scale medium`.
+
+import (
+	"testing"
+
+	"ccr/internal/core"
+	"ccr/internal/crb"
+	"ccr/internal/emu"
+	"ccr/internal/experiments"
+	"ccr/internal/ir"
+	"ccr/internal/uarch"
+	"ccr/internal/workloads"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = workloads.Tiny
+	return cfg
+}
+
+// BenchmarkFigure4 regenerates the block- vs region-level reuse-potential
+// limit study (paper Figure 4).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Figure4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8a regenerates the computation-instance sweep
+// (paper Figure 8(a): 128 entries × {4, 8, 16} CIs).
+func BenchmarkFigure8a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Figure8a(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8b regenerates the computation-entry sweep
+// (paper Figure 8(b): {32, 64, 128} entries × 8 CIs).
+func BenchmarkFigure8b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Figure8b(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the static and dynamic computation-group
+// distributions (paper Figures 9(a) and 9(b)).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Figure9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the TOP-N% reuse-concentration study
+// (paper Figure 10).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Figure10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates the training- vs reference-input study
+// (paper Figure 11).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Figure11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalars regenerates the §5.2 headline numbers (average speedup,
+// repetition eliminated, static-region statistics).
+func BenchmarkScalars(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Scalars(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAssoc and BenchmarkAblationNoMem regenerate the §6
+// design-variation studies (DESIGN.md extensions).
+func BenchmarkAblationAssoc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.AblationAssoc(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationNoMem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.AblationNoMem(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Component micro-benchmarks: the substrate costs behind the figures.
+// ---------------------------------------------------------------------
+
+// BenchmarkEmulator measures raw functional-emulation throughput
+// (instructions per op reported as one m88ksim training run per iteration).
+func BenchmarkEmulator(b *testing.B) {
+	w := workloads.Load("m88ksim", workloads.Tiny)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var dyn int64
+	for i := 0; i < b.N; i++ {
+		m := emu.New(w.Prog)
+		if _, err := m.Run(w.Train...); err != nil {
+			b.Fatal(err)
+		}
+		dyn = m.Stats.DynInstrs
+	}
+	b.ReportMetric(float64(dyn), "instrs/run")
+}
+
+// BenchmarkTimingSimulation measures the cycle-level model's overhead on
+// top of functional emulation.
+func BenchmarkTimingSimulation(b *testing.B) {
+	w := workloads.Load("m88ksim", workloads.Tiny)
+	cfg := uarch.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := emu.New(w.Prog)
+		sim := uarch.NewSimulator(cfg, w.Prog)
+		m.Trace = sim.Tracer()
+		if _, err := m.Run(w.Train...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompilePipeline measures the whole compiler support: alias
+// analysis, profiling run, region formation and transformation.
+func BenchmarkCompilePipeline(b *testing.B) {
+	opts := core.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := workloads.Load("m88ksim", workloads.Tiny)
+		if _, err := core.Compile(w.Prog, w.Train, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCRBLookup measures the hardware model's lookup path.
+func BenchmarkCRBLookup(b *testing.B) {
+	c := crb.New(crb.Config{Entries: 128, Instances: 8}, nil)
+	regs := make([]int64, 16)
+	for r := ir.RegionID(0); r < 64; r++ {
+		c.Commit(r, crb.Instance{
+			Inputs:  []crb.RegVal{{Reg: 1, Val: int64(r)}, {Reg: 2, Val: 7}},
+			Outputs: []crb.RegVal{{Reg: 3, Val: int64(r) * 3}},
+		})
+	}
+	read := func(r ir.Reg) int64 { return regs[r] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regs[1] = int64(i % 64)
+		regs[2] = 7
+		c.Lookup(ir.RegionID(i%64), read)
+	}
+}
+
+// BenchmarkAblationFuncLevel regenerates the §6 function-level extension
+// study.
+func BenchmarkAblationFuncLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.AblationFuncLevel(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComparison regenerates the §2.1 related-work positioning table
+// (instruction reuse vs block reuse vs CCR).
+func BenchmarkComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchConfig())
+		if _, err := experiments.Comparison(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command ccrdump serializes programs to the textual IR form and executes
+// textual programs, demonstrating the Dump/Parse round trip.
+//
+// Dump a benchmark (base or CCR-transformed):
+//
+//	ccrdump -bench m88ksim -scale tiny > m88ksim.ccr
+//	ccrdump -bench m88ksim -scale tiny -ccr > m88ksim-ccr.ccr
+//
+// Execute a textual program (functionally, optionally with a CRB):
+//
+//	ccrdump -run m88ksim-ccr.ccr -args 0 -entries 128 -cis 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccr/internal/core"
+	"ccr/internal/crb"
+	"ccr/internal/ir"
+	"ccr/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to dump")
+	scale := flag.String("scale", "tiny", "workload scale: tiny, small, medium, large")
+	ccrForm := flag.Bool("ccr", false, "dump the CCR-transformed program instead of the base")
+	runFile := flag.String("run", "", "parse and execute a textual program file")
+	argList := flag.String("args", "", "comma-separated integer arguments for -run")
+	entries := flag.Int("entries", 0, "attach a CRB with this many entries when running (0 = none)")
+	cis := flag.Int("cis", 8, "computation instances per entry for -entries")
+	flag.Parse()
+
+	switch {
+	case *runFile != "":
+		runProgram(*runFile, *argList, *entries, *cis)
+	case *bench != "":
+		dumpBench(*bench, *scale, *ccrForm)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ccrdump -bench NAME [-ccr] | ccrdump -run FILE [-args a,b]")
+		os.Exit(2)
+	}
+}
+
+func dumpBench(name, scale string, transformed bool) {
+	scales := map[string]workloads.Scale{
+		"tiny": workloads.Tiny, "small": workloads.Small,
+		"medium": workloads.Medium, "large": workloads.Large,
+	}
+	sc, ok := scales[scale]
+	if !ok {
+		log.Fatalf("unknown scale %q", scale)
+	}
+	b := workloads.Load(name, sc)
+	prog := b.Prog
+	if transformed {
+		cr, err := core.Compile(b.Prog, b.Train, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog = cr.Prog
+	}
+	fmt.Print(prog.Dump())
+}
+
+func runProgram(path, argList string, entries, cis int) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := ir.Parse(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ir.Verify(prog); err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	var args []int64
+	if argList != "" {
+		for _, f := range strings.Split(argList, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				log.Fatal(err)
+			}
+			args = append(args, v)
+		}
+	}
+	var cfg *crb.Config
+	if entries > 0 {
+		cfg = &crb.Config{Entries: entries, Instances: cis}
+	}
+	res, err := core.RunFunctional(prog, cfg, args, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: %d\n", res.Result)
+	fmt.Printf("dynamic instructions: %d\n", res.Emu.DynInstrs)
+	if cfg != nil {
+		fmt.Printf("reuse: %d hits, %d misses, %d instructions eliminated\n",
+			res.Emu.ReuseHits, res.Emu.ReuseMisses, res.Emu.ReusedInstrs)
+	}
+}

@@ -1,0 +1,130 @@
+// Command ccrpaper regenerates every figure and table of the paper's
+// evaluation on the synthetic benchmark suite and prints them as text
+// tables (the data behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	ccrpaper [-scale tiny|small|medium|large] [-fig 4|8a|8b|9|10|11|scalars|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ccr/internal/experiments"
+	"ccr/internal/workloads"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "workload scale: tiny, small, medium, large")
+	fig := flag.String("fig", "all", "which figure to regenerate: 4, 8a, 8b, 9, 10, 11, scalars, compare, ablations, all")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	switch *scale {
+	case "tiny":
+		cfg.Scale = workloads.Tiny
+	case "small":
+		cfg.Scale = workloads.Small
+	case "medium":
+		cfg.Scale = workloads.Medium
+	case "large":
+		cfg.Scale = workloads.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	suite := experiments.NewSuite(cfg)
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	if want("4") {
+		r, err := experiments.Figure4(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if want("8a") {
+		r, err := experiments.Figure8a(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Render("Figure 8(a): speedup vs computation instances"))
+	}
+	if want("8b") {
+		r, err := experiments.Figure8b(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Render("Figure 8(b): speedup vs computation entries"))
+	}
+	if want("9") {
+		r, err := experiments.Figure9(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if want("10") {
+		r, err := experiments.Figure10(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if want("11") {
+		r, err := experiments.Figure11(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if want("scalars") {
+		r, err := experiments.Scalars(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Render())
+	}
+	if want("compare") {
+		c, err := experiments.Comparison(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(c.Render())
+	}
+	if want("ablations") {
+		a, err := experiments.AblationAssoc(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(a.Render())
+		n, err := experiments.AblationNoMem(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(n.Render())
+		sp, err := experiments.AblationSpeculation(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(sp.Render())
+		fl, err := experiments.AblationFuncLevel(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fl.Render())
+		oo, err := experiments.AblationOutOfOrder(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(oo.Render())
+		h, err := experiments.AblationHeuristics(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderHeuristics(h))
+	}
+}

@@ -1,0 +1,77 @@
+// Command ccrprof runs the CCR compiler support on one benchmark and
+// reports the profile-guided region formation outcome: every region with
+// its class, group, interface and weight, plus the per-region dynamic
+// reuse behaviour under a chosen CRB configuration.
+//
+// Usage:
+//
+//	ccrprof -bench m88ksim [-scale small] [-entries 128] [-cis 8] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ccr/internal/core"
+	"ccr/internal/experiments"
+	"ccr/internal/stats"
+	"ccr/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "m88ksim", "benchmark name")
+	scale := flag.String("scale", "small", "workload scale: tiny, small, medium, large")
+	entries := flag.Int("entries", 128, "CRB computation entries")
+	cis := flag.Int("cis", 8, "computation instances per entry")
+	dump := flag.Bool("dump", false, "dump the transformed program IR")
+	flag.Parse()
+
+	sc := map[string]workloads.Scale{
+		"tiny": workloads.Tiny, "small": workloads.Small,
+		"medium": workloads.Medium, "large": workloads.Large,
+	}[*scale]
+	b := workloads.Load(*bench, sc)
+
+	opts := core.DefaultOptions()
+	opts.CRB.Entries = *entries
+	opts.CRB.Instances = *cis
+	cr, err := core.Compile(b.Prog, b.Train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := core.Simulate(b.Prog, nil, opts.Uarch, b.Train, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccr, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, b.Train, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s (%s): %d regions\n", b.Name, b.Paper, len(cr.Prog.Regions))
+	t := stats.Table{Header: []string{"region", "fn", "kind", "group", "size", "in", "out", "mem", "hits", "misses", "aborts", "reused"}}
+	for _, rg := range cr.Prog.Regions {
+		rs := ccr.Emu.Regions[rg.ID]
+		var hits, misses, aborts, reused int64
+		if rs != nil {
+			hits, misses, aborts, reused = rs.Hits, rs.Misses, rs.Aborts, rs.ReusedInstrs
+		}
+		t.Add(fmt.Sprintf("%d", rg.ID), cr.Prog.Func(rg.Func).Name, rg.Kind.String(),
+			experiments.GroupOf(rg),
+			fmt.Sprintf("%d", rg.StaticSize),
+			fmt.Sprintf("%d", len(rg.Inputs)), fmt.Sprintf("%d", len(rg.Outputs)),
+			fmt.Sprintf("%d", len(rg.MemObjects)),
+			fmt.Sprintf("%d", hits), fmt.Sprintf("%d", misses),
+			fmt.Sprintf("%d", aborts), fmt.Sprintf("%d", reused))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("base:  %12d cycles  %12d instrs  IPC %.2f\n", base.Cycles, base.Uarch.Instrs, base.Uarch.IPC())
+	fmt.Printf("ccr:   %12d cycles  %12d instrs  IPC %.2f  (reused %d instrs, %d invals)\n",
+		ccr.Cycles, ccr.Uarch.Instrs, ccr.Uarch.IPC(), ccr.Emu.ReusedInstrs, ccr.Emu.Invalidations)
+	fmt.Printf("speedup: %.3f   reuse eliminated %.1f%% of base execution\n",
+		core.Speedup(base, ccr), 100*float64(ccr.Emu.ReusedInstrs)/float64(base.Emu.DynInstrs))
+	if *dump {
+		fmt.Println(cr.Prog.Dump())
+	}
+}

@@ -1,0 +1,116 @@
+// Command ccrsim runs one benchmark through the full CCR pipeline and
+// prints a side-by-side cycle-level comparison of the base and CCR
+// machines, with the detailed stall and reuse breakdown of the timing
+// model.
+//
+// Usage:
+//
+//	ccrsim -bench m88ksim [-scale medium] [-entries 128] [-cis 8]
+//	       [-assoc 1] [-nomem 0] [-ref] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ccr/internal/core"
+	"ccr/internal/opt"
+	"ccr/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "m88ksim", "benchmark name (see -list)")
+	scale := flag.String("scale", "small", "workload scale: tiny, small, medium, large")
+	entries := flag.Int("entries", 128, "CRB computation entries")
+	cis := flag.Int("cis", 8, "computation instances per entry")
+	assoc := flag.Int("assoc", 1, "CRB set associativity (1 = paper)")
+	nomem := flag.Float64("nomem", 0, "fraction of entries without memory-valid hardware")
+	useRef := flag.Bool("ref", false, "simulate the reference input instead of training")
+	optimize := flag.Bool("O", false, "run the classic optimizer on the base program first")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			b := workloads.Load(n, workloads.Tiny)
+			fmt.Printf("%-10s %-14s %s\n", b.Name, b.Paper, b.About)
+		}
+		return
+	}
+
+	scales := map[string]workloads.Scale{
+		"tiny": workloads.Tiny, "small": workloads.Small,
+		"medium": workloads.Medium, "large": workloads.Large,
+	}
+	sc, ok := scales[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	b := workloads.Load(*bench, sc)
+	if *optimize {
+		st := opt.Optimize(b.Prog)
+		fmt.Printf("optimizer: folded %d, propagated %d, eliminated %d\n",
+			st.Folded, st.Propagated, st.Eliminated)
+	}
+	opts := core.DefaultOptions()
+	opts.CRB.Entries = *entries
+	opts.CRB.Instances = *cis
+	opts.CRB.Assoc = *assoc
+	opts.CRB.NoMemEntriesFrac = *nomem
+
+	cr, err := core.Compile(b.Prog, b.Train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	args := b.Train
+	which := "training"
+	if *useRef {
+		args = b.Ref
+		which = "reference"
+	}
+	base, err := core.Simulate(b.Prog, nil, opts.Uarch, args, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ccr, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, args, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if base.Result != ccr.Result {
+		log.Fatalf("architectural mismatch: base %d, ccr %d", base.Result, ccr.Result)
+	}
+
+	fmt.Printf("benchmark %s (%s), %s input, CRB %d entries × %d CIs (assoc %d)\n",
+		b.Name, b.Paper, which, *entries, *cis, *assoc)
+	fmt.Printf("regions formed: %d (%d static instructions inside regions)\n\n",
+		len(cr.Prog.Regions), regionInstrs(cr))
+
+	row := func(name string, r *core.SimResult) {
+		fmt.Printf("%-6s %12d cycles  %12d instrs  IPC %.2f  I$%6d  D$%6d  mpred%7d\n",
+			name, r.Cycles, r.Uarch.Instrs, r.Uarch.IPC(),
+			r.Uarch.ICacheMisses, r.Uarch.DCacheMisses, r.Uarch.Mispredicts)
+	}
+	row("base", base)
+	row("ccr", ccr)
+	fmt.Printf("\nreuse: %d hits, %d misses, %d aborts, %d invalidations\n",
+		ccr.Emu.ReuseHits, ccr.Emu.ReuseMisses, ccr.Emu.MemoAborts, ccr.Emu.Invalidations)
+	fmt.Printf("eliminated %d dynamic instructions (%.1f%% of base execution)\n",
+		ccr.Emu.ReusedInstrs,
+		100*float64(ccr.Emu.ReusedInstrs)/float64(base.Emu.DynInstrs))
+	if ccr.CRB != nil {
+		fmt.Printf("CRB: %d records, %d evictions, %d record-rejects, %d instance invalidates\n",
+			ccr.CRB.Records, ccr.CRB.Evictions, ccr.CRB.RecordFails, ccr.CRB.Invalidates)
+	}
+	fmt.Printf("\nspeedup: %.3f×\n", core.Speedup(base, ccr))
+}
+
+func regionInstrs(cr *core.CompileResult) int {
+	n := 0
+	for _, rg := range cr.Prog.Regions {
+		n += rg.StaticSize
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+// Command ccrviz renders a function's control-flow graph in Graphviz dot
+// form, with reuse regions drawn as clusters: inception blocks as
+// diamonds, region members shaded, finish edges labelled. Pipe through
+// `dot -Tsvg` to draw.
+//
+//	ccrviz -bench m88ksim -func ckbrkpts -ccr | dot -Tsvg > ckbrkpts.svg
+//	ccrviz -run prog.ccr -func main
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ccr/internal/analysis"
+	"ccr/internal/core"
+	"ccr/internal/ir"
+	"ccr/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to visualize")
+	scale := flag.String("scale", "tiny", "workload scale")
+	ccrForm := flag.Bool("ccr", false, "visualize the CCR-transformed program")
+	runFile := flag.String("run", "", "visualize a textual program file instead")
+	fn := flag.String("func", "main", "function to draw")
+	flag.Parse()
+
+	var prog *ir.Program
+	switch {
+	case *runFile != "":
+		text, err := os.ReadFile(*runFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err = ir.Parse(string(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *bench != "":
+		scales := map[string]workloads.Scale{
+			"tiny": workloads.Tiny, "small": workloads.Small,
+			"medium": workloads.Medium, "large": workloads.Large,
+		}
+		b := workloads.Load(*bench, scales[*scale])
+		prog = b.Prog
+		if *ccrForm {
+			cr, err := core.Compile(b.Prog, b.Train, core.DefaultOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			prog = cr.Prog
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ccrviz -bench NAME [-ccr] -func F | ccrviz -run FILE -func F")
+		os.Exit(2)
+	}
+
+	f := prog.FuncByName(*fn)
+	if f == nil {
+		log.Fatalf("no function %q; available:", *fn)
+	}
+	fmt.Print(dot(prog, f))
+}
+
+// dot renders one function as a Graphviz digraph.
+func dot(p *ir.Program, f *ir.Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=box fontname=monospace fontsize=9];\n")
+
+	// Region membership for shading; inception blocks for shaping.
+	memberOf := map[ir.BlockID]ir.RegionID{}
+	inceptionOf := map[ir.BlockID]ir.RegionID{}
+	for _, rg := range p.Regions {
+		if rg.Func != f.ID {
+			continue
+		}
+		inceptionOf[rg.Inception] = rg.ID
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Region == rg.ID && b.Instrs[i].Op != ir.Reuse {
+					memberOf[b.ID] = rg.ID
+					break
+				}
+			}
+		}
+		if rg.Kind == ir.FuncLevel {
+			memberOf[rg.Body] = rg.ID
+		}
+	}
+
+	for _, b := range f.Blocks {
+		var lines []string
+		for i := range b.Instrs {
+			lines = append(lines, b.Instrs[i].String())
+		}
+		label := fmt.Sprintf("b%d\\l%s\\l", b.ID, strings.Join(lines, "\\l"))
+		var attrs string
+		if rid, ok := inceptionOf[b.ID]; ok {
+			attrs = fmt.Sprintf("label=\"b%d: reuse region%d\" shape=diamond style=filled fillcolor=gold", b.ID, rid)
+		} else if rid, ok := memberOf[b.ID]; ok {
+			attrs = fmt.Sprintf("label=%q style=filled fillcolor=lightblue tooltip=\"region %d\"", label, rid)
+		} else {
+			attrs = fmt.Sprintf("label=%q", label)
+		}
+		fmt.Fprintf(&sb, "  b%d [%s];\n", b.ID, attrs)
+	}
+
+	g := analysis.BuildCFG(f)
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		for _, s := range g.Succs[b.ID] {
+			attr := ""
+			if t != nil {
+				switch {
+				case t.Op == ir.Reuse && s == t.Target:
+					attr = " [label=hit color=darkgreen]"
+				case t.Op == ir.Reuse:
+					attr = " [label=miss color=red]"
+				case t.Attr.Has(ir.AttrRegionEnd) && s == regionCont(p, t.Region):
+					attr = " [label=finish color=darkgreen]"
+				case t.Attr.Has(ir.AttrRegionExit) && !sameRegion(p, f, t.Region, s):
+					attr = " [label=exit color=red style=dashed]"
+				}
+			}
+			fmt.Fprintf(&sb, "  b%d -> b%d%s;\n", b.ID, s, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func regionCont(p *ir.Program, id ir.RegionID) ir.BlockID {
+	if r := p.Region(id); r != nil {
+		return r.Continuation
+	}
+	return ir.NoBlock
+}
+
+func sameRegion(p *ir.Program, f *ir.Func, id ir.RegionID, b ir.BlockID) bool {
+	blk := f.Block(b)
+	if blk == nil {
+		return false
+	}
+	for i := range blk.Instrs {
+		if blk.Instrs[i].Region == id {
+			return true
+		}
+	}
+	return false
+}

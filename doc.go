@@ -1,0 +1,11 @@
+// Package ccr is the root of a from-scratch Go reproduction of
+// "Compiler-Directed Dynamic Computation Reuse: Rationale and Initial
+// Results" (Connors & Hwu, MICRO-32, 1999).
+//
+// The library lives under internal/: the IR and compiler analyses, the
+// Reuse Profiling System, region formation, the CCR transformation, the
+// Computation Reuse Buffer model, the cycle-level 6-issue timing model,
+// the 13-benchmark synthetic workload suite, and the experiment drivers
+// that regenerate every figure of the paper's evaluation. See README.md
+// for the tour and DESIGN.md for the system inventory.
+package ccr

@@ -1,0 +1,118 @@
+// Breakpoints reproduces the paper's Figure 3: the 124.m88ksim ckbrkpts
+// function — a loop scanning a breakpoint table — is reusable as a whole
+// region because the table only changes when one of a few update functions
+// runs, and because the common executed path (no breakpoints armed) never
+// reads the varying address operand. The example shows both effects: near-
+// total reuse between updates, and the invalidation triggered by the
+// compiler-placed computation-invalidate instruction after each update.
+//
+//	go run ./examples/breakpoints
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccr/internal/core"
+	"ccr/internal/ir"
+)
+
+// buildBreakpoints models the ckbrkpts pattern: main simulates
+// instructions, checking the table before each one; every `updateEvery`
+// instructions a breakpoint is toggled (the paper's settmpbrk/rsttmpbrk).
+func buildBreakpoints(updateEvery int64) *ir.Program {
+	pb := ir.NewProgramBuilder("breakpoints")
+	// 16 entries of [code, adr]: code 0 means unarmed.
+	brktable := pb.Object("brktable", 32, nil)
+
+	// ckbrkpts(addr): Figure 3(a), restructured without the break by
+	// branching to a found block outside the loop.
+	ck := pb.Func("ckbrkpts", 1)
+	addr := ck.Param(0)
+	entry := ck.NewBlock()
+	head := ck.NewBlock()
+	body := ck.NewBlock()
+	cmp := ck.NewBlock()
+	latch := ck.NewBlock()
+	found := ck.NewBlock()
+	exit := ck.NewBlock()
+	hit, i, base, p, code, a := ck.NewReg(), ck.NewReg(), ck.NewReg(), ck.NewReg(), ck.NewReg(), ck.NewReg()
+	entry.MovI(hit, 0)
+	entry.MovI(i, 0)
+	entry.Lea(base, brktable, 0)
+	head.BgeI(i, 16, exit.ID())
+	body.ShlI(p, i, 1)
+	body.Add(p, base, p)
+	body.Ld(code, p, 0, brktable)
+	body.BeqI(code, 0, latch.ID()) // short-circuit: addr never read
+	cmp.Ld(a, p, 1, brktable)
+	cmp.AndI(a, a, ^int64(3))
+	cmp.Beq(a, addr, found.ID())
+	latch.AddI(i, i, 1)
+	latch.Jmp(head.ID())
+	found.MovI(hit, 1)
+	found.Jmp(exit.ID())
+	exit.Ret(hit)
+
+	// main(n): per simulated instruction, check breakpoints at a varying
+	// pc; toggle a temporary breakpoint every updateEvery instructions.
+	f := pb.Func("main", 1)
+	e := f.NewBlock()
+	h := f.NewBlock()
+	b := f.NewBlock()
+	upd := f.NewBlock()
+	la := f.NewBlock()
+	x := f.NewBlock()
+	k, total, pc, r, tmp, tb, z := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(total, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	b.ShlI(pc, k, 2) // a different address every time
+	b.Call(r, ck.ID(), pc)
+	b.Add(total, total, r)
+	b.RemI(tmp, k, updateEvery)
+	b.BneI(tmp, 0, la.ID())
+	// settmpbrk then rsttmpbrk: arm and immediately disarm entry 3.
+	upd.Lea(tb, brktable, 6)
+	upd.St(tb, 0, k, brktable)
+	upd.MovI(z, 0)
+	upd.St(tb, 0, z, brktable)
+	la.AddI(k, k, 1)
+	la.Jmp(h.ID())
+	x.Ret(total)
+
+	return ir.MustVerify(pb.Build())
+}
+
+func main() {
+	fmt.Println("Figure 3 reproduction: the ckbrkpts region-level memory reuse")
+	fmt.Printf("\n%-18s %12s %10s %10s %8s %8s\n",
+		"update interval", "base cyc", "ccr cyc", "hits", "invals", "speedup")
+	for _, every := range []int64{8192, 1024, 128, 16, 2} {
+		prog := buildBreakpoints(every)
+		opts := core.DefaultOptions()
+		cr, err := core.Compile(prog, []int64{4096}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := core.Simulate(prog, nil, opts.Uarch, []int64{4096}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ccr, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, []int64{4096}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ccr.Result != base.Result {
+			log.Fatal("architectural mismatch")
+		}
+		fmt.Printf("%-18d %12d %10d %10d %8d %8.3f\n",
+			every, base.Cycles, ccr.Cycles, ccr.Emu.ReuseHits,
+			ccr.Emu.Invalidations, core.Speedup(base, ccr))
+	}
+	fmt.Println("\nThe scan reuses perfectly while brktable is untouched (the address")
+	fmt.Println("argument is never read on the unarmed path, so it is not an input of")
+	fmt.Println("the recorded instance); each update invalidates the recorded instance")
+	fmt.Println("and forces one re-recording, so dense updates erode the speedup —")
+	fmt.Println("the paper's equivalence-of-memory argument in action.")
+}

@@ -1,0 +1,3 @@
+module ccr
+
+go 1.22

@@ -1,0 +1,463 @@
+// Package alias implements the program-level memory analysis the CCR
+// compiler support requires (paper §4.1): a flow-insensitive,
+// context-insensitive interprocedural points-to analysis over the program's
+// named memory objects, classification of loads as "determinable"
+// (all potential store sites known at compile time), and per-function
+// may-store summaries used to place invalidation instructions.
+package alias
+
+import (
+	"math/bits"
+	"sort"
+
+	"ccr/internal/ir"
+)
+
+// ObjSet is a may-point-to set over memory objects. Top means "may point to
+// any object" (an address of unknown provenance, e.g. loaded from memory
+// after a pointer escaped).
+type ObjSet struct {
+	Top  bool
+	bits []uint64
+}
+
+func newObjSet(numObjs int) ObjSet {
+	return ObjSet{bits: make([]uint64, (numObjs+64)/64+1)}
+}
+
+// Has reports whether object m is in the set (always true for Top).
+func (s *ObjSet) Has(m ir.MemID) bool {
+	if s.Top {
+		return true
+	}
+	if m < 0 {
+		return false
+	}
+	w := int(m) / 64
+	return w < len(s.bits) && s.bits[w]&(1<<(uint(m)%64)) != 0
+}
+
+// Add inserts object m.
+func (s *ObjSet) Add(m ir.MemID) {
+	if m < 0 {
+		return
+	}
+	s.bits[int(m)/64] |= 1 << (uint(m) % 64)
+}
+
+// Union merges t into s, reporting change.
+func (s *ObjSet) Union(t *ObjSet) bool {
+	changed := false
+	if t.Top && !s.Top {
+		s.Top = true
+		changed = true
+	}
+	for i := range t.bits {
+		old := s.bits[i]
+		s.bits[i] |= t.bits[i]
+		if s.bits[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Count returns the number of objects in the set (0 for empty; callers
+// must check Top separately).
+func (s *ObjSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Members returns the object IDs in ascending order (nil for Top sets,
+// whose membership is unbounded).
+func (s *ObjSet) Members() []ir.MemID {
+	if s.Top {
+		return nil
+	}
+	var out []ir.MemID
+	for wi, w := range s.bits {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, ir.MemID(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Single returns the unique object of a singleton, non-Top set, or NoMem.
+func (s *ObjSet) Single() ir.MemID {
+	if s.Top || s.Count() != 1 {
+		return ir.NoMem
+	}
+	return s.Members()[0]
+}
+
+// Result is the outcome of the whole-program alias analysis.
+type Result struct {
+	prog *ir.Program
+
+	// PointsTo[f][r] is the may-point-to set of register r in function f.
+	PointsTo []map[ir.Reg]*ObjSet
+
+	// LoadObject maps each load instruction to the unique object it
+	// accesses, or NoMem when the object is not unique/known.
+	LoadObject map[ir.InstrRef]ir.MemID
+
+	// Determinable marks loads whose complete store-site set is known:
+	// the accessed object is unique and no anonymous (Top-addressed)
+	// store may write it.
+	Determinable map[ir.InstrRef]bool
+
+	// StoreSites[m] lists every store instruction that may write object m.
+	StoreSites map[ir.MemID][]ir.InstrRef
+
+	// AnonStores lists hintless stores whose target object set is Top —
+	// these poison determinability of every writable object.
+	AnonStores []ir.InstrRef
+
+	// Inconsistent lists hinted accesses whose computed points-to set is
+	// non-empty yet excludes the hint — a construction bug the emulator
+	// would also catch dynamically.
+	Inconsistent []ir.InstrRef
+
+	// MayStore[f] is the set of objects function f may write, directly
+	// or transitively through calls. AnonMayStore[f] reports whether f
+	// may perform an anonymous store.
+	MayStore     []ObjSet
+	AnonMayStore []bool
+
+	// MayLoad[f] is the set of objects function f may read, directly or
+	// transitively; AnonMayLoad[f] reports reads of unknown objects.
+	// These drive function-level region selection (§6 extension).
+	MayLoad     []ObjSet
+	AnonMayLoad []bool
+}
+
+// Analyze runs the points-to analysis over the whole program and derives
+// load classification and store summaries.
+func Analyze(p *ir.Program) *Result {
+	nObjs := len(p.Objects)
+	res := &Result{
+		prog:         p,
+		PointsTo:     make([]map[ir.Reg]*ObjSet, len(p.Funcs)),
+		LoadObject:   map[ir.InstrRef]ir.MemID{},
+		Determinable: map[ir.InstrRef]bool{},
+		StoreSites:   map[ir.MemID][]ir.InstrRef{},
+		MayStore:     make([]ObjSet, len(p.Funcs)),
+		AnonMayStore: make([]bool, len(p.Funcs)),
+		MayLoad:      make([]ObjSet, len(p.Funcs)),
+		AnonMayLoad:  make([]bool, len(p.Funcs)),
+	}
+	for i := range res.PointsTo {
+		res.PointsTo[i] = map[ir.Reg]*ObjSet{}
+		res.MayStore[i] = newObjSet(nObjs)
+		res.MayLoad[i] = newObjSet(nObjs)
+	}
+	get := func(f ir.FuncID, r ir.Reg) *ObjSet {
+		s := res.PointsTo[f][r]
+		if s == nil {
+			ns := newObjSet(nObjs)
+			s = &ns
+			res.PointsTo[f][r] = s
+		}
+		return s
+	}
+	// ptsHeap[m] is the set of objects whose addresses may be stored in
+	// object m (field-insensitive heap points-to): loads from m yield it.
+	// globalHeap collects pointer values stored through unknown (Top)
+	// addresses, which may land in any object; heapTop records a Top
+	// pointer value reaching memory.
+	ptsHeap := make([]ObjSet, nObjs)
+	for i := range ptsHeap {
+		ptsHeap[i] = newObjSet(nObjs)
+	}
+	globalHeap := newObjSet(nObjs)
+	retSets := make([]*ObjSet, len(p.Funcs))
+	for i := range retSets {
+		ns := newObjSet(nObjs)
+		retSets[i] = &ns
+	}
+
+	// Iterate transfer functions to a global fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					switch in.Op {
+					case ir.Lea:
+						d := get(f.ID, in.Dest)
+						if !d.Has(in.Mem) {
+							d.Add(in.Mem)
+							changed = true
+						}
+						if in.Src1 != ir.NoReg {
+							if d.Union(get(f.ID, in.Src1)) {
+								changed = true
+							}
+						}
+					case ir.Mov, ir.Add, ir.Sub:
+						// Pointer arithmetic preserves provenance. Other
+						// ALU operations (masks, shifts, multiplies)
+						// strip it: the IR discipline is that addresses
+						// are formed by Lea plus Add/Sub only, and the
+						// emulator enforces every annotated access lands
+						// inside its object.
+						d := get(f.ID, in.Dest)
+						if d.Union(get(f.ID, in.Src1)) {
+							changed = true
+						}
+						if in.Src2 != ir.NoReg {
+							if d.Union(get(f.ID, in.Src2)) {
+								changed = true
+							}
+						}
+					case ir.Ld:
+						// The loaded value may be any pointer stored
+						// into the accessed object(s).
+						d := get(f.ID, in.Dest)
+						addr := get(f.ID, in.Src1)
+						if addr.Top {
+							for m := range ptsHeap {
+								if d.Union(&ptsHeap[m]) {
+									changed = true
+								}
+							}
+						} else {
+							for _, m := range addr.Members() {
+								if d.Union(&ptsHeap[m]) {
+									changed = true
+								}
+							}
+						}
+						if d.Union(&globalHeap) {
+							changed = true
+						}
+					case ir.St:
+						v := get(f.ID, in.Src2)
+						if !v.Top && v.Count() == 0 {
+							break // pure data: nothing to record
+						}
+						addr := get(f.ID, in.Src1)
+						if addr.Top {
+							if globalHeap.Union(v) {
+								changed = true
+							}
+						} else {
+							for _, m := range addr.Members() {
+								if ptsHeap[m].Union(v) {
+									changed = true
+								}
+							}
+						}
+					case ir.Call:
+						callee := p.Func(in.Callee)
+						for ai, ar := range in.Args {
+							param := get(in.Callee, ir.Reg(ai+1))
+							if param.Union(get(f.ID, ar)) {
+								changed = true
+							}
+						}
+						if in.Dest != ir.NoReg {
+							d := get(f.ID, in.Dest)
+							if d.Union(retSets[callee.ID]) {
+								changed = true
+							}
+						}
+					case ir.Ret:
+						if in.Src1 != ir.NoReg {
+							if retSets[f.ID].Union(get(f.ID, in.Src1)) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	res.deriveLoadsAndStores(get)
+	res.deriveMayStore()
+	return res
+}
+
+// deriveLoadsAndStores resolves each access's object. Construction-time
+// hints take precedence: the flow-insensitive analysis over-approximates
+// under register reuse, whereas a hint is exact — every hinted access is
+// bounds-checked against its object by the emulator at run time, so a wrong
+// hint faults loudly rather than corrupting reuse. The computed sets still
+// classify hintless accesses and cross-check hinted ones (Inconsistent).
+func (res *Result) deriveLoadsAndStores(get func(ir.FuncID, ir.Reg) *ObjSet) {
+	p := res.prog
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				ref := ir.InstrRef{Func: f.ID, Block: b.ID, Index: i}
+				switch in.Op {
+				case ir.Ld:
+					addr := get(f.ID, in.Src1)
+					if in.Mem != ir.NoMem {
+						res.LoadObject[ref] = in.Mem
+						if !addr.Top && !addr.Has(in.Mem) && addr.Count() > 0 {
+							res.Inconsistent = append(res.Inconsistent, ref)
+						}
+						continue
+					}
+					res.LoadObject[ref] = addr.Single()
+				case ir.St:
+					if in.Mem != ir.NoMem {
+						addr := get(f.ID, in.Src1)
+						if !addr.Top && !addr.Has(in.Mem) && addr.Count() > 0 {
+							res.Inconsistent = append(res.Inconsistent, ref)
+						}
+						res.StoreSites[in.Mem] = append(res.StoreSites[in.Mem], ref)
+						continue
+					}
+					addr := get(f.ID, in.Src1)
+					if addr.Top {
+						res.AnonStores = append(res.AnonStores, ref)
+						continue
+					}
+					for _, m := range addr.Members() {
+						res.StoreSites[m] = append(res.StoreSites[m], ref)
+					}
+				}
+			}
+		}
+	}
+	anyAnon := len(res.AnonStores) > 0
+	for ref, m := range res.LoadObject {
+		if m == ir.NoMem {
+			res.Determinable[ref] = false
+			continue
+		}
+		obj := p.Object(m)
+		// Read-only objects are always determinable. Writable objects
+		// are determinable only when no anonymous store exists.
+		res.Determinable[ref] = obj.ReadOnly || !anyAnon
+	}
+}
+
+func (res *Result) deriveMayStore() {
+	p := res.prog
+	// Direct effects.
+	for m, sites := range res.StoreSites {
+		for _, ref := range sites {
+			res.MayStore[ref.Func].Add(m)
+		}
+	}
+	for _, ref := range res.AnonStores {
+		res.AnonMayStore[ref.Func] = true
+	}
+	for ref, m := range res.LoadObject {
+		if m == ir.NoMem {
+			res.AnonMayLoad[ref.Func] = true
+		} else {
+			res.MayLoad[ref.Func].Add(m)
+		}
+	}
+	// Transitive closure over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if in.Op != ir.Call {
+						continue
+					}
+					if res.MayStore[f.ID].Union(&res.MayStore[in.Callee]) {
+						changed = true
+					}
+					if res.AnonMayStore[in.Callee] && !res.AnonMayStore[f.ID] {
+						res.AnonMayStore[f.ID] = true
+						changed = true
+					}
+					if res.MayLoad[f.ID].Union(&res.MayLoad[in.Callee]) {
+						changed = true
+					}
+					if res.AnonMayLoad[in.Callee] && !res.AnonMayLoad[f.ID] {
+						res.AnonMayLoad[f.ID] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// Annotate writes the analysis results back into the IR: every load gets
+// its object as the Mem hint (construction hints preserved, analysis
+// results filled in for hintless loads) and the AttrDeterminable attribute
+// when its store-site set is complete; hintless stores whose computed
+// object is unique gain that hint. Returns the number of determinable
+// loads.
+func (res *Result) Annotate() int {
+	p := res.prog
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				ref := ir.InstrRef{Func: f.ID, Block: b.ID, Index: i}
+				switch in.Op {
+				case ir.Ld:
+					in.Mem = res.LoadObject[ref]
+					if res.Determinable[ref] {
+						in.Attr |= AttrDet
+						n++
+					} else {
+						in.Attr &^= AttrDet
+					}
+				case ir.St:
+					if in.Mem == ir.NoMem {
+						in.Mem = storeSingle(res, ref)
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// AttrDet aliases ir.AttrDeterminable for brevity inside this package.
+const AttrDet = ir.AttrDeterminable
+
+func storeSingle(res *Result, ref ir.InstrRef) ir.MemID {
+	found := ir.NoMem
+	for m, sites := range res.StoreSites {
+		for _, s := range sites {
+			if s == ref {
+				if found != ir.NoMem {
+					return ir.NoMem // more than one object
+				}
+				found = m
+			}
+		}
+	}
+	return found
+}
+
+// StoreRefsSorted returns the store sites of object m in deterministic
+// (func, block, index) order.
+func (res *Result) StoreRefsSorted(m ir.MemID) []ir.InstrRef {
+	sites := append([]ir.InstrRef(nil), res.StoreSites[m]...)
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Index < b.Index
+	})
+	return sites
+}

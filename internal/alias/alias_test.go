@@ -1,0 +1,195 @@
+package alias
+
+import (
+	"testing"
+
+	"ccr/internal/ir"
+)
+
+// buildHintless constructs a program whose loads/stores carry no hints, so
+// the points-to analysis must resolve everything itself.
+func buildHintless(t *testing.T) (*ir.Program, ir.MemID, ir.MemID) {
+	t.Helper()
+	pb := ir.NewProgramBuilder("alias")
+	ro := pb.ReadOnlyObject("ro", []int64{1, 2, 3, 4})
+	wr := pb.Object("wr", 8, nil)
+	f := pb.Func("main", 1)
+	b := f.NewBlock()
+	pRO, pWR, idx, v, w := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	b.AndI(idx, f.Param(0), 3)
+	b.Lea(pRO, ro, 0)
+	b.Add(pRO, pRO, idx)
+	b.Ld(v, pRO, 0, ir.NoMem) // load from ro, no hint
+	b.Lea(pWR, wr, 0)
+	b.Add(pWR, pWR, idx)
+	b.St(pWR, 0, v, ir.NoMem) // store to wr, no hint
+	b.Ld(w, pWR, 0, ir.NoMem) // load back from wr
+	b.Ret(w)
+	return pb.Build(), ro, wr
+}
+
+func TestPointsToResolvesHintlessAccesses(t *testing.T) {
+	p, ro, wr := buildHintless(t)
+	res := Analyze(p)
+	n := res.Annotate()
+	if n != 2 {
+		t.Fatalf("determinable loads = %d, want 2", n)
+	}
+	blk := p.Funcs[0].Blocks[0]
+	if blk.Instrs[3].Mem != ro || !blk.Instrs[3].Attr.Has(ir.AttrDeterminable) {
+		t.Fatalf("ro load annotation: %s", blk.Instrs[3].String())
+	}
+	if blk.Instrs[6].Mem != wr {
+		t.Fatalf("wr store annotation: %s", blk.Instrs[6].String())
+	}
+	if blk.Instrs[7].Mem != wr || !blk.Instrs[7].Attr.Has(ir.AttrDeterminable) {
+		t.Fatalf("wr load annotation: %s", blk.Instrs[7].String())
+	}
+	sites := res.StoreRefsSorted(wr)
+	if len(sites) != 1 || sites[0].Index != 6 {
+		t.Fatalf("store sites for wr: %v", sites)
+	}
+	if len(res.AnonStores) != 0 {
+		t.Fatalf("unexpected anon stores: %v", res.AnonStores)
+	}
+}
+
+func TestNonPointerOpsStripProvenance(t *testing.T) {
+	pb := ir.NewProgramBuilder("strip")
+	tab := pb.ReadOnlyObject("tab", []int64{1, 2})
+	f := pb.Func("main", 0)
+	b := f.NewBlock()
+	p, q := f.NewReg(), f.NewReg()
+	b.Lea(p, tab, 0)
+	b.ShlI(q, p, 0) // shift strips provenance even when a no-op
+	b.Ret(q)
+	prog := pb.Build()
+	res := Analyze(prog)
+	pts := res.PointsTo[0][q]
+	if pts != nil && (pts.Top || pts.Count() > 0) {
+		t.Fatalf("shifted value kept provenance: %v", pts.Members())
+	}
+	if res.PointsTo[0][p].Single() != tab {
+		t.Fatal("lea result must point to tab")
+	}
+}
+
+func TestHeapPointsToThroughMemory(t *testing.T) {
+	// A pointer stored into cell[0] and loaded back must carry its
+	// provenance through the heap edge.
+	pb := ir.NewProgramBuilder("heap")
+	tab := pb.ReadOnlyObject("tab", []int64{9, 9})
+	cell := pb.Object("cell", 2, nil)
+	f := pb.Func("main", 0)
+	b := f.NewBlock()
+	pt, pc, lp, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	b.Lea(pt, tab, 0)
+	b.Lea(pc, cell, 0)
+	b.St(pc, 0, pt, cell)    // cell[0] = &tab
+	b.Ld(lp, pc, 0, cell)    // lp = cell[0]
+	b.Ld(v, lp, 0, ir.NoMem) // v = *lp — must resolve to tab
+	b.Ret(v)
+	prog := pb.Build()
+	res := Analyze(prog)
+	ref := ir.InstrRef{Func: 0, Block: 0, Index: 4}
+	if got := res.LoadObject[ref]; got != tab {
+		t.Fatalf("indirect load object = %d, want tab", got)
+	}
+}
+
+func TestInterproceduralPropagation(t *testing.T) {
+	pb := ir.NewProgramBuilder("ip")
+	tab := pb.ReadOnlyObject("tab", []int64{5, 6, 7, 8})
+	// callee(ptr) loads through the pointer parameter.
+	g := pb.Func("deref", 1)
+	gb := g.NewBlock()
+	gv := g.NewReg()
+	gb.Ld(gv, g.Param(0), 0, ir.NoMem)
+	gb.Ret(gv)
+	f := pb.Func("main", 0)
+	pb.SetMain(f.ID())
+	b := f.NewBlock()
+	pr, r := f.NewReg(), f.NewReg()
+	b.Lea(pr, tab, 0)
+	b.Call(r, g.ID(), pr)
+	b.Ret(r)
+	prog := pb.Build()
+	res := Analyze(prog)
+	res.Annotate()
+	in := prog.InstrAt(ir.InstrRef{Func: g.ID(), Block: 0, Index: 0})
+	if in.Mem != tab || !in.Attr.Has(ir.AttrDeterminable) {
+		t.Fatalf("callee load not resolved through parameter: %s", in.String())
+	}
+}
+
+func TestMayStoreSummaries(t *testing.T) {
+	pb := ir.NewProgramBuilder("ms")
+	buf := pb.Object("buf", 4, nil)
+	// leaf stores to buf.
+	g := pb.Func("writer", 0)
+	gb := g.NewBlock()
+	gp, gz := g.NewReg(), g.NewReg()
+	gb.Lea(gp, buf, 0)
+	gb.MovI(gz, 1)
+	gb.St(gp, 0, gz, buf)
+	gb.RetI(0)
+	// mid calls leaf.
+	h := pb.Func("mid", 0)
+	hb := h.NewBlock()
+	hr := h.NewReg()
+	hb.Call(hr, g.ID())
+	hb.Ret(hr)
+	f := pb.Func("main", 0)
+	pb.SetMain(f.ID())
+	b := f.NewBlock()
+	r := f.NewReg()
+	b.Call(r, h.ID())
+	b.Ret(r)
+	prog := pb.Build()
+	res := Analyze(prog)
+	for _, fn := range []ir.FuncID{g.ID(), h.ID(), f.ID()} {
+		if !res.MayStore[fn].Has(buf) {
+			t.Fatalf("f%d must may-store buf (transitively)", fn)
+		}
+	}
+}
+
+func TestHintTrustedAndCrossChecked(t *testing.T) {
+	p, _, wr := buildHintless(t)
+	// Add hints and re-analyze: hints must survive annotation.
+	blk := p.Funcs[0].Blocks[0]
+	blk.Instrs[6].Mem = wr
+	res := Analyze(p)
+	res.Annotate()
+	if blk.Instrs[6].Mem != wr {
+		t.Fatal("store hint must be preserved")
+	}
+	if len(res.Inconsistent) != 0 {
+		t.Fatalf("consistent hint flagged: %v", res.Inconsistent)
+	}
+}
+
+func TestObjSetOperations(t *testing.T) {
+	s := newObjSet(100)
+	s.Add(3)
+	s.Add(70)
+	if !s.Has(3) || !s.Has(70) || s.Has(4) {
+		t.Fatal("membership")
+	}
+	if s.Count() != 2 || s.Single() != ir.NoMem {
+		t.Fatal("count/single on non-singleton")
+	}
+	u := newObjSet(100)
+	u.Add(3)
+	if u.Single() != 3 {
+		t.Fatal("singleton")
+	}
+	top := ObjSet{Top: true}
+	if !top.Has(99) || top.Single() != ir.NoMem {
+		t.Fatal("top semantics")
+	}
+	changed := s.Union(&top)
+	if !changed || !s.Top {
+		t.Fatal("union with top")
+	}
+}

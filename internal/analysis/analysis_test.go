@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccr/internal/ir"
+)
+
+// diamond builds:  b0 → (b1 | b2) → b3 → ret
+func diamond(t *testing.T) *ir.Func {
+	t.Helper()
+	pb := ir.NewProgramBuilder("diamond")
+	f := pb.Func("main", 1)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	x, y := f.NewReg(), f.NewReg()
+	b0.BgtI(f.Param(0), 10, b2.ID())
+	b1.MovI(x, 1)
+	b1.Jmp(b3.ID())
+	b2.MovI(x, 2)
+	b3.Add(y, x, f.Param(0))
+	b3.Ret(y)
+	p := pb.Build()
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p.Funcs[0]
+}
+
+// loopFunc builds: b0(entry) → b1(head) → b2(body) → b1 ; b1 → b3(exit)
+func loopFunc(t *testing.T) *ir.Func {
+	t.Helper()
+	pb := ir.NewProgramBuilder("loop")
+	f := pb.Func("main", 1)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	i, s := f.NewReg(), f.NewReg()
+	b0.MovI(i, 0)
+	b0.MovI(s, 0)
+	b1.Bge(i, f.Param(0), b3.ID())
+	b2.Add(s, s, i)
+	b2.AddI(i, i, 1)
+	b2.Jmp(b1.ID())
+	b3.Ret(s)
+	p := pb.Build()
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p.Funcs[0]
+}
+
+func TestCFGEdges(t *testing.T) {
+	f := diamond(t)
+	g := BuildCFG(f)
+	cases := []struct {
+		b    ir.BlockID
+		want []ir.BlockID
+	}{
+		{0, []ir.BlockID{2, 1}}, // taken target first, then fall-through
+		{1, []ir.BlockID{3}},
+		{2, []ir.BlockID{3}},
+		{3, nil},
+	}
+	for _, tc := range cases {
+		got := g.Succs[tc.b]
+		if len(got) != len(tc.want) {
+			t.Fatalf("succs(b%d) = %v, want %v", tc.b, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("succs(b%d) = %v, want %v", tc.b, got, tc.want)
+			}
+		}
+	}
+	if len(g.Preds[3]) != 2 {
+		t.Fatalf("preds(b3) = %v, want 2 predecessors", g.Preds[3])
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	f := diamond(t)
+	g := BuildCFG(f)
+	rpo := g.ReversePostorder()
+	if len(rpo) != 4 || rpo[0] != 0 {
+		t.Fatalf("rpo = %v", rpo)
+	}
+	// b3 must come after both b1 and b2.
+	pos := map[ir.BlockID]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	if pos[3] < pos[1] || pos[3] < pos[2] {
+		t.Fatalf("join precedes its predecessors: %v", rpo)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := diamond(t)
+	g := BuildCFG(f)
+	d := BuildDomTree(g)
+	if d.IDom(1) != 0 || d.IDom(2) != 0 || d.IDom(3) != 0 {
+		t.Fatalf("idoms: b1=%d b2=%d b3=%d, want all 0", d.IDom(1), d.IDom(2), d.IDom(3))
+	}
+	if !d.Dominates(0, 3) || d.Dominates(1, 3) || !d.Dominates(3, 3) {
+		t.Fatal("dominance relation wrong on diamond")
+	}
+}
+
+func TestNaturalLoop(t *testing.T) {
+	f := loopFunc(t)
+	g := BuildCFG(f)
+	d := BuildDomTree(g)
+	loops := FindLoops(g, d)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Fatalf("header = b%d, want b1", l.Header)
+	}
+	if !l.Contains(1) || !l.Contains(2) || l.Contains(0) || l.Contains(3) {
+		t.Fatalf("loop blocks = %v", l.Blocks)
+	}
+	if !l.Inner() {
+		t.Fatal("single loop should be inner")
+	}
+	exits := l.Exits(g)
+	if len(exits) != 1 || exits[0] != 3 {
+		t.Fatalf("exits = %v, want [3]", exits)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	pb := ir.NewProgramBuilder("nested")
+	f := pb.Func("main", 1)
+	b0 := f.NewBlock()  // entry
+	oh := f.NewBlock()  // outer head
+	ib0 := f.NewBlock() // inner init
+	ih := f.NewBlock()  // inner head
+	ib := f.NewBlock()  // inner body
+	ol := f.NewBlock()  // outer latch
+	ex := f.NewBlock()
+	i, j, s := f.NewReg(), f.NewReg(), f.NewReg()
+	b0.MovI(i, 0)
+	b0.MovI(s, 0)
+	oh.BgeI(i, 3, ex.ID())
+	ib0.MovI(j, 0)
+	ih.BgeI(j, 4, ol.ID())
+	ib.Add(s, s, j)
+	ib.AddI(j, j, 1)
+	ib.Jmp(ih.ID())
+	ol.AddI(i, i, 1)
+	ol.Jmp(oh.ID())
+	ex.Ret(s)
+	p := pb.Build()
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	g := BuildCFG(p.Funcs[0])
+	loops := FindLoops(g, BuildDomTree(g))
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	var inner, outer *Loop
+	for _, l := range loops {
+		if l.Header == ih.ID() {
+			inner = l
+		}
+		if l.Header == oh.ID() {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatal("missing inner or outer loop")
+	}
+	if !inner.Inner() || outer.Inner() {
+		t.Fatal("nesting classification wrong")
+	}
+	if inner.Parent != outer {
+		t.Fatal("inner loop's parent should be the outer loop")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := loopFunc(t)
+	g := BuildCFG(f)
+	lv := ComputeLiveness(g)
+	// At the loop head, i, s and the bound (param r1) are live.
+	in := lv.LiveIn[1]
+	if !in.Has(2) || !in.Has(3) || !in.Has(1) {
+		t.Fatalf("LiveIn(head) = %v", in.Members())
+	}
+	// At entry, only the parameter is live-in.
+	if got := lv.LiveIn[0].Members(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("LiveIn(entry) = %v, want [r1]", got)
+	}
+	// After the exit block nothing is live.
+	if lv.LiveOut[3].Count() != 0 {
+		t.Fatalf("LiveOut(exit) = %v", lv.LiveOut[3].Members())
+	}
+}
+
+func TestLiveBefore(t *testing.T) {
+	f := loopFunc(t)
+	g := BuildCFG(f)
+	lv := ComputeLiveness(g)
+	// Before b2[0] (s = s+i): s, i live (and param for the back-edge test).
+	live := lv.LiveBefore(2, 0)
+	if !live.Has(2) || !live.Has(3) {
+		t.Fatalf("LiveBefore(b2[0]) = %v", live.Members())
+	}
+}
+
+func TestRegSetQuick(t *testing.T) {
+	add := func(vals []uint8) bool {
+		s := NewRegSet(300)
+		seen := map[ir.Reg]bool{}
+		for _, v := range vals {
+			r := ir.Reg(int(v)%300 + 1)
+			s.Add(r)
+			seen[r] = true
+		}
+		for r := ir.Reg(1); r <= 300; r++ {
+			if s.Has(r) != seen[r] {
+				return false
+			}
+		}
+		return s.Count() == len(seen)
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	unionSubtract := func(a, b []uint8) bool {
+		sa, sb := NewRegSet(300), NewRegSet(300)
+		for _, v := range a {
+			sa.Add(ir.Reg(int(v)%300 + 1))
+		}
+		for _, v := range b {
+			sb.Add(ir.Reg(int(v)%300 + 1))
+		}
+		u := sa.Clone()
+		u.Union(sb)
+		for _, r := range sa.Members() {
+			if !u.Has(r) {
+				return false
+			}
+		}
+		for _, r := range sb.Members() {
+			if !u.Has(r) {
+				return false
+			}
+		}
+		u.Subtract(sb)
+		for _, r := range u.Members() {
+			if sb.Has(r) || !sa.Has(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(unionSubtract, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegSetMembersSorted(t *testing.T) {
+	s := NewRegSet(128)
+	for _, r := range []ir.Reg{100, 3, 64, 65, 1} {
+		s.Add(r)
+	}
+	m := s.Members()
+	for i := 1; i < len(m); i++ {
+		if m[i-1] >= m[i] {
+			t.Fatalf("members not sorted: %v", m)
+		}
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 4 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	f := loopFunc(t)
+	du := ComputeDefUse(f)
+	// i (r2) is defined in entry and body.
+	if du.DefCount[2] != 2 {
+		t.Fatalf("DefCount(i) = %d, want 2", du.DefCount[2])
+	}
+	if len(du.UseBlocks[2]) == 0 {
+		t.Fatal("i has uses")
+	}
+}

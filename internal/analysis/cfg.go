@@ -1,0 +1,115 @@
+// Package analysis provides the intra-procedural compiler analyses the CCR
+// region-formation pass depends on: CFG edges and orderings, dominators,
+// natural-loop detection, liveness, and def-use information.
+package analysis
+
+import "ccr/internal/ir"
+
+// CFG holds the successor/predecessor edges of a function, derived from
+// block terminators and fall-through order.
+type CFG struct {
+	Func  *ir.Func
+	Succs [][]ir.BlockID
+	Preds [][]ir.BlockID
+}
+
+// BuildCFG computes the control-flow graph of f.
+func BuildCFG(f *ir.Func) *CFG {
+	n := len(f.Blocks)
+	g := &CFG{
+		Func:  f,
+		Succs: make([][]ir.BlockID, n),
+		Preds: make([][]ir.BlockID, n),
+	}
+	for _, b := range f.Blocks {
+		g.Succs[b.ID] = blockSuccs(f, b)
+	}
+	for id, ss := range g.Succs {
+		for _, s := range ss {
+			g.Preds[s] = append(g.Preds[s], ir.BlockID(id))
+		}
+	}
+	return g
+}
+
+// blockSuccs returns the successor blocks of b in deterministic order:
+// branch target first, fall-through second.
+func blockSuccs(f *ir.Func, b *ir.Block) []ir.BlockID {
+	t := b.Terminator()
+	next := ir.NoBlock
+	if int(b.ID)+1 < len(f.Blocks) {
+		next = b.ID + 1
+	}
+	if t == nil {
+		if next == ir.NoBlock {
+			return nil
+		}
+		return []ir.BlockID{next}
+	}
+	switch {
+	case t.Op == ir.Jmp:
+		return []ir.BlockID{t.Target}
+	case t.Op == ir.Ret:
+		return nil
+	case t.Op.IsCondBranch():
+		if next == ir.NoBlock {
+			return []ir.BlockID{t.Target}
+		}
+		if t.Target == next {
+			return []ir.BlockID{next}
+		}
+		return []ir.BlockID{t.Target, next}
+	default:
+		if next == ir.NoBlock {
+			return nil
+		}
+		return []ir.BlockID{next}
+	}
+}
+
+// ReversePostorder returns the block IDs of the CFG in reverse postorder
+// from the entry block. Unreachable blocks are omitted.
+func (g *CFG) ReversePostorder() []ir.BlockID {
+	n := len(g.Succs)
+	seen := make([]bool, n)
+	var order []ir.BlockID
+	var dfs func(ir.BlockID)
+	dfs = func(b ir.BlockID) {
+		seen[b] = true
+		for _, s := range g.Succs[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if n > 0 {
+		dfs(0)
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (g *CFG) Reachable() []bool {
+	n := len(g.Succs)
+	seen := make([]bool, n)
+	if n == 0 {
+		return seen
+	}
+	stack := []ir.BlockID{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs[b] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import "ccr/internal/ir"
+
+// DomTree holds immediate-dominator information for a CFG, computed with
+// the Cooper-Harvey-Kennedy iterative algorithm.
+type DomTree struct {
+	g *CFG
+	// idom[b] is the immediate dominator of b; the entry's idom is itself.
+	// Unreachable blocks have idom NoBlock.
+	idom []ir.BlockID
+	// rpoNum[b] is b's position in reverse postorder (-1 if unreachable).
+	rpoNum []int
+}
+
+// BuildDomTree computes the dominator tree of g.
+func BuildDomTree(g *CFG) *DomTree {
+	n := len(g.Succs)
+	d := &DomTree{
+		g:      g,
+		idom:   make([]ir.BlockID, n),
+		rpoNum: make([]int, n),
+	}
+	for i := range d.idom {
+		d.idom[i] = ir.NoBlock
+		d.rpoNum[i] = -1
+	}
+	rpo := g.ReversePostorder()
+	for i, b := range rpo {
+		d.rpoNum[b] = i
+	}
+	if len(rpo) == 0 {
+		return d
+	}
+	entry := rpo[0]
+	d.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			newIdom := ir.NoBlock
+			for _, p := range g.Preds[b] {
+				if d.idom[p] == ir.NoBlock {
+					continue // predecessor not yet processed
+				}
+				if newIdom == ir.NoBlock {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != ir.NoBlock && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *DomTree) intersect(a, b ir.BlockID) ir.BlockID {
+	for a != b {
+		for d.rpoNum[a] > d.rpoNum[b] {
+			a = d.idom[a]
+		}
+		for d.rpoNum[b] > d.rpoNum[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (the entry dominates itself);
+// NoBlock for unreachable blocks.
+func (d *DomTree) IDom(b ir.BlockID) ir.BlockID { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b ir.BlockID) bool {
+	if d.rpoNum[a] == -1 || d.rpoNum[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == b || next == ir.NoBlock {
+			return false
+		}
+		b = next
+	}
+}

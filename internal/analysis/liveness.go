@@ -1,0 +1,137 @@
+package analysis
+
+import "ccr/internal/ir"
+
+// Liveness holds per-block live-register information computed by backward
+// iterative dataflow.
+type Liveness struct {
+	Func *ir.Func
+	// LiveIn[b] is the set of registers live at entry to block b.
+	LiveIn []RegSet
+	// LiveOut[b] is the set of registers live at exit of block b.
+	LiveOut []RegSet
+	// use[b] / def[b] are the block-local upward-exposed uses and
+	// definitions.
+	use, def []RegSet
+}
+
+// ComputeLiveness runs liveness analysis over the CFG.
+func ComputeLiveness(g *CFG) *Liveness {
+	f := g.Func
+	n := len(f.Blocks)
+	lv := &Liveness{
+		Func:    f,
+		LiveIn:  make([]RegSet, n),
+		LiveOut: make([]RegSet, n),
+		use:     make([]RegSet, n),
+		def:     make([]RegSet, n),
+	}
+	var uses []ir.Reg
+	for _, b := range f.Blocks {
+		u := NewRegSet(f.NumRegs)
+		d := NewRegSet(f.NumRegs)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, r := range uses {
+				if !d.Has(r) {
+					u.Add(r)
+				}
+			}
+			if dr := in.Def(); dr != ir.NoReg {
+				d.Add(dr)
+			}
+		}
+		lv.use[b.ID] = u
+		lv.def[b.ID] = d
+		lv.LiveIn[b.ID] = NewRegSet(f.NumRegs)
+		lv.LiveOut[b.ID] = NewRegSet(f.NumRegs)
+	}
+	// Iterate to fixpoint, visiting blocks in reverse order for fast
+	// convergence on mostly-forward CFGs.
+	tmp := NewRegSet(f.NumRegs)
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := ir.BlockID(i)
+			out := lv.LiveOut[b]
+			for _, s := range g.Succs[b] {
+				if out.Union(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			tmp.CopyFrom(out)
+			tmp.Subtract(lv.def[b])
+			tmp.Union(lv.use[b])
+			if !tmp.Equal(lv.LiveIn[b]) {
+				lv.LiveIn[b].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveBefore computes the set of registers live immediately before the
+// instruction at position pos in block b, by walking backward from the
+// block's live-out set.
+func (lv *Liveness) LiveBefore(b ir.BlockID, pos int) RegSet {
+	blk := lv.Func.Block(b)
+	live := lv.LiveOut[b].Clone()
+	var uses []ir.Reg
+	for i := len(blk.Instrs) - 1; i >= pos; i-- {
+		in := &blk.Instrs[i]
+		if d := in.Def(); d != ir.NoReg {
+			live.Remove(d)
+		}
+		uses = in.Uses(uses[:0])
+		for _, r := range uses {
+			live.Add(r)
+		}
+	}
+	return live
+}
+
+// DefUse summarizes which blocks define and use each register; it backs the
+// region-input heuristic (overlap of instruction inputs, §4.4).
+type DefUse struct {
+	// DefBlocks[r] lists blocks containing a definition of register r.
+	DefBlocks map[ir.Reg][]ir.BlockID
+	// UseBlocks[r] lists blocks containing a use of register r.
+	UseBlocks map[ir.Reg][]ir.BlockID
+	// DefCount[r] is the number of static definitions of r.
+	DefCount map[ir.Reg]int
+}
+
+// ComputeDefUse builds def/use summaries for f.
+func ComputeDefUse(f *ir.Func) *DefUse {
+	du := &DefUse{
+		DefBlocks: map[ir.Reg][]ir.BlockID{},
+		UseBlocks: map[ir.Reg][]ir.BlockID{},
+		DefCount:  map[ir.Reg]int{},
+	}
+	var uses []ir.Reg
+	for _, b := range f.Blocks {
+		defSeen := map[ir.Reg]bool{}
+		useSeen := map[ir.Reg]bool{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, r := range uses {
+				if !useSeen[r] {
+					useSeen[r] = true
+					du.UseBlocks[r] = append(du.UseBlocks[r], b.ID)
+				}
+			}
+			if d := in.Def(); d != ir.NoReg {
+				du.DefCount[d]++
+				if !defSeen[d] {
+					defSeen[d] = true
+					du.DefBlocks[d] = append(du.DefBlocks[d], b.ID)
+				}
+			}
+		}
+	}
+	return du
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"sort"
+
+	"ccr/internal/ir"
+)
+
+// Loop describes one natural loop: the header block, the set of member
+// blocks, and the back edges that define it. Loops with the same header are
+// merged, matching the usual natural-loop construction.
+type Loop struct {
+	Header ir.BlockID
+	// Blocks is the sorted set of member blocks, including the header.
+	Blocks []ir.BlockID
+	// Latches are the sources of the back edges into the header.
+	Latches []ir.BlockID
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Children are the loops nested immediately inside this one.
+	Children []*Loop
+}
+
+// Contains reports whether block b is a member of the loop.
+func (l *Loop) Contains(b ir.BlockID) bool {
+	i := sort.Search(len(l.Blocks), func(i int) bool { return l.Blocks[i] >= b })
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Inner reports whether the loop has no nested loops.
+func (l *Loop) Inner() bool { return len(l.Children) == 0 }
+
+// Exits returns the sorted set of blocks outside the loop that are branch
+// targets or fall-through successors of loop members.
+func (l *Loop) Exits(g *CFG) []ir.BlockID {
+	seen := map[ir.BlockID]bool{}
+	for _, b := range l.Blocks {
+		for _, s := range g.Succs[b] {
+			if !l.Contains(s) {
+				seen[s] = true
+			}
+		}
+	}
+	out := make([]ir.BlockID, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindLoops detects the natural loops of g using back edges identified by
+// dominance: an edge t→h is a back edge when h dominates t. The returned
+// loops are sorted by header block and linked into a nesting forest.
+func FindLoops(g *CFG, dom *DomTree) []*Loop {
+	byHeader := map[ir.BlockID]*Loop{}
+	for t := range g.Succs {
+		for _, h := range g.Succs[t] {
+			if dom.Dominates(h, ir.BlockID(t)) {
+				l := byHeader[h]
+				if l == nil {
+					l = &Loop{Header: h}
+					byHeader[h] = l
+				}
+				l.Latches = append(l.Latches, ir.BlockID(t))
+			}
+		}
+	}
+	var loops []*Loop
+	for _, l := range byHeader {
+		collectLoopBody(g, l)
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	linkNesting(loops)
+	return loops
+}
+
+// collectLoopBody fills l.Blocks with the natural-loop body: the header
+// plus every block that can reach a latch without passing through the
+// header (standard backward reachability from the latches).
+func collectLoopBody(g *CFG, l *Loop) {
+	inLoop := map[ir.BlockID]bool{l.Header: true}
+	var stack []ir.BlockID
+	for _, t := range l.Latches {
+		if !inLoop[t] {
+			inLoop[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Preds[b] {
+			if !inLoop[p] {
+				inLoop[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	l.Blocks = make([]ir.BlockID, 0, len(inLoop))
+	for b := range inLoop {
+		l.Blocks = append(l.Blocks, b)
+	}
+	sort.Slice(l.Blocks, func(i, j int) bool { return l.Blocks[i] < l.Blocks[j] })
+}
+
+// linkNesting builds the loop forest: loop A is the parent of loop B when
+// A contains B's header and A ≠ B, choosing the smallest such container.
+func linkNesting(loops []*Loop) {
+	for _, inner := range loops {
+		var best *Loop
+		for _, outer := range loops {
+			if outer == inner || !outer.Contains(inner.Header) {
+				continue
+			}
+			// Exclude self-containment of distinct same-header loops
+			// (cannot happen: loops are merged by header).
+			if best == nil || len(outer.Blocks) < len(best.Blocks) {
+				best = outer
+			}
+		}
+		if best != nil {
+			inner.Parent = best
+			best.Children = append(best.Children, inner)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"ccr/internal/ir"
+)
+
+// RegSet is a bit set over virtual registers, sized for a particular
+// function's register count.
+type RegSet []uint64
+
+// NewRegSet returns an empty set able to hold registers 1..numRegs.
+func NewRegSet(numRegs int) RegSet {
+	return make(RegSet, (numRegs+64)/64+1)
+}
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r ir.Reg) bool {
+	if r <= 0 {
+		return false
+	}
+	w, b := int(r)/64, uint(r)%64
+	return w < len(s) && s[w]&(1<<b) != 0
+}
+
+// Add inserts r.
+func (s RegSet) Add(r ir.Reg) {
+	if r <= 0 {
+		return
+	}
+	s[int(r)/64] |= 1 << (uint(r) % 64)
+}
+
+// Remove deletes r.
+func (s RegSet) Remove(r ir.Reg) {
+	if r <= 0 {
+		return
+	}
+	s[int(r)/64] &^= 1 << (uint(r) % 64)
+}
+
+// Union adds every member of t, reporting whether s changed.
+func (s RegSet) Union(t RegSet) bool {
+	changed := false
+	for i := range t {
+		old := s[i]
+		s[i] |= t[i]
+		if s[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Subtract removes every member of t.
+func (s RegSet) Subtract(t RegSet) {
+	for i := range t {
+		s[i] &^= t[i]
+	}
+}
+
+// CopyFrom overwrites s with t.
+func (s RegSet) CopyFrom(t RegSet) {
+	copy(s, t)
+}
+
+// Clone returns an independent copy.
+func (s RegSet) Clone() RegSet {
+	t := make(RegSet, len(s))
+	copy(t, s)
+	return t
+}
+
+// Clear empties the set.
+func (s RegSet) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Count returns the number of members.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Members returns the registers in ascending order.
+func (s RegSet) Members() []ir.Reg {
+	var out []ir.Reg
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, ir.Reg(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two sets have identical membership.
+func (s RegSet) Equal(t RegSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}

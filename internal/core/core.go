@@ -1,0 +1,175 @@
+// Package core is the top-level API of the Compiler-directed Computation
+// Reuse (CCR) framework — the paper's primary contribution assembled into a
+// usable pipeline:
+//
+//	compile:  alias analysis → value profiling (RPS) → RCR formation →
+//	          CCR transformation (reuse/invalidate insertion)
+//	simulate: functional emulation against a Computation Reuse Buffer,
+//	          driving the cycle-level 6-issue timing model
+//
+// A typical use:
+//
+//	cr, _ := core.Compile(prog, trainArgs, core.DefaultOptions())
+//	base, _ := core.Simulate(prog, nil, cfg.Uarch, refArgs)
+//	ccr, _ := core.Simulate(cr.Prog, &cfg.CRB, cfg.Uarch, refArgs)
+//	fmt.Println(core.Speedup(base, ccr))
+package core
+
+import (
+	"fmt"
+
+	"ccr/internal/alias"
+	"ccr/internal/crb"
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+	"ccr/internal/region"
+	"ccr/internal/uarch"
+	"ccr/internal/vprof"
+	"ccr/internal/xform"
+)
+
+// Options configures the whole pipeline.
+type Options struct {
+	Region region.Options
+	CRB    crb.Config
+	Uarch  uarch.Config
+	// Limit bounds each emulated run's dynamic instructions (0 = default).
+	Limit int64
+}
+
+// DefaultOptions returns the paper's configuration: §4.4 heuristics, a
+// 128-entry × 8-instance direct-mapped CRB and the §5.1 machine.
+func DefaultOptions() Options {
+	return Options{
+		Region: region.DefaultOptions(),
+		CRB:    crb.DefaultConfig(),
+		Uarch:  uarch.DefaultConfig(),
+	}
+}
+
+// CompileResult is the output of the CCR compilation pipeline.
+type CompileResult struct {
+	// Prog is the transformed program: reuse instructions at region
+	// inception points, annotated live-outs and region ends, and
+	// invalidate instructions after relevant stores.
+	Prog *ir.Program
+	// Plans are the selected regions on the base program.
+	Plans []*region.Plan
+	// Profile is the RPS profile gathered on the training run.
+	Profile *vprof.Profile
+	// Alias is the whole-program memory analysis.
+	Alias *alias.Result
+	// TrainResult is the architectural result of the profiling run.
+	TrainResult int64
+}
+
+// Compile runs the CCR compiler support on base: alias analysis and
+// annotation, value profiling with the given training arguments, region
+// formation, and transformation. base is annotated in place with alias
+// attributes; the returned Prog is an independent transformed clone.
+func Compile(base *ir.Program, trainArgs []int64, opts Options) (*CompileResult, error) {
+	ar := alias.Analyze(base)
+	ar.Annotate()
+
+	prof, trainResult, err := ProfileRun(base, trainArgs, opts.Limit)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling run: %w", err)
+	}
+
+	plans := region.Form(base, prof, ar, opts.Region)
+	prog, err := xform.Transform(base, plans)
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{
+		Prog:        prog,
+		Plans:       plans,
+		Profile:     prof,
+		Alias:       ar,
+		TrainResult: trainResult,
+	}, nil
+}
+
+// ProfileRun executes base functionally under the RPS profiler and returns
+// the finished profile and the program result.
+func ProfileRun(base *ir.Program, args []int64, limit int64) (*vprof.Profile, int64, error) {
+	profiler := vprof.NewProfiler(base)
+	m := emu.New(base)
+	m.Trace = profiler.Tracer()
+	m.Limit = limit
+	res, err := m.Run(args...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return profiler.Finish(), res, nil
+}
+
+// SimResult is one timed run.
+type SimResult struct {
+	Result int64
+	Cycles int64
+	Emu    emu.Stats
+	Uarch  uarch.Stats
+	CRB    *crb.Stats // nil when run without a CRB
+}
+
+// Simulate executes prog with the cycle-level timing model. A non-nil
+// crbCfg attaches a Computation Reuse Buffer, enabling the CCR extensions;
+// with nil, reuse instructions (if any) always miss.
+func Simulate(prog *ir.Program, crbCfg *crb.Config, ucfg uarch.Config, args []int64, limit int64) (*SimResult, error) {
+	m := emu.New(prog)
+	m.Limit = limit
+	var buf *crb.CRB
+	if crbCfg != nil {
+		buf = crb.New(*crbCfg, prog)
+		m.CRB = buf
+	}
+	sim := uarch.NewSimulator(ucfg, prog)
+	m.Trace = sim.Tracer()
+	res, err := m.Run(args...)
+	if err != nil {
+		return nil, err
+	}
+	out := &SimResult{
+		Result: res,
+		Emu:    m.Stats,
+		Uarch:  sim.Stats(),
+	}
+	out.Cycles = out.Uarch.Cycles
+	if buf != nil {
+		st := buf.Stats()
+		out.CRB = &st
+	}
+	return out, nil
+}
+
+// RunFunctional executes prog without timing, optionally with a CRB —
+// used by correctness tests and the reuse-potential study.
+func RunFunctional(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64) (*SimResult, error) {
+	m := emu.New(prog)
+	m.Limit = limit
+	var buf *crb.CRB
+	if crbCfg != nil {
+		buf = crb.New(*crbCfg, prog)
+		m.CRB = buf
+	}
+	res, err := m.Run(args...)
+	if err != nil {
+		return nil, err
+	}
+	out := &SimResult{Result: res, Emu: m.Stats}
+	if buf != nil {
+		st := buf.Stats()
+		out.CRB = &st
+	}
+	return out, nil
+}
+
+// Speedup returns base cycles divided by ccr cycles — the paper's
+// performance metric.
+func Speedup(base, ccr *SimResult) float64 {
+	if ccr.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(ccr.Cycles)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccr/internal/ir"
+	"ccr/internal/progen"
+)
+
+// buildPureCallBench: main(n) calls a pure table-driven function with
+// recurring arguments; a second impure function (it stores) must never be
+// selected at function level.
+func buildPureCallBench(t testing.TB, tableWritable bool) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgramBuilder("flb")
+	var tab ir.MemID
+	if tableWritable {
+		tab = pb.Object("tab", 8, []int64{3, 1, 4, 1, 5, 9, 2, 6})
+	} else {
+		tab = pb.ReadOnlyObject("tab", []int64{3, 1, 4, 1, 5, 9, 2, 6})
+	}
+	log := pb.Object("log", 8, nil)
+
+	// pure(a, b): table lookup plus arithmetic — no stores anywhere.
+	pure := pb.Func("pure", 2)
+	pHot := pure.NewBlock()
+	pMore := pure.NewBlock()
+	pExit := pure.NewBlock()
+	a, b := pure.Param(0), pure.Param(1)
+	v, p0 := pure.NewReg(), pure.NewReg()
+	pHot.AndI(v, a, 7)
+	pHot.LeaIdx(p0, tab, v, 0)
+	pHot.Ld(v, p0, 0, tab)
+	pHot.Mul(v, v, b)
+	pHot.BgtI(v, 1000, pExit.ID())
+	pMore.MulI(v, v, 3)
+	pMore.AddI(v, v, 7)
+	pExit.Ret(v)
+
+	// impure(x): writes a log entry — must be rejected.
+	imp := pb.Func("impure", 1)
+	iB := imp.NewBlock()
+	ix, ip := imp.NewReg(), imp.NewReg()
+	iB.AndI(ix, imp.Param(0), 7)
+	iB.Lea(ip, log, 0)
+	iB.Add(ip, ip, ix)
+	iB.St(ip, 0, imp.Param(0), log)
+	iB.Ret(ix)
+
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	mu := f.NewBlock()
+	la := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, s1, s2, r, tmp, mp := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.AndI(s1, k, 3)
+	bo.AndI(s2, k, 1)
+	bo.AddI(s2, s2, 2)
+	bo.Call(r, pure.ID(), s1, s2)
+	bo.Add(acc, acc, r)
+	bo.Call(r, imp.ID(), k)
+	bo.Add(acc, acc, r)
+	bo.RemI(tmp, k, 100)
+	bo.BneI(tmp, 0, la.ID())
+	mu.Lea(mp, tab, 3)
+	if tableWritable {
+		mu.St(mp, 0, k, tab)
+	} else {
+		mu.Nop()
+		mu.Mov(mp, mp)
+	}
+	la.AddI(k, k, 1)
+	la.Jmp(h.ID())
+	x.Ret(acc)
+	return ir.MustVerify(pb.Build())
+}
+
+func funcLevelOptions() Options {
+	opts := DefaultOptions()
+	opts.Region.FunctionLevel = true
+	return opts
+}
+
+func TestFuncLevelFormationAndReuse(t *testing.T) {
+	for _, writable := range []bool{false, true} {
+		base := buildPureCallBench(t, writable)
+		opts := funcLevelOptions()
+		cr, err := Compile(base, []int64{1000}, opts)
+		if err != nil {
+			t.Fatalf("writable=%v: compile: %v", writable, err)
+		}
+		var fl *ir.Region
+		for _, rg := range cr.Prog.Regions {
+			if rg.Kind == ir.FuncLevel {
+				if cr.Prog.Func(rg.Callee).Name == "impure" {
+					t.Fatalf("impure callee selected at function level")
+				}
+				fl = rg
+			}
+		}
+		if fl == nil {
+			t.Fatalf("writable=%v: no function-level region formed", writable)
+		}
+		wantClass := ir.Stateless
+		if writable {
+			wantClass = ir.MemoryDependent
+		}
+		if fl.Class != wantClass {
+			t.Errorf("writable=%v: class = %v", writable, fl.Class)
+		}
+		if len(fl.Inputs) != 2 || len(fl.Outputs) != 1 {
+			t.Errorf("interface: in=%v out=%v", fl.Inputs, fl.Outputs)
+		}
+
+		baseRes, err := Simulate(base, nil, opts.Uarch, []int64{1000}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccrRes, err := Simulate(cr.Prog, &opts.CRB, opts.Uarch, []int64{1000}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ccrRes.Result != baseRes.Result {
+			t.Fatalf("writable=%v: result mismatch: %d vs %d", writable, ccrRes.Result, baseRes.Result)
+		}
+		rs := ccrRes.Emu.Regions[fl.ID]
+		if rs == nil || rs.Hits == 0 {
+			t.Fatalf("writable=%v: function-level region never hit: %+v", writable, rs)
+		}
+		// Eight (s1, s2) combinations: hits dominate after warmup.
+		if rs.Hits < 900 {
+			t.Errorf("writable=%v: hits = %d", writable, rs.Hits)
+		}
+		if writable && ccrRes.Emu.Invalidations == 0 {
+			t.Error("writable table must trigger invalidations")
+		}
+		if ccrRes.Cycles >= baseRes.Cycles {
+			t.Errorf("writable=%v: no speedup (%d vs %d)", writable, ccrRes.Cycles, baseRes.Cycles)
+		}
+	}
+}
+
+func TestFuncLevelInvalidationCorrectness(t *testing.T) {
+	// With the writable table mutated every 100 iterations, reusing a
+	// stale result would change the architectural outcome. Sweep CRB
+	// configs and compare against the base run.
+	base := buildPureCallBench(t, true)
+	opts := funcLevelOptions()
+	cr, err := Compile(base, []int64{500}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunFunctional(base, nil, []int64{777}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entries := range []int{1, 4, 128} {
+		cfg := opts.CRB
+		cfg.Entries = entries
+		got, err := RunFunctional(cr.Prog, &cfg, []int64{777}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Result != want.Result {
+			t.Fatalf("entries=%d: result %d, want %d", entries, got.Result, want.Result)
+		}
+	}
+}
+
+// TestFuncLevelEquivalenceOnRandomPrograms extends the central equivalence
+// property to the function-level extension: random programs, aggressive
+// thresholds, function-level formation enabled.
+func TestFuncLevelEquivalenceOnRandomPrograms(t *testing.T) {
+	opts := aggressiveOptions()
+	opts.Region.FunctionLevel = true
+	cfg := opts.CRB
+	formed := 0
+	f := func(seed uint64, arg uint8) bool {
+		base := progen.Generate(seed, progen.DefaultConfig())
+		cr, err := Compile(base, []int64{int64(arg)}, opts)
+		if err != nil {
+			t.Logf("seed %d: compile: %v", seed, err)
+			return false
+		}
+		for _, rg := range cr.Prog.Regions {
+			if rg.Kind == ir.FuncLevel {
+				formed++
+			}
+		}
+		return runBoth(t, base, cr.Prog, &cfg, int64(arg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+	if formed == 0 {
+		t.Fatal("no random program formed a function-level region; property vacuous")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccr/internal/ir"
+	"ccr/internal/progen"
+	"ccr/internal/workloads"
+)
+
+// TestDumpParseRoundTripWorkloads serializes every benchmark (base and
+// transformed) to text and back, requiring byte-identical re-serialization
+// and identical execution results.
+func TestDumpParseRoundTripWorkloads(t *testing.T) {
+	opts := DefaultOptions()
+	for _, name := range workloads.Names() {
+		b := workloads.Load(name, workloads.Tiny)
+		cr, err := Compile(b.Prog, b.Train, opts)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		for _, prog := range []*ir.Program{b.Prog, cr.Prog} {
+			text := prog.Dump()
+			re, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("%s: parse: %v", name, err)
+			}
+			if err := ir.Verify(re); err != nil {
+				t.Fatalf("%s: verify reparsed: %v", name, err)
+			}
+			if re.Dump() != text {
+				t.Fatalf("%s: dump/parse/dump not a fixpoint", name)
+			}
+			want, err := RunFunctional(prog, nil, b.Train, 0)
+			if err != nil {
+				t.Fatalf("%s: run original: %v", name, err)
+			}
+			got, err := RunFunctional(re, nil, b.Train, 0)
+			if err != nil {
+				t.Fatalf("%s: run reparsed: %v", name, err)
+			}
+			if got.Result != want.Result {
+				t.Fatalf("%s: reparsed result %d != %d", name, got.Result, want.Result)
+			}
+		}
+	}
+}
+
+// TestDumpParseRoundTripRandom extends the round-trip property to random
+// programs.
+func TestDumpParseRoundTripRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		text := p.Dump()
+		re, err := ir.Parse(text)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return re.Dump() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package crb models the Computation Reuse Buffer of the CCR architecture
+// (paper Figure 5): a cache-like structure of computation entries, indexed
+// by the compiler-assigned region identifier, where each entry holds several
+// computation instances. A computation instance records the input register
+// values a region execution consumed, the output register values it
+// produced, and whether it depended on (still-valid) memory state.
+package crb
+
+import "ccr/internal/ir"
+
+// RegVal is one register entry of a computation-instance bank: the register
+// index and the value it must hold (input bank) or will receive (output
+// bank).
+type RegVal struct {
+	Reg ir.Reg
+	Val int64
+}
+
+// Instance is one computation instance (Figure 5, "CI"): the reusable
+// record of a single region execution along one path.
+type Instance struct {
+	Valid bool
+	// UsesMem is the memory-valid field's "accesses memory" half: the
+	// recorded path executed at least one load.
+	UsesMem bool
+	// MemOK is the validity half: false once an invalidation for any of
+	// the region's objects arrives, making the instance unreusable.
+	MemOK   bool
+	Inputs  []RegVal
+	Outputs []RegVal
+	// ReplacedInstrs is the dynamic instruction count of the recorded
+	// execution — the number of instructions a reuse of this instance
+	// eliminates (used for reporting, not by the hardware).
+	ReplacedInstrs int
+}
+
+// Reusable reports whether the instance can satisfy a lookup whose current
+// register values are supplied by read.
+func (ci *Instance) Reusable(read func(ir.Reg) int64) bool {
+	if !ci.Valid || (ci.UsesMem && !ci.MemOK) {
+		return false
+	}
+	for _, in := range ci.Inputs {
+		if read(in.Reg) != in.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// entry is one computation entry: a tagged slot holding the instances
+// recorded for a single region.
+type entry struct {
+	tag     ir.RegionID
+	valid   bool
+	memCap  bool // entry hardware supports memory-dependent instances
+	cis     []Instance
+	lastUse []uint64 // LRU timestamps per instance
+}
+
+// Config selects the CRB geometry. The paper evaluates direct-mapped
+// buffers of 32/64/128 entries with 4/8/16 instances; Assoc > 1 and
+// NoMemEntriesFrac > 0 are the design-enhancement ablations of §3.1/§6.
+type Config struct {
+	Entries   int // number of computation entries (power of two expected)
+	Instances int // computation instances per entry
+	// Assoc is the set associativity of the entry array; 1 (the paper's
+	// configuration) means region IDs map to entries direct-mapped.
+	Assoc int
+	// NoMemEntriesFrac is the fraction of entries *without* memory-valid
+	// tracking hardware (the nonuniform-capacity design of §6's future
+	// work); memory-dependent instances mapping to such an entry cannot
+	// be recorded. 0 — the zero value — reproduces the paper's uniform
+	// CRB.
+	NoMemEntriesFrac float64
+}
+
+// DefaultConfig is the paper's most cost-effective point: a 128-entry
+// direct-mapped CRB with 8 computation instances per entry (§5.2).
+func DefaultConfig() Config {
+	return Config{Entries: 128, Instances: 8, Assoc: 1}
+}
+
+func (c Config) normalized() Config {
+	if c.Entries <= 0 {
+		c.Entries = 128
+	}
+	if c.Instances <= 0 {
+		c.Instances = 8
+	}
+	if c.Assoc <= 0 {
+		c.Assoc = 1
+	}
+	if c.Assoc > c.Entries {
+		c.Assoc = c.Entries
+	}
+	if c.NoMemEntriesFrac < 0 {
+		c.NoMemEntriesFrac = 0
+	}
+	if c.NoMemEntriesFrac > 1 {
+		c.NoMemEntriesFrac = 1
+	}
+	return c
+}
+
+// Stats counts CRB events.
+type Stats struct {
+	Lookups     int64 // reuse-instruction accesses
+	Hits        int64 // lookups satisfied by a valid instance
+	TagMisses   int64 // entry not resident (or not memory-capable)
+	InputMisses int64 // entry resident but no instance matched
+	Records     int64 // instances committed
+	RecordFails int64 // commits rejected (non-capable entry)
+	Evictions   int64 // entry replacements (tag conflicts)
+	Invalidates int64 // instances discarded by invalidation
+}
+
+// CRB is the Computation Reuse Buffer.
+type CRB struct {
+	cfg     Config
+	sets    int
+	entries []entry // sets × assoc
+	clock   uint64
+	stats   Stats
+
+	// memRegions maps an object to the regions whose instances an
+	// invalidation of that object must discard. It is the hardware image
+	// of the compiler's region registration table.
+	memRegions map[ir.MemID][]ir.RegionID
+}
+
+// New builds a CRB for the given configuration and program region table.
+func New(cfg Config, prog *ir.Program) *CRB {
+	cfg = cfg.normalized()
+	c := &CRB{
+		cfg:        cfg,
+		sets:       cfg.Entries / cfg.Assoc,
+		entries:    make([]entry, cfg.Entries),
+		memRegions: map[ir.MemID][]ir.RegionID{},
+	}
+	if c.sets == 0 {
+		c.sets = 1
+	}
+	capCount := int((1-cfg.NoMemEntriesFrac)*float64(cfg.Entries) + 0.5)
+	for i := range c.entries {
+		e := &c.entries[i]
+		e.cis = make([]Instance, cfg.Instances)
+		e.lastUse = make([]uint64, cfg.Instances)
+		// Spread memory-capable entries evenly (Bresenham-style) so a
+		// fraction of every set has the capability.
+		e.memCap = (i+1)*capCount/cfg.Entries != i*capCount/cfg.Entries
+	}
+	if prog != nil {
+		for _, r := range prog.Regions {
+			for _, m := range r.MemObjects {
+				c.memRegions[m] = append(c.memRegions[m], r.ID)
+			}
+		}
+	}
+	return c
+}
+
+// Config returns the normalized configuration.
+func (c *CRB) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *CRB) Stats() Stats { return c.stats }
+
+// setOf returns the entry slice forming the set a region maps to.
+func (c *CRB) setOf(region ir.RegionID) []entry {
+	set := int(region) % c.sets
+	return c.entries[set*c.cfg.Assoc : (set+1)*c.cfg.Assoc]
+}
+
+// findEntry returns the resident entry for region, or nil.
+func (c *CRB) findEntry(region ir.RegionID) *entry {
+	set := c.setOf(region)
+	for i := range set {
+		if set[i].valid && set[i].tag == region {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup performs the reuse-instruction access: it searches the region's
+// computation entry for an instance whose inputs match the current register
+// values (supplied by read). On a hit it returns the matching instance and
+// refreshes its LRU state.
+func (c *CRB) Lookup(region ir.RegionID, read func(ir.Reg) int64) (*Instance, bool) {
+	c.clock++
+	c.stats.Lookups++
+	e := c.findEntry(region)
+	if e == nil {
+		c.stats.TagMisses++
+		return nil, false
+	}
+	for i := range e.cis {
+		if e.cis[i].Reusable(read) {
+			e.lastUse[i] = c.clock
+			c.stats.Hits++
+			return &e.cis[i], true
+		}
+	}
+	c.stats.InputMisses++
+	return nil, false
+}
+
+// Commit installs a freshly recorded instance for region, allocating or
+// replacing the computation entry as needed and evicting the LRU instance.
+// It reports whether the instance was stored (false when the region is
+// memory-dependent but maps to an entry without memory-valid hardware).
+func (c *CRB) Commit(region ir.RegionID, inst Instance) bool {
+	c.clock++
+	e := c.findEntry(region)
+	if e == nil {
+		e = c.victim(region)
+		if inst.UsesMem && !e.memCap {
+			c.stats.RecordFails++
+			return false
+		}
+		if e.valid {
+			c.stats.Evictions++
+		}
+		e.tag = region
+		e.valid = true
+		for i := range e.cis {
+			e.cis[i] = Instance{}
+			e.lastUse[i] = 0
+		}
+	} else if inst.UsesMem && !e.memCap {
+		c.stats.RecordFails++
+		return false
+	}
+	// Choose an invalid instance slot if one exists, else the LRU slot.
+	slot := -1
+	for i := range e.cis {
+		if !e.cis[i].Valid {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		slot = 0
+		for i := 1; i < len(e.cis); i++ {
+			if e.lastUse[i] < e.lastUse[slot] {
+				slot = i
+			}
+		}
+	}
+	inst.Valid = true
+	inst.MemOK = true
+	e.cis[slot] = inst
+	e.lastUse[slot] = c.clock
+	c.stats.Records++
+	return true
+}
+
+// victim selects the entry to replace for a region not resident: an invalid
+// way if available, else the way whose most recent use is oldest.
+func (c *CRB) victim(region ir.RegionID) *entry {
+	set := c.setOf(region)
+	best := &set[0]
+	bestUse := lastTouch(best)
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			return e
+		}
+		if u := lastTouch(e); u < bestUse {
+			best, bestUse = e, u
+		}
+	}
+	return best
+}
+
+func lastTouch(e *entry) uint64 {
+	var m uint64
+	for _, u := range e.lastUse {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// Invalidate executes the computation-invalidate instruction for object m:
+// every resident instance of a region registered against m that accessed
+// memory is discarded. Returns the number of instances invalidated.
+func (c *CRB) Invalidate(m ir.MemID) int {
+	n := 0
+	for _, region := range c.memRegions[m] {
+		e := c.findEntry(region)
+		if e == nil {
+			continue
+		}
+		for i := range e.cis {
+			ci := &e.cis[i]
+			if ci.Valid && ci.UsesMem && ci.MemOK {
+				ci.MemOK = false
+				n++
+			}
+		}
+	}
+	c.stats.Invalidates += int64(n)
+	return n
+}
+
+// InvalidateAll discards every resident instance (used by tests and by
+// context-switch modelling).
+func (c *CRB) InvalidateAll() {
+	for i := range c.entries {
+		e := &c.entries[i]
+		e.valid = false
+		for j := range e.cis {
+			e.cis[j] = Instance{}
+			e.lastUse[j] = 0
+		}
+	}
+}
+
+// ResidentInstances returns the number of valid instances currently stored,
+// for occupancy reporting.
+func (c *CRB) ResidentInstances() int {
+	n := 0
+	for i := range c.entries {
+		if !c.entries[i].valid {
+			continue
+		}
+		for j := range c.entries[i].cis {
+			if c.entries[i].cis[j].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

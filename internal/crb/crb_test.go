@@ -1,0 +1,224 @@
+package crb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccr/internal/ir"
+)
+
+func regRead(vals map[ir.Reg]int64) func(ir.Reg) int64 {
+	return func(r ir.Reg) int64 { return vals[r] }
+}
+
+func inst(usesMem bool, inputs, outputs []RegVal) Instance {
+	return Instance{UsesMem: usesMem, Inputs: inputs, Outputs: outputs, ReplacedInstrs: 10}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(Config{Entries: 8, Instances: 2}, nil)
+	if _, ok := c.Lookup(3, regRead(nil)); ok {
+		t.Fatal("empty CRB must miss")
+	}
+	c.Commit(3, inst(false, []RegVal{{Reg: 1, Val: 42}}, []RegVal{{Reg: 2, Val: 7}}))
+	ci, ok := c.Lookup(3, regRead(map[ir.Reg]int64{1: 42}))
+	if !ok {
+		t.Fatal("expected hit after commit")
+	}
+	if len(ci.Outputs) != 1 || ci.Outputs[0].Val != 7 {
+		t.Fatalf("outputs = %+v", ci.Outputs)
+	}
+	if _, ok := c.Lookup(3, regRead(map[ir.Reg]int64{1: 43})); ok {
+		t.Fatal("different input must miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Lookups != 3 || st.InputMisses != 1 || st.TagMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInstanceLRU(t *testing.T) {
+	c := New(Config{Entries: 4, Instances: 2}, nil)
+	mk := func(v int64) Instance {
+		return inst(false, []RegVal{{Reg: 1, Val: v}}, nil)
+	}
+	c.Commit(0, mk(10))
+	c.Commit(0, mk(20))
+	// Touch 10 so 20 becomes LRU.
+	if _, ok := c.Lookup(0, regRead(map[ir.Reg]int64{1: 10})); !ok {
+		t.Fatal("expected hit on 10")
+	}
+	c.Commit(0, mk(30)) // evicts 20
+	if _, ok := c.Lookup(0, regRead(map[ir.Reg]int64{1: 20})); ok {
+		t.Fatal("20 should have been evicted (LRU)")
+	}
+	for _, v := range []int64{10, 30} {
+		if _, ok := c.Lookup(0, regRead(map[ir.Reg]int64{1: v})); !ok {
+			t.Fatalf("expected %d resident", v)
+		}
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(Config{Entries: 4, Instances: 2}, nil)
+	c.Commit(1, inst(false, nil, nil))
+	// Region 5 maps to the same entry (5 mod 4 == 1) and must evict it.
+	c.Commit(5, inst(false, nil, nil))
+	if _, ok := c.Lookup(1, regRead(nil)); ok {
+		t.Fatal("conflicting region should have evicted region 1")
+	}
+	if _, ok := c.Lookup(5, regRead(nil)); !ok {
+		t.Fatal("region 5 should be resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	c := New(Config{Entries: 4, Instances: 2, Assoc: 2}, nil)
+	c.Commit(1, inst(false, nil, nil))
+	c.Commit(3, inst(false, nil, nil)) // 3 mod 2 == 1: same set, second way
+	if _, ok := c.Lookup(1, regRead(nil)); !ok {
+		t.Fatal("2-way set should hold both regions")
+	}
+	if _, ok := c.Lookup(3, regRead(nil)); !ok {
+		t.Fatal("region 3 resident")
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatalf("unexpected evictions: %d", c.Stats().Evictions)
+	}
+}
+
+func regionProg() *ir.Program {
+	// Minimal program with one MD region over object 0 and one SL region.
+	pb := ir.NewProgramBuilder("p")
+	obj := pb.Object("tab", 8, nil)
+	f := pb.Func("main", 0)
+	b := f.NewBlock()
+	b.RetI(0)
+	p := pb.Build()
+	p.Regions = []*ir.Region{
+		{ID: 0, Func: f.ID(), Class: ir.MemoryDependent, MemObjects: []ir.MemID{obj},
+			Inception: 0, Body: 0, Continuation: 0},
+		{ID: 1, Func: f.ID(), Class: ir.Stateless,
+			Inception: 0, Body: 0, Continuation: 0},
+	}
+	return p
+}
+
+func TestInvalidation(t *testing.T) {
+	p := regionProg()
+	c := New(Config{Entries: 8, Instances: 2}, p)
+	c.Commit(0, inst(true, nil, nil))  // memory-dependent instance
+	c.Commit(0, inst(false, nil, nil)) // same region, path without loads
+	c.Commit(1, inst(false, nil, nil)) // stateless region
+	n := c.Invalidate(0)
+	if n != 1 {
+		t.Fatalf("invalidated %d instances, want 1 (only the memory-using one)", n)
+	}
+	// The non-memory instance of region 0 and region 1 must survive.
+	if _, ok := c.Lookup(0, regRead(nil)); !ok {
+		t.Fatal("register-only instance of region 0 must survive invalidation")
+	}
+	if _, ok := c.Lookup(1, regRead(nil)); !ok {
+		t.Fatal("stateless region unaffected by invalidation")
+	}
+	// Repeat invalidation is idempotent.
+	if c.Invalidate(0) != 0 {
+		t.Fatal("second invalidation should find nothing")
+	}
+}
+
+func TestNoMemEntries(t *testing.T) {
+	p := regionProg()
+	c := New(Config{Entries: 8, Instances: 2, NoMemEntriesFrac: 1}, p)
+	if c.Commit(0, inst(true, nil, nil)) {
+		t.Fatal("memory-dependent instance must be rejected with no capable entries")
+	}
+	if !c.Commit(0, inst(false, nil, nil)) {
+		t.Fatal("register-only instance must still be storable")
+	}
+	if c.Stats().RecordFails != 1 {
+		t.Fatalf("record fails = %d", c.Stats().RecordFails)
+	}
+}
+
+func TestInvalidateAllAndOccupancy(t *testing.T) {
+	c := New(Config{Entries: 8, Instances: 4}, nil)
+	for r := ir.RegionID(0); r < 6; r++ {
+		c.Commit(r, inst(false, []RegVal{{Reg: 1, Val: int64(r)}}, nil))
+	}
+	if got := c.ResidentInstances(); got != 6 {
+		t.Fatalf("resident = %d, want 6", got)
+	}
+	c.InvalidateAll()
+	if got := c.ResidentInstances(); got != 0 {
+		t.Fatalf("resident after flush = %d", got)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := New(Config{}, nil)
+	cfg := c.Config()
+	if cfg.Entries != 128 || cfg.Instances != 8 || cfg.Assoc != 1 || cfg.NoMemEntriesFrac != 0 {
+		t.Fatalf("normalized config = %+v", cfg)
+	}
+	c2 := New(Config{Entries: 4, Instances: 1, Assoc: 99}, nil)
+	if c2.Config().Assoc != 4 {
+		t.Fatalf("assoc should clamp to entries: %+v", c2.Config())
+	}
+}
+
+// TestCommitLookupRoundTrip (property): any committed instance is
+// immediately reusable with exactly its recorded inputs and returns
+// exactly its recorded outputs.
+func TestCommitLookupRoundTrip(t *testing.T) {
+	f := func(region uint8, inVals, outVals []int16) bool {
+		c := New(Config{Entries: 16, Instances: 4}, nil)
+		if len(inVals) > 8 {
+			inVals = inVals[:8]
+		}
+		if len(outVals) > 8 {
+			outVals = outVals[:8]
+		}
+		var ins, outs []RegVal
+		regs := map[ir.Reg]int64{}
+		for i, v := range inVals {
+			r := ir.Reg(i + 1)
+			ins = append(ins, RegVal{Reg: r, Val: int64(v)})
+			regs[r] = int64(v)
+		}
+		for i, v := range outVals {
+			outs = append(outs, RegVal{Reg: ir.Reg(i + 9), Val: int64(v)})
+		}
+		id := ir.RegionID(region)
+		if !c.Commit(id, Instance{Inputs: ins, Outputs: outs, ReplacedInstrs: 5}) {
+			return false
+		}
+		ci, ok := c.Lookup(id, regRead(regs))
+		if !ok || len(ci.Outputs) != len(outs) {
+			return false
+		}
+		for i := range outs {
+			if ci.Outputs[i] != outs[i] {
+				return false
+			}
+		}
+		// Perturbing any input value must miss.
+		for i := range ins {
+			regs2 := map[ir.Reg]int64{}
+			for k, v := range regs {
+				regs2[k] = v
+			}
+			regs2[ins[i].Reg] += 1
+			if _, ok := c.Lookup(id, regRead(regs2)); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

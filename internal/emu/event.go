@@ -1,0 +1,92 @@
+package emu
+
+import "ccr/internal/ir"
+
+// Event describes one dynamic instruction as it executes. A single Event
+// value is reused across the run; consumers must copy anything they keep.
+type Event struct {
+	Func  *ir.Func
+	Block ir.BlockID
+	Index int
+	Instr *ir.Instr
+
+	// PC is the instruction's byte address (for I-cache and BTB models).
+	PC int64
+
+	// Regs is a read-only view of the executing frame's register file
+	// (index by ir.Reg). Consumers must not modify or retain it.
+	Regs []int64
+
+	// Val1 and Val2 are the resolved source operand values (Val2 is the
+	// immediate when Src2 is NoReg).
+	Val1, Val2 int64
+	// Result is the value written to the destination register, if any.
+	Result int64
+
+	// Addr is the effective word address for Ld and St.
+	Addr int64
+
+	// Taken reports whether a branch redirected control flow; TargetPC is
+	// the byte address control transfers to (the fall-through address for
+	// untaken branches).
+	Taken    bool
+	TargetPC int64
+
+	// Reuse-instruction facts.
+	ReuseHit bool
+	// ReuseIn and ReuseOut are the matched instance's bank sizes on a
+	// hit (they bound the read-state and commit phases of §3.3).
+	ReuseIn, ReuseOut int
+	// ReusedInstrs is the dynamic instruction count eliminated by a hit.
+	ReusedInstrs int
+}
+
+// Tracer receives every dynamic instruction. It is a plain function for
+// call overhead reasons; nil disables tracing.
+type Tracer func(*Event)
+
+// RegionStats aggregates per-region dynamic reuse behaviour for the
+// Figure 9(b)/10 analyses.
+type RegionStats struct {
+	Hits         int64 // reuse-instruction hits
+	Misses       int64 // reuse-instruction misses
+	ReusedInstrs int64 // dynamic instructions eliminated
+	Records      int64 // instances committed
+	Aborts       int64 // memoization attempts abandoned
+}
+
+// Stats aggregates whole-run dynamic counts.
+type Stats struct {
+	// DynInstrs counts instructions actually executed (reused region
+	// bodies are not executed and so not counted here).
+	DynInstrs int64
+	// ByOp breaks DynInstrs down by opcode.
+	ByOp [64]int64
+	// Branches and TakenBranches count executed control transfers
+	// (conditional branches only).
+	Branches, TakenBranches int64
+
+	// ReuseHits and ReuseMisses count reuse-instruction outcomes;
+	// ReusedInstrs is the total dynamic instructions eliminated.
+	ReuseHits, ReuseMisses int64
+	ReusedInstrs           int64
+	// MemoAborts counts abandoned memoization attempts (region exits).
+	MemoAborts int64
+	// Invalidations counts executed invalidate instructions.
+	Invalidations int64
+
+	// Regions holds per-region counters, indexed by RegionID.
+	Regions map[ir.RegionID]*RegionStats
+}
+
+func (s *Stats) region(id ir.RegionID) *RegionStats {
+	if s.Regions == nil {
+		s.Regions = map[ir.RegionID]*RegionStats{}
+	}
+	rs := s.Regions[id]
+	if rs == nil {
+		rs = &RegionStats{}
+		s.Regions[id] = rs
+	}
+	return rs
+}

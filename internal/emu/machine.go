@@ -1,0 +1,693 @@
+// Package emu is the functional emulator for the CCR intermediate
+// representation. It executes linked programs instruction by instruction,
+// implements the architectural semantics of the CCR instruction-set
+// extensions (reuse lookup, memoization mode, instance commit, and
+// invalidation) against a Computation Reuse Buffer, and streams a dynamic
+// instruction event to an optional tracer.
+//
+// The emulator is the "emulation" half of the paper's emulation-driven
+// simulation methodology: the timing model in internal/uarch consumes the
+// event stream rather than re-deriving semantics.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"ccr/internal/crb"
+	"ccr/internal/ir"
+)
+
+// ErrLimit is returned when a run exceeds its dynamic instruction budget.
+var ErrLimit = errors.New("emu: dynamic instruction limit exceeded")
+
+// Fault describes an architectural error in the emulated program.
+type Fault struct {
+	Func  string
+	Block ir.BlockID
+	Index int
+	Msg   string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("emu: fault in %s b%d[%d]: %s", f.Func, f.Block, f.Index, f.Msg)
+}
+
+type frame struct {
+	f       *ir.Func
+	regs    []int64
+	b       ir.BlockID
+	idx     int
+	retDest ir.Reg
+}
+
+// funcMemo is a pending function-level recording.
+type funcMemo struct {
+	region   *ir.Region
+	depth    int // frame depth at the reuse instruction
+	inputs   []crb.RegVal
+	startDyn int64
+}
+
+// memo tracks an active memoization-mode recording (paper §3.2).
+type memo struct {
+	active  bool
+	region  *ir.Region
+	inputs  []crb.RegVal
+	outputs []crb.RegVal
+	defined map[ir.Reg]bool
+	usesMem bool
+	count   int
+}
+
+func (m *memo) reset(r *ir.Region) {
+	m.active = true
+	m.region = r
+	m.inputs = m.inputs[:0]
+	m.outputs = m.outputs[:0]
+	if m.defined == nil {
+		m.defined = make(map[ir.Reg]bool, 16)
+	} else {
+		clear(m.defined)
+	}
+	m.usesMem = false
+	m.count = 0
+}
+
+// noteUse records a register consumed before definition as an instance
+// input. It reports false when the input bank would overflow.
+func (m *memo) noteUse(r ir.Reg, v int64) bool {
+	if r == ir.NoReg || m.defined[r] {
+		return true
+	}
+	for _, in := range m.inputs {
+		if in.Reg == r {
+			return true
+		}
+	}
+	if len(m.inputs) >= ir.RegionBankSize {
+		return false
+	}
+	m.inputs = append(m.inputs, crb.RegVal{Reg: r, Val: v})
+	return true
+}
+
+// noteDef records a definition; live-out definitions update the output bank.
+func (m *memo) noteDef(r ir.Reg, v int64, liveOut bool) bool {
+	m.defined[r] = true
+	if !liveOut {
+		return true
+	}
+	for i := range m.outputs {
+		if m.outputs[i].Reg == r {
+			m.outputs[i].Val = v
+			return true
+		}
+	}
+	if len(m.outputs) >= ir.RegionBankSize {
+		return false
+	}
+	m.outputs = append(m.outputs, crb.RegVal{Reg: r, Val: v})
+	return true
+}
+
+// Machine executes one program. Construct with New, run with Run.
+type Machine struct {
+	Prog *ir.Program
+	Mem  []int64
+	// CRB enables the CCR architectural extensions; with a nil CRB, reuse
+	// instructions always miss and nothing is memoized (the transformed
+	// program then behaves exactly like the base program, with overhead).
+	CRB *crb.CRB
+	// Trace, when non-nil, receives every executed dynamic instruction.
+	Trace Tracer
+	// Limit bounds the number of dynamic instructions executed
+	// (0 means the DefaultLimit).
+	Limit int64
+
+	Stats Stats
+
+	frames []frame
+	memo   memo
+	// funcMemos is the stack of pending function-level recordings (§6
+	// extension): each marker waits for the call made right after its
+	// reuse instruction to return, then commits (args → result) to the
+	// CRB. Markers match returns by frame depth (LIFO).
+	funcMemos []funcMemo
+	// addrBase[f][b] is the byte address of block b's first instruction.
+	addrBase [][]int64
+	// regPool recycles register files across calls.
+	regPool [][]int64
+	// readOnly[m] caches object read-only flags for the memoization path.
+	readOnly []bool
+}
+
+// DefaultLimit is the dynamic-instruction budget applied when Machine.Limit
+// is zero.
+const DefaultLimit int64 = 2_000_000_000
+
+// New prepares a machine for the linked program p with fresh memory.
+func New(p *ir.Program) *Machine {
+	m := &Machine{
+		Prog: p,
+		Mem:  p.InitialMemory(),
+	}
+	m.readOnly = make([]bool, len(p.Objects))
+	for _, o := range p.Objects {
+		m.readOnly[o.ID] = o.ReadOnly
+	}
+	m.addrBase = make([][]int64, len(p.Funcs))
+	for _, f := range p.Funcs {
+		bases := make([]int64, len(f.Blocks))
+		for _, b := range f.Blocks {
+			bases[b.ID] = f.InstrAddr(b.ID, 0)
+		}
+		m.addrBase[f.ID] = bases
+	}
+	return m
+}
+
+func (m *Machine) pushFrame(f *ir.Func, retDest ir.Reg) *frame {
+	var regs []int64
+	want := f.NumRegs + 1
+	if n := len(m.regPool); n > 0 {
+		regs = m.regPool[n-1]
+		m.regPool = m.regPool[:n-1]
+	}
+	if cap(regs) < want {
+		regs = make([]int64, want)
+	} else {
+		regs = regs[:want]
+		for i := range regs {
+			regs[i] = 0
+		}
+	}
+	m.frames = append(m.frames, frame{f: f, regs: regs, retDest: retDest})
+	return &m.frames[len(m.frames)-1]
+}
+
+func (m *Machine) popFrame() {
+	fr := &m.frames[len(m.frames)-1]
+	m.regPool = append(m.regPool, fr.regs)
+	fr.regs = nil
+	m.frames = m.frames[:len(m.frames)-1]
+}
+
+// Run executes main with the given arguments and returns its result.
+func (m *Machine) Run(args ...int64) (int64, error) {
+	mainFn := m.Prog.Func(m.Prog.Main)
+	if mainFn == nil {
+		return 0, errors.New("emu: program has no main")
+	}
+	if len(args) != mainFn.NumParams {
+		return 0, fmt.Errorf("emu: main wants %d args, got %d", mainFn.NumParams, len(args))
+	}
+	fr := m.pushFrame(mainFn, ir.NoReg)
+	for i, a := range args {
+		fr.regs[i+1] = a
+	}
+	limit := m.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+
+	var ev Event
+	trace := m.Trace
+	for len(m.frames) > 0 {
+		fr := &m.frames[len(m.frames)-1]
+		blk := fr.f.Blocks[fr.b]
+		if fr.idx >= len(blk.Instrs) {
+			// Fall through to the next block.
+			fr.b++
+			fr.idx = 0
+			if int(fr.b) >= len(fr.f.Blocks) {
+				return 0, &Fault{fr.f.Name, fr.b, 0, "fell off end of function"}
+			}
+			continue
+		}
+		in := &blk.Instrs[fr.idx]
+		if m.Stats.DynInstrs >= limit {
+			return 0, ErrLimit
+		}
+		m.Stats.DynInstrs++
+		m.Stats.ByOp[in.Op]++
+
+		regs := fr.regs
+		var v1, v2, result, addr int64
+		taken := false
+		nextB, nextI := fr.b, fr.idx+1
+
+		if in.Src1 != ir.NoReg {
+			v1 = regs[in.Src1]
+		}
+		if in.Src2 != ir.NoReg {
+			v2 = regs[in.Src2]
+		} else {
+			v2 = in.Imm
+		}
+
+		memoActive := m.memo.active
+		if memoActive {
+			// Record first-use inputs before any definition below.
+			ok := true
+			switch in.Op {
+			case ir.Call:
+				for _, a := range in.Args {
+					ok = ok && m.memo.noteUse(a, regs[a])
+				}
+			default:
+				if in.Src1 != ir.NoReg {
+					ok = m.memo.noteUse(in.Src1, v1)
+				}
+				if ok && in.Src2 != ir.NoReg {
+					ok = m.memo.noteUse(in.Src2, v2)
+				}
+			}
+			if !ok {
+				m.abortMemo()
+				memoActive = false
+			}
+		}
+
+		switch in.Op {
+		case ir.Nop:
+		case ir.Mov:
+			result = v1
+			regs[in.Dest] = result
+		case ir.MovI:
+			result = in.Imm
+			regs[in.Dest] = result
+		case ir.Lea:
+			result = m.Prog.Objects[in.Mem].Base + in.Imm
+			if in.Src1 != ir.NoReg {
+				result += v1
+			}
+			regs[in.Dest] = result
+		case ir.Add:
+			result = v1 + v2
+			regs[in.Dest] = result
+		case ir.Sub:
+			result = v1 - v2
+			regs[in.Dest] = result
+		case ir.Mul:
+			result = v1 * v2
+			regs[in.Dest] = result
+		case ir.Div:
+			if v2 != 0 {
+				result = v1 / v2
+			}
+			regs[in.Dest] = result
+		case ir.Rem:
+			if v2 != 0 {
+				result = v1 % v2
+			}
+			regs[in.Dest] = result
+		case ir.And:
+			result = v1 & v2
+			regs[in.Dest] = result
+		case ir.Or:
+			result = v1 | v2
+			regs[in.Dest] = result
+		case ir.Xor:
+			result = v1 ^ v2
+			regs[in.Dest] = result
+		case ir.Shl:
+			result = v1 << (uint64(v2) & 63)
+			regs[in.Dest] = result
+		case ir.Shr:
+			result = int64(uint64(v1) >> (uint64(v2) & 63))
+			regs[in.Dest] = result
+		case ir.Sra:
+			result = v1 >> (uint64(v2) & 63)
+			regs[in.Dest] = result
+		case ir.Slt:
+			result = b2i(v1 < v2)
+			regs[in.Dest] = result
+		case ir.Sle:
+			result = b2i(v1 <= v2)
+			regs[in.Dest] = result
+		case ir.Seq:
+			result = b2i(v1 == v2)
+			regs[in.Dest] = result
+		case ir.Sne:
+			result = b2i(v1 != v2)
+			regs[in.Dest] = result
+		case ir.Ld:
+			addr = v1 + in.Imm
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				return 0, &Fault{fr.f.Name, fr.b, fr.idx, fmt.Sprintf("load address %d out of range", addr)}
+			}
+			if in.Mem != ir.NoMem {
+				if o := m.Prog.Objects[in.Mem]; addr < o.Base || addr >= o.Base+o.Size {
+					return 0, &Fault{fr.f.Name, fr.b, fr.idx,
+						fmt.Sprintf("load address %d outside hinted object %s [%d,%d)", addr, o.Name, o.Base, o.Base+o.Size)}
+				}
+			}
+			result = m.Mem[addr]
+			regs[in.Dest] = result
+			if memoActive {
+				// Loads of writable objects make the instance depend on
+				// memory state; static (read-only) data needs no
+				// validation. A load with unknown provenance cannot be
+				// inside a compiler-formed region — abort defensively.
+				switch {
+				case in.Mem == ir.NoMem:
+					m.abortMemo()
+					memoActive = false
+				case !m.readOnly[in.Mem]:
+					m.memo.usesMem = true
+				}
+			}
+		case ir.St:
+			addr = v1 + in.Imm
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				return 0, &Fault{fr.f.Name, fr.b, fr.idx, fmt.Sprintf("store address %d out of range", addr)}
+			}
+			if in.Mem != ir.NoMem {
+				if o := m.Prog.Objects[in.Mem]; addr < o.Base || addr >= o.Base+o.Size {
+					return 0, &Fault{fr.f.Name, fr.b, fr.idx,
+						fmt.Sprintf("store address %d outside hinted object %s [%d,%d)", addr, o.Name, o.Base, o.Base+o.Size)}
+				}
+			}
+			m.Mem[addr] = v2
+			if memoActive {
+				// Regions never contain stores; defensive abort.
+				m.abortMemo()
+				memoActive = false
+			}
+			if len(m.funcMemos) > 0 {
+				// Pure-callee selection forbids this; never record a
+				// result that observed a store.
+				m.dropFuncMemos()
+			}
+		case ir.Jmp:
+			taken = true
+			nextB, nextI = in.Target, 0
+		case ir.Beq, ir.Bne, ir.Blt, ir.Bge, ir.Ble, ir.Bgt:
+			switch in.Op {
+			case ir.Beq:
+				taken = v1 == v2
+			case ir.Bne:
+				taken = v1 != v2
+			case ir.Blt:
+				taken = v1 < v2
+			case ir.Bge:
+				taken = v1 >= v2
+			case ir.Ble:
+				taken = v1 <= v2
+			case ir.Bgt:
+				taken = v1 > v2
+			}
+			m.Stats.Branches++
+			if taken {
+				m.Stats.TakenBranches++
+				nextB, nextI = in.Target, 0
+			}
+		case ir.Call:
+			if memoActive {
+				m.abortMemo()
+				memoActive = false
+			}
+			callee := m.Prog.Func(in.Callee)
+			origB, origIdx := fr.b, fr.idx
+			fr.b, fr.idx = nextB, nextI // return point
+			nf := m.pushFrame(callee, in.Dest)
+			// fr may be stale after pushFrame (slice growth); reload.
+			caller := &m.frames[len(m.frames)-2]
+			for i, a := range in.Args {
+				nf.regs[i+1] = caller.regs[a]
+			}
+			if trace != nil {
+				m.emit(trace, &ev, caller.f, origB, origIdx, in, v1, v2, 0, 0,
+					true, m.addrBase[callee.ID][0])
+			}
+			continue
+		case ir.Ret:
+			if memoActive {
+				m.abortMemo()
+				memoActive = false
+			}
+			retVal := in.Imm
+			if in.Src1 != ir.NoReg {
+				retVal = v1
+			}
+			if trace != nil {
+				tpc := int64(0)
+				if len(m.frames) > 1 {
+					p := &m.frames[len(m.frames)-2]
+					tpc = m.pcOf(p.f, p.b, p.idx)
+				}
+				m.emit(trace, &ev, fr.f, blk.ID, fr.idx, in, v1, v2, 0, retVal, true, tpc)
+			}
+			dest := fr.retDest
+			m.popFrame()
+			if len(m.funcMemos) > 0 {
+				m.commitFuncMemos(retVal)
+			}
+			if len(m.frames) == 0 {
+				return retVal, nil
+			}
+			if dest != ir.NoReg {
+				m.frames[len(m.frames)-1].regs[dest] = retVal
+			}
+			continue
+		case ir.Reuse:
+			hit, rin, rout, reused := m.execReuse(in, fr)
+			taken = hit
+			if hit {
+				nextB, nextI = in.Target, 0
+			}
+			if trace != nil {
+				tpc := m.addrBase[fr.f.ID][in.Target]
+				if !hit {
+					tpc = m.pcAfter(fr.f, fr.b, fr.idx)
+				}
+				pc := m.pcOf(fr.f, fr.b, fr.idx)
+				ev = Event{
+					Func: fr.f, Block: fr.b, Index: fr.idx, Instr: in, PC: pc,
+					Regs:  fr.regs,
+					Taken: hit, TargetPC: tpc,
+					ReuseHit: hit, ReuseIn: rin, ReuseOut: rout, ReusedInstrs: reused,
+				}
+				trace(&ev)
+			}
+			fr.b, fr.idx = nextB, nextI
+			continue
+		case ir.Inval:
+			m.Stats.Invalidations++
+			if m.CRB != nil {
+				m.CRB.Invalidate(in.Mem)
+			}
+			if memoActive {
+				m.abortMemo()
+				memoActive = false
+			}
+			if len(m.funcMemos) > 0 {
+				m.dropFuncMemos()
+			}
+		default:
+			return 0, &Fault{fr.f.Name, fr.b, fr.idx, fmt.Sprintf("invalid opcode %d", in.Op)}
+		}
+
+		if memoActive {
+			m.memoStep(in, result, fr, nextB, nextI)
+		}
+
+		if trace != nil {
+			tpc := int64(0)
+			if in.Op.IsBranch() {
+				tpc = m.pcOf(fr.f, nextB, nextI)
+			}
+			m.emit(trace, &ev, fr.f, fr.b, fr.idx, in, v1, v2, addr, result, taken, tpc)
+		}
+		fr.b, fr.idx = nextB, nextI
+	}
+	return 0, errors.New("emu: no frames")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) pcOf(f *ir.Func, b ir.BlockID, idx int) int64 {
+	if int(b) >= len(m.addrBase[f.ID]) {
+		return 0
+	}
+	return m.addrBase[f.ID][b] + int64(idx)*4
+}
+
+// pcAfter returns the address of the instruction after (b, idx), following
+// fall-through.
+func (m *Machine) pcAfter(f *ir.Func, b ir.BlockID, idx int) int64 {
+	return m.pcOf(f, b, idx) + 4
+}
+
+func (m *Machine) emit(trace Tracer, ev *Event, f *ir.Func, b ir.BlockID, idx int,
+	in *ir.Instr, v1, v2, addr, result int64, taken bool, tpc int64) {
+	*ev = Event{
+		Func: f, Block: b, Index: idx, Instr: in,
+		PC:   m.pcOf(f, b, idx),
+		Regs: m.frames[len(m.frames)-1].regs,
+		Val1: v1, Val2: v2, Addr: addr, Result: result,
+		Taken: taken, TargetPC: tpc,
+	}
+	trace(ev)
+}
+
+// execReuse implements the reuse instruction: CRB lookup, architectural
+// update on a hit, or entry into memoization mode on a miss. Function-
+// level regions record through a pending-call marker instead of the
+// region memoization mode.
+func (m *Machine) execReuse(in *ir.Instr, fr *frame) (hit bool, rin, rout, reused int) {
+	region := m.Prog.Region(in.Region)
+	rs := m.Stats.region(in.Region)
+	if m.memo.active {
+		// Control reached another region's inception while memoizing;
+		// regions are disjoint so this means an unannotated escape.
+		m.abortMemo()
+	}
+	if m.CRB == nil {
+		m.Stats.ReuseMisses++
+		rs.Misses++
+		return false, 0, 0, 0
+	}
+	regs := fr.regs
+	ci, ok := m.CRB.Lookup(in.Region, func(r ir.Reg) int64 { return regs[r] })
+	if ok {
+		for _, out := range ci.Outputs {
+			regs[out.Reg] = out.Val
+		}
+		m.Stats.ReuseHits++
+		m.Stats.ReusedInstrs += int64(ci.ReplacedInstrs)
+		rs.Hits++
+		rs.ReusedInstrs += int64(ci.ReplacedInstrs)
+		return true, len(ci.Inputs), len(ci.Outputs), ci.ReplacedInstrs
+	}
+	m.Stats.ReuseMisses++
+	rs.Misses++
+	if region.Kind == ir.FuncLevel {
+		fm := funcMemo{
+			region:   region,
+			depth:    len(m.frames),
+			startDyn: m.Stats.DynInstrs,
+		}
+		fm.inputs = make([]crb.RegVal, len(region.Inputs))
+		for i, r := range region.Inputs {
+			fm.inputs[i] = crb.RegVal{Reg: r, Val: regs[r]}
+		}
+		m.funcMemos = append(m.funcMemos, fm)
+		return false, 0, 0, 0
+	}
+	m.memo.reset(region)
+	return false, 0, 0, 0
+}
+
+// commitFuncMemos commits any pending function-level recording whose call
+// has just returned (the frame stack is back at the marker's depth).
+func (m *Machine) commitFuncMemos(retVal int64) {
+	for len(m.funcMemos) > 0 {
+		fm := &m.funcMemos[len(m.funcMemos)-1]
+		if len(m.frames) != fm.depth {
+			return
+		}
+		rs := m.Stats.region(fm.region.ID)
+		inst := crb.Instance{
+			UsesMem:        len(fm.region.MemObjects) > 0,
+			Inputs:         append([]crb.RegVal(nil), fm.inputs...),
+			ReplacedInstrs: int(m.Stats.DynInstrs - fm.startDyn),
+		}
+		for _, out := range fm.region.Outputs {
+			inst.Outputs = append(inst.Outputs, crb.RegVal{Reg: out, Val: retVal})
+		}
+		if m.CRB.Commit(fm.region.ID, inst) {
+			rs.Records++
+		}
+		m.funcMemos = m.funcMemos[:len(m.funcMemos)-1]
+	}
+}
+
+// dropFuncMemos abandons pending function-level recordings (defensive:
+// selection guarantees pure callees, so stores should never occur while a
+// marker is pending).
+func (m *Machine) dropFuncMemos() {
+	for i := range m.funcMemos {
+		m.Stats.MemoAborts++
+		m.Stats.region(m.funcMemos[i].region.ID).Aborts++
+	}
+	m.funcMemos = m.funcMemos[:0]
+}
+
+// memoStep performs the per-instruction memoization bookkeeping after the
+// instruction's architectural effects: definition recording, and commit or
+// abort depending on where control flows next.
+func (m *Machine) memoStep(in *ir.Instr, result int64, fr *frame, nextB ir.BlockID, nextI int) {
+	mm := &m.memo
+	mm.count++
+	if d := in.Def(); d != ir.NoReg {
+		if !mm.noteDef(d, result, in.Attr.Has(AttrLiveOutAlias)) {
+			m.abortMemo()
+			return
+		}
+	}
+	region := mm.region
+	// Determine whether control stays inside the region.
+	f := fr.f
+	if int(nextB) >= len(f.Blocks) {
+		m.abortMemo()
+		return
+	}
+	nb := f.Blocks[nextB]
+	var nextInstr *ir.Instr
+	if nextI < len(nb.Instrs) {
+		nextInstr = &nb.Instrs[nextI]
+	} else {
+		// Fall-through to the next block's first instruction.
+		if int(nextB)+1 < len(f.Blocks) && len(f.Blocks[nextB+1].Instrs) > 0 {
+			nextInstr = &f.Blocks[nextB+1].Instrs[0]
+			nextB, nextI = nextB+1, 0
+		}
+	}
+	if nextInstr != nil && nextInstr.Region == region.ID && nextInstr.Op != ir.Reuse {
+		return // still inside the region
+	}
+	// Control is leaving the region: commit at a marked finish point
+	// flowing to the continuation, abort on any other escape.
+	if in.Attr.Has(AttrRegionEndAlias) && nextB == region.Continuation && nextI == 0 {
+		m.commitMemo()
+		return
+	}
+	m.abortMemo()
+}
+
+// Attribute aliases keep the hot loop free of package-qualified constants.
+const (
+	AttrLiveOutAlias   = ir.AttrLiveOut
+	AttrRegionEndAlias = ir.AttrRegionEnd
+)
+
+func (m *Machine) commitMemo() {
+	mm := &m.memo
+	rs := m.Stats.region(mm.region.ID)
+	inst := crb.Instance{
+		UsesMem:        mm.usesMem,
+		Inputs:         append([]crb.RegVal(nil), mm.inputs...),
+		Outputs:        append([]crb.RegVal(nil), mm.outputs...),
+		ReplacedInstrs: mm.count,
+	}
+	if m.CRB.Commit(mm.region.ID, inst) {
+		rs.Records++
+	}
+	mm.active = false
+}
+
+func (m *Machine) abortMemo() {
+	if !m.memo.active {
+		return
+	}
+	m.Stats.MemoAborts++
+	m.Stats.region(m.memo.region.ID).Aborts++
+	m.memo.active = false
+}

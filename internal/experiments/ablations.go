@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccr/internal/core"
+	"ccr/internal/stats"
+	"ccr/internal/workloads"
+)
+
+// AblationResult is a generic labelled sweep of average speedups.
+type AblationResult struct {
+	Title  string
+	Labels []string
+	// Rows maps benchmark → speedup per label; Avg is per label.
+	Rows    []string
+	Speedup map[string][]float64
+	Avg     []float64
+}
+
+// Render formats the ablation as a table.
+func (r *AblationResult) Render() string {
+	head := append([]string{"benchmark"}, r.Labels...)
+	t := stats.Table{Header: head}
+	for _, b := range r.Rows {
+		cells := []string{b}
+		for _, sp := range r.Speedup[b] {
+			cells = append(cells, fmt.Sprintf("%.3f", sp))
+		}
+		t.Add(cells...)
+	}
+	avg := []string{"average"}
+	for _, a := range r.Avg {
+		avg = append(avg, fmt.Sprintf("%.3f", a))
+	}
+	t.Add(avg...)
+	return r.Title + "\n" + t.String()
+}
+
+// AblationAssoc sweeps CRB set associativity at the small 32-entry
+// capacity, where programs with large variant-kernel families (gcc, li)
+// overflow a direct-mapped buffer and suffer region-ID conflict evictions —
+// the §3.1 design-enhancement discussion. At 128 entries every formed
+// region of this suite maps to a distinct entry and associativity is moot.
+func AblationAssoc(s *Suite) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation: CRB set associativity (32 entries, 8 CIs)"}
+	var points []SweepPoint
+	for _, a := range []int{1, 2, 4} {
+		c := s.cfg.Opts.CRB
+		c.Entries, c.Instances, c.Assoc = 32, 8, a
+		points = append(points, SweepPoint{Label: fmt.Sprintf("%d-way", a), CRB: c})
+	}
+	return runAblation(s, res, points)
+}
+
+// AblationNoMem sweeps the fraction of computation entries without
+// memory-valid hardware — the §6 "nonuniform capacities" future work.
+// Figure 9(b) motivates it: only a minority of dynamic reuse needs memory
+// validation, so shaving that hardware from part of the buffer should cost
+// little — until memory-dependent regions start failing to record.
+func AblationNoMem(s *Suite) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation: entries without memory-valid hardware (128 entries, 8 CIs)"}
+	var points []SweepPoint
+	for _, frac := range []float64{0, 0.5, 0.75, 1} {
+		c := s.cfg.Opts.CRB
+		c.Entries, c.Instances, c.NoMemEntriesFrac = 128, 8, frac
+		points = append(points, SweepPoint{Label: fmt.Sprintf("%.0f%%", 100*frac), CRB: c})
+	}
+	return runAblation(s, res, points)
+}
+
+func runAblation(s *Suite, res *AblationResult, points []SweepPoint) (*AblationResult, error) {
+	res.Speedup = map[string][]float64{}
+	sums := make([][]float64, len(points))
+	for i, p := range points {
+		res.Labels = append(res.Labels, p.Label)
+		_ = i
+	}
+	for _, b := range s.Benches {
+		res.Rows = append(res.Rows, b.Name)
+		row := make([]float64, len(points))
+		for i, pt := range points {
+			sp, err := s.Speedup(b, b.Train, pt.CRB)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = sp
+			sums[i] = append(sums[i], sp)
+		}
+		res.Speedup[b.Name] = row
+	}
+	res.Avg = make([]float64, len(points))
+	for i := range points {
+		res.Avg[i] = stats.Mean(sums[i])
+	}
+	return res, nil
+}
+
+// HeuristicPoint is one region-formation setting of the heuristic ablation.
+type HeuristicPoint struct {
+	Label   string
+	Mutate  func(*core.Options)
+	Regions int
+	Avg     float64
+}
+
+// AblationHeuristics re-compiles the suite under varied formation
+// thresholds — the §4.4 sensitivity the paper describes empirically
+// ("lower values tend to admit too many instructions ... that are not
+// successfully reused"). Unlike the CRB sweeps this needs one fresh
+// compilation per point, so it builds its own pipeline instead of the
+// shared Suite caches.
+func AblationHeuristics(cfg Config) ([]HeuristicPoint, error) {
+	points := []HeuristicPoint{
+		{Label: "paper (R=0.65)", Mutate: func(o *core.Options) {}},
+		{Label: "strict (R=0.90)", Mutate: func(o *core.Options) {
+			o.Region.R = 0.90
+			o.Region.MinLiveInInvariance = 0.70
+		}},
+		{Label: "lax (R=0.30)", Mutate: func(o *core.Options) {
+			o.Region.R = 0.30
+			o.Region.MinLiveInInvariance = 0.15
+			o.Region.BlockReusableFrac = 0.25
+		}},
+		{Label: "greedy (R=0)", Mutate: func(o *core.Options) {
+			o.Region.R = 0
+			o.Region.Rm = 0
+			o.Region.MinLiveInInvariance = 0
+			o.Region.BlockReusableFrac = 0
+			o.Region.MinStaticSize = 1
+		}},
+	}
+	benches := workloads.All(cfg.Scale)
+	for pi := range points {
+		opts := cfg.Opts
+		points[pi].Mutate(&opts)
+		var sps []float64
+		for _, b := range benches {
+			cr, err := core.Compile(b.Prog, b.Train, opts)
+			if err != nil {
+				return nil, fmt.Errorf("heuristic ablation %s/%s: %w", points[pi].Label, b.Name, err)
+			}
+			points[pi].Regions += len(cr.Prog.Regions)
+			base, err := core.Simulate(b.Prog, nil, opts.Uarch, b.Train, opts.Limit)
+			if err != nil {
+				return nil, err
+			}
+			ccr, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, b.Train, opts.Limit)
+			if err != nil {
+				return nil, err
+			}
+			if base.Result != ccr.Result {
+				return nil, fmt.Errorf("heuristic ablation %s/%s: architectural mismatch",
+					points[pi].Label, b.Name)
+			}
+			sps = append(sps, core.Speedup(base, ccr))
+		}
+		points[pi].Avg = stats.Mean(sps)
+	}
+	return points, nil
+}
+
+// RenderHeuristics formats the heuristic ablation.
+func RenderHeuristics(points []HeuristicPoint) string {
+	t := stats.Table{Header: []string{"formation thresholds", "regions", "avg speedup"}}
+	for _, p := range points {
+		t.Add(p.Label, fmt.Sprintf("%d", p.Regions), fmt.Sprintf("%.3f", p.Avg))
+	}
+	return "Ablation: region-formation heuristic thresholds (128 entries, 8 CIs)\n" + t.String()
+}
+
+// AblationSpeculation compares the base reuse-validation timing against
+// the §6 value-speculation variant that hides validation latency behind
+// speculative commit of the recorded live-out values.
+func AblationSpeculation(s *Suite) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation: speculative reuse validation (128 entries, 8 CIs)"}
+	res.Speedup = map[string][]float64{}
+	res.Labels = []string{"validate", "speculate"}
+	sums := make([][]float64, 2)
+	cc := s.cfg.Opts.CRB
+	specU := s.cfg.Opts.Uarch
+	specU.SpeculativeValidation = true
+	for _, b := range s.Benches {
+		res.Rows = append(res.Rows, b.Name)
+		baseRun, err := s.BaseSim(b, b.Train)
+		if err != nil {
+			return nil, err
+		}
+		normal, err := s.CCRSim(b, b.Train, cc)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := s.Compiled(b)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := core.Simulate(cr.Prog, &cc, specU, b.Train, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Result != baseRun.Result {
+			return nil, fmt.Errorf("speculation ablation %s: architectural mismatch", b.Name)
+		}
+		row := []float64{core.Speedup(baseRun, normal), core.Speedup(baseRun, spec)}
+		res.Speedup[b.Name] = row
+		sums[0] = append(sums[0], row[0])
+		sums[1] = append(sums[1], row[1])
+	}
+	res.Avg = []float64{stats.Mean(sums[0]), stats.Mean(sums[1])}
+	return res, nil
+}
+
+// AblationFuncLevel compares the paper's evaluated configuration against
+// the §6 function-level extension: calls to pure functions with recurring
+// arguments become reuse regions of their own, eliminating the call,
+// callee body and return in one hit. Each point needs its own compilation,
+// so the shared caches are bypassed for the extension runs.
+func AblationFuncLevel(s *Suite) (*AblationResult, error) {
+	res := &AblationResult{
+		Title:   "Ablation: function-level CCR (128 entries, 8 CIs)",
+		Labels:  []string{"regions", "+funclevel"},
+		Speedup: map[string][]float64{},
+	}
+	flOpts := s.cfg.Opts
+	flOpts.Region.FunctionLevel = true
+	sums := make([][]float64, 2)
+	for _, b := range s.Benches {
+		baseRun, err := s.BaseSim(b, b.Train)
+		if err != nil {
+			return nil, err
+		}
+		normal, err := s.Speedup(b, b.Train, s.cfg.Opts.CRB)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := core.Compile(b.Prog, b.Train, flOpts)
+		if err != nil {
+			return nil, fmt.Errorf("funclevel ablation %s: %w", b.Name, err)
+		}
+		fl, err := core.Simulate(cr.Prog, &flOpts.CRB, flOpts.Uarch, b.Train, flOpts.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if fl.Result != baseRun.Result {
+			return nil, fmt.Errorf("funclevel ablation %s: architectural mismatch", b.Name)
+		}
+		row := []float64{normal, core.Speedup(baseRun, fl)}
+		res.Rows = append(res.Rows, b.Name)
+		res.Speedup[b.Name] = row
+		sums[0] = append(sums[0], row[0])
+		sums[1] = append(sums[1], row[1])
+	}
+	res.Avg = []float64{stats.Mean(sums[0]), stats.Mean(sums[1])}
+	return res, nil
+}
+
+// AblationOutOfOrder asks the question §3.3 raises: how much of the CCR
+// benefit survives on a dynamically scheduled machine that can already
+// hide latency? Reuse still saves fetched/executed instructions, but no
+// longer shortcuts dependences the scheduler could overlap.
+func AblationOutOfOrder(s *Suite) (*AblationResult, error) {
+	res := &AblationResult{
+		Title:   "Ablation: in-order vs out-of-order machine (128 entries, 8 CIs)",
+		Labels:  []string{"inorder", "ooo"},
+		Speedup: map[string][]float64{},
+	}
+	oooCfg := s.cfg.Opts.Uarch
+	oooCfg.OutOfOrder = true
+	oooCfg.ROBSize = 64
+	sums := make([][]float64, 2)
+	for _, b := range s.Benches {
+		inorderSp, err := s.Speedup(b, b.Train, s.cfg.Opts.CRB)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := s.Compiled(b)
+		if err != nil {
+			return nil, err
+		}
+		oooBase, err := core.Simulate(b.Prog, nil, oooCfg, b.Train, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, err
+		}
+		oooCCR, err := core.Simulate(cr.Prog, &s.cfg.Opts.CRB, oooCfg, b.Train, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if oooCCR.Result != oooBase.Result {
+			return nil, fmt.Errorf("ooo ablation %s: architectural mismatch", b.Name)
+		}
+		row := []float64{inorderSp, core.Speedup(oooBase, oooCCR)}
+		res.Rows = append(res.Rows, b.Name)
+		res.Speedup[b.Name] = row
+		sums[0] = append(sums[0], row[0])
+		sums[1] = append(sums[1], row[1])
+	}
+	res.Avg = []float64{stats.Mean(sums[0]), stats.Mean(sums[1])}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccr/internal/core"
+	"ccr/internal/stats"
+)
+
+// ComparisonResult positions CCR against the two hardware-only reuse
+// schemes of §2.1: dynamic instruction reuse (Sodani & Sohi) and
+// block-level reuse (Huang & Lilja). All run on the same machine; the
+// baselines need no compiler support (they run the base binary), while
+// CCR runs the transformed binary with the default CRB.
+type ComparisonResult struct {
+	Rows    []string
+	Speedup map[string][3]float64 // instr, block, ccr
+	Avg     [3]float64
+}
+
+// Comparison runs the three mechanisms over the suite.
+func Comparison(s *Suite) (*ComparisonResult, error) {
+	res := &ComparisonResult{Speedup: map[string][3]float64{}}
+	var sums [3]float64
+	for _, b := range s.Benches {
+		base, err := s.BaseSim(b, b.Train)
+		if err != nil {
+			return nil, err
+		}
+		instrCfg := s.cfg.Opts.Uarch
+		instrCfg.InstrReuse = true
+		instrRun, err := core.Simulate(b.Prog, nil, instrCfg, b.Train, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, err
+		}
+		blockCfg := s.cfg.Opts.Uarch
+		blockCfg.BlockReuse = true
+		blockRun, err := core.Simulate(b.Prog, nil, blockCfg, b.Train, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, err
+		}
+		ccrSp, err := s.Speedup(b, b.Train, s.cfg.Opts.CRB)
+		if err != nil {
+			return nil, err
+		}
+		if instrRun.Result != base.Result || blockRun.Result != base.Result {
+			return nil, fmt.Errorf("comparison %s: baseline changed results", b.Name)
+		}
+		row := [3]float64{
+			core.Speedup(base, instrRun),
+			core.Speedup(base, blockRun),
+			ccrSp,
+		}
+		res.Rows = append(res.Rows, b.Name)
+		res.Speedup[b.Name] = row
+		for i := range sums {
+			sums[i] += row[i]
+		}
+	}
+	for i := range sums {
+		res.Avg[i] = sums[i] / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Render formats the comparison table.
+func (r *ComparisonResult) Render() string {
+	t := stats.Table{Header: []string{"benchmark", "instr reuse", "block reuse", "CCR"}}
+	for _, b := range r.Rows {
+		v := r.Speedup[b]
+		t.Add(b, fmt.Sprintf("%.3f", v[0]), fmt.Sprintf("%.3f", v[1]), fmt.Sprintf("%.3f", v[2]))
+	}
+	t.Add("average",
+		fmt.Sprintf("%.3f", r.Avg[0]), fmt.Sprintf("%.3f", r.Avg[1]), fmt.Sprintf("%.3f", r.Avg[2]))
+	return "Related-work comparison: hardware-only reuse vs CCR (§2.1)\n" + t.String()
+}

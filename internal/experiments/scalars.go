@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccr/internal/ir"
+	"ccr/internal/stats"
+)
+
+// ScalarsResult gathers the headline numbers quoted in the paper's text
+// (§5.2 and §6).
+type ScalarsResult struct {
+	// AvgSpeedup128x16 is the paper's headline "average 30% speedup" at
+	// 128 entries × 16 instances.
+	AvgSpeedup128x16 float64
+	// AvgSpeedup128x8 is the "most cost effective" configuration's mean.
+	AvgSpeedup128x8 float64
+	// ElimFrac is the mean fraction of base dynamic instructions
+	// eliminated by reuse at 128×8.
+	ElimFrac float64
+	// RepetitionCaptured is the mean fraction of the instruction-level
+	// repetition (inputs recurring within an eight-deep history) that
+	// the CCR run eliminated — the paper's "40% of dynamic instruction
+	// repetitions eliminated".
+	RepetitionCaptured float64
+	// StaticRegions and CyclicRegions count formed regions suite-wide.
+	StaticRegions, CyclicRegions int
+	// GroupCoverage is the fraction of static computations falling into
+	// the seven Figure 9 groups (paper: ~90%; 100% here since the groups
+	// are exhaustive under the bank caps).
+	GroupCoverage float64
+	// StatelessStaticFrac is the stateless share of static computations
+	// (paper: ~65%).
+	StatelessStaticFrac float64
+}
+
+// Scalars computes the headline numbers.
+func Scalars(s *Suite) (*ScalarsResult, error) {
+	res := &ScalarsResult{}
+	cc16 := s.cfg.Opts.CRB
+	cc16.Entries, cc16.Instances = 128, 16
+	cc8 := s.cfg.Opts.CRB
+	cc8.Entries, cc8.Instances = 128, 8
+
+	var sp16, sp8, elim, rep []float64
+	var slCount, total float64
+	for _, b := range s.Benches {
+		v16, err := s.Speedup(b, b.Train, cc16)
+		if err != nil {
+			return nil, err
+		}
+		v8, err := s.Speedup(b, b.Train, cc8)
+		if err != nil {
+			return nil, err
+		}
+		sp16 = append(sp16, v16)
+		sp8 = append(sp8, v8)
+
+		baseRun, err := s.BaseSim(b, b.Train)
+		if err != nil {
+			return nil, err
+		}
+		ccrRun, err := s.CCRSim(b, b.Train, cc8)
+		if err != nil {
+			return nil, err
+		}
+		elim = append(elim, float64(ccrRun.Emu.ReusedInstrs)/float64(baseRun.Emu.DynInstrs))
+		lim, err := s.Limit(b)
+		if err != nil {
+			return nil, err
+		}
+		if lim.InstrRepetition > 0 {
+			r := float64(ccrRun.Emu.ReusedInstrs) / float64(lim.InstrRepetition)
+			if r > 1 {
+				r = 1
+			}
+			rep = append(rep, r)
+		}
+
+		cr, err := s.Compiled(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, rg := range cr.Prog.Regions {
+			res.StaticRegions++
+			total++
+			if rg.Kind == ir.Cyclic {
+				res.CyclicRegions++
+			}
+			if rg.Class == ir.Stateless {
+				slCount++
+			}
+		}
+	}
+	res.AvgSpeedup128x16 = stats.Mean(sp16)
+	res.AvgSpeedup128x8 = stats.Mean(sp8)
+	res.ElimFrac = stats.Mean(elim)
+	res.RepetitionCaptured = stats.Mean(rep)
+	res.GroupCoverage = 1.0
+	if total > 0 {
+		res.StatelessStaticFrac = slCount / total
+	}
+	return res, nil
+}
+
+// Render formats the scalar summary.
+func (r *ScalarsResult) Render() string {
+	return fmt.Sprintf(`Headline scalars (§5.2):
+  average speedup, 128 entries x 16 CIs : %.3f  (paper: 1.30)
+  average speedup, 128 entries x  8 CIs : %.3f  (paper: 1.25)
+  dynamic instructions eliminated        : %s  (of base execution)
+  region-level repetition captured       : %s  (paper: ~40%% of repetitions)
+  static regions formed (suite-wide)     : %d  (%d cyclic)
+  stateless share of static computations : %s  (paper: ~65%%)
+`,
+		r.AvgSpeedup128x16, r.AvgSpeedup128x8,
+		stats.Pct(r.ElimFrac), stats.Pct(r.RepetitionCaptured),
+		r.StaticRegions, r.CyclicRegions,
+		stats.Pct(r.StatelessStaticFrac))
+}

@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic benchmark suite: the reuse-potential
+// limit study (Figure 4), the CRB configuration sweeps (Figure 8), the
+// computation-group distributions (Figure 9), the TOP-N reuse
+// concentration (Figure 10), and the training/reference input comparison
+// (Figure 11), plus the headline scalars quoted in the text.
+package experiments
+
+import (
+	"fmt"
+
+	"ccr/internal/core"
+	"ccr/internal/crb"
+	"ccr/internal/potential"
+	"ccr/internal/workloads"
+)
+
+// Config selects the workload scale and pipeline options for a full
+// experiment run.
+type Config struct {
+	Scale workloads.Scale
+	Opts  core.Options
+}
+
+// DefaultConfig runs the suite at Medium scale with the paper's settings.
+func DefaultConfig() Config {
+	return Config{Scale: workloads.Medium, Opts: core.DefaultOptions()}
+}
+
+// Suite caches per-benchmark compilation and simulation results so the
+// figure drivers can share work: compilation and baseline timing do not
+// depend on the CRB configuration.
+type Suite struct {
+	cfg     Config
+	Benches []*workloads.Benchmark
+
+	compiled map[string]*core.CompileResult
+	baseSim  map[string]*core.SimResult // key: name|dataset
+	ccrSim   map[string]*core.SimResult // key: name|dataset|crbcfg
+	limit    map[string]potential.Result
+}
+
+// NewSuite loads every benchmark at the configured scale.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		cfg:      cfg,
+		Benches:  workloads.All(cfg.Scale),
+		compiled: map[string]*core.CompileResult{},
+		baseSim:  map[string]*core.SimResult{},
+		ccrSim:   map[string]*core.SimResult{},
+		limit:    map[string]potential.Result{},
+	}
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Compiled returns (building on demand) the CCR compilation of the named
+// benchmark, profiled on its training input.
+func (s *Suite) Compiled(b *workloads.Benchmark) (*core.CompileResult, error) {
+	if cr, ok := s.compiled[b.Name]; ok {
+		return cr, nil
+	}
+	cr, err := core.Compile(b.Prog, b.Train, s.cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compile %s: %w", b.Name, err)
+	}
+	s.compiled[b.Name] = cr
+	return cr, nil
+}
+
+func dsKey(args []int64) string { return fmt.Sprintf("%v", args) }
+
+// BaseSim returns the cached baseline timing run of b on args.
+func (s *Suite) BaseSim(b *workloads.Benchmark, args []int64) (*core.SimResult, error) {
+	key := b.Name + "|" + dsKey(args)
+	if r, ok := s.baseSim[key]; ok {
+		return r, nil
+	}
+	r, err := core.Simulate(b.Prog, nil, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: base sim %s: %w", b.Name, err)
+	}
+	s.baseSim[key] = r
+	return r, nil
+}
+
+// CCRSim returns the cached CCR timing run of b on args with the given
+// CRB configuration.
+func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*core.SimResult, error) {
+	key := fmt.Sprintf("%s|%s|%+v", b.Name, dsKey(args), cc)
+	if r, ok := s.ccrSim[key]; ok {
+		return r, nil
+	}
+	cr, err := s.Compiled(b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.Simulate(cr.Prog, &cc, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ccr sim %s: %w", b.Name, err)
+	}
+	s.ccrSim[key] = r
+	return r, nil
+}
+
+// Limit returns the cached reuse-potential limit study of b on its
+// training input (Figure 4 runs on the base binary).
+func (s *Suite) Limit(b *workloads.Benchmark) (potential.Result, error) {
+	return s.LimitFor(b, b.Train)
+}
+
+// LimitFor runs (and caches) the limit study for a specific input vector.
+func (s *Suite) LimitFor(b *workloads.Benchmark, args []int64) (potential.Result, error) {
+	key := b.Name + "|" + dsKey(args)
+	if r, ok := s.limit[key]; ok {
+		return r, nil
+	}
+	r, err := potential.Measure(b.Prog, args, s.cfg.Opts.Limit)
+	if err != nil {
+		return potential.Result{}, fmt.Errorf("experiments: limit study %s: %w", b.Name, err)
+	}
+	s.limit[key] = r
+	return r, nil
+}
+
+// Speedup computes the paper's metric for b on args under CRB config cc.
+func (s *Suite) Speedup(b *workloads.Benchmark, args []int64, cc crb.Config) (float64, error) {
+	base, err := s.BaseSim(b, args)
+	if err != nil {
+		return 0, err
+	}
+	ccr, err := s.CCRSim(b, args, cc)
+	if err != nil {
+		return 0, err
+	}
+	if ccr.Result != base.Result {
+		return 0, fmt.Errorf("experiments: %s: architectural mismatch (base %d, ccr %d)",
+			b.Name, base.Result, ccr.Result)
+	}
+	return core.Speedup(base, ccr), nil
+}

@@ -1,0 +1,246 @@
+package ir
+
+import "fmt"
+
+// ProgramBuilder constructs Programs. Typical use:
+//
+//	pb := ir.NewProgramBuilder("demo")
+//	tbl := pb.ReadOnlyObject("table", vals)
+//	f := pb.Func("main", 0)
+//	entry := f.NewBlock()
+//	...
+//	prog := pb.Build()
+type ProgramBuilder struct {
+	prog  *Program
+	funcs []*FuncBuilder
+}
+
+// NewProgramBuilder returns a builder for a program with the given name.
+func NewProgramBuilder(name string) *ProgramBuilder {
+	return &ProgramBuilder{prog: &Program{Name: name, Main: NoFunc}}
+}
+
+// Object declares a writable memory object of size words, optionally
+// initialized with init (which may be shorter than size).
+func (pb *ProgramBuilder) Object(name string, size int64, init []int64) MemID {
+	return pb.addObject(name, size, init, false)
+}
+
+// ReadOnlyObject declares a read-only object sized to its initializer.
+// Read-only objects never require invalidation (their loads are trivially
+// determinable).
+func (pb *ProgramBuilder) ReadOnlyObject(name string, init []int64) MemID {
+	return pb.addObject(name, int64(len(init)), init, true)
+}
+
+func (pb *ProgramBuilder) addObject(name string, size int64, init []int64, ro bool) MemID {
+	if int64(len(init)) > size {
+		panic(fmt.Sprintf("ir: object %s initializer longer than size", name))
+	}
+	id := MemID(len(pb.prog.Objects))
+	pb.prog.Objects = append(pb.prog.Objects, &MemObject{
+		ID: id, Name: name, Size: size, ReadOnly: ro, Init: init,
+	})
+	return id
+}
+
+// Func starts a new function with the given number of parameters and
+// returns its builder. The first function named "main" becomes the entry
+// point unless SetMain overrides it.
+func (pb *ProgramBuilder) Func(name string, nparams int) *FuncBuilder {
+	id := FuncID(len(pb.prog.Funcs))
+	f := &Func{ID: id, Name: name, NumParams: nparams, NumRegs: nparams}
+	pb.prog.Funcs = append(pb.prog.Funcs, f)
+	if name == "main" && pb.prog.Main == NoFunc {
+		pb.prog.Main = id
+	}
+	fb := &FuncBuilder{pb: pb, fn: f}
+	pb.funcs = append(pb.funcs, fb)
+	return fb
+}
+
+// SetMain sets the program entry point.
+func (pb *ProgramBuilder) SetMain(id FuncID) { pb.prog.Main = id }
+
+// Build finalizes and links the program. It panics if no entry point was
+// declared; structural validity is the caller's concern (see Verify).
+func (pb *ProgramBuilder) Build() *Program {
+	if pb.prog.Main == NoFunc {
+		panic("ir: program has no main function")
+	}
+	pb.prog.Link()
+	return pb.prog
+}
+
+// FuncBuilder constructs a single function.
+type FuncBuilder struct {
+	pb *ProgramBuilder
+	fn *Func
+}
+
+// ID returns the function's ID, usable as a Call target.
+func (fb *FuncBuilder) ID() FuncID { return fb.fn.ID }
+
+// Param returns the register holding the i-th parameter (0-based).
+func (fb *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= fb.fn.NumParams {
+		panic(fmt.Sprintf("ir: %s has no parameter %d", fb.fn.Name, i))
+	}
+	return Reg(i + 1)
+}
+
+// NewReg allocates a fresh virtual register.
+func (fb *FuncBuilder) NewReg() Reg {
+	fb.fn.NumRegs++
+	return Reg(fb.fn.NumRegs)
+}
+
+// NewBlock appends a new empty basic block and returns its builder.
+// Blocks execute in creation order under fall-through.
+func (fb *FuncBuilder) NewBlock() *BlockBuilder {
+	id := BlockID(len(fb.fn.Blocks))
+	b := &Block{ID: id}
+	fb.fn.Blocks = append(fb.fn.Blocks, b)
+	return &BlockBuilder{fb: fb, blk: b}
+}
+
+// BlockBuilder emits instructions into one basic block.
+type BlockBuilder struct {
+	fb  *FuncBuilder
+	blk *Block
+}
+
+// ID returns the block's ID, usable as a branch target.
+func (bb *BlockBuilder) ID() BlockID { return bb.blk.ID }
+
+// Emit appends a raw instruction. A zero Region on non-reuse instructions
+// is treated as "no region" (set membership through the returned pointer
+// instead); a zero Mem on opcodes that do not address memory is treated as
+// "no object".
+func (bb *BlockBuilder) Emit(in Instr) *Instr {
+	if in.Region == 0 && in.Op != Reuse {
+		in.Region = NoRegion
+	}
+	if in.Mem == 0 && in.Op != Ld && in.Op != St && in.Op != Lea && in.Op != Inval {
+		in.Mem = NoMem
+	}
+	bb.blk.Instrs = append(bb.blk.Instrs, in)
+	return &bb.blk.Instrs[len(bb.blk.Instrs)-1]
+}
+
+func (bb *BlockBuilder) binary(op Opcode, dest, a, b Reg) *Instr {
+	return bb.Emit(Instr{Op: op, Dest: dest, Src1: a, Src2: b, Mem: NoMem, Region: NoRegion})
+}
+
+func (bb *BlockBuilder) binaryImm(op Opcode, dest, a Reg, imm int64) *Instr {
+	return bb.Emit(Instr{Op: op, Dest: dest, Src1: a, Src2: NoReg, Imm: imm, Mem: NoMem, Region: NoRegion})
+}
+
+// MovI loads an immediate: dest = imm.
+func (bb *BlockBuilder) MovI(dest Reg, imm int64) *Instr {
+	return bb.Emit(Instr{Op: MovI, Dest: dest, Imm: imm, Mem: NoMem, Region: NoRegion})
+}
+
+// Mov copies a register: dest = src.
+func (bb *BlockBuilder) Mov(dest, src Reg) *Instr {
+	return bb.Emit(Instr{Op: Mov, Dest: dest, Src1: src, Mem: NoMem, Region: NoRegion})
+}
+
+// Lea materializes an object address: dest = base(obj) + off.
+func (bb *BlockBuilder) Lea(dest Reg, obj MemID, off int64) *Instr {
+	return bb.Emit(Instr{Op: Lea, Dest: dest, Mem: obj, Imm: off, Region: NoRegion})
+}
+
+// LeaIdx materializes an indexed object address: dest = base(obj) + idx + off.
+func (bb *BlockBuilder) LeaIdx(dest Reg, obj MemID, idx Reg, off int64) *Instr {
+	return bb.Emit(Instr{Op: Lea, Dest: dest, Mem: obj, Src1: idx, Imm: off, Region: NoRegion})
+}
+
+// Arithmetic and logical operations, register and immediate forms.
+
+func (bb *BlockBuilder) Add(d, a, b Reg) *Instr          { return bb.binary(Add, d, a, b) }
+func (bb *BlockBuilder) AddI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Add, d, a, imm) }
+func (bb *BlockBuilder) Sub(d, a, b Reg) *Instr          { return bb.binary(Sub, d, a, b) }
+func (bb *BlockBuilder) SubI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Sub, d, a, imm) }
+func (bb *BlockBuilder) Mul(d, a, b Reg) *Instr          { return bb.binary(Mul, d, a, b) }
+func (bb *BlockBuilder) MulI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Mul, d, a, imm) }
+func (bb *BlockBuilder) Div(d, a, b Reg) *Instr          { return bb.binary(Div, d, a, b) }
+func (bb *BlockBuilder) DivI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Div, d, a, imm) }
+func (bb *BlockBuilder) Rem(d, a, b Reg) *Instr          { return bb.binary(Rem, d, a, b) }
+func (bb *BlockBuilder) RemI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Rem, d, a, imm) }
+func (bb *BlockBuilder) And(d, a, b Reg) *Instr          { return bb.binary(And, d, a, b) }
+func (bb *BlockBuilder) AndI(d, a Reg, imm int64) *Instr { return bb.binaryImm(And, d, a, imm) }
+func (bb *BlockBuilder) Or(d, a, b Reg) *Instr           { return bb.binary(Or, d, a, b) }
+func (bb *BlockBuilder) OrI(d, a Reg, imm int64) *Instr  { return bb.binaryImm(Or, d, a, imm) }
+func (bb *BlockBuilder) Xor(d, a, b Reg) *Instr          { return bb.binary(Xor, d, a, b) }
+func (bb *BlockBuilder) XorI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Xor, d, a, imm) }
+func (bb *BlockBuilder) Shl(d, a, b Reg) *Instr          { return bb.binary(Shl, d, a, b) }
+func (bb *BlockBuilder) ShlI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Shl, d, a, imm) }
+func (bb *BlockBuilder) Shr(d, a, b Reg) *Instr          { return bb.binary(Shr, d, a, b) }
+func (bb *BlockBuilder) ShrI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Shr, d, a, imm) }
+func (bb *BlockBuilder) Sra(d, a, b Reg) *Instr          { return bb.binary(Sra, d, a, b) }
+func (bb *BlockBuilder) SraI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Sra, d, a, imm) }
+func (bb *BlockBuilder) Slt(d, a, b Reg) *Instr          { return bb.binary(Slt, d, a, b) }
+func (bb *BlockBuilder) SltI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Slt, d, a, imm) }
+func (bb *BlockBuilder) Sle(d, a, b Reg) *Instr          { return bb.binary(Sle, d, a, b) }
+func (bb *BlockBuilder) Seq(d, a, b Reg) *Instr          { return bb.binary(Seq, d, a, b) }
+func (bb *BlockBuilder) SeqI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Seq, d, a, imm) }
+func (bb *BlockBuilder) Sne(d, a, b Reg) *Instr          { return bb.binary(Sne, d, a, b) }
+func (bb *BlockBuilder) SneI(d, a Reg, imm int64) *Instr { return bb.binaryImm(Sne, d, a, imm) }
+
+// Ld loads: dest = M[addr+off]. obj is the alias hint (NoMem if unknown).
+func (bb *BlockBuilder) Ld(dest, addr Reg, off int64, obj MemID) *Instr {
+	return bb.Emit(Instr{Op: Ld, Dest: dest, Src1: addr, Imm: off, Mem: obj, Region: NoRegion})
+}
+
+// St stores: M[addr+off] = val. obj is the alias hint (NoMem if unknown).
+func (bb *BlockBuilder) St(addr Reg, off int64, val Reg, obj MemID) *Instr {
+	return bb.Emit(Instr{Op: St, Src1: addr, Src2: val, Imm: off, Mem: obj, Region: NoRegion})
+}
+
+// Jmp branches unconditionally to target.
+func (bb *BlockBuilder) Jmp(target BlockID) *Instr {
+	return bb.Emit(Instr{Op: Jmp, Target: target, Mem: NoMem, Region: NoRegion})
+}
+
+func (bb *BlockBuilder) condBr(op Opcode, a, b Reg, target BlockID) *Instr {
+	return bb.Emit(Instr{Op: op, Src1: a, Src2: b, Target: target, Mem: NoMem, Region: NoRegion})
+}
+
+func (bb *BlockBuilder) condBrImm(op Opcode, a Reg, imm int64, target BlockID) *Instr {
+	return bb.Emit(Instr{Op: op, Src1: a, Src2: NoReg, Imm: imm, Target: target, Mem: NoMem, Region: NoRegion})
+}
+
+func (bb *BlockBuilder) Beq(a, b Reg, t BlockID) *Instr          { return bb.condBr(Beq, a, b, t) }
+func (bb *BlockBuilder) BeqI(a Reg, imm int64, t BlockID) *Instr { return bb.condBrImm(Beq, a, imm, t) }
+func (bb *BlockBuilder) Bne(a, b Reg, t BlockID) *Instr          { return bb.condBr(Bne, a, b, t) }
+func (bb *BlockBuilder) BneI(a Reg, imm int64, t BlockID) *Instr { return bb.condBrImm(Bne, a, imm, t) }
+func (bb *BlockBuilder) Blt(a, b Reg, t BlockID) *Instr          { return bb.condBr(Blt, a, b, t) }
+func (bb *BlockBuilder) BltI(a Reg, imm int64, t BlockID) *Instr { return bb.condBrImm(Blt, a, imm, t) }
+func (bb *BlockBuilder) Bge(a, b Reg, t BlockID) *Instr          { return bb.condBr(Bge, a, b, t) }
+func (bb *BlockBuilder) BgeI(a Reg, imm int64, t BlockID) *Instr { return bb.condBrImm(Bge, a, imm, t) }
+func (bb *BlockBuilder) Ble(a, b Reg, t BlockID) *Instr          { return bb.condBr(Ble, a, b, t) }
+func (bb *BlockBuilder) BleI(a Reg, imm int64, t BlockID) *Instr { return bb.condBrImm(Ble, a, imm, t) }
+func (bb *BlockBuilder) Bgt(a, b Reg, t BlockID) *Instr          { return bb.condBr(Bgt, a, b, t) }
+func (bb *BlockBuilder) BgtI(a Reg, imm int64, t BlockID) *Instr { return bb.condBrImm(Bgt, a, imm, t) }
+
+// Call invokes callee with the given arguments; dest receives the return
+// value (NoReg to discard it).
+func (bb *BlockBuilder) Call(dest Reg, callee FuncID, args ...Reg) *Instr {
+	return bb.Emit(Instr{Op: Call, Dest: dest, Callee: callee, Args: args, Mem: NoMem, Region: NoRegion})
+}
+
+// Ret returns the value in src to the caller.
+func (bb *BlockBuilder) Ret(src Reg) *Instr {
+	return bb.Emit(Instr{Op: Ret, Src1: src, Mem: NoMem, Region: NoRegion})
+}
+
+// RetI returns an immediate value to the caller.
+func (bb *BlockBuilder) RetI(imm int64) *Instr {
+	return bb.Emit(Instr{Op: Ret, Src1: NoReg, Imm: imm, Mem: NoMem, Region: NoRegion})
+}
+
+// Nop emits a no-op.
+func (bb *BlockBuilder) Nop() *Instr {
+	return bb.Emit(Instr{Op: Nop, Mem: NoMem, Region: NoRegion})
+}

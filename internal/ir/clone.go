@@ -1,0 +1,60 @@
+package ir
+
+// Clone returns a deep copy of the program. The CCR transformation clones
+// the base program before rewriting so the baseline and transformed
+// versions can be simulated side by side.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:     p.Name,
+		Main:     p.Main,
+		MemWords: p.MemWords,
+		TextLen:  p.TextLen,
+	}
+	q.Funcs = make([]*Func, len(p.Funcs))
+	for i, f := range p.Funcs {
+		q.Funcs[i] = f.Clone()
+	}
+	q.Objects = make([]*MemObject, len(p.Objects))
+	for i, o := range p.Objects {
+		co := *o
+		co.Init = append([]int64(nil), o.Init...)
+		q.Objects[i] = &co
+	}
+	q.Regions = make([]*Region, len(p.Regions))
+	for i, r := range p.Regions {
+		q.Regions[i] = r.Clone()
+	}
+	return q
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	g := &Func{
+		ID:        f.ID,
+		Name:      f.Name,
+		NumRegs:   f.NumRegs,
+		NumParams: f.NumParams,
+		textBase:  f.textBase,
+	}
+	g.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Instrs: make([]Instr, len(b.Instrs))}
+		copy(nb.Instrs, b.Instrs)
+		for j := range nb.Instrs {
+			if nb.Instrs[j].Args != nil {
+				nb.Instrs[j].Args = append([]Reg(nil), nb.Instrs[j].Args...)
+			}
+		}
+		g.Blocks[i] = nb
+	}
+	return g
+}
+
+// Clone returns a deep copy of the region descriptor.
+func (r *Region) Clone() *Region {
+	cr := *r
+	cr.Inputs = append([]Reg(nil), r.Inputs...)
+	cr.Outputs = append([]Reg(nil), r.Outputs...)
+	cr.MemObjects = append([]MemID(nil), r.MemObjects...)
+	return &cr
+}

@@ -1,0 +1,38 @@
+package ir
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the IR parser: it must never panic,
+// and anything it accepts must re-serialize to a fixpoint after one
+// normalization round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("program x\nfunc main (f0) params=0 regs=1\nb0:\n\tret #0\n")
+	f.Add(`program demo
+object obj0 tab[4] @0
+	data 10 20 30 40
+main f0
+func main (f0) params=1 regs=5
+b0:
+	and r2, r1, #3
+	lea r4, obj0+r2+0
+	ld r3, [r4+0] {obj0}
+	ret r3
+`)
+	f.Add("region 0 MD cyclic MD_1_1 f0 inception=b1 body=b2 cont=b3 in=[2] out=[3] mem=[0] size=3")
+	f.Add("\tadd r1, r2, r3  !liveout  @region0")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return
+		}
+		// Accepted input: one Dump/Parse cycle must reach a fixpoint.
+		d1 := p.Dump()
+		q, err := Parse(d1)
+		if err != nil {
+			t.Fatalf("re-parse of own dump failed: %v\n%s", err, d1)
+		}
+		if d2 := q.Dump(); d2 != d1 {
+			t.Fatalf("dump not a fixpoint:\n%s\nvs\n%s", d1, d2)
+		}
+	})
+}

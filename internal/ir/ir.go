@@ -1,0 +1,365 @@
+// Package ir defines the low-level intermediate representation used by the
+// CCR (Compiler-directed Computation Reuse) framework.
+//
+// The IR is a RISC-flavoured register-transfer language in the spirit of the
+// IMPACT compiler's Lcode: functions are explicit control-flow graphs of
+// basic blocks, instructions operate on function-local virtual registers,
+// and memory is a flat word-addressed array carved into named objects.
+// The CCR instruction-set extensions from the paper (the reuse and
+// invalidate instructions, and the live-out / region-end / region-exit
+// instruction attributes) are first-class parts of the instruction set.
+package ir
+
+import "fmt"
+
+// Reg names a virtual register within a function. Register 0 (NoReg) is the
+// "absent operand" marker; valid registers are 1..NumRegs.
+type Reg int32
+
+// NoReg marks an absent register operand. A binary instruction whose Src2 is
+// NoReg takes its second operand from the Imm field instead.
+const NoReg Reg = 0
+
+// BlockID indexes a basic block within a function's Blocks slice.
+type BlockID int32
+
+// NoBlock marks an absent branch target.
+const NoBlock BlockID = -1
+
+// FuncID indexes a function within a program's Funcs slice.
+type FuncID int32
+
+// NoFunc marks an absent callee.
+const NoFunc FuncID = -1
+
+// MemID indexes a named memory object within a program's Objects slice.
+type MemID int32
+
+// NoMem marks a load or store whose underlying object is statically unknown
+// (an anonymous access). Anonymous accesses are never determinable and so
+// can never be part of a reusable computation region.
+const NoMem MemID = -1
+
+// RegionID indexes a reusable computation region within a program's Regions
+// slice.
+type RegionID int32
+
+// NoRegion marks instructions that belong to no reuse region.
+const NoRegion RegionID = -1
+
+// Attr is a bit set of the CCR instruction attributes the compiler uses to
+// communicate region structure to the hardware (paper §3.2).
+type Attr uint8
+
+const (
+	// AttrLiveOut marks an instruction whose destination register is
+	// live-out of the enclosing reuse region: during memoization mode the
+	// hardware records the result in the output bank of the instance.
+	AttrLiveOut Attr = 1 << iota
+	// AttrRegionEnd marks a region finish point: executing this
+	// instruction in memoization mode commits the computation instance.
+	AttrRegionEnd
+	// AttrRegionExit marks a side exit: leaving the region through this
+	// instruction aborts memoization mode without recording.
+	AttrRegionExit
+	// AttrDeterminable marks a load whose complete set of potential store
+	// sites is known at compile time (alias analysis annotation, §4.1).
+	AttrDeterminable
+)
+
+// Has reports whether all attribute bits of q are set in a.
+func (a Attr) Has(q Attr) bool { return a&q == q }
+
+// Instr is a single IR instruction. The operand fields used depend on the
+// opcode; see the Opcode documentation for each shape. The zero value is a
+// Nop.
+type Instr struct {
+	Op   Opcode
+	Dest Reg // destination register (NoReg if none)
+	Src1 Reg // first source operand
+	Src2 Reg // second source operand; NoReg selects the Imm field
+	Imm  int64
+
+	Target BlockID // branch target (branches and Reuse)
+	Callee FuncID  // callee (Call)
+	Args   []Reg   // argument registers (Call)
+
+	Mem    MemID    // static object hint for Ld/St/Lea/Inval; NoMem if unknown
+	Attr   Attr     // CCR instruction attributes
+	Region RegionID // enclosing reuse region (NoRegion outside regions)
+}
+
+// Block is a basic block: a straight-line instruction sequence. Control
+// falls through to the next block in function order unless the final
+// instruction is an unconditional transfer (Jmp, Ret) or a taken branch.
+type Block struct {
+	ID     BlockID
+	Instrs []Instr
+}
+
+// Terminator returns the last instruction of the block, or nil if the block
+// is empty.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// Func is a single function: an ordered list of basic blocks forming a CFG.
+// Execution enters at Blocks[0]. Virtual registers 1..NumRegs are local to
+// an activation; registers 1..NumParams receive the call arguments.
+type Func struct {
+	ID        FuncID
+	Name      string
+	NumRegs   int // highest register index in use
+	NumParams int // arguments arrive in registers 1..NumParams
+	Blocks    []*Block
+
+	// textBase is the global index of the function's first instruction,
+	// assigned by Program.Link; instruction addresses feed the I-cache
+	// model.
+	textBase int
+}
+
+// Block returns the block with the given ID, or nil if out of range.
+func (f *Func) Block(id BlockID) *Block {
+	if id < 0 || int(id) >= len(f.Blocks) {
+		return nil
+	}
+	return f.Blocks[id]
+}
+
+// NumInstrs returns the static instruction count of the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// InstrAddr returns the byte address of the instruction at position pos
+// within block b, for instruction-cache modelling. Link must have run.
+func (f *Func) InstrAddr(b BlockID, pos int) int64 {
+	idx := f.textBase
+	for _, blk := range f.Blocks[:b] {
+		idx += len(blk.Instrs)
+	}
+	return int64(idx+pos) * 4
+}
+
+// MemObject is a named, statically allocated memory object. Objects are the
+// granularity of the paper's memory-dependence reasoning: loads are
+// "determinable" when their object is known, and invalidate instructions
+// name the object whose dependent computation instances must be discarded.
+type MemObject struct {
+	ID       MemID
+	Name     string
+	Size     int64   // size in 64-bit words
+	ReadOnly bool    // object is never stored to after initialization
+	Init     []int64 // initial contents (zero-filled to Size)
+
+	// Base is the object's word address in the linked flat memory,
+	// assigned by Program.Link.
+	Base int64
+}
+
+// RegionClass distinguishes the two deterministic-computation classes of the
+// paper (§4.1).
+type RegionClass uint8
+
+const (
+	// Stateless regions compute purely from register inputs.
+	Stateless RegionClass = iota
+	// MemoryDependent regions also read named memory objects whose store
+	// sites are completely known at compile time.
+	MemoryDependent
+)
+
+func (c RegionClass) String() string {
+	if c == Stateless {
+		return "SL"
+	}
+	return "MD"
+}
+
+// RegionKind distinguishes acyclic path regions, cyclic (loop) regions,
+// and function-level regions (the §6 extension: an entire call — calling
+// convention included — is the reusable computation).
+type RegionKind uint8
+
+const (
+	Acyclic RegionKind = iota
+	Cyclic
+	FuncLevel
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case Acyclic:
+		return "acyclic"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return "funclevel"
+	}
+}
+
+// Region describes one reusable computation region after transformation.
+// It is the compiler-to-hardware contract: the reuse instruction at the
+// inception block indexes the CRB with ID, the input and output register
+// lists bound here size the computation-instance banks, and MemObjects
+// lists every named object the region's loads may read (the invalidation
+// set).
+type Region struct {
+	ID    RegionID
+	Func  FuncID
+	Class RegionClass
+	Kind  RegionKind
+
+	Inception    BlockID // block holding the reuse instruction
+	Body         BlockID // first block of the computation code
+	Continuation BlockID // where control resumes after reuse or finish
+
+	Inputs     []Reg   // live-in registers (≤ 8)
+	Outputs    []Reg   // live-out registers (≤ 8)
+	MemObjects []MemID // distinguishable objects read by the region (≤ 4)
+
+	// Callee is the memoized function of a FuncLevel region (NoFunc
+	// otherwise); Inputs are then the call's argument registers in the
+	// calling function and Outputs the call's destination register.
+	Callee FuncID
+
+	// StaticSize is the number of static instructions inside the region
+	// body, used for the computation-group reporting of Figure 9.
+	StaticSize int
+}
+
+// Group returns the computation-group label used by the paper's Figure 9,
+// e.g. "SL_4" for a stateless region with up to 4 register inputs or
+// "MD_3_1" for a memory-dependent region with 3 register inputs and one
+// distinguishable memory object.
+func (r *Region) Group() string {
+	if r.Class == Stateless {
+		return fmt.Sprintf("SL_%d", len(r.Inputs))
+	}
+	return fmt.Sprintf("MD_%d_%d", len(r.Inputs), len(r.MemObjects))
+}
+
+// Program is a linked unit: functions, named memory objects, and (after the
+// CCR transformation) the region table.
+type Program struct {
+	Name    string
+	Funcs   []*Func
+	Main    FuncID
+	Objects []*MemObject
+	Regions []*Region
+
+	// MemWords is the total words of linked memory, valid after Link.
+	MemWords int64
+	// TextLen is the total static instruction count, valid after Link.
+	TextLen int
+}
+
+// Func returns the function with the given ID, or nil.
+func (p *Program) Func(id FuncID) *Func {
+	if id < 0 || int(id) >= len(p.Funcs) {
+		return nil
+	}
+	return p.Funcs[id]
+}
+
+// FuncByName returns the first function with the given name, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Object returns the memory object with the given ID, or nil.
+func (p *Program) Object(id MemID) *MemObject {
+	if id < 0 || int(id) >= len(p.Objects) {
+		return nil
+	}
+	return p.Objects[id]
+}
+
+// ObjectByName returns the first object with the given name, or nil.
+func (p *Program) ObjectByName(name string) *MemObject {
+	for _, o := range p.Objects {
+		if o.Name == name {
+			return o
+		}
+	}
+	return nil
+}
+
+// Region returns the region with the given ID, or nil.
+func (p *Program) Region(id RegionID) *Region {
+	if id < 0 || int(id) >= len(p.Regions) {
+		return nil
+	}
+	return p.Regions[id]
+}
+
+// Link assigns object base addresses and function text addresses. It must
+// be called after construction and after any transformation that changes
+// code layout, and before emulation or simulation.
+func (p *Program) Link() {
+	var base int64
+	for _, o := range p.Objects {
+		o.Base = base
+		base += o.Size
+	}
+	p.MemWords = base
+	text := 0
+	for _, f := range p.Funcs {
+		f.textBase = text
+		text += f.NumInstrs()
+	}
+	p.TextLen = text
+}
+
+// InitialMemory builds the linked flat memory image: every object's Init
+// words copied to its base, remainder zero. Link must have run.
+func (p *Program) InitialMemory() []int64 {
+	mem := make([]int64, p.MemWords)
+	for _, o := range p.Objects {
+		copy(mem[o.Base:o.Base+o.Size], o.Init)
+	}
+	return mem
+}
+
+// StaticInstrs returns the total static instruction count of the program.
+func (p *Program) StaticInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// InstrRef identifies one static instruction by position. It is the shared
+// key type of the profiling, alias and region-formation passes.
+type InstrRef struct {
+	Func  FuncID
+	Block BlockID
+	Index int
+}
+
+// InstrAt resolves a reference, or returns nil when out of range.
+func (p *Program) InstrAt(ref InstrRef) *Instr {
+	f := p.Func(ref.Func)
+	if f == nil {
+		return nil
+	}
+	b := f.Block(ref.Block)
+	if b == nil || ref.Index < 0 || ref.Index >= len(b.Instrs) {
+		return nil
+	}
+	return &b.Instrs[ref.Index]
+}

@@ -1,0 +1,278 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallProg(t *testing.T) *Program {
+	t.Helper()
+	pb := NewProgramBuilder("small")
+	tab := pb.ReadOnlyObject("tab", []int64{1, 2, 3, 4})
+	buf := pb.Object("buf", 8, nil)
+	f := pb.Func("main", 1)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	x, a := f.NewReg(), f.NewReg()
+	b0.Lea(a, tab, 0)
+	b0.AndI(x, f.Param(0), 3)
+	b0.Add(a, a, x)
+	b0.Ld(x, a, 0, tab)
+	b0.Lea(a, buf, 0)
+	b0.St(a, 0, x, buf)
+	b0.BgtI(x, 2, b1.ID())
+	b1.Ret(x)
+	p := pb.Build()
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p
+}
+
+func TestLinkLayout(t *testing.T) {
+	p := smallProg(t)
+	if p.MemWords != 4+8 {
+		t.Fatalf("MemWords = %d", p.MemWords)
+	}
+	if p.Objects[0].Base != 0 || p.Objects[1].Base != 4 {
+		t.Fatalf("bases = %d, %d", p.Objects[0].Base, p.Objects[1].Base)
+	}
+	if p.TextLen != p.StaticInstrs() {
+		t.Fatalf("TextLen %d != static instrs %d", p.TextLen, p.StaticInstrs())
+	}
+	mem := p.InitialMemory()
+	if mem[2] != 3 || mem[4] != 0 {
+		t.Fatalf("initial memory wrong: %v", mem)
+	}
+}
+
+func TestInstrAddrMonotonic(t *testing.T) {
+	p := smallProg(t)
+	f := p.Funcs[0]
+	var prev int64 = -4
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			a := f.InstrAddr(b.ID, i)
+			if a != prev+4 {
+				t.Fatalf("address gap at b%d[%d]: %d after %d", b.ID, i, a, prev)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Program
+		want  string
+	}{
+		{"bad branch target", func() *Program {
+			pb := NewProgramBuilder("x")
+			f := pb.Func("main", 0)
+			b := f.NewBlock()
+			b.Jmp(99)
+			return pb.prog
+		}, "branch target"},
+		{"register out of range", func() *Program {
+			pb := NewProgramBuilder("x")
+			f := pb.Func("main", 0)
+			b := f.NewBlock()
+			b.Emit(Instr{Op: Add, Dest: 50, Src1: 51, Src2: 52})
+			b.RetI(0)
+			return pb.prog
+		}, "out of range"},
+		{"fallthrough off end", func() *Program {
+			pb := NewProgramBuilder("x")
+			f := pb.Func("main", 0)
+			b := f.NewBlock()
+			r := f.NewReg()
+			b.MovI(r, 1)
+			return pb.prog
+		}, "falls off the end"},
+		{"branch mid-block", func() *Program {
+			pb := NewProgramBuilder("x")
+			f := pb.Func("main", 0)
+			b := f.NewBlock()
+			r := f.NewReg()
+			b.BeqI(r, 0, b.ID())
+			b.MovI(r, 1)
+			b.RetI(0)
+			return pb.prog
+		}, "before end of block"},
+		{"store to read-only", func() *Program {
+			pb := NewProgramBuilder("x")
+			tab := pb.ReadOnlyObject("tab", []int64{1})
+			f := pb.Func("main", 0)
+			b := f.NewBlock()
+			r := f.NewReg()
+			b.Lea(r, tab, 0)
+			b.St(r, 0, r, tab)
+			b.RetI(0)
+			return pb.prog
+		}, "read-only"},
+		{"call arity mismatch", func() *Program {
+			pb := NewProgramBuilder("x")
+			g := pb.Func("g", 2)
+			gb := g.NewBlock()
+			gb.RetI(0)
+			f := pb.Func("main", 0)
+			pb.SetMain(f.ID())
+			b := f.NewBlock()
+			r := f.NewReg()
+			b.Call(r, g.ID(), r)
+			b.Ret(r)
+			return pb.prog
+		}, "passes 1 args, wants 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build()
+			p.Link()
+			err := Verify(p)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyRegionContract(t *testing.T) {
+	// Build a transformed-looking program by hand with a region violation:
+	// a store inside the region.
+	pb := NewProgramBuilder("x")
+	buf := pb.Object("buf", 4, nil)
+	f := pb.Func("main", 0)
+	inc := f.NewBlock()
+	body := f.NewBlock()
+	cont := f.NewBlock()
+	r := f.NewReg()
+	inc.Emit(Instr{Op: Reuse, Region: 0, Target: cont.ID()})
+	body.Lea(r, buf, 0)
+	body.St(r, 0, r, buf)
+	body.Nop()
+	cont.RetI(0)
+	p := pb.prog
+	p.Regions = []*Region{{
+		ID: 0, Func: f.ID(), Inception: inc.ID(), Body: body.ID(), Continuation: cont.ID(),
+	}}
+	// Tag body instructions as region members, mark the last as end.
+	for i := range p.Funcs[0].Blocks[1].Instrs {
+		p.Funcs[0].Blocks[1].Instrs[i].Region = 0
+	}
+	p.Funcs[0].Blocks[1].Instrs[2].Attr |= AttrRegionEnd
+	p.Link()
+	err := Verify(p)
+	if err == nil || !strings.Contains(err.Error(), "contains store") {
+		t.Fatalf("expected region store violation, got %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := smallProg(t)
+	q := p.Clone()
+	q.Funcs[0].Blocks[0].Instrs[0].Imm = 999
+	q.Objects[0].Init[0] = 777
+	if p.Funcs[0].Blocks[0].Instrs[0].Imm == 999 {
+		t.Fatal("instruction mutation leaked into original")
+	}
+	if p.Objects[0].Init[0] == 777 {
+		t.Fatal("object init mutation leaked into original")
+	}
+	if p.Dump() == "" || q.Name != p.Name {
+		t.Fatal("clone metadata")
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []Reg
+		def  Reg
+	}{
+		{Instr{Op: Add, Dest: 3, Src1: 1, Src2: 2}, []Reg{1, 2}, 3},
+		{Instr{Op: Add, Dest: 3, Src1: 1, Src2: NoReg, Imm: 5}, []Reg{1}, 3},
+		{Instr{Op: St, Src1: 1, Src2: 2}, []Reg{1, 2}, NoReg},
+		{Instr{Op: Ld, Dest: 4, Src1: 1}, []Reg{1}, 4},
+		{Instr{Op: Call, Dest: 5, Args: []Reg{1, 2, 3}}, []Reg{1, 2, 3}, 5},
+		{Instr{Op: Ret, Src1: 2}, []Reg{2}, NoReg},
+		{Instr{Op: Ret, Src1: NoReg, Imm: 1}, nil, NoReg},
+		{Instr{Op: Jmp, Target: 0}, nil, NoReg},
+		{Instr{Op: Beq, Src1: 1, Src2: 2}, []Reg{1, 2}, NoReg},
+		{Instr{Op: Reuse}, nil, NoReg},
+		{Instr{Op: MovI, Dest: 2, Imm: 7}, nil, 2},
+		{Instr{Op: Lea, Dest: 2, Src1: 1, Mem: 0}, []Reg{1}, 2},
+	}
+	for _, tc := range cases {
+		got := tc.in.Uses(nil)
+		if len(got) != len(tc.uses) {
+			t.Fatalf("%s: uses = %v, want %v", tc.in.Op, got, tc.uses)
+		}
+		for i := range got {
+			if got[i] != tc.uses[i] {
+				t.Fatalf("%s: uses = %v, want %v", tc.in.Op, got, tc.uses)
+			}
+		}
+		if d := tc.in.Def(); d != tc.def {
+			t.Fatalf("%s: def = %v, want %v", tc.in.Op, d, tc.def)
+		}
+	}
+}
+
+func TestOpcodeMetadata(t *testing.T) {
+	if !Beq.IsCondBranch() || !Reuse.IsCondBranch() || Jmp.IsCondBranch() {
+		t.Fatal("cond-branch classification")
+	}
+	if Mul.FU() != FUFloat || Ld.FU() != FUMem || Add.FU() != FUInt || Call.FU() != FUBranch {
+		t.Fatal("FU classification")
+	}
+	if Ld.Latency() != 2 || Add.Latency() != 1 || Div.Latency() != 8 {
+		t.Fatal("latency table")
+	}
+	if !Slt.IsCompare() || Add.IsCompare() {
+		t.Fatal("compare classification")
+	}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if op.String() == "op?" {
+			t.Fatalf("opcode %d missing name", op)
+		}
+	}
+}
+
+func TestRegionGroupNames(t *testing.T) {
+	r := &Region{Class: Stateless, Inputs: []Reg{1, 2, 3}}
+	if g := r.Group(); g != "SL_3" {
+		t.Fatalf("group = %s", g)
+	}
+	r = &Region{Class: MemoryDependent, Inputs: []Reg{1, 2}, MemObjects: []MemID{0, 1}}
+	if g := r.Group(); g != "MD_2_2" {
+		t.Fatalf("group = %s", g)
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	p := smallProg(t)
+	d := p.Dump()
+	for _, want := range []string{"program small", "object obj0 tab[4] readonly", "func main", "ld ", "st "} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestInstrAt(t *testing.T) {
+	p := smallProg(t)
+	in := p.InstrAt(InstrRef{Func: 0, Block: 0, Index: 3})
+	if in == nil || in.Op != Ld {
+		t.Fatalf("InstrAt = %v", in)
+	}
+	if p.InstrAt(InstrRef{Func: 0, Block: 9, Index: 0}) != nil {
+		t.Fatal("out-of-range block should be nil")
+	}
+	if p.InstrAt(InstrRef{Func: 5, Block: 0, Index: 0}) != nil {
+		t.Fatal("out-of-range func should be nil")
+	}
+}

@@ -1,0 +1,199 @@
+package ir
+
+// Opcode enumerates the IR instruction set. The operand shapes are:
+//
+//	arithmetic/logical  Dest = Src1 op (Src2 | Imm)
+//	Mov                 Dest = Src1
+//	MovI                Dest = Imm
+//	Lea                 Dest = base(Mem) + (Src1|0) + Imm
+//	Ld                  Dest = M[Src1 + Imm]        (Mem = alias hint)
+//	St                  M[Src1 + Imm] = Src2        (Mem = alias hint)
+//	Jmp                 goto Target
+//	Beq..Bgt            if Src1 cmp (Src2|Imm) goto Target, else fall through
+//	Call                Dest = Callee(Args...)
+//	Ret                 return (Src1|Imm)
+//	Reuse               CCR reuse: on hit goto Target, else fall through
+//	Inval               CCR invalidate: discard instances depending on Mem
+//	Nop                 no effect
+type Opcode uint8
+
+const (
+	Nop Opcode = iota
+
+	// Data movement.
+	Mov  // Dest = Src1
+	MovI // Dest = Imm
+	Lea  // Dest = base(Mem) + Src1? + Imm
+
+	// Integer arithmetic. Executes on the integer ALUs except Mul, Div
+	// and Rem, which issue to the two multi-cycle (FP/multiplier) units,
+	// matching the PA-7100's FPU-resident multiplier.
+	Add
+	Sub
+	Mul
+	Div // quotient; division by zero yields 0 (emulator-defined)
+	Rem // remainder; modulo zero yields 0
+
+	// Bitwise and shifts. Shift counts are taken modulo 64.
+	And
+	Or
+	Xor
+	Shl
+	Shr // logical right shift
+	Sra // arithmetic right shift
+
+	// Comparisons producing 0 or 1.
+	Slt // Dest = Src1 <  rhs
+	Sle // Dest = Src1 <= rhs
+	Seq // Dest = Src1 == rhs
+	Sne // Dest = Src1 != rhs
+
+	// Memory.
+	Ld
+	St
+
+	// Control flow.
+	Jmp
+	Beq
+	Bne
+	Blt
+	Bge
+	Ble
+	Bgt
+	Call
+	Ret
+
+	// CCR instruction-set extensions (paper §3.2).
+	Reuse
+	Inval
+
+	numOpcodes
+)
+
+// FUClass is the functional-unit class an opcode issues to in the 6-issue
+// machine model: 4 integer ALUs, 2 memory ports, 2 multi-cycle (FP) units,
+// 1 branch unit.
+type FUClass uint8
+
+const (
+	FUInt FUClass = iota
+	FUMem
+	FUFloat
+	FUBranch
+	FUNone // Nop consumes an issue slot but no unit
+)
+
+type opInfo struct {
+	name     string
+	fu       FUClass
+	hasDest  bool
+	isBranch bool // may redirect control flow
+	isCond   bool // conditional branch (falls through when untaken)
+	latency  int  // result latency in cycles (base machine)
+}
+
+var opTable = [numOpcodes]opInfo{
+	Nop:   {"nop", FUNone, false, false, false, 1},
+	Mov:   {"mov", FUInt, true, false, false, 1},
+	MovI:  {"movi", FUInt, true, false, false, 1},
+	Lea:   {"lea", FUInt, true, false, false, 1},
+	Add:   {"add", FUInt, true, false, false, 1},
+	Sub:   {"sub", FUInt, true, false, false, 1},
+	Mul:   {"mul", FUFloat, true, false, false, 3},
+	Div:   {"div", FUFloat, true, false, false, 8},
+	Rem:   {"rem", FUFloat, true, false, false, 8},
+	And:   {"and", FUInt, true, false, false, 1},
+	Or:    {"or", FUInt, true, false, false, 1},
+	Xor:   {"xor", FUInt, true, false, false, 1},
+	Shl:   {"shl", FUInt, true, false, false, 1},
+	Shr:   {"shr", FUInt, true, false, false, 1},
+	Sra:   {"sra", FUInt, true, false, false, 1},
+	Slt:   {"slt", FUInt, true, false, false, 1},
+	Sle:   {"sle", FUInt, true, false, false, 1},
+	Seq:   {"seq", FUInt, true, false, false, 1},
+	Sne:   {"sne", FUInt, true, false, false, 1},
+	Ld:    {"ld", FUMem, true, false, false, 2},
+	St:    {"st", FUMem, false, false, false, 1},
+	Jmp:   {"jmp", FUBranch, false, true, false, 1},
+	Beq:   {"beq", FUBranch, false, true, true, 1},
+	Bne:   {"bne", FUBranch, false, true, true, 1},
+	Blt:   {"blt", FUBranch, false, true, true, 1},
+	Bge:   {"bge", FUBranch, false, true, true, 1},
+	Ble:   {"ble", FUBranch, false, true, true, 1},
+	Bgt:   {"bgt", FUBranch, false, true, true, 1},
+	Call:  {"call", FUBranch, true, true, false, 1},
+	Ret:   {"ret", FUBranch, false, true, false, 1},
+	Reuse: {"reuse", FUBranch, false, true, true, 1},
+	Inval: {"inval", FUMem, false, false, false, 1},
+}
+
+// String returns the mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op >= numOpcodes {
+		return "op?"
+	}
+	return opTable[op].name
+}
+
+// FU returns the functional-unit class the opcode issues to.
+func (op Opcode) FU() FUClass { return opTable[op].fu }
+
+// HasDest reports whether the opcode writes a destination register.
+func (op Opcode) HasDest() bool { return opTable[op].hasDest }
+
+// IsBranch reports whether the opcode may redirect control flow.
+func (op Opcode) IsBranch() bool { return opTable[op].isBranch }
+
+// IsCondBranch reports whether the opcode is a conditional branch that
+// falls through when untaken (the reuse instruction behaves as one: taken
+// on a reuse hit, fall-through into the region body on a miss).
+func (op Opcode) IsCondBranch() bool { return opTable[op].isCond }
+
+// Latency returns the base result latency of the opcode in cycles
+// (integer ops 1 cycle, loads 2 cycles, per the HP PA-7100 model of §5.1).
+func (op Opcode) Latency() int { return opTable[op].latency }
+
+// IsCompare reports whether the opcode is a comparison producing 0/1.
+func (op Opcode) IsCompare() bool { return op >= Slt && op <= Sne }
+
+// IsBinaryALU reports whether the opcode is a two-operand ALU operation
+// (arithmetic, bitwise, shift or comparison).
+func (op Opcode) IsBinaryALU() bool { return op >= Add && op <= Sne }
+
+// Uses returns the source registers the instruction reads, appending them
+// to dst and returning the extended slice. NoReg operands are skipped.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case Nop, MovI, Jmp, Reuse, Inval:
+	case Lea:
+		if in.Src1 != NoReg {
+			dst = append(dst, in.Src1)
+		}
+	case Mov:
+		dst = append(dst, in.Src1)
+	case Ld:
+		dst = append(dst, in.Src1)
+	case St:
+		dst = append(dst, in.Src1, in.Src2)
+	case Call:
+		dst = append(dst, in.Args...)
+	case Ret:
+		if in.Src1 != NoReg {
+			dst = append(dst, in.Src1)
+		}
+	default: // binary ALU ops and conditional branches
+		dst = append(dst, in.Src1)
+		if in.Src2 != NoReg {
+			dst = append(dst, in.Src2)
+		}
+	}
+	return dst
+}
+
+// Def returns the register the instruction defines, or NoReg.
+func (in *Instr) Def() Reg {
+	if in.Op.HasDest() {
+		return in.Dest
+	}
+	return NoReg
+}

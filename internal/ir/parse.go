@@ -1,0 +1,685 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual program form produced by Program.Dump and
+// reconstructs the program, so programs can be stored, diffed and shipped
+// as plain text. The parsed program is linked but not verified; callers
+// that want structural guarantees should run Verify.
+//
+// The grammar is line-oriented:
+//
+//	program NAME
+//	object objN NAME[SIZE] [readonly] @BASE
+//	        data V V V ...
+//	region N SL|MD acyclic|cyclic GROUP fN inception=bN body=bN cont=bN
+//	        in=[R ...] out=[R ...] mem=[M ...] size=N
+//	main fN
+//	func NAME (fN) params=N regs=N
+//	bN:
+//	        MNEMONIC OPERANDS [!attr,attr] [@regionN]
+func Parse(text string) (*Program, error) {
+	p := &parser{prog: &Program{Main: NoFunc}}
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("ir: parse line %d %q: %w", i+1, raw, err)
+		}
+	}
+	p.prog.Link()
+	return p.prog, nil
+}
+
+// MustParse panics on parse errors; a convenience for tests and embedded
+// program text.
+func MustParse(text string) *Program {
+	p, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	prog    *Program
+	curFunc *Func
+	curBlk  *Block
+	lastObj *MemObject
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case line == "program" || strings.HasPrefix(line, "program "):
+		p.prog.Name = strings.TrimSpace(strings.TrimPrefix(line, "program"))
+		return nil
+	case strings.HasPrefix(line, "object "):
+		return p.object(line)
+	case strings.HasPrefix(line, "data"):
+		return p.data(line)
+	case strings.HasPrefix(line, "region "):
+		return p.region(line)
+	case strings.HasPrefix(line, "main f"):
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "main f"))
+		if err != nil {
+			return err
+		}
+		p.prog.Main = FuncID(n)
+		return nil
+	case strings.HasPrefix(line, "func "):
+		return p.function(line)
+	case strings.HasPrefix(line, "b") && strings.HasSuffix(line, ":"):
+		return p.block(line)
+	default:
+		return p.instr(line)
+	}
+}
+
+func (p *parser) object(line string) error {
+	// object obj3 name[16] readonly @24
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed object line")
+	}
+	var id int
+	if _, err := fmt.Sscanf(fields[1], "obj%d", &id); err != nil {
+		return err
+	}
+	spec := fields[2]
+	lb := strings.IndexByte(spec, '[')
+	rb := strings.IndexByte(spec, ']')
+	if lb < 0 || rb < lb {
+		return fmt.Errorf("malformed object size in %q", spec)
+	}
+	size, err := strconv.ParseInt(spec[lb+1:rb], 10, 64)
+	if err != nil {
+		return err
+	}
+	o := &MemObject{ID: MemID(id), Name: spec[:lb], Size: size}
+	for _, f := range fields[3:] {
+		if f == "readonly" {
+			o.ReadOnly = true
+		}
+	}
+	if int(o.ID) != len(p.prog.Objects) {
+		return fmt.Errorf("object obj%d out of order", id)
+	}
+	p.prog.Objects = append(p.prog.Objects, o)
+	p.lastObj = o
+	return nil
+}
+
+func (p *parser) data(line string) error {
+	if p.lastObj == nil {
+		return fmt.Errorf("data line before any object")
+	}
+	for _, f := range strings.Fields(line)[1:] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return err
+		}
+		p.lastObj.Init = append(p.lastObj.Init, v)
+	}
+	if int64(len(p.lastObj.Init)) > p.lastObj.Size {
+		return fmt.Errorf("object %s initializer exceeds size", p.lastObj.Name)
+	}
+	return nil
+}
+
+func parseIDList[T ~int32](s string) ([]T, error) {
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	if s == "" {
+		return nil, nil
+	}
+	var out []T
+	for _, f := range strings.Fields(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, T(v))
+	}
+	return out, nil
+}
+
+func (p *parser) region(line string) error {
+	// region 0 MD cyclic MD_3_1 f0 inception=b1 body=b2 cont=b5
+	//   in=[1 3 4] out=[] mem=[0] size=6
+	// The in=/out=/mem= fields use %v formatting, so the list may span
+	// several space-separated fields; reassemble bracket groups first.
+	fields := regroupBrackets(strings.Fields(line))
+	if len(fields) < 12 {
+		return fmt.Errorf("malformed region line (%d fields)", len(fields))
+	}
+	r := &Region{}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return err
+	}
+	r.ID = RegionID(id)
+	switch fields[2] {
+	case "SL":
+		r.Class = Stateless
+	case "MD":
+		r.Class = MemoryDependent
+	default:
+		return fmt.Errorf("unknown region class %q", fields[2])
+	}
+	switch fields[3] {
+	case "acyclic":
+		r.Kind = Acyclic
+	case "cyclic":
+		r.Kind = Cyclic
+	case "funclevel":
+		r.Kind = FuncLevel
+	default:
+		return fmt.Errorf("unknown region kind %q", fields[3])
+	}
+	r.Callee = NoFunc
+	// fields[4] is the derived group label; ignored on input.
+	var fid int
+	if _, err := fmt.Sscanf(fields[5], "f%d", &fid); err != nil {
+		return err
+	}
+	r.Func = FuncID(fid)
+	for _, f := range fields[6:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("malformed region field %q", f)
+		}
+		switch key {
+		case "inception", "body", "cont":
+			var b int
+			if _, err := fmt.Sscanf(val, "b%d", &b); err != nil {
+				return err
+			}
+			switch key {
+			case "inception":
+				r.Inception = BlockID(b)
+			case "body":
+				r.Body = BlockID(b)
+			case "cont":
+				r.Continuation = BlockID(b)
+			}
+		case "in":
+			if r.Inputs, err = parseIDList[Reg](val); err != nil {
+				return err
+			}
+		case "out":
+			if r.Outputs, err = parseIDList[Reg](val); err != nil {
+				return err
+			}
+		case "mem":
+			if r.MemObjects, err = parseIDList[MemID](val); err != nil {
+				return err
+			}
+		case "size":
+			if r.StaticSize, err = strconv.Atoi(val); err != nil {
+				return err
+			}
+		case "callee":
+			var cf int
+			if _, err := fmt.Sscanf(val, "f%d", &cf); err != nil {
+				return err
+			}
+			r.Callee = FuncID(cf)
+		}
+	}
+	if int(r.ID) != len(p.prog.Regions) {
+		return fmt.Errorf("region %d out of order", r.ID)
+	}
+	p.prog.Regions = append(p.prog.Regions, r)
+	return nil
+}
+
+// regroupBrackets joins fields so that "in=[1" "3" "4]" becomes one field.
+func regroupBrackets(fields []string) []string {
+	var out []string
+	depth := 0
+	for _, f := range fields {
+		if depth > 0 {
+			out[len(out)-1] += " " + f
+		} else {
+			out = append(out, f)
+		}
+		depth += strings.Count(f, "[") - strings.Count(f, "]")
+		if depth < 0 {
+			depth = 0
+		}
+	}
+	return out
+}
+
+func (p *parser) function(line string) error {
+	// func main (f0) params=1 regs=9
+	var name string
+	var id, params, regs int
+	if _, err := fmt.Sscanf(line, "func %s (f%d) params=%d regs=%d", &name, &id, &params, &regs); err != nil {
+		return err
+	}
+	f := &Func{ID: FuncID(id), Name: name, NumParams: params, NumRegs: regs}
+	if int(f.ID) != len(p.prog.Funcs) {
+		return fmt.Errorf("function f%d out of order", id)
+	}
+	p.prog.Funcs = append(p.prog.Funcs, f)
+	p.curFunc = f
+	p.curBlk = nil
+	if name == "main" && p.prog.Main == NoFunc {
+		p.prog.Main = f.ID
+	}
+	return nil
+}
+
+func (p *parser) block(line string) error {
+	if p.curFunc == nil {
+		return fmt.Errorf("block outside function")
+	}
+	var id int
+	if _, err := fmt.Sscanf(line, "b%d:", &id); err != nil {
+		return err
+	}
+	if id != len(p.curFunc.Blocks) {
+		return fmt.Errorf("block b%d out of order", id)
+	}
+	b := &Block{ID: BlockID(id)}
+	p.curFunc.Blocks = append(p.curFunc.Blocks, b)
+	p.curBlk = b
+	return nil
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (p *parser) instr(line string) error {
+	if p.curBlk == nil {
+		return fmt.Errorf("instruction outside block")
+	}
+	in := Instr{Mem: NoMem, Region: NoRegion}
+
+	// Trailing "@regionN" marker.
+	if i := strings.LastIndex(line, "@region"); i >= 0 {
+		n, err := strconv.Atoi(strings.TrimSpace(line[i+len("@region"):]))
+		if err != nil {
+			return err
+		}
+		in.Region = RegionID(n)
+		line = strings.TrimSpace(line[:i])
+	}
+	// Trailing "!attr,attr" marker.
+	if i := strings.LastIndex(line, "!"); i >= 0 {
+		for _, a := range strings.Split(line[i+1:], ",") {
+			switch strings.TrimSpace(a) {
+			case "liveout":
+				in.Attr |= AttrLiveOut
+			case "rend":
+				in.Attr |= AttrRegionEnd
+			case "rexit":
+				in.Attr |= AttrRegionExit
+			case "det":
+				in.Attr |= AttrDeterminable
+			default:
+				return fmt.Errorf("unknown attribute %q", a)
+			}
+		}
+		line = strings.TrimSpace(line[:i])
+	}
+
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+	rest = strings.TrimSpace(rest)
+	if err := p.operands(&in, rest); err != nil {
+		return err
+	}
+	p.curBlk.Instrs = append(p.curBlk.Instrs, in)
+	return nil
+}
+
+// operand scanners ----------------------------------------------------
+
+func scanReg(s string) (Reg, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "r%d", &n); err != nil {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func scanBlock(s string) (BlockID, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "b%d", &n); err != nil {
+		return NoBlock, fmt.Errorf("bad block %q", s)
+	}
+	return BlockID(n), nil
+}
+
+func scanImm(s string) (int64, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return strconv.ParseInt(s[1:], 10, 64)
+}
+
+// rhs parses either "rN" into Src2 or "#imm" into Imm.
+func rhs(in *Instr, s string) error {
+	if strings.HasPrefix(s, "r") {
+		r, err := scanReg(s)
+		if err != nil {
+			return err
+		}
+		in.Src2 = r
+		return nil
+	}
+	imm, err := scanImm(s)
+	if err != nil {
+		return err
+	}
+	in.Src2 = NoReg
+	in.Imm = imm
+	return nil
+}
+
+func (p *parser) operands(in *Instr, rest string) error {
+	args := splitArgs(rest)
+	switch in.Op {
+	case Nop:
+		return nil
+	case Mov:
+		return p.take2(in, args, func(d, s Reg) { in.Dest, in.Src1 = d, s })
+	case MovI:
+		if len(args) != 2 {
+			return fmt.Errorf("movi wants 2 operands")
+		}
+		d, err := scanReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := scanImm(args[1])
+		if err != nil {
+			return err
+		}
+		in.Dest, in.Imm = d, imm
+		return nil
+	case Lea:
+		// lea r6, obj1+0   |   lea r6, obj1+r3+4
+		if len(args) != 2 {
+			return fmt.Errorf("lea wants 2 operands")
+		}
+		d, err := scanReg(args[0])
+		if err != nil {
+			return err
+		}
+		in.Dest = d
+		parts := strings.Split(args[1], "+")
+		var obj int
+		if _, err := fmt.Sscanf(parts[0], "obj%d", &obj); err != nil {
+			return err
+		}
+		in.Mem = MemID(obj)
+		switch len(parts) {
+		case 2:
+			imm, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return err
+			}
+			in.Imm = imm
+		case 3:
+			r, err := scanReg(parts[1])
+			if err != nil {
+				return err
+			}
+			imm, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return err
+			}
+			in.Src1, in.Imm = r, imm
+		default:
+			return fmt.Errorf("malformed lea address %q", args[1])
+		}
+		return nil
+	case Ld:
+		// ld r3, [r4+0] {obj1}
+		if len(args) < 2 {
+			return fmt.Errorf("ld wants 2+ operands")
+		}
+		d, err := scanReg(args[0])
+		if err != nil {
+			return err
+		}
+		in.Dest = d
+		return p.memOperand(in, args[1:])
+	case St:
+		// st [r1+0], r2 {obj0}
+		if len(args) < 2 {
+			return fmt.Errorf("st wants 2+ operands")
+		}
+		v, err := scanReg(args[1])
+		if err != nil {
+			return err
+		}
+		in.Src2 = v
+		return p.memOperand(in, append([]string{args[0]}, args[2:]...))
+	case Jmp:
+		if len(args) != 1 {
+			return fmt.Errorf("jmp wants 1 operand")
+		}
+		b, err := scanBlock(args[0])
+		if err != nil {
+			return err
+		}
+		in.Target = b
+		return nil
+	case Beq, Bne, Blt, Bge, Ble, Bgt:
+		if len(args) != 3 {
+			return fmt.Errorf("branch wants 3 operands")
+		}
+		s1, err := scanReg(args[0])
+		if err != nil {
+			return err
+		}
+		in.Src1 = s1
+		if err := rhs(in, args[1]); err != nil {
+			return err
+		}
+		b, err := scanBlock(args[2])
+		if err != nil {
+			return err
+		}
+		in.Target = b
+		return nil
+	case Call:
+		return p.call(in, rest)
+	case Ret:
+		if len(args) != 1 {
+			return fmt.Errorf("ret wants 1 operand")
+		}
+		if strings.HasPrefix(args[0], "r") {
+			r, err := scanReg(args[0])
+			if err != nil {
+				return err
+			}
+			in.Src1 = r
+			return nil
+		}
+		imm, err := scanImm(args[0])
+		if err != nil {
+			return err
+		}
+		in.Imm = imm
+		return nil
+	case Reuse:
+		// reuse region0, hit=b5
+		if len(args) != 2 {
+			return fmt.Errorf("reuse wants 2 operands")
+		}
+		var rid int
+		if _, err := fmt.Sscanf(args[0], "region%d", &rid); err != nil {
+			return err
+		}
+		in.Region = RegionID(rid)
+		var b int
+		if _, err := fmt.Sscanf(args[1], "hit=b%d", &b); err != nil {
+			return err
+		}
+		in.Target = BlockID(b)
+		return nil
+	case Inval:
+		if len(args) != 1 {
+			return fmt.Errorf("inval wants 1 operand")
+		}
+		var obj int
+		if _, err := fmt.Sscanf(args[0], "obj%d", &obj); err != nil {
+			return err
+		}
+		in.Mem = MemID(obj)
+		return nil
+	default: // binary ALU: op rD, rA, (rB|#imm)
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants 3 operands", in.Op)
+		}
+		d, err := scanReg(args[0])
+		if err != nil {
+			return err
+		}
+		a, err := scanReg(args[1])
+		if err != nil {
+			return err
+		}
+		in.Dest, in.Src1 = d, a
+		return rhs(in, args[2])
+	}
+}
+
+func (p *parser) take2(in *Instr, args []string, set func(d, s Reg)) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%s wants 2 operands", in.Op)
+	}
+	d, err := scanReg(args[0])
+	if err != nil {
+		return err
+	}
+	s, err := scanReg(args[1])
+	if err != nil {
+		return err
+	}
+	set(d, s)
+	return nil
+}
+
+// memOperand parses "[rN+imm]" plus an optional "{objM}" hint.
+func (p *parser) memOperand(in *Instr, args []string) error {
+	addr := args[0]
+	if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+		return fmt.Errorf("malformed address %q", addr)
+	}
+	body := addr[1 : len(addr)-1]
+	base, off, ok := strings.Cut(body, "+")
+	if !ok {
+		return fmt.Errorf("malformed address %q", addr)
+	}
+	r, err := scanReg(base)
+	if err != nil {
+		return err
+	}
+	imm, err := strconv.ParseInt(off, 10, 64)
+	if err != nil {
+		return err
+	}
+	in.Src1, in.Imm = r, imm
+	for _, extra := range args[1:] {
+		if strings.HasPrefix(extra, "{obj") && strings.HasSuffix(extra, "}") {
+			var obj int
+			if _, err := fmt.Sscanf(extra, "{obj%d}", &obj); err != nil {
+				return err
+			}
+			in.Mem = MemID(obj)
+		}
+	}
+	return nil
+}
+
+// call: "call r5, f2(r1, r3)" or "call f2(r1)"
+func (p *parser) call(in *Instr, rest string) error {
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "r") {
+		d, after, ok := strings.Cut(rest, ",")
+		if !ok {
+			return fmt.Errorf("malformed call %q", rest)
+		}
+		r, err := scanReg(strings.TrimSpace(d))
+		if err != nil {
+			return err
+		}
+		in.Dest = r
+		rest = strings.TrimSpace(after)
+	}
+	lp := strings.IndexByte(rest, '(')
+	rp := strings.LastIndexByte(rest, ')')
+	if lp < 0 || rp < lp {
+		return fmt.Errorf("malformed call target %q", rest)
+	}
+	var fid int
+	if _, err := fmt.Sscanf(rest[:lp], "f%d", &fid); err != nil {
+		return err
+	}
+	in.Callee = FuncID(fid)
+	argstr := strings.TrimSpace(rest[lp+1 : rp])
+	if argstr != "" {
+		for _, a := range strings.Split(argstr, ",") {
+			r, err := scanReg(strings.TrimSpace(a))
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, r)
+		}
+	}
+	return nil
+}
+
+// splitArgs splits on commas outside brackets/braces/parens.
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '{', '(':
+			depth++
+		case ']', '}', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		case ' ':
+			// "{objN}" hints follow the address without a comma.
+			if depth == 0 && strings.HasPrefix(strings.TrimSpace(s[i:]), "{") {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTripSmall(t *testing.T) {
+	p := smallProg(t)
+	text := p.Dump()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Verify(q); err != nil {
+		t.Fatalf("verify parsed: %v", err)
+	}
+	if got := q.Dump(); got != text {
+		t.Fatalf("round trip mismatch:\n--- original\n%s\n--- reparsed\n%s", text, got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"program x\nfunc main (f0) params=0 regs=1\nb0:\n\tfrobnicate r1\n",
+		"program x\nfunc main (f0) params=0 regs=1\n\tadd r1, r1, r1\n", // instr before block
+		"program x\nobject obj5 tab[4] @0\n",                            // out-of-order object
+		"program x\nfunc main (f0) params=0 regs=1\nb3:\n",              // out-of-order block
+	}
+	for _, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Fatalf("expected parse error for %q", text)
+		}
+	}
+}
+
+func TestParseTransformedProgramText(t *testing.T) {
+	// A hand-written transformed program exercising the CCR syntax:
+	// reuse, inval, attributes and region annotations.
+	text := `program demo
+object obj0 tab[4] @0
+	data 10 20 30 40
+region 0 MD acyclic MD_1_1 f0 inception=b1 body=b2 cont=b3 in=[2] out=[3] mem=[0] size=3
+main f0
+func main (f0) params=1 regs=5
+b0:
+	and r2, r1, #3
+b1:
+	reuse region0, hit=b3
+b2:
+	lea r4, obj0+r2+0  @region0
+	ld r3, [r4+0] {obj0}  !liveout,det  @region0
+	add r3, r3, #1  !liveout,rend  @region0
+b3:
+	ret r3
+`
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Round trip preserves everything.
+	if got := p.Dump(); got != text {
+		t.Fatalf("round trip mismatch:\n--- in\n%s\n--- out\n%s", text, got)
+	}
+	// Semantic spot checks.
+	rg := p.Region(0)
+	if rg == nil || rg.Class != MemoryDependent || rg.MemObjects[0] != 0 {
+		t.Fatalf("region: %+v", rg)
+	}
+	ld := p.InstrAt(InstrRef{Func: 0, Block: 2, Index: 1})
+	if ld.Op != Ld || !ld.Attr.Has(AttrLiveOut) || !ld.Attr.Has(AttrDeterminable) || ld.Region != 0 {
+		t.Fatalf("load: %s", ld.String())
+	}
+}
+
+func TestParsePreservesCallsAndBranches(t *testing.T) {
+	text := `program calls
+main f1
+func helper (f0) params=2 regs=3
+b0:
+	add r3, r1, r2
+	ret r3
+func main (f1) params=1 regs=4
+b0:
+	movi r2, #7
+	call r3, f0(r1, r2)
+	beq r3, #0, b2
+b1:
+	add r3, r3, #1
+b2:
+	ret r3
+`
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if p.Main != 1 {
+		t.Fatalf("main = f%d", p.Main)
+	}
+	call := p.InstrAt(InstrRef{Func: 1, Block: 0, Index: 1})
+	if call.Op != Call || call.Callee != 0 || len(call.Args) != 2 || call.Dest != 3 {
+		t.Fatalf("call: %s", call.String())
+	}
+	if got := p.Dump(); got != text {
+		t.Fatalf("round trip:\n%s\nvs\n%s", text, got)
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"r1, r2, #5", []string{"r1", "r2", "#5"}},
+		{"r3, [r4+0] {obj1}", []string{"r3", "[r4+0]", "{obj1}"}},
+		{"r5, f2(r1, r3)", []string{"r5", "f2(r1, r3)"}},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		got := splitArgs(tc.in)
+		if len(got) != len(tc.want) {
+			t.Fatalf("splitArgs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("splitArgs(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestParseErrorsIncludeLine(t *testing.T) {
+	_, err := Parse("program x\nfunc main (f0) params=0 regs=1\nb0:\n\tbogus r1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error should name the line: %v", err)
+	}
+}

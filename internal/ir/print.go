@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in a compact assembly-like syntax.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	sb.WriteString(in.Op.String())
+	arg := func(format string, a ...any) {
+		sb.WriteByte(' ')
+		fmt.Fprintf(&sb, format, a...)
+	}
+	rhs := func() string {
+		if in.Src2 != NoReg {
+			return fmt.Sprintf("r%d", in.Src2)
+		}
+		return fmt.Sprintf("#%d", in.Imm)
+	}
+	switch in.Op {
+	case Nop:
+	case Mov:
+		arg("r%d, r%d", in.Dest, in.Src1)
+	case MovI:
+		arg("r%d, #%d", in.Dest, in.Imm)
+	case Lea:
+		if in.Src1 != NoReg {
+			arg("r%d, obj%d+r%d+%d", in.Dest, in.Mem, in.Src1, in.Imm)
+		} else {
+			arg("r%d, obj%d+%d", in.Dest, in.Mem, in.Imm)
+		}
+	case Ld:
+		arg("r%d, [r%d+%d]", in.Dest, in.Src1, in.Imm)
+		if in.Mem != NoMem {
+			arg("{obj%d}", in.Mem)
+		}
+	case St:
+		arg("[r%d+%d], r%d", in.Src1, in.Imm, in.Src2)
+		if in.Mem != NoMem {
+			arg("{obj%d}", in.Mem)
+		}
+	case Jmp:
+		arg("b%d", in.Target)
+	case Beq, Bne, Blt, Bge, Ble, Bgt:
+		arg("r%d, %s, b%d", in.Src1, rhs(), in.Target)
+	case Call:
+		args := make([]string, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = fmt.Sprintf("r%d", r)
+		}
+		if in.Dest != NoReg {
+			arg("r%d, f%d(%s)", in.Dest, in.Callee, strings.Join(args, ", "))
+		} else {
+			arg("f%d(%s)", in.Callee, strings.Join(args, ", "))
+		}
+	case Ret:
+		if in.Src1 != NoReg {
+			arg("r%d", in.Src1)
+		} else {
+			arg("#%d", in.Imm)
+		}
+	case Reuse:
+		arg("region%d, hit=b%d", in.Region, in.Target)
+	case Inval:
+		arg("obj%d", in.Mem)
+	default:
+		arg("r%d, r%d, %s", in.Dest, in.Src1, rhs())
+	}
+	var attrs []string
+	if in.Attr.Has(AttrLiveOut) {
+		attrs = append(attrs, "liveout")
+	}
+	if in.Attr.Has(AttrRegionEnd) {
+		attrs = append(attrs, "rend")
+	}
+	if in.Attr.Has(AttrRegionExit) {
+		attrs = append(attrs, "rexit")
+	}
+	if in.Attr.Has(AttrDeterminable) {
+		attrs = append(attrs, "det")
+	}
+	if len(attrs) > 0 {
+		fmt.Fprintf(&sb, "  !%s", strings.Join(attrs, ","))
+	}
+	if in.Region != NoRegion && in.Op != Reuse {
+		fmt.Fprintf(&sb, "  @region%d", in.Region)
+	}
+	return sb.String()
+}
+
+// Dump renders the function as readable pseudo-assembly.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (f%d) params=%d regs=%d\n", f.Name, f.ID, f.NumParams, f.NumRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", b.Instrs[i].String())
+		}
+	}
+	return sb.String()
+}
+
+// Dump renders the whole program: objects (with initializer data),
+// regions and functions, in the textual form Parse accepts, so
+// Parse(Dump(p)) reproduces p.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, o := range p.Objects {
+		ro := ""
+		if o.ReadOnly {
+			ro = " readonly"
+		}
+		fmt.Fprintf(&sb, "object obj%d %s[%d]%s @%d\n", o.ID, o.Name, o.Size, ro, o.Base)
+		if len(o.Init) > 0 {
+			sb.WriteString("\tdata")
+			for _, v := range o.Init {
+				fmt.Fprintf(&sb, " %d", v)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	for _, r := range p.Regions {
+		fmt.Fprintf(&sb, "region %d %s %s %s f%d inception=b%d body=b%d cont=b%d in=%v out=%v mem=%v size=%d",
+			r.ID, r.Class, r.Kind, r.Group(), r.Func, r.Inception, r.Body, r.Continuation,
+			r.Inputs, r.Outputs, r.MemObjects, r.StaticSize)
+		if r.Kind == FuncLevel {
+			fmt.Fprintf(&sb, " callee=f%d", r.Callee)
+		}
+		sb.WriteByte('\n')
+	}
+	if p.Main != NoFunc {
+		fmt.Fprintf(&sb, "main f%d\n", p.Main)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.Dump())
+	}
+	return sb.String()
+}

@@ -1,0 +1,218 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RegionBankSize is the number of register entries in each computation
+// instance bank (paper §5.1: "an input and output 8-entry register array").
+// The compiler guarantees every region's live-in and live-out sets fit.
+const RegionBankSize = 8
+
+// RegionMaxMemObjects is the region-accordance cap on distinguishable
+// memory objects per region (paper §4.4).
+const RegionMaxMemObjects = 4
+
+// Verify checks structural validity of the program: operand ranges, branch
+// targets, call targets, object references, and — for transformed programs —
+// the CCR region contract (no stores or calls inside regions, determinable
+// loads only, bank-size limits, marker consistency). It returns a combined
+// error listing every violation found.
+func Verify(p *Program) error {
+	var errs []error
+	bad := func(format string, a ...any) {
+		errs = append(errs, fmt.Errorf(format, a...))
+	}
+	if p.Func(p.Main) == nil {
+		bad("main function f%d out of range", p.Main)
+	}
+	for _, f := range p.Funcs {
+		verifyFunc(p, f, bad)
+	}
+	for _, r := range p.Regions {
+		verifyRegion(p, r, bad)
+	}
+	return errors.Join(errs...)
+}
+
+func verifyFunc(p *Program, f *Func, bad func(string, ...any)) {
+	if len(f.Blocks) == 0 {
+		bad("%s: no blocks", f.Name)
+		return
+	}
+	if f.NumParams > f.NumRegs {
+		bad("%s: %d params but only %d regs", f.Name, f.NumParams, f.NumRegs)
+	}
+	checkReg := func(b BlockID, i int, r Reg, what string) {
+		if r < 1 || int(r) > f.NumRegs {
+			bad("%s b%d[%d]: %s register r%d out of range 1..%d", f.Name, b, i, what, r, f.NumRegs)
+		}
+	}
+	var uses []Reg
+	for _, b := range f.Blocks {
+		if b.ID != BlockID(indexOfBlock(f, b)) {
+			bad("%s: block ID %d does not match position", f.Name, b.ID)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op >= numOpcodes {
+				bad("%s b%d[%d]: invalid opcode %d", f.Name, b.ID, i, in.Op)
+				continue
+			}
+			if in.Op.HasDest() && in.Op != Call {
+				checkReg(b.ID, i, in.Dest, "dest")
+			}
+			if in.Op == Call && in.Dest != NoReg {
+				checkReg(b.ID, i, in.Dest, "dest")
+			}
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				checkReg(b.ID, i, u, "source")
+			}
+			if in.Op.IsBranch() && in.Op != Call && in.Op != Ret {
+				if f.Block(in.Target) == nil {
+					bad("%s b%d[%d]: branch target b%d out of range", f.Name, b.ID, i, in.Target)
+				}
+			}
+			if in.Op == Call {
+				callee := p.Func(in.Callee)
+				if callee == nil {
+					bad("%s b%d[%d]: call target f%d out of range", f.Name, b.ID, i, in.Callee)
+				} else if len(in.Args) != callee.NumParams {
+					bad("%s b%d[%d]: call to %s passes %d args, wants %d",
+						f.Name, b.ID, i, callee.Name, len(in.Args), callee.NumParams)
+				}
+			}
+			switch in.Op {
+			case Lea, Inval:
+				if p.Object(in.Mem) == nil {
+					bad("%s b%d[%d]: %s references invalid obj%d", f.Name, b.ID, i, in.Op, in.Mem)
+				}
+			case Ld, St:
+				if in.Mem != NoMem && p.Object(in.Mem) == nil {
+					bad("%s b%d[%d]: %s alias hint obj%d out of range", f.Name, b.ID, i, in.Op, in.Mem)
+				}
+			}
+			if in.Op == St && p.Object(in.Mem) != nil && p.Object(in.Mem).ReadOnly {
+				bad("%s b%d[%d]: store to read-only object %s", f.Name, b.ID, i, p.Object(in.Mem).Name)
+			}
+			if in.Op == Reuse && p.Region(in.Region) == nil {
+				bad("%s b%d[%d]: reuse names invalid region %d", f.Name, b.ID, i, in.Region)
+			}
+			// Every control transfer except Call (which resumes at the
+			// next instruction) must terminate its block, so blocks are
+			// true basic blocks.
+			if i != len(b.Instrs)-1 && in.Op.IsBranch() && in.Op != Call {
+				bad("%s b%d[%d]: %s before end of block", f.Name, b.ID, i, in.Op)
+			}
+		}
+	}
+	// The final block must not fall off the end of the function.
+	last := f.Blocks[len(f.Blocks)-1]
+	t := last.Terminator()
+	if t == nil || (t.Op != Jmp && t.Op != Ret) {
+		bad("%s: final block b%d falls off the end of the function", f.Name, last.ID)
+	}
+}
+
+func verifyRegion(p *Program, r *Region, bad func(string, ...any)) {
+	f := p.Func(r.Func)
+	if f == nil {
+		bad("region %d: function f%d out of range", r.ID, r.Func)
+		return
+	}
+	if len(r.Inputs) > RegionBankSize {
+		bad("region %d: %d inputs exceeds bank size %d", r.ID, len(r.Inputs), RegionBankSize)
+	}
+	if len(r.Outputs) > RegionBankSize {
+		bad("region %d: %d outputs exceeds bank size %d", r.ID, len(r.Outputs), RegionBankSize)
+	}
+	if len(r.MemObjects) > RegionMaxMemObjects {
+		bad("region %d: %d memory objects exceeds accordance limit %d", r.ID, len(r.MemObjects), RegionMaxMemObjects)
+	}
+	if r.Class == Stateless && len(r.MemObjects) != 0 {
+		bad("region %d: stateless region lists memory objects", r.ID)
+	}
+	inc := f.Block(r.Inception)
+	if inc == nil {
+		bad("region %d: inception b%d out of range", r.ID, r.Inception)
+		return
+	}
+	if f.Block(r.Continuation) == nil || f.Block(r.Body) == nil {
+		bad("region %d: body b%d or continuation b%d out of range", r.ID, r.Body, r.Continuation)
+		return
+	}
+	// The inception block must consist of exactly the reuse instruction.
+	if len(inc.Instrs) != 1 || inc.Instrs[0].Op != Reuse || inc.Instrs[0].Region != r.ID {
+		bad("region %d: inception b%d is not a single reuse instruction", r.ID, r.Inception)
+	}
+	if r.Kind == FuncLevel {
+		// A function-level region's body is a single call to the
+		// memoized callee; there are no member-tagged instructions.
+		body := f.Block(r.Body)
+		if body == nil || len(body.Instrs) != 1 || body.Instrs[0].Op != Call ||
+			body.Instrs[0].Callee != r.Callee {
+			bad("region %d: function-level body b%d is not a single call to f%d", r.ID, r.Body, r.Callee)
+		}
+		return
+	}
+	memSet := make(map[MemID]bool, len(r.MemObjects))
+	for _, m := range r.MemObjects {
+		memSet[m] = true
+	}
+	sawEnd := false
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Region != r.ID || in.Op == Reuse {
+				continue
+			}
+			switch in.Op {
+			case St:
+				bad("region %d: contains store at %s b%d[%d]", r.ID, f.Name, b.ID, i)
+			case Call:
+				bad("region %d: contains call at %s b%d[%d]", r.ID, f.Name, b.ID, i)
+			case Ret:
+				bad("region %d: contains return at %s b%d[%d]", r.ID, f.Name, b.ID, i)
+			case Inval:
+				bad("region %d: contains invalidate at %s b%d[%d]", r.ID, f.Name, b.ID, i)
+			case Ld:
+				if !in.Attr.Has(AttrDeterminable) {
+					bad("region %d: non-determinable load at %s b%d[%d]", r.ID, f.Name, b.ID, i)
+				}
+				if in.Mem == NoMem {
+					bad("region %d: load with unknown object at %s b%d[%d]", r.ID, f.Name, b.ID, i)
+				} else if obj := p.Object(in.Mem); obj != nil && !obj.ReadOnly && !memSet[in.Mem] {
+					// Read-only objects need no invalidation registration;
+					// writable objects must be in the region memory set.
+					bad("region %d: load of obj%d not in region memory set at %s b%d[%d]", r.ID, in.Mem, f.Name, b.ID, i)
+				}
+			}
+			if in.Attr.Has(AttrRegionEnd) {
+				sawEnd = true
+			}
+		}
+	}
+	if !sawEnd {
+		bad("region %d: no region-end marker", r.ID)
+	}
+}
+
+func indexOfBlock(f *Func, b *Block) int {
+	for i, x := range f.Blocks {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustVerify panics if the program fails verification; a convenience for
+// construction-time checking in tests and workload definitions.
+func MustVerify(p *Program) *Program {
+	if err := Verify(p); err != nil {
+		panic(fmt.Sprintf("ir: verify %s: %v", p.Name, err))
+	}
+	return p
+}

@@ -1,0 +1,253 @@
+// Package opt provides classic scalar optimizations — local constant
+// folding, local copy propagation and global dead-code elimination — so
+// base programs can be brought to the "best code" quality the paper's
+// baseline assumes (§5.1: the IMPACT compiler's optimized output) before
+// the CCR passes run. All passes are semantics-preserving; the package's
+// property tests check optimized ≡ original over random programs.
+package opt
+
+import (
+	"ccr/internal/analysis"
+	"ccr/internal/ir"
+)
+
+// Stats counts what the optimizer changed.
+type Stats struct {
+	Folded     int // instructions replaced by constants
+	Propagated int // copy uses rewritten to their sources
+	Eliminated int // dead instructions removed
+	Rounds     int
+}
+
+// Optimize runs constant folding, copy propagation and dead-code
+// elimination to a fixpoint over every function of p (in place), then
+// relinks. Returns what changed.
+func Optimize(p *ir.Program) Stats {
+	var st Stats
+	for {
+		st.Rounds++
+		changed := 0
+		for _, f := range p.Funcs {
+			changed += foldConstants(f, &st)
+			changed += propagateCopies(f, &st)
+		}
+		changed += eliminateDead(p, &st)
+		if changed == 0 || st.Rounds > 50 {
+			break
+		}
+	}
+	p.Link()
+	return st
+}
+
+// constVal is the lattice value for local constant tracking.
+type constVal struct {
+	known bool
+	v     int64
+}
+
+// foldConstants performs block-local constant folding: registers defined
+// by MovI (or by folded instructions) propagate into ALU operations whose
+// operands are all known, which then become MovI themselves. Branches and
+// memory operations are never folded (control flow and addresses stay).
+func foldConstants(f *ir.Func, st *Stats) int {
+	changed := 0
+	consts := map[ir.Reg]constVal{}
+	for _, b := range f.Blocks {
+		clear(consts)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch {
+			case in.Op == ir.MovI:
+				consts[in.Dest] = constVal{known: true, v: in.Imm}
+				continue
+			case in.Op == ir.Mov:
+				if c, ok := consts[in.Src1]; ok && c.known {
+					*in = ir.Instr{Op: ir.MovI, Dest: in.Dest, Imm: c.v, Mem: ir.NoMem, Region: in.Region, Attr: in.Attr}
+					consts[in.Dest] = c
+					st.Folded++
+					changed++
+					continue
+				}
+			case in.Op.IsBinaryALU():
+				a, okA := consts[in.Src1]
+				bv := constVal{}
+				okB := false
+				if in.Src2 == ir.NoReg {
+					bv, okB = constVal{known: true, v: in.Imm}, true
+				} else if c, ok := consts[in.Src2]; ok {
+					bv, okB = c, true
+				}
+				if okA && a.known && okB && bv.known {
+					*in = ir.Instr{Op: ir.MovI, Dest: in.Dest, Imm: evalALU(in.Op, a.v, bv.v),
+						Mem: ir.NoMem, Region: in.Region, Attr: in.Attr}
+					consts[in.Dest] = constVal{known: true, v: in.Imm}
+					st.Folded++
+					changed++
+					continue
+				}
+			}
+			if d := in.Def(); d != ir.NoReg {
+				delete(consts, d)
+			}
+		}
+	}
+	return changed
+}
+
+// evalALU mirrors the emulator's semantics exactly (including the defined
+// division-by-zero and shift-masking behaviour).
+func evalALU(op ir.Opcode, a, b int64) int64 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.Rem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << (uint64(b) & 63)
+	case ir.Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case ir.Sra:
+		return a >> (uint64(b) & 63)
+	case ir.Slt:
+		return b2i(a < b)
+	case ir.Sle:
+		return b2i(a <= b)
+	case ir.Seq:
+		return b2i(a == b)
+	case ir.Sne:
+		return b2i(a != b)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// propagateCopies rewrites block-local uses of y (where y = mov x and
+// neither x nor y has been redefined since) to use x directly, making the
+// copy dead for the eliminator.
+func propagateCopies(f *ir.Func, st *Stats) int {
+	changed := 0
+	copies := map[ir.Reg]ir.Reg{} // copy dest → source
+	for _, b := range f.Blocks {
+		clear(copies)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Rewrite uses first.
+			rewrite := func(r *ir.Reg) {
+				if src, ok := copies[*r]; ok && *r != ir.NoReg {
+					*r = src
+					st.Propagated++
+					changed++
+				}
+			}
+			switch in.Op {
+			case ir.Call:
+				for j := range in.Args {
+					rewrite(&in.Args[j])
+				}
+			default:
+				if in.Src1 != ir.NoReg {
+					rewrite(&in.Src1)
+				}
+				if in.Src2 != ir.NoReg {
+					rewrite(&in.Src2)
+				}
+			}
+			// Kill mappings invalidated by the definition.
+			if d := in.Def(); d != ir.NoReg {
+				delete(copies, d)
+				for k, v := range copies {
+					if v == d {
+						delete(copies, k)
+					}
+				}
+				if in.Op == ir.Mov && in.Src1 != d {
+					copies[d] = in.Src1
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// eliminateDead removes pure instructions whose results are never used,
+// iterating a backward liveness analysis per function. Loads are treated
+// as pure (this IR has no faulting semantics the program relies on — the
+// verifier bounds every object statically and the emulator's bounds check
+// exists to catch compiler bugs, not as program behaviour). Stores, calls,
+// branches and the CCR extensions always stay.
+func eliminateDead(p *ir.Program, st *Stats) int {
+	changed := 0
+	for _, f := range p.Funcs {
+		g := analysis.BuildCFG(f)
+		lv := analysis.ComputeLiveness(g)
+		for _, b := range f.Blocks {
+			live := lv.LiveOut[b.ID].Clone()
+			// Walk backwards, deleting dead pure defs.
+			var keep []ir.Instr
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				d := in.Def()
+				dead := d != ir.NoReg && !live.Has(d) && isPure(in.Op) &&
+					// Never touch CCR-annotated instructions: region
+					// membership and live-out markers are a hardware
+					// contract, not ordinary dataflow.
+					in.Region == ir.NoRegion && in.Attr == 0
+				if dead {
+					st.Eliminated++
+					changed++
+					continue
+				}
+				keep = append(keep, in)
+				if d != ir.NoReg {
+					live.Remove(d)
+				}
+				for _, u := range in.Uses(nil) {
+					live.Add(u)
+				}
+			}
+			// keep is reversed.
+			for l, r := 0, len(keep)-1; l < r; l, r = l+1, r-1 {
+				keep[l], keep[r] = keep[r], keep[l]
+			}
+			b.Instrs = keep
+		}
+	}
+	return changed
+}
+
+// isPure reports opcodes whose only effect is writing their destination.
+func isPure(op ir.Opcode) bool {
+	switch op {
+	case ir.St, ir.Call, ir.Ret, ir.Jmp, ir.Beq, ir.Bne, ir.Blt, ir.Bge,
+		ir.Ble, ir.Bgt, ir.Reuse, ir.Inval:
+		return false
+	case ir.Nop:
+		return false // removing nops would break empty-block invariants
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+	"ccr/internal/progen"
+)
+
+func TestConstantFolding(t *testing.T) {
+	pb := ir.NewProgramBuilder("cf")
+	f := pb.Func("main", 0)
+	b := f.NewBlock()
+	a, c, d := f.NewReg(), f.NewReg(), f.NewReg()
+	b.MovI(a, 6)
+	b.MovI(c, 7)
+	b.Mul(d, a, c)   // foldable: 42
+	b.AddI(d, d, 58) // foldable: 100
+	b.Ret(d)
+	p := pb.Build()
+	st := Optimize(p)
+	if st.Folded < 2 {
+		t.Fatalf("folded = %d", st.Folded)
+	}
+	m := emu.New(p)
+	got, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Fatalf("result = %d", got)
+	}
+	// The multiply chain should be gone: the returned register is set by
+	// a single constant move.
+	last := p.Funcs[0].Blocks[0]
+	for i := range last.Instrs {
+		if last.Instrs[i].Op == ir.Mul || last.Instrs[i].Op == ir.Add {
+			t.Fatalf("arithmetic survived folding: %s", last.Instrs[i].String())
+		}
+	}
+}
+
+func TestCopyPropagationAndDCE(t *testing.T) {
+	pb := ir.NewProgramBuilder("cp")
+	f := pb.Func("main", 1)
+	b := f.NewBlock()
+	x, y, z, dead := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	b.Mov(x, f.Param(0))
+	b.Mov(y, x)
+	b.AddI(z, y, 1)     // should become AddI(z, param, 1)
+	b.MulI(dead, z, 99) // dead: result unused
+	b.Ret(z)
+	p := pb.Build()
+	st := Optimize(p)
+	if st.Propagated == 0 {
+		t.Fatal("no copies propagated")
+	}
+	if st.Eliminated < 3 { // both movs and the dead multiply
+		t.Fatalf("eliminated = %d", st.Eliminated)
+	}
+	add := p.Funcs[0].Blocks[0].Instrs[0]
+	if add.Op != ir.Add || add.Src1 != f.Param(0) {
+		t.Fatalf("expected add on the parameter, got %s", add.String())
+	}
+	m := emu.New(p)
+	got, err := m.Run(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("result = %d", got)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	pb := ir.NewProgramBuilder("se")
+	buf := pb.Object("buf", 4, nil)
+	g := pb.Func("writer", 0)
+	gb := g.NewBlock()
+	gp, gv := g.NewReg(), g.NewReg()
+	gb.Lea(gp, buf, 0)
+	gb.MovI(gv, 9)
+	gb.St(gp, 0, gv, buf)
+	gb.RetI(0)
+	f := pb.Func("main", 0)
+	pb.SetMain(f.ID())
+	b := f.NewBlock()
+	r, p0, v := f.NewReg(), f.NewReg(), f.NewReg()
+	b.Call(r, g.ID()) // result unused but the call stores
+	b.Lea(p0, buf, 0)
+	b.Ld(v, p0, 0, buf)
+	b.Ret(v)
+	p := pb.Build()
+	Optimize(p)
+	m := emu.New(p)
+	got, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("store was eliminated: result = %d", got)
+	}
+}
+
+// TestOptimizeEquivalence is the pass-correctness property: for random
+// programs, the optimized program computes identical results and memory.
+func TestOptimizeEquivalence(t *testing.T) {
+	f := func(seed uint64, arg uint8) bool {
+		orig := progen.Generate(seed, progen.DefaultConfig())
+		optimized := orig.Clone()
+		Optimize(optimized)
+		if err := ir.Verify(optimized); err != nil {
+			t.Logf("seed %d: verify: %v", seed, err)
+			return false
+		}
+		m1 := emu.New(orig)
+		m1.Limit = 4_000_000
+		r1, err1 := m1.Run(int64(arg))
+		m2 := emu.New(optimized)
+		m2.Limit = 4_000_000
+		r2, err2 := m2.Run(int64(arg))
+		if err1 == emu.ErrLimit || err2 == emu.ErrLimit {
+			return true // out of budget; nothing to compare
+		}
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("seed %d: error divergence: %v vs %v", seed, err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if r1 != r2 {
+			t.Logf("seed %d: result %d vs %d", seed, r1, r2)
+			return false
+		}
+		for i := range m1.Mem {
+			if m1.Mem[i] != m2.Mem[i] {
+				t.Logf("seed %d: memory diverged at %d", seed, i)
+				return false
+			}
+		}
+		// The optimizer must never grow the program.
+		if optimized.StaticInstrs() > orig.StaticInstrs() {
+			t.Logf("seed %d: program grew", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := progen.Generate(seed, progen.DefaultConfig())
+		Optimize(p)
+		first := p.Dump()
+		st := Optimize(p)
+		if st.Folded+st.Propagated+st.Eliminated != 0 {
+			t.Logf("seed %d: second run still changed: %+v", seed, st)
+			return false
+		}
+		return p.Dump() == first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,570 @@
+// Package potential implements the computation-reuse limit study of the
+// paper's §2.3 (Figure 4): the fraction of dynamic program execution that
+// is redundant at basic-block granularity and at region granularity, with
+// an eight-record history per code segment.
+//
+// Block-level reuse considers the values a block consumes (its
+// upward-exposed register uses at entry plus the version stamps of every
+// memory object it loads); a dynamic block execution is reusable when that
+// signature matches one of the previous eight executions. Store
+// instructions are never counted reusable, and blocks containing calls or
+// returns are excluded, following the paper's evaluation guidelines.
+//
+// Region-level reuse subsumes block reuse and adds cyclic recurrence: an
+// entire inner-loop invocation is reusable when its invocation signature
+// (live-in register values plus loaded-object versions) recurs within the
+// history, even though the loop's individual blocks — whose index variables
+// and branches change every iteration — show no block-level repetition.
+// This reproduces the paper's observation that region-level mechanisms can
+// exploit roughly twice the execution available to block-level approaches.
+package potential
+
+import (
+	"ccr/internal/analysis"
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+)
+
+// HistoryRecords is the per-segment history depth (8 in the paper).
+const HistoryRecords = 8
+
+// Result is the outcome of the limit study for one program run.
+type Result struct {
+	// TotalInstrs is the dynamic instruction count of the run.
+	TotalInstrs int64
+	// BlockReusable counts dynamic instructions inside reusable basic
+	// block executions.
+	BlockReusable int64
+	// RegionReusable counts dynamic instructions covered by region-level
+	// reuse (reusable loop invocations plus block reuse outside them).
+	RegionReusable int64
+	// InstrRepetition counts dynamic instructions whose input tuple
+	// matches one of that static instruction's last eight executions —
+	// the instruction-level repetition the paper's §5.2 scalars divide
+	// by ("eliminates 40% of the dynamic instruction repetitions").
+	InstrRepetition int64
+}
+
+// InstrRepetitionPct returns the instruction-level repetition percentage.
+func (r *Result) InstrRepetitionPct() float64 {
+	if r.TotalInstrs == 0 {
+		return 0
+	}
+	return 100 * float64(r.InstrRepetition) / float64(r.TotalInstrs)
+}
+
+// BlockPct returns the block-level reuse percentage of Figure 4.
+func (r *Result) BlockPct() float64 {
+	if r.TotalInstrs == 0 {
+		return 0
+	}
+	return 100 * float64(r.BlockReusable) / float64(r.TotalInstrs)
+}
+
+// RegionPct returns the region-level reuse percentage of Figure 4.
+func (r *Result) RegionPct() float64 {
+	if r.TotalInstrs == 0 {
+		return 0
+	}
+	return 100 * float64(r.RegionReusable) / float64(r.TotalInstrs)
+}
+
+// blockInfo is the static description of one basic block.
+type blockInfo struct {
+	liveUse []ir.Reg   // upward-exposed register uses
+	objs    []ir.MemID // objects loaded (deduplicated)
+	anyLoad bool       // loads with unknown object
+	barrier bool       // contains call/ret: never reusable
+	countIn int        // reusable instructions (block size minus stores)
+	size    int
+}
+
+type loopInfo struct {
+	blocks  map[ir.BlockID]bool
+	objs    []ir.MemID
+	anyLoad bool
+	barrier bool // loop contains stores or calls: never reusable as a unit
+}
+
+// regVal is one recorded used-input of an invocation.
+type regVal struct {
+	reg ir.Reg
+	val int64
+}
+
+// invRecord is a completed invocation's reuse-relevant state: the registers
+// its executed path actually consumed and the memory versions it saw.
+type invRecord struct {
+	inputs   []regVal
+	objVers  []uint64
+	anonVer  uint64
+	overflow bool
+}
+
+// maxTrackedInputs bounds used-input recording per invocation.
+const maxTrackedInputs = 16
+
+type invocation struct {
+	loop     *loopInfo
+	key      segKey
+	reusable bool
+	instrs   int64
+	blockHit int64 // block-reusable instructions inside the invocation
+	inputs   []regVal
+	defined  map[ir.Reg]bool
+	objVers  []uint64
+	anonVer  uint64
+	overflow bool
+}
+
+func (act *invocation) noteUse(r ir.Reg, v int64) {
+	if act.overflow || act.defined[r] {
+		return
+	}
+	for _, rv := range act.inputs {
+		if rv.reg == r {
+			return
+		}
+	}
+	if len(act.inputs) >= maxTrackedInputs {
+		act.overflow = true
+		return
+	}
+	act.inputs = append(act.inputs, regVal{reg: r, val: v})
+}
+
+// Analyzer consumes a dynamic event stream. Install Tracer() on an
+// emu.Machine running the base program, then call Finish().
+type Analyzer struct {
+	prog *ir.Program
+
+	blocks   [][]blockInfo // per func, per block
+	history  map[segKey][][]int64
+	loopHist map[segKey][]*invRecord
+
+	headerLoop []map[ir.BlockID]*loopInfo
+	blockLoop  []map[ir.BlockID]*loopInfo
+
+	objVer  []uint64
+	anonVer uint64
+
+	depth     int
+	lastBlock []ir.BlockID
+	acts      []*invocation
+
+	// instrHist[gidx] is the per-instruction 8-deep input-tuple ring for
+	// the instruction-level repetition metric.
+	instrHist map[int]*tupleRing
+
+	// pendingBlock defers block-signature evaluation: counts accumulate
+	// per dynamic block execution.
+	res Result
+}
+
+type segKey struct {
+	f ir.FuncID
+	b ir.BlockID
+}
+
+// NewAnalyzer prepares the limit study for program p.
+func NewAnalyzer(p *ir.Program) *Analyzer {
+	a := &Analyzer{
+		prog:       p,
+		blocks:     make([][]blockInfo, len(p.Funcs)),
+		history:    map[segKey][][]int64{},
+		loopHist:   map[segKey][]*invRecord{},
+		headerLoop: make([]map[ir.BlockID]*loopInfo, len(p.Funcs)),
+		blockLoop:  make([]map[ir.BlockID]*loopInfo, len(p.Funcs)),
+		objVer:     make([]uint64, len(p.Objects)),
+		lastBlock:  []ir.BlockID{ir.NoBlock},
+		acts:       []*invocation{nil},
+		instrHist:  map[int]*tupleRing{},
+	}
+	for _, f := range p.Funcs {
+		g := analysis.BuildCFG(f)
+		dom := analysis.BuildDomTree(g)
+		a.blocks[f.ID] = make([]blockInfo, len(f.Blocks))
+		for _, b := range f.Blocks {
+			a.blocks[f.ID][b.ID] = summarizeBlock(f, b)
+		}
+		a.headerLoop[f.ID] = map[ir.BlockID]*loopInfo{}
+		a.blockLoop[f.ID] = map[ir.BlockID]*loopInfo{}
+		for _, l := range analysis.FindLoops(g, dom) {
+			if !l.Inner() {
+				continue
+			}
+			li := &loopInfo{
+				blocks: map[ir.BlockID]bool{},
+			}
+			objSeen := map[ir.MemID]bool{}
+			for _, b := range l.Blocks {
+				li.blocks[b] = true
+				bi := &a.blocks[f.ID][b]
+				if bi.barrier {
+					li.barrier = true
+				}
+				for i := range f.Blocks[b].Instrs {
+					in := &f.Blocks[b].Instrs[i]
+					switch in.Op {
+					case ir.St:
+						li.barrier = true
+					case ir.Ld:
+						if in.Mem == ir.NoMem {
+							li.anyLoad = true
+						} else if !objSeen[in.Mem] {
+							objSeen[in.Mem] = true
+							li.objs = append(li.objs, in.Mem)
+						}
+					}
+				}
+			}
+			a.headerLoop[f.ID][l.Header] = li
+			for b := range li.blocks {
+				a.blockLoop[f.ID][b] = li
+			}
+		}
+	}
+	return a
+}
+
+func summarizeBlock(f *ir.Func, b *ir.Block) blockInfo {
+	bi := blockInfo{size: len(b.Instrs)}
+	defs := analysis.NewRegSet(f.NumRegs)
+	uses := analysis.NewRegSet(f.NumRegs)
+	objSeen := map[ir.MemID]bool{}
+	var tmp []ir.Reg
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		tmp = in.Uses(tmp[:0])
+		for _, r := range tmp {
+			if !defs.Has(r) {
+				uses.Add(r)
+			}
+		}
+		if d := in.Def(); d != ir.NoReg {
+			defs.Add(d)
+		}
+		switch in.Op {
+		case ir.Call, ir.Ret:
+			bi.barrier = true
+		case ir.St:
+			// Stores are not reuse opportunities.
+		case ir.Ld:
+			if in.Mem == ir.NoMem {
+				bi.anyLoad = true
+			} else if !objSeen[in.Mem] {
+				objSeen[in.Mem] = true
+				bi.objs = append(bi.objs, in.Mem)
+			}
+			bi.countIn++
+		default:
+			bi.countIn++
+		}
+	}
+	bi.liveUse = uses.Members()
+	return bi
+}
+
+// Tracer returns the event hook to install on an emu.Machine.
+func (a *Analyzer) Tracer() emu.Tracer { return a.observe }
+
+func (a *Analyzer) observe(ev *emu.Event) {
+	a.res.TotalInstrs++
+	d := a.depth
+	in := ev.Instr
+	fid := ev.Func.ID
+
+	a.observeRepetition(ev)
+
+	// Invocation accounting.
+	act := a.acts[d]
+	if act != nil {
+		if !act.loop.blocks[ev.Block] {
+			a.finishAct(d)
+			act = nil
+		}
+	}
+
+	if ev.Index == 0 {
+		// Loop invocation boundaries.
+		if li := a.headerLoop[fid][ev.Block]; li != nil {
+			prev := a.lastBlock[d]
+			backEdge := act != nil && act.loop == li && prev != ir.NoBlock && li.blocks[prev]
+			if !backEdge {
+				a.finishAct(d)
+				act = &invocation{
+					loop:    li,
+					key:     segKey{f: fid, b: ev.Block},
+					defined: make(map[ir.Reg]bool, 8),
+					objVers: a.snapshotVers(li),
+					anonVer: a.anonVer,
+				}
+				if !li.barrier {
+					act.reusable = a.matchLoop(act.key, ev.Regs, act)
+				}
+				a.acts[d] = act
+			}
+		}
+		// Block-level signature check.
+		bi := &a.blocks[fid][ev.Block]
+		if !bi.barrier && bi.countIn > 0 && !bi.anyLoad {
+			sig := a.blockSignature(bi, ev.Regs)
+			key := segKey{f: fid, b: ev.Block + 1<<16} // separate namespace from loops
+			if a.matchAndPush(key, sig) {
+				a.res.BlockReusable += int64(bi.countIn)
+				if act != nil {
+					act.blockHit += int64(bi.countIn)
+				} else {
+					a.res.RegionReusable += int64(bi.countIn)
+				}
+			}
+		}
+	}
+
+	if act != nil {
+		act.instrs++
+		if !act.loop.barrier {
+			switch in.Op {
+			case ir.Nop, ir.MovI, ir.Jmp:
+			default:
+				if in.Src1 != ir.NoReg {
+					act.noteUse(in.Src1, ev.Val1)
+				}
+				if in.Src2 != ir.NoReg {
+					act.noteUse(in.Src2, ev.Val2)
+				}
+			}
+			if dr := in.Def(); dr != ir.NoReg {
+				act.defined[dr] = true
+			}
+		}
+	}
+
+	a.lastBlock[d] = ev.Block
+
+	switch in.Op {
+	case ir.St:
+		if in.Mem != ir.NoMem {
+			a.objVer[in.Mem]++
+		} else {
+			a.anonVer++
+		}
+	case ir.Call:
+		a.depth++
+		if a.depth >= len(a.lastBlock) {
+			a.lastBlock = append(a.lastBlock, ir.NoBlock)
+			a.acts = append(a.acts, nil)
+		} else {
+			a.lastBlock[a.depth] = ir.NoBlock
+			a.acts[a.depth] = nil
+		}
+	case ir.Ret:
+		a.finishAct(a.depth)
+		if a.depth > 0 {
+			a.depth--
+		}
+	}
+}
+
+func (a *Analyzer) finishAct(d int) {
+	act := a.acts[d]
+	if act == nil {
+		return
+	}
+	if act.reusable {
+		a.res.RegionReusable += act.instrs
+	} else {
+		// Region-level subsumes block-level for execution outside
+		// reusable invocations.
+		a.res.RegionReusable += act.blockHit
+	}
+	if !act.loop.barrier {
+		a.pushLoop(act.key, &invRecord{
+			inputs:   act.inputs,
+			objVers:  act.objVers,
+			anonVer:  act.anonVer,
+			overflow: act.overflow,
+		})
+	}
+	a.acts[d] = nil
+}
+
+func (a *Analyzer) blockSignature(bi *blockInfo, regs []int64) []int64 {
+	sig := make([]int64, 0, len(bi.liveUse)+len(bi.objs))
+	for _, r := range bi.liveUse {
+		sig = append(sig, regs[r])
+	}
+	for _, o := range bi.objs {
+		sig = append(sig, int64(a.objVer[o]))
+	}
+	return sig
+}
+
+func (a *Analyzer) snapshotVers(li *loopInfo) []uint64 {
+	if len(li.objs) == 0 {
+		return nil
+	}
+	vs := make([]uint64, len(li.objs))
+	for i, o := range li.objs {
+		vs[i] = a.objVer[o]
+	}
+	return vs
+}
+
+// matchLoop applies CRB-style matching: an invocation is reusable when all
+// used inputs of a recorded invocation hold the same values now and the
+// loop's memory is unchanged since that record.
+func (a *Analyzer) matchLoop(key segKey, regs []int64, act *invocation) bool {
+	for _, rec := range a.loopHist[key] {
+		if rec.overflow || rec.anonVer != act.anonVer || !equalVers(rec.objVers, act.objVers) {
+			continue
+		}
+		ok := true
+		for _, rv := range rec.inputs {
+			if int(rv.reg) >= len(regs) || regs[rv.reg] != rv.val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Analyzer) pushLoop(key segKey, rec *invRecord) {
+	h := a.loopHist[key]
+	if len(h) >= HistoryRecords {
+		copy(h, h[1:])
+		h[len(h)-1] = rec
+	} else {
+		h = append(h, rec)
+	}
+	a.loopHist[key] = h
+}
+
+func equalVers(x, y []uint64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// matchAndPush reports whether sig matches the segment history, then
+// records it (LRU ring of HistoryRecords).
+func (a *Analyzer) matchAndPush(key segKey, sig []int64) bool {
+	h := a.history[key]
+	match := false
+	for _, old := range h {
+		if equalSig(old, sig) {
+			match = true
+			break
+		}
+	}
+	if len(h) >= HistoryRecords {
+		copy(h, h[1:])
+		h[len(h)-1] = sig
+	} else {
+		h = append(h, sig)
+	}
+	a.history[key] = h
+	return match
+}
+
+func equalSig(x, y []int64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Finish closes open invocations and returns the result.
+func (a *Analyzer) Finish() Result {
+	for d := range a.acts {
+		a.finishAct(d)
+	}
+	return a.res
+}
+
+// Measure runs the full limit study on prog with the given arguments.
+func Measure(prog *ir.Program, args []int64, limit int64) (Result, error) {
+	a := NewAnalyzer(prog)
+	m := emu.New(prog)
+	m.Trace = a.Tracer()
+	m.Limit = limit
+	if _, err := m.Run(args...); err != nil {
+		return Result{}, err
+	}
+	return a.Finish(), nil
+}
+
+// tupleRing is a fixed 8-deep ring of input tuples for one instruction.
+type tupleRing struct {
+	a, b [HistoryRecords]int64
+	n    int
+	pos  int
+}
+
+func (t *tupleRing) matchAndPush(x, y int64) bool {
+	match := false
+	for i := 0; i < t.n; i++ {
+		if t.a[i] == x && t.b[i] == y {
+			match = true
+			break
+		}
+	}
+	t.a[t.pos] = x
+	t.b[t.pos] = y
+	t.pos = (t.pos + 1) % HistoryRecords
+	if t.n < HistoryRecords {
+		t.n++
+	}
+	return match
+}
+
+// observeRepetition maintains the instruction-level repetition metric:
+// value-producing instructions whose inputs recur within their own
+// eight-execution history. Loads key on (address, object version) so a
+// store to the object breaks the repetition, as in the paper's evaluation
+// guidelines; stores and control transfers are not reuse opportunities.
+func (a *Analyzer) observeRepetition(ev *emu.Event) {
+	in := ev.Instr
+	var x, y int64
+	switch {
+	case in.Op == ir.Ld:
+		x = ev.Addr
+		if in.Mem != ir.NoMem {
+			y = int64(a.objVer[in.Mem])
+		} else {
+			y = int64(a.anonVer)
+		}
+	case in.Op.IsBinaryALU() || in.Op == ir.Mov:
+		x, y = ev.Val1, ev.Val2
+	case in.Op == ir.MovI || in.Op == ir.Lea:
+		// Constant producers always repeat.
+		a.res.InstrRepetition++
+		return
+	default:
+		return
+	}
+	gidx := int(ev.PC >> 2)
+	r := a.instrHist[gidx]
+	if r == nil {
+		r = &tupleRing{}
+		a.instrHist[gidx] = r
+	}
+	if r.matchAndPush(x, y) {
+		a.res.InstrRepetition++
+	}
+}

@@ -1,0 +1,196 @@
+package potential
+
+import (
+	"testing"
+
+	"ccr/internal/ir"
+)
+
+// buildRepeatedScan: main(n) calls scan() n times over an unchanging table.
+// Block-level reuse cannot capture the loop (its index changes every
+// iteration); region-level reuse captures whole invocations — the Figure 1
+// rationale.
+func buildRepeatedScan(t *testing.T) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgramBuilder("rs")
+	tab := pb.ReadOnlyObject("tab", []int64{3, 1, 4, 1, 5, 9, 2, 6})
+	g := pb.Func("scan", 0)
+	ge := g.NewBlock()
+	gh := g.NewBlock()
+	gb := g.NewBlock()
+	gl := g.NewBlock()
+	gx := g.NewBlock()
+	s, i, base, v := g.NewReg(), g.NewReg(), g.NewReg(), g.NewReg()
+	ge.MovI(s, 0)
+	ge.MovI(i, 0)
+	ge.Lea(base, tab, 0)
+	gh.BgeI(i, 8, gx.ID())
+	gb.Add(v, base, i)
+	gb.Ld(v, v, 0, tab)
+	gb.Add(s, s, v)
+	gl.AddI(i, i, 1)
+	gl.Jmp(gh.ID())
+	gx.Ret(s)
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, r := f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.Call(r, g.ID())
+	bo.Add(acc, acc, r)
+	bo.AddI(k, k, 1)
+	bo.Jmp(h.ID())
+	x.Ret(acc)
+	return ir.MustVerify(pb.Build())
+}
+
+func TestRegionSubsumesBlock(t *testing.T) {
+	p := buildRepeatedScan(t)
+	res, err := Measure(p, []int64{128}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalInstrs == 0 {
+		t.Fatal("no instructions measured")
+	}
+	if res.RegionReusable < res.BlockReusable {
+		t.Fatalf("region (%d) must subsume block (%d)", res.RegionReusable, res.BlockReusable)
+	}
+	// The scan loop dominates execution and is invocation-reusable, so
+	// region potential must be high, and strictly above block potential:
+	// identical invocations make even per-iteration block signatures
+	// recur, but only the region view covers the whole loop including
+	// its first-iteration and entry overhead.
+	if res.RegionPct() < 80 {
+		t.Fatalf("region potential = %.1f%%, want ≥ 80%%", res.RegionPct())
+	}
+	if res.BlockPct() >= res.RegionPct() {
+		t.Fatalf("block potential %.1f%% should be below region %.1f%%",
+			res.BlockPct(), res.RegionPct())
+	}
+}
+
+func TestInstructionRepetitionHigh(t *testing.T) {
+	p := buildRepeatedScan(t)
+	res, err := Measure(p, []int64{64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every instruction in scan repeats its inputs across invocations
+	// (after warmup), so instruction repetition must be high.
+	if res.InstrRepetitionPct() < 55 {
+		t.Fatalf("instruction repetition = %.1f%%", res.InstrRepetitionPct())
+	}
+}
+
+// buildMutatingScan: the table changes between invocations, so neither
+// blocks nor regions can be reused even though the code path is identical.
+func TestMutationKillsPotential(t *testing.T) {
+	pb := ir.NewProgramBuilder("ms")
+	tab := pb.Object("tab", 8, []int64{3, 1, 4, 1, 5, 9, 2, 6})
+	g := pb.Func("scan", 0)
+	ge := g.NewBlock()
+	gh := g.NewBlock()
+	gb := g.NewBlock()
+	gl := g.NewBlock()
+	gx := g.NewBlock()
+	s, i, base, v := g.NewReg(), g.NewReg(), g.NewReg(), g.NewReg()
+	ge.MovI(s, 0)
+	ge.MovI(i, 0)
+	ge.Lea(base, tab, 0)
+	gh.BgeI(i, 8, gx.ID())
+	gb.Add(v, base, i)
+	gb.Ld(v, v, 0, tab)
+	gb.Add(s, s, v)
+	gl.AddI(i, i, 1)
+	gl.Jmp(gh.ID())
+	gx.Ret(s)
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, r, p0 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.Call(r, g.ID())
+	bo.Add(acc, acc, r)
+	bo.Lea(p0, tab, 0)
+	bo.St(p0, 3, k, tab)
+	bo.AddI(k, k, 1)
+	bo.Jmp(h.ID())
+	x.Ret(acc)
+	p := ir.MustVerify(pb.Build())
+	res, err := Measure(p, []int64{64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invocation-level reuse collapses: the loop's object version changes
+	// every invocation, so region potential adds (almost) nothing over the
+	// block-level bookkeeping repetition (loop control still repeats).
+	if res.RegionPct() > res.BlockPct()+2 {
+		t.Fatalf("mutating table: region %.1f%% should collapse to block %.1f%%",
+			res.RegionPct(), res.BlockPct())
+	}
+	if res.RegionPct() > 45 {
+		t.Fatalf("mutating table: region potential = %.1f%%, want well below the clean-scan case", res.RegionPct())
+	}
+}
+
+func TestHistoryDepthMatters(t *testing.T) {
+	// A kernel cycling through 16 distinct inputs exceeds the 8-record
+	// history: block reuse must be (nearly) zero. With 4 inputs it is
+	// nearly total.
+	build := func(card int64) *ir.Program {
+		pb := ir.NewProgramBuilder("hd")
+		g := pb.Func("kern", 1)
+		gb := g.NewBlock()
+		gx := g.NewBlock()
+		y := g.NewReg()
+		gb.MulI(y, g.Param(0), 3)
+		gb.XorI(y, y, 5)
+		gb.AddI(y, y, 7)
+		gb.MulI(y, y, 11)
+		gb.Jmp(gx.ID())
+		gx.Ret(y)
+		f := pb.Func("main", 1)
+		pb.SetMain(f.ID())
+		e := f.NewBlock()
+		h := f.NewBlock()
+		bo := f.NewBlock()
+		x := f.NewBlock()
+		k, acc, r, sel := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+		e.MovI(k, 0)
+		e.MovI(acc, 0)
+		h.Bge(k, f.Param(0), x.ID())
+		bo.RemI(sel, k, card) // cycles 0..card-1
+		bo.Call(r, g.ID(), sel)
+		bo.Add(acc, acc, r)
+		bo.AddI(k, k, 1)
+		bo.Jmp(h.ID())
+		x.Ret(acc)
+		return ir.MustVerify(pb.Build())
+	}
+	narrow, err := Measure(build(4), []int64{256}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Measure(build(16), []int64{256}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.BlockPct() <= wide.BlockPct()+10 {
+		t.Fatalf("4-value cycle (%.1f%%) must beat 16-value cycle (%.1f%%) with 8 records",
+			narrow.BlockPct(), wide.BlockPct())
+	}
+	if wide.BlockPct() > 5 {
+		t.Fatalf("16-value round-robin should defeat the 8-record history: %.1f%%", wide.BlockPct())
+	}
+}

@@ -1,0 +1,47 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+)
+
+// TestGeneratedProgramsTerminate checks that generated programs verify and
+// run cleanly across many seeds. Structured counted loops guarantee
+// termination, but nesting can make a program legitimately exceed any
+// fixed budget, so hitting the instruction limit is acceptable — every
+// other error (faults, verification failures) is not.
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	f := func(seed uint64, arg uint8) bool {
+		p := Generate(seed, DefaultConfig())
+		if err := ir.Verify(p); err != nil {
+			t.Logf("seed %d: verify: %v", seed, err)
+			return false
+		}
+		m := emu.New(p)
+		m.Limit = 5_000_000
+		if _, err := m.Run(int64(arg)); err != nil && err != emu.ErrLimit {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerationDeterministic: identical seeds yield identical programs.
+func TestGenerationDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := Generate(seed, DefaultConfig())
+		b := Generate(seed, DefaultConfig())
+		return a.Dump() == b.Dump()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(32))}); err != nil {
+		t.Fatal(err)
+	}
+}

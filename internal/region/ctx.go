@@ -1,0 +1,331 @@
+package region
+
+import (
+	"ccr/internal/analysis"
+	"ccr/internal/ir"
+	"ccr/internal/vprof"
+)
+
+// funcCtx bundles the per-function analyses formation consults.
+type funcCtx struct {
+	prog  *ir.Program
+	f     *ir.Func
+	g     *analysis.CFG
+	dom   *analysis.DomTree
+	loops []*analysis.Loop
+	lv    *analysis.Liveness
+	prof  *vprof.Profile
+	opts  Options
+
+	// claimed marks blocks already owned by a selected region.
+	claimed []bool
+	// use/def are per-block upward-exposed uses and definitions.
+	use, def []analysis.RegSet
+	// admissibleMemo caches blockAdmissible results.
+	admissibleMemo []int8 // 0 unknown, 1 yes, -1 no
+}
+
+func newFuncCtx(prog *ir.Program, f *ir.Func, prof *vprof.Profile, opts Options) *funcCtx {
+	g := analysis.BuildCFG(f)
+	dom := analysis.BuildDomTree(g)
+	c := &funcCtx{
+		prog:           prog,
+		f:              f,
+		g:              g,
+		dom:            dom,
+		loops:          analysis.FindLoops(g, dom),
+		lv:             analysis.ComputeLiveness(g),
+		prof:           prof,
+		opts:           opts,
+		claimed:        make([]bool, len(f.Blocks)),
+		use:            make([]analysis.RegSet, len(f.Blocks)),
+		def:            make([]analysis.RegSet, len(f.Blocks)),
+		admissibleMemo: make([]int8, len(f.Blocks)),
+	}
+	var uses []ir.Reg
+	for _, b := range f.Blocks {
+		u := analysis.NewRegSet(f.NumRegs)
+		d := analysis.NewRegSet(f.NumRegs)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, r := range uses {
+				if !d.Has(r) {
+					u.Add(r)
+				}
+			}
+			if dr := in.Def(); dr != ir.NoReg {
+				d.Add(dr)
+			}
+		}
+		c.use[b.ID] = u
+		c.def[b.ID] = d
+	}
+	return c
+}
+
+func (c *funcCtx) ref(b ir.BlockID, i int) ir.InstrRef {
+	return ir.InstrRef{Func: c.f.ID, Block: b, Index: i}
+}
+
+// trivialInvariance reports opcodes whose reuse requires no value profile:
+// they always produce the same result for the same position in a path.
+func trivialInvariance(op ir.Opcode) bool {
+	switch op {
+	case ir.MovI, ir.Lea, ir.Nop, ir.Jmp:
+		return true
+	}
+	return false
+}
+
+// blockAdmissible reports whether every instruction of block b may live in
+// a deterministic computation region and enough of them individually
+// satisfy the reuse heuristics (§4.4, adapted to block granularity).
+func (c *funcCtx) blockAdmissible(b ir.BlockID) bool {
+	switch c.admissibleMemo[b] {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	ok := c.blockAdmissibleUncached(b)
+	if ok {
+		c.admissibleMemo[b] = 1
+	} else {
+		c.admissibleMemo[b] = -1
+	}
+	return ok
+}
+
+func (c *funcCtx) blockAdmissibleUncached(b ir.BlockID) bool {
+	blk := c.f.Blocks[b]
+	reusable, judged := 0, 0
+	defined := analysis.NewRegSet(c.f.NumRegs)
+	var uses []ir.Reg
+	for i := range blk.Instrs {
+		in := &blk.Instrs[i]
+		// Live-in consumer gate: the first instruction to consume each
+		// upward-exposed register must itself see recurring operands,
+		// or no computation instance could ever match.
+		uses = in.Uses(uses[:0])
+		for _, u := range uses {
+			if defined.Has(u) {
+				continue
+			}
+			defined.Add(u) // judge each live-in at its first consumer only
+			if trivialInvariance(in.Op) || in.Op == ir.Ld {
+				continue
+			}
+			if c.prof.Invariance(c.ref(b, i), c.opts.InvariantValues) < c.opts.MinLiveInInvariance {
+				return false
+			}
+		}
+		if d := in.Def(); d != ir.NoReg {
+			defined.Add(d)
+		}
+		switch in.Op {
+		case ir.St, ir.Call, ir.Ret, ir.Inval, ir.Reuse:
+			// Deterministic regions may not change memory or leave the
+			// function (§4.1).
+			return false
+		case ir.Ld:
+			if !in.Attr.Has(ir.AttrDeterminable) || in.Mem == ir.NoMem {
+				return false
+			}
+			judged++
+			obj := c.prog.Object(in.Mem)
+			memOK := obj.ReadOnly || c.prof.MemReuse(c.ref(b, i)) >= c.opts.Rm
+			if memOK && c.prof.Invariance(c.ref(b, i), c.opts.InvariantValues) >= c.opts.R {
+				reusable++
+			} else if !memOK {
+				// A load of unstable memory poisons the whole block:
+				// its instances would be invalidated constantly.
+				return false
+			}
+		default:
+			if trivialInvariance(in.Op) {
+				continue
+			}
+			judged++
+			if c.prof.Invariance(c.ref(b, i), c.opts.InvariantValues) >= c.opts.R {
+				reusable++
+			}
+		}
+	}
+	if judged == 0 {
+		return true
+	}
+	return float64(reusable)/float64(judged) >= c.opts.BlockReusableFrac
+}
+
+// summary describes the register and memory interface of a candidate
+// region.
+type summary struct {
+	Inputs  []ir.Reg
+	Outputs []ir.Reg
+	Mems    []ir.MemID
+	Size    int
+	Class   ir.RegionClass
+}
+
+// summarize computes the live-in, live-out and memory-object interface of
+// the candidate region formed by blocks with the given entry and
+// continuation. It reports ok=false when the region reads memory it may
+// not (non-determinable loads).
+//
+// Inputs are the registers upward-exposed at the entry along region paths
+// (a region-local backward dataflow, so cyclic regions account for values
+// flowing around back edges). Outputs are registers defined in the region
+// that are live at the continuation.
+func (c *funcCtx) summarize(blocks map[ir.BlockID]bool, entry, cont ir.BlockID) (summary, bool) {
+	var s summary
+	n := c.f.NumRegs
+	liveIn := map[ir.BlockID]analysis.RegSet{}
+	for b := range blocks {
+		liveIn[b] = analysis.NewRegSet(n)
+	}
+	tmp := analysis.NewRegSet(n)
+	for changed := true; changed; {
+		changed = false
+		for b := range blocks {
+			tmp.Clear()
+			for _, succ := range c.g.Succs[b] {
+				if blocks[succ] {
+					tmp.Union(liveIn[succ])
+				}
+			}
+			tmp.Subtract(c.def[b])
+			tmp.Union(c.use[b])
+			if !tmp.Equal(liveIn[b]) {
+				liveIn[b].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	s.Inputs = liveIn[entry].Members()
+
+	defs := analysis.NewRegSet(n)
+	memSeen := map[ir.MemID]bool{}
+	for b := range blocks {
+		defs.Union(c.def[b])
+		blk := c.f.Blocks[b]
+		s.Size += len(blk.Instrs)
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op != ir.Ld {
+				continue
+			}
+			if !in.Attr.Has(ir.AttrDeterminable) || in.Mem == ir.NoMem {
+				return s, false
+			}
+			obj := c.prog.Object(in.Mem)
+			if obj.ReadOnly {
+				// Static data needs no validation (§2.2's bit_count
+				// array): it does not count as a distinguishable
+				// memory dependence.
+				continue
+			}
+			if !memSeen[in.Mem] {
+				memSeen[in.Mem] = true
+				s.Mems = append(s.Mems, in.Mem)
+			}
+		}
+	}
+	out := c.lv.LiveIn[cont].Clone()
+	outs := make([]ir.Reg, 0, 8)
+	for _, r := range out.Members() {
+		if defs.Has(r) {
+			outs = append(outs, r)
+		}
+	}
+	s.Outputs = outs
+	if len(s.Mems) == 0 {
+		s.Class = ir.Stateless
+	} else {
+		s.Class = ir.MemoryDependent
+	}
+	return s, true
+}
+
+// fitsCaps checks the bank-size and accordance limits.
+func (c *funcCtx) fitsCaps(s summary) bool {
+	return len(s.Inputs) <= c.opts.MaxInputs &&
+		len(s.Outputs) <= c.opts.MaxOutputs &&
+		len(s.Mems) <= c.opts.MaxMemObjects
+}
+
+// acyclicSubgraph reports whether the region subgraph restricted to blocks
+// has no cycles.
+func (c *funcCtx) acyclicSubgraph(blocks map[ir.BlockID]bool) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[ir.BlockID]int{}
+	var dfs func(ir.BlockID) bool
+	dfs = func(b ir.BlockID) bool {
+		color[b] = grey
+		for _, s := range c.g.Succs[b] {
+			if !blocks[s] {
+				continue
+			}
+			switch color[s] {
+			case grey:
+				return false
+			case white:
+				if !dfs(s) {
+					return false
+				}
+			}
+		}
+		color[b] = black
+		return true
+	}
+	for b := range blocks {
+		if color[b] == white {
+			if !dfs(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// outsideSuccs returns, for each block outside the region that region
+// blocks branch or fall through to, the total profiled edge weight into it.
+func (c *funcCtx) outsideSuccs(blocks map[ir.BlockID]bool) map[ir.BlockID]int64 {
+	out := map[ir.BlockID]int64{}
+	for b := range blocks {
+		blk := c.f.Blocks[b]
+		t := blk.Terminator()
+		for _, succ := range c.g.Succs[b] {
+			if blocks[succ] {
+				continue
+			}
+			var w int64
+			switch {
+			case t != nil && t.Op.IsCondBranch():
+				taken := t.Target == succ
+				w = c.prof.EdgeWeight(c.ref(b, len(blk.Instrs)-1), taken)
+			default:
+				w = c.prof.BlockExec(c.f.ID, b)
+			}
+			out[succ] += w
+		}
+	}
+	return out
+}
+
+// bestContinuation picks the highest-weight outside successor.
+func (c *funcCtx) bestContinuation(blocks map[ir.BlockID]bool) (ir.BlockID, bool) {
+	outs := c.outsideSuccs(blocks)
+	best := ir.NoBlock
+	var bestW int64 = -1
+	for b, w := range outs {
+		if w > bestW || (w == bestW && b < best) {
+			best, bestW = b, w
+		}
+	}
+	return best, best != ir.NoBlock
+}

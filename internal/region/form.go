@@ -1,0 +1,53 @@
+package region
+
+import (
+	"sort"
+
+	"ccr/internal/alias"
+	"ccr/internal/ir"
+	"ccr/internal/vprof"
+)
+
+// Form runs RCR formation over the whole program: function-level
+// formation first (when enabled), then cyclic and acyclic formation per
+// function (§4.4). The returned plans are ordered by descending estimated
+// weight; the transformer assigns region identifiers in plan order, so the
+// hottest regions receive the least conflict-prone CRB indices.
+//
+// The program must already carry alias annotations (alias.Analyze +
+// Annotate) — formation trusts the AttrDeterminable bits; ar supplies the
+// interprocedural summaries function-level selection needs (it may be nil
+// when FunctionLevel is off).
+func Form(prog *ir.Program, prof *vprof.Profile, ar *alias.Result, opts Options) []*Plan {
+	minWeight := int64(opts.MinExecFrac * float64(prof.TotalDyn))
+	if minWeight < 1 {
+		minWeight = 1
+	}
+	var plans []*Plan
+	if opts.FunctionLevel && ar != nil {
+		plans = append(plans, formFuncLevel(prog, prof, ar, opts, minWeight)...)
+	}
+	for _, f := range prog.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		c := newFuncCtx(prog, f, prof, opts)
+		plans = append(plans, c.formCyclic(minWeight)...)
+		// Grow without a per-function budget; the global MaxRegions cap
+		// is applied after weight ordering below.
+		plans = append(plans, c.formAcyclic(minWeight, -1)...)
+	}
+	sort.SliceStable(plans, func(i, j int) bool {
+		if plans[i].EstimatedWeight != plans[j].EstimatedWeight {
+			return plans[i].EstimatedWeight > plans[j].EstimatedWeight
+		}
+		if plans[i].Func != plans[j].Func {
+			return plans[i].Func < plans[j].Func
+		}
+		return plans[i].Entry < plans[j].Entry
+	})
+	if opts.MaxRegions > 0 && len(plans) > opts.MaxRegions {
+		plans = plans[:opts.MaxRegions]
+	}
+	return plans
+}

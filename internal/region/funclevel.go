@@ -1,0 +1,114 @@
+package region
+
+import (
+	"ccr/internal/alias"
+	"ccr/internal/ir"
+	"ccr/internal/vprof"
+)
+
+// formFuncLevel implements the paper's §6 compiler-domain future work:
+// directing the CCR at the function level, so one reuse eliminates an
+// entire call — calling convention, body and return included.
+//
+// A callee qualifies when it is *pure computation* under the same rules as
+// region membership, applied transitively: no stores (named or anonymous),
+// no anonymous loads, at most MaxMemObjects writable objects read, and at
+// most MaxInputs parameters. A call site is selected when it is hot and
+// its argument values recur (the Reuse(i) heuristic applied to the call).
+func formFuncLevel(prog *ir.Program, prof *vprof.Profile, ar *alias.Result, opts Options, minWeight int64) []*Plan {
+	pure := map[ir.FuncID][]ir.MemID{}
+	for _, g := range prog.Funcs {
+		if g.ID == prog.Main {
+			continue
+		}
+		if ar.AnonMayStore[g.ID] || ar.MayStore[g.ID].Count() > 0 || ar.AnonMayLoad[g.ID] {
+			continue
+		}
+		if g.NumParams > opts.MaxInputs {
+			continue
+		}
+		// The whole call must be worth memoizing.
+		if g.NumInstrs() < opts.MinStaticSize {
+			continue
+		}
+		var writable []ir.MemID
+		for _, m := range ar.MayLoad[g.ID].Members() {
+			if !prog.Object(m).ReadOnly {
+				writable = append(writable, m)
+			}
+		}
+		if len(writable) > opts.MaxMemObjects {
+			continue
+		}
+		pure[g.ID] = writable
+	}
+	if len(pure) == 0 {
+		return nil
+	}
+
+	var plans []*Plan
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.Call {
+					continue
+				}
+				mems, ok := pure[in.Callee]
+				if !ok {
+					continue
+				}
+				ref := ir.InstrRef{Func: f.ID, Block: b.ID, Index: i}
+				w := prof.Exec(ref)
+				if w < minWeight {
+					continue
+				}
+				if prof.Invariance(ref, opts.InvariantValues) < opts.R {
+					continue
+				}
+				inputs := dedupRegs(in.Args)
+				if len(inputs) > opts.MaxInputs {
+					continue
+				}
+				var outputs []ir.Reg
+				if in.Dest != ir.NoReg {
+					outputs = []ir.Reg{in.Dest}
+				}
+				class := ir.Stateless
+				if len(mems) > 0 {
+					class = ir.MemoryDependent
+				}
+				plans = append(plans, &Plan{
+					Func:            f.ID,
+					Kind:            ir.FuncLevel,
+					Class:           class,
+					CallSite:        ref,
+					Callee:          in.Callee,
+					Inputs:          inputs,
+					Outputs:         outputs,
+					MemObjects:      append([]ir.MemID(nil), mems...),
+					StaticSize:      prog.Func(in.Callee).NumInstrs(),
+					EstimatedWeight: w,
+				})
+			}
+		}
+	}
+	return plans
+}
+
+func dedupRegs(rs []ir.Reg) []ir.Reg {
+	var out []ir.Reg
+	for _, r := range rs {
+		dup := false
+		for _, o := range out {
+			if o == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package region implements Reusable Computation Region (RCR) formation
+// (paper §4.3–4.4): profile-guided selection of cyclic and acyclic code
+// regions whose computation the CCR hardware should memoize and reuse.
+//
+// The paper grows regions at instruction granularity inside the IMPACT
+// compiler (including instruction reordering to enlarge reuse sequences).
+// This implementation adapts the same seed/successor/predecessor/
+// subordinate-path growth procedure to basic-block granularity: regions are
+// connected sets of whole basic blocks with a single inception point and a
+// single designated continuation, which is exactly the "single starting
+// point and a single ending point" contract §2.2 argues is the most
+// practical to convey to hardware. Side entrances (entry points) and side
+// exits are permitted and annotated, as in the paper.
+package region
+
+import "ccr/internal/ir"
+
+// Options are the formation thresholds. The defaults are the paper's
+// empirical settings (§4.4): R = Rm = 0.65 with five invariant values, at
+// most eight live-in and eight live-out registers, at most four
+// distinguishable memory objects, and the 40 % / 60 % cyclic gates.
+type Options struct {
+	// R is the minimum instruction invariance for a reusable instruction
+	// (heuristic function 1).
+	R float64
+	// Rm is the minimum memory-reuse ratio for a reusable load
+	// (heuristic function 2).
+	Rm float64
+	// InvariantValues is k in Invariance_R[k] (the paper uses five).
+	InvariantValues int
+	// MaxInputs and MaxOutputs bound the region live-in/live-out register
+	// counts to the computation-instance bank size.
+	MaxInputs, MaxOutputs int
+	// MaxMemObjects is the region-accordance cap on distinguishable
+	// memory objects.
+	MaxMemObjects int
+	// LikelyEdge is the control-flow-likely threshold: a successor is
+	// followed when its edge carries at least this fraction of the
+	// branch's weight (the paper uses 60 %).
+	LikelyEdge float64
+	// CyclicReuseOpportunity and CyclicMultiIter gate cyclic regions:
+	// reuse opportunity > 40 % and multi-iteration invocations > 60 %.
+	CyclicReuseOpportunity float64
+	CyclicMultiIter        float64
+	// MinStaticSize discards trivially small acyclic regions.
+	MinStaticSize int
+	// MinExecFrac discards seeds whose block weight is below this
+	// fraction of the profiled dynamic instruction count.
+	MinExecFrac float64
+	// MaxRegions caps the number of regions formed per program
+	// (0 = unlimited). Region identifiers index the CRB directly, so
+	// forming vastly more regions than CRB entries only creates conflict
+	// misses.
+	MaxRegions int
+	// BlockReusableFrac is the fraction of a block's instructions that
+	// must individually satisfy the reuse heuristics for the block to be
+	// admissible to a region at block granularity.
+	BlockReusableFrac float64
+	// FunctionLevel enables the §6 extension: calls to pure functions
+	// with recurring arguments become function-level reuse regions. Off
+	// by default (the paper's evaluated configuration).
+	FunctionLevel bool
+	// MinLiveInInvariance gates the instructions that consume a block's
+	// upward-exposed (live-in) registers: a reuse hit requires *all*
+	// recorded inputs to match, so if any live-in consumer almost never
+	// sees repeated operands the region would miss on every lookup. This
+	// is the region-input side of §4.4's input-overlap heuristic.
+	MinLiveInInvariance float64
+}
+
+// DefaultOptions returns the paper's empirical settings.
+func DefaultOptions() Options {
+	return Options{
+		R:                      0.65,
+		Rm:                     0.65,
+		InvariantValues:        5,
+		MaxInputs:              ir.RegionBankSize,
+		MaxOutputs:             ir.RegionBankSize,
+		MaxMemObjects:          ir.RegionMaxMemObjects,
+		LikelyEdge:             0.60,
+		CyclicReuseOpportunity: 0.40,
+		CyclicMultiIter:        0.60,
+		MinStaticSize:          6,
+		MinExecFrac:            0.000003,
+		MaxRegions:             0,
+		BlockReusableFrac:      0.5,
+		MinLiveInInvariance:    0.40,
+	}
+}
+
+// Plan describes one selected region on the *base* program; the xform
+// package realizes plans by rewriting the code. Blocks lists the member
+// blocks; Entry is the single starting block (the inception block is
+// inserted immediately before it); Continuation is the block finish edges
+// lead to.
+type Plan struct {
+	Func         ir.FuncID
+	Kind         ir.RegionKind
+	Class        ir.RegionClass
+	Blocks       []ir.BlockID
+	Entry        ir.BlockID
+	Continuation ir.BlockID
+	Inputs       []ir.Reg
+	Outputs      []ir.Reg
+	MemObjects   []ir.MemID
+	StaticSize   int
+
+	// Function-level plans (Kind == FuncLevel) memoize the call at
+	// CallSite to Callee; Blocks/Entry/Continuation are assigned by the
+	// transformer after it splits the call into its own block.
+	CallSite ir.InstrRef
+	Callee   ir.FuncID
+
+	// EstimatedWeight is the profiled execution weight of the region
+	// (entry block executions), used for reporting and seed ordering.
+	EstimatedWeight int64
+}
+
+// HasBlock reports whether b is a member block of the plan.
+func (p *Plan) HasBlock(b ir.BlockID) bool {
+	for _, x := range p.Blocks {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,269 @@
+package region
+
+import (
+	"testing"
+
+	"ccr/internal/alias"
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+	"ccr/internal/vprof"
+)
+
+// profileOf runs the RPS profiler over p with the given argument.
+func profileOf(t *testing.T, p *ir.Program, arg int64) (*vprof.Profile, *alias.Result) {
+	t.Helper()
+	ar := alias.Analyze(p)
+	ar.Annotate()
+	pr := vprof.NewProfiler(p)
+	m := emu.New(p)
+	m.Trace = pr.Tracer()
+	if _, err := m.Run(arg); err != nil {
+		t.Fatalf("profile run: %v", err)
+	}
+	return pr.Finish(), ar
+}
+
+// buildKernelCaller builds main(n) calling kern(sel) with sel = i & mask;
+// kern's body is a straight-line table computation of `size` operations.
+func buildKernelCaller(t *testing.T, mask int64, size int) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgramBuilder("kc")
+	tab := pb.ReadOnlyObject("tab", []int64{2, 4, 6, 8, 10, 12, 14, 16})
+	g := pb.Func("kern", 1)
+	gb := g.NewBlock()
+	gx := g.NewBlock()
+	y, b := g.NewReg(), g.NewReg()
+	gb.AndI(y, g.Param(0), 7)
+	gb.Lea(b, tab, 0)
+	gb.Add(b, b, y)
+	gb.Ld(y, b, 0, tab)
+	for i := 0; i < size; i++ {
+		gb.MulI(y, y, int64(3+i%4))
+	}
+	gb.Jmp(gx.ID())
+	gx.Ret(y)
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, r, sel := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.And(sel, k, k)
+	bo.AndI(sel, sel, mask)
+	bo.Call(r, g.ID(), sel)
+	bo.Add(acc, acc, r)
+	bo.AddI(k, k, 1)
+	bo.Jmp(h.ID())
+	x.Ret(acc)
+	return ir.MustVerify(pb.Build())
+}
+
+func TestAcyclicFormationSelectsHotKernel(t *testing.T) {
+	p := buildKernelCaller(t, 3, 8)
+	prof, ar := profileOf(t, p, 512)
+	plans := Form(p, prof, ar, DefaultOptions())
+	if len(plans) == 0 {
+		t.Fatal("expected the kernel block to form a region")
+	}
+	pl := plans[0]
+	if pl.Kind != ir.Acyclic || pl.Class != ir.Stateless {
+		t.Fatalf("plan = %+v", pl)
+	}
+	if len(pl.Inputs) != 1 {
+		t.Fatalf("inputs = %v, want the single selector", pl.Inputs)
+	}
+	if len(pl.Outputs) != 1 {
+		t.Fatalf("outputs = %v", pl.Outputs)
+	}
+	if pl.StaticSize < 8 {
+		t.Fatalf("size = %d", pl.StaticSize)
+	}
+}
+
+func TestInvarianceGateRejectsWideDomain(t *testing.T) {
+	// With a selector spanning 64 values, top-5 invariance is far below
+	// 0.65 and no region may form under paper thresholds.
+	p := buildKernelCaller(t, 63, 8)
+	prof, ar := profileOf(t, p, 512)
+	plans := Form(p, prof, ar, DefaultOptions())
+	for _, pl := range plans {
+		if pl.Func == 0 { // the kernel function
+			t.Fatalf("wide-domain kernel must be rejected, got %+v", pl)
+		}
+	}
+	// Lowering R admits it.
+	opts := DefaultOptions()
+	opts.R = 0
+	opts.MinLiveInInvariance = 0
+	opts.BlockReusableFrac = 0
+	plans = Form(p, prof, ar, opts)
+	found := false
+	for _, pl := range plans {
+		if pl.Func == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("zero thresholds should admit the kernel")
+	}
+}
+
+// buildLoopProgram: a deterministic inner loop, invoked repeatedly with
+// recurring inputs and rare invalidating stores.
+func buildLoopProgram(t *testing.T, storeEvery int64) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgramBuilder("lp")
+	tab := pb.Object("tab", 8, []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	g := pb.Func("scan", 0)
+	ge := g.NewBlock()
+	gh := g.NewBlock()
+	gb := g.NewBlock()
+	gl := g.NewBlock()
+	gx := g.NewBlock()
+	s, i, base, v := g.NewReg(), g.NewReg(), g.NewReg(), g.NewReg()
+	ge.MovI(s, 0)
+	ge.MovI(i, 0)
+	ge.Lea(base, tab, 0)
+	gh.BgeI(i, 8, gx.ID())
+	gb.Add(v, base, i)
+	gb.Ld(v, v, 0, tab)
+	gb.Add(s, s, v)
+	gl.AddI(i, i, 1)
+	gl.Jmp(gh.ID())
+	gx.Ret(s)
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	mu := f.NewBlock()
+	la := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, r, tmp, p0 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.Call(r, g.ID())
+	bo.Add(acc, acc, r)
+	bo.RemI(tmp, k, storeEvery)
+	bo.BneI(tmp, 0, la.ID())
+	mu.Lea(p0, tab, 0)
+	mu.St(p0, 2, k, tab)
+	la.AddI(k, k, 1)
+	la.Jmp(h.ID())
+	x.Ret(acc)
+	return ir.MustVerify(pb.Build())
+}
+
+func TestCyclicFormationAndClass(t *testing.T) {
+	p := buildLoopProgram(t, 64)
+	prof, ar := profileOf(t, p, 512)
+	plans := Form(p, prof, ar, DefaultOptions())
+	var cyc *Plan
+	for _, pl := range plans {
+		if pl.Kind == ir.Cyclic {
+			cyc = pl
+		}
+	}
+	if cyc == nil {
+		t.Fatal("expected a cyclic region for the scan loop")
+	}
+	if cyc.Class != ir.MemoryDependent || len(cyc.MemObjects) != 1 {
+		t.Fatalf("plan = %+v", cyc)
+	}
+	if cyc.Entry != 1 {
+		t.Fatalf("entry = b%d, want the loop header b1", cyc.Entry)
+	}
+}
+
+func TestCyclicGateRejectsVolatileMemory(t *testing.T) {
+	// Mutating the table every invocation destroys the recurrence gate.
+	p := buildLoopProgram(t, 1)
+	prof, ar := profileOf(t, p, 256)
+	plans := Form(p, prof, ar, DefaultOptions())
+	for _, pl := range plans {
+		if pl.Kind == ir.Cyclic && pl.Func == 0 {
+			t.Fatalf("volatile loop must not form: %+v", pl)
+		}
+	}
+}
+
+func TestInputCapRejectsWideInterface(t *testing.T) {
+	// A kernel block consuming 9 live-in registers must be rejected even
+	// with perfect invariance.
+	pb := ir.NewProgramBuilder("wide")
+	g := pb.Func("kern", 8)
+	gb := g.NewBlock()
+	gx := g.NewBlock()
+	extra := g.NewReg()
+	y := g.NewReg()
+	gb.Mov(y, g.Param(0))
+	for i := 1; i < 8; i++ {
+		gb.Add(y, y, g.Param(i))
+	}
+	gb.Add(y, y, extra) // ninth live-in (uninitialized scratch, value 0)
+	gb.MulI(y, y, 3)
+	gb.MulI(y, y, 5)
+	gb.Jmp(gx.ID())
+	gx.Ret(y)
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, r, one := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	e.MovI(one, 1)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.Call(r, g.ID(), one, one, one, one, one, one, one, one)
+	bo.Add(acc, acc, r)
+	bo.AddI(k, k, 1)
+	bo.Jmp(h.ID())
+	x.Ret(acc)
+	p := ir.MustVerify(pb.Build())
+	prof, ar := profileOf(t, p, 256)
+	plans := Form(p, prof, ar, DefaultOptions())
+	for _, pl := range plans {
+		if pl.Func == 0 {
+			t.Fatalf("9-input kernel must exceed the bank cap: inputs=%v", pl.Inputs)
+		}
+	}
+}
+
+func TestPlansAreDisjointAndOrdered(t *testing.T) {
+	p := buildLoopProgram(t, 64)
+	prof, ar := profileOf(t, p, 512)
+	plans := Form(p, prof, ar, DefaultOptions())
+	seen := map[[2]int64]bool{}
+	var prevW int64 = 1 << 62
+	for _, pl := range plans {
+		if pl.EstimatedWeight > prevW {
+			t.Fatal("plans must be ordered by weight")
+		}
+		prevW = pl.EstimatedWeight
+		for _, b := range pl.Blocks {
+			key := [2]int64{int64(pl.Func), int64(b)}
+			if seen[key] {
+				t.Fatalf("block b%d claimed twice", b)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestMaxRegionsCap(t *testing.T) {
+	p := buildLoopProgram(t, 64)
+	prof, ar := profileOf(t, p, 512)
+	opts := DefaultOptions()
+	opts.MaxRegions = 1
+	plans := Form(p, prof, ar, opts)
+	if len(plans) > 1 {
+		t.Fatalf("MaxRegions=1 but got %d plans", len(plans))
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %f", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %f, want 4", got)
+	}
+	// Non-positive values are skipped.
+	got = GeoMean([]float64{-1, 0, 2, 8})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean with junk = %f, want 4", got)
+	}
+}
+
+// Property: geomean ≤ mean for positive inputs (AM–GM inequality).
+func TestAMGMInequality(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)/100 + 0.01
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.305); got != " 30.5%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.Add("a", "1")
+	tb.Add("longer-name", "123456")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows render at the same width.
+	w := len(lines[2])
+	if len(lines[3]) != w {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "longer-name") || !strings.HasSuffix(lines[3], "123456") {
+		t.Fatalf("row content:\n%s", out)
+	}
+}

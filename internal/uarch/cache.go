@@ -1,0 +1,96 @@
+package uarch
+
+// cache is a direct-mapped cache model: it tracks only hit/miss, since the
+// timing model charges a flat miss penalty.
+type cache struct {
+	lineShift uint
+	mask      int64
+	tags      []int64
+	valid     []bool
+}
+
+func newCache(sizeBytes, lineBytes int) *cache {
+	lines := sizeBytes / lineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &cache{
+		lineShift: shift,
+		mask:      int64(lines - 1),
+		tags:      make([]int64, lines),
+		valid:     make([]bool, lines),
+	}
+}
+
+// access looks up the byte address, allocating the line; it reports a hit.
+func (c *cache) access(addr int64) bool {
+	line := addr >> c.lineShift
+	idx := line & c.mask
+	if c.valid[idx] && c.tags[idx] == line {
+		return true
+	}
+	c.valid[idx] = true
+	c.tags[idx] = line
+	return false
+}
+
+// btb is the branch target buffer: direct-mapped 2-bit saturating counters
+// with a stored target for direction-and-target prediction.
+type btb struct {
+	mask    int64
+	tags    []int64
+	ctr     []uint8
+	targets []int64
+	valid   []bool
+}
+
+func newBTB(entries int) *btb {
+	if entries < 1 {
+		entries = 1
+	}
+	return &btb{
+		mask:    int64(entries - 1),
+		tags:    make([]int64, entries),
+		ctr:     make([]uint8, entries),
+		targets: make([]int64, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+// predict returns the predicted direction and target for the branch at pc.
+// Unknown branches predict not-taken (fall through).
+func (b *btb) predict(pc int64) (taken bool, target int64) {
+	idx := (pc >> 2) & b.mask
+	if !b.valid[idx] || b.tags[idx] != pc {
+		return false, 0
+	}
+	return b.ctr[idx] >= 2, b.targets[idx]
+}
+
+// update trains the entry with the actual outcome.
+func (b *btb) update(pc int64, taken bool, target int64) {
+	idx := (pc >> 2) & b.mask
+	if !b.valid[idx] || b.tags[idx] != pc {
+		b.valid[idx] = true
+		b.tags[idx] = pc
+		if taken {
+			b.ctr[idx] = 2
+		} else {
+			b.ctr[idx] = 1
+		}
+		b.targets[idx] = target
+		return
+	}
+	if taken {
+		if b.ctr[idx] < 3 {
+			b.ctr[idx]++
+		}
+		b.targets[idx] = target
+	} else if b.ctr[idx] > 0 {
+		b.ctr[idx]--
+	}
+}

@@ -1,0 +1,72 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"ccr/internal/core"
+	"ccr/internal/ir"
+)
+
+// TestReuseHitTiming: a reuse hit costs only a few cycles while the
+// replaced region body costs many — measured through the full pipeline.
+func TestReuseTimingThroughPipeline(t *testing.T) {
+	// Build a tiny benchmark with a hot reusable function body.
+	pb := ir.NewProgramBuilder("rt")
+	tab := pb.ReadOnlyObject("tab", []int64{5, 9, 2, 7})
+	g := pb.Func("kern", 1)
+	gb := g.NewBlock()
+	ge := g.NewBlock()
+	x, b2 := g.NewReg(), g.NewReg()
+	gb.AndI(x, g.Param(0), 3)
+	gb.Lea(b2, tab, 0)
+	gb.Add(b2, b2, x)
+	gb.Ld(x, b2, 0, tab)
+	gb.MulI(x, x, 3)
+	gb.MulI(x, x, 5)
+	gb.MulI(x, x, 7)
+	gb.Jmp(ge.ID())
+	ge.Ret(x)
+	f := pb.Func("main", 1)
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	ex := f.NewBlock()
+	i, s, r, narrowed := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(i, 0)
+	e.MovI(s, 0)
+	h.BgeI(i, 4096, ex.ID())
+	bo.AndI(narrowed, i, 3)
+	bo.Call(r, g.ID(), narrowed)
+	bo.Add(s, s, r)
+	bo.AddI(i, i, 1)
+	bo.Jmp(h.ID())
+	ex.Ret(s)
+	base := pb.Build()
+	ir.MustVerify(base)
+
+	opts := core.DefaultOptions()
+	cr, err := core.Compile(base, []int64{0}, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	baseRes, err := core.Simulate(base, nil, opts.Uarch, []int64{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccrRes, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, []int64{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccrRes.Result != baseRes.Result {
+		t.Fatalf("mismatch: %d vs %d", ccrRes.Result, baseRes.Result)
+	}
+	// The kernel has 4 recurring inputs (i&3): after warmup every call is
+	// a reuse hit, replacing three dependent multiplies (9 cycles) and a
+	// load with a ~4-cycle reuse — a clear win.
+	if ccrRes.Cycles >= baseRes.Cycles {
+		t.Fatalf("expected speedup: base %d, ccr %d cycles", baseRes.Cycles, ccrRes.Cycles)
+	}
+	if ccrRes.Uarch.ReuseHits < 4000 {
+		t.Fatalf("reuse hits = %d", ccrRes.Uarch.ReuseHits)
+	}
+}

@@ -1,0 +1,405 @@
+package uarch
+
+import (
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+)
+
+// Simulator is the in-order timing model. Install Tracer() on an
+// emu.Machine, run the program, then read Stats(). One Simulator models one
+// run.
+type Simulator struct {
+	cfg  Config
+	prog *ir.Program
+
+	icache *cache
+	dcache *cache
+	btb    *btb
+
+	// head is the earliest cycle the next instruction may issue
+	// (the in-order constraint).
+	head int64
+	// slot bookkeeping for the cycle currently being filled.
+	curCycle  int64
+	slotsUsed int
+	fuUsed    [4]int // indexed by ir.FUClass for FUInt..FUBranch
+
+	// regReady tracks per-frame register readiness; frames parallels the
+	// emulator's call stack. frameMax is the latest write-back in the
+	// frame, used for the reuse-instruction interlock (§3.3).
+	frames []simFrame
+
+	// Reuse-baseline state (nil / zero unless enabled in Config).
+	irb    *instrRB
+	brb    *blockRB
+	bskip  blockSkip
+	objVer []uint64
+
+	// ooo holds the dynamically scheduled machine's state (nil for the
+	// paper's in-order model).
+	ooo *oooState
+
+	stats Stats
+}
+
+type simFrame struct {
+	ready    []int64
+	frameMax int64
+	// pendingRet is the caller register that receives the callee result.
+	pendingRet ir.Reg
+}
+
+// NewSimulator builds a timing model of the given machine configuration
+// for one run of prog (the region table resolves reuse live-out sets).
+func NewSimulator(cfg Config, prog *ir.Program) *Simulator {
+	s := &Simulator{
+		cfg:    cfg,
+		prog:   prog,
+		icache: newCache(cfg.ICacheBytes, cfg.LineBytes),
+		dcache: newCache(cfg.DCacheBytes, cfg.LineBytes),
+		btb:    newBTB(cfg.BTBEntries),
+	}
+	s.frames = append(s.frames, simFrame{ready: make([]int64, 256)})
+	if cfg.InstrReuse {
+		n := cfg.InstrRBEntries
+		if n <= 0 {
+			n = 1024
+		}
+		s.irb = newInstrRB(n)
+	}
+	if cfg.BlockReuse {
+		entries, insts := cfg.BlockRBEntries, cfg.BlockRBInstances
+		if entries <= 0 {
+			entries = 128
+		}
+		if insts <= 0 {
+			insts = 8
+		}
+		s.brb = newBlockRB(prog, entries, insts)
+	}
+	if cfg.InstrReuse || cfg.BlockReuse {
+		s.objVer = make([]uint64, len(prog.Objects))
+	}
+	if cfg.OutOfOrder {
+		s.ooo = newOOOState(cfg.ROBSize)
+	}
+	return s
+}
+
+// Tracer returns the event hook to install on an emu.Machine.
+func (s *Simulator) Tracer() emu.Tracer {
+	if s.ooo != nil {
+		return s.observeOOO
+	}
+	return s.observe
+}
+
+// Stats returns the accumulated timing counters; Cycles is the current
+// completion time.
+func (s *Simulator) Stats() Stats {
+	st := s.stats
+	if s.ooo != nil {
+		if s.ooo.lastRetire > st.Cycles {
+			st.Cycles = s.ooo.lastRetire
+		}
+		return st
+	}
+	st.Cycles = s.head
+	if len(s.frames) > 0 && s.frames[len(s.frames)-1].frameMax > st.Cycles {
+		st.Cycles = s.frames[len(s.frames)-1].frameMax
+	}
+	return st
+}
+
+func (s *Simulator) frame() *simFrame { return &s.frames[len(s.frames)-1] }
+
+func (s *Simulator) ready(r ir.Reg) int64 {
+	if r == ir.NoReg {
+		return 0
+	}
+	f := s.frame()
+	if int(r) >= len(f.ready) {
+		return 0
+	}
+	return f.ready[r]
+}
+
+func (s *Simulator) setReady(r ir.Reg, cyc int64) {
+	if r == ir.NoReg {
+		return
+	}
+	f := s.frame()
+	for int(r) >= len(f.ready) {
+		f.ready = append(f.ready, make([]int64, len(f.ready)+16)...)
+	}
+	f.ready[r] = cyc
+	if cyc > f.frameMax {
+		f.frameMax = cyc
+	}
+}
+
+// issueAt finds the first cycle ≥ want with a free issue slot and a free
+// unit of class fu, charging FU-stall cycles for the wait.
+func (s *Simulator) issueAt(want int64, fu ir.FUClass) int64 {
+	if want < s.head {
+		want = s.head
+	}
+	if want > s.curCycle {
+		s.curCycle = want
+		s.slotsUsed = 0
+		s.fuUsed = [4]int{}
+	}
+	for {
+		limit := s.fuLimit(fu)
+		if s.slotsUsed < s.cfg.IssueWidth && (fu == ir.FUNone || s.fuUsed[fu] < limit) {
+			s.slotsUsed++
+			if fu != ir.FUNone {
+				s.fuUsed[fu]++
+			}
+			return s.curCycle
+		}
+		s.curCycle++
+		s.slotsUsed = 0
+		s.fuUsed = [4]int{}
+		s.stats.StallFU++
+	}
+}
+
+func (s *Simulator) fuLimit(fu ir.FUClass) int {
+	switch fu {
+	case ir.FUInt:
+		return s.cfg.IntALUs
+	case ir.FUMem:
+		return s.cfg.MemPorts
+	case ir.FUFloat:
+		return s.cfg.FPUnits
+	case ir.FUBranch:
+		return s.cfg.BranchUnits
+	}
+	return s.cfg.IssueWidth
+}
+
+func (s *Simulator) observe(ev *emu.Event) {
+	cfg := &s.cfg
+	in := ev.Instr
+	s.stats.Instrs++
+
+	// Object-version tracking for the reuse baselines.
+	if s.objVer != nil && in.Op == ir.St && in.Mem != ir.NoMem {
+		s.objVer[in.Mem]++
+	}
+
+	// Block-level reuse baseline: a reused block's instructions cost
+	// nothing beyond the lookup-and-commit charged at the block start.
+	if s.brb != nil && s.observeBlockReuse(ev, s.head) {
+		return
+	}
+
+	// Instruction fetch: an I-cache miss stalls the front end.
+	fetch := s.head
+	if !s.icache.access(ev.PC) {
+		s.stats.ICacheMisses++
+		s.stats.StallICache += int64(cfg.MissPenalty)
+		fetch += int64(cfg.MissPenalty)
+	}
+
+	if in.Op == ir.Reuse {
+		s.observeReuse(ev, fetch)
+		return
+	}
+
+	// Instruction-level reuse baseline.
+	if s.irb != nil && s.observeInstrReuse(ev, fetch) {
+		return
+	}
+
+	// Operand readiness.
+	want := fetch
+	dep := false
+	switch in.Op {
+	case ir.Call:
+		for _, a := range in.Args {
+			if r := s.ready(a); r > want {
+				want, dep = r, true
+			}
+		}
+	default:
+		if r := s.ready(in.Src1); r > want {
+			want, dep = r, true
+		}
+		if in.Src2 != ir.NoReg {
+			if r := s.ready(in.Src2); r > want {
+				want, dep = r, true
+			}
+		}
+	}
+	if dep {
+		s.stats.StallDep += want - fetch
+	}
+
+	issue := s.issueAt(want, in.Op.FU())
+	lat := int64(in.Op.Latency())
+
+	switch in.Op {
+	case ir.Ld:
+		s.stats.DCacheAccess++
+		if !s.dcache.access(ev.Addr * 8) {
+			s.stats.DCacheMisses++
+			s.stats.StallDCache += int64(cfg.MissPenalty)
+			lat += int64(cfg.MissPenalty)
+		}
+		s.setReady(in.Dest, issue+lat)
+	case ir.St:
+		// Write-allocate, store-buffered: misses allocate without
+		// stalling the pipeline.
+		s.stats.DCacheAccess++
+		if !s.dcache.access(ev.Addr * 8) {
+			s.stats.DCacheMisses++
+		}
+	case ir.Jmp:
+		s.redirect(issue, int64(cfg.TakenBubble))
+	case ir.Beq, ir.Bne, ir.Blt, ir.Bge, ir.Ble, ir.Bgt:
+		s.stats.CondBranches++
+		predTaken, predTarget := s.btb.predict(ev.PC)
+		correct := predTaken == ev.Taken && (!ev.Taken || predTarget == ev.TargetPC)
+		s.btb.update(ev.PC, ev.Taken, ev.TargetPC)
+		if !correct {
+			s.stats.Mispredicts++
+			s.stats.StallBranch += int64(cfg.MispredictPenalty)
+			s.redirect(issue, int64(cfg.MispredictPenalty))
+		} else if ev.Taken {
+			s.stats.StallBranch += int64(cfg.TakenBubble)
+			s.redirect(issue, int64(cfg.TakenBubble))
+		}
+	case ir.Call:
+		s.redirect(issue, int64(cfg.TakenBubble))
+		// Push the callee frame: parameters become ready one cycle
+		// after the call issues.
+		nf := simFrame{ready: make([]int64, 16+len(in.Args)), pendingRet: in.Dest}
+		for i := range in.Args {
+			nf.setParam(ir.Reg(i+1), issue+1)
+		}
+		s.frames = append(s.frames, nf)
+	case ir.Ret:
+		s.redirect(issue, int64(cfg.TakenBubble))
+		retReady := issue + 1
+		if in.Src1 != ir.NoReg {
+			if r := s.ready(in.Src1); r > retReady {
+				retReady = r
+			}
+		}
+		dest := s.frame().pendingRet
+		if len(s.frames) > 1 {
+			s.frames = s.frames[:len(s.frames)-1]
+			if dest != ir.NoReg {
+				s.setReady(dest, retReady)
+			} else if retReady > s.frame().frameMax {
+				s.frame().frameMax = retReady
+			}
+		}
+	case ir.Inval:
+		// One memory-port operation; the CRB invalidation proceeds off
+		// the critical path.
+	default:
+		if d := in.Def(); d != ir.NoReg {
+			s.setReady(d, issue+lat)
+		}
+	}
+
+	if s.head < issue {
+		s.head = issue
+	}
+}
+
+func (sf *simFrame) setParam(r ir.Reg, cyc int64) {
+	for int(r) >= len(sf.ready) {
+		sf.ready = append(sf.ready, make([]int64, len(sf.ready)+16)...)
+	}
+	sf.ready[r] = cyc
+	if cyc > sf.frameMax {
+		sf.frameMax = cyc
+	}
+}
+
+// redirect models a front-end redirect: no instruction issues for the next
+// `bubble` cycles after the transfer.
+func (s *Simulator) redirect(issue, bubble int64) {
+	next := issue + 1 + bubble
+	if next > s.head {
+		s.head = next
+	}
+}
+
+// observeReuse models the four reuse pipeline tasks of §3.3: CRB access,
+// architectural-state read (interlocked against in-flight writes),
+// instance validation, and live-out commit on a hit — or the
+// misprediction-like redirect on a failed reuse.
+func (s *Simulator) observeReuse(ev *emu.Event, fetch int64) {
+	cfg := &s.cfg
+	// Read-state interlock (§3.3): the reuse instruction waits for the
+	// summary set — the registers any resident instance may compare —
+	// which the region table bounds by the static input list. In-flight
+	// writes to other registers do not stall the lookup.
+	want := fetch
+	if rg := s.prog.Region(ev.Instr.Region); rg != nil {
+		for _, r := range rg.Inputs {
+			if rd := s.ready(r); rd > want {
+				want = rd
+			}
+		}
+	}
+	if want > fetch {
+		s.stats.StallDep += want - fetch
+	}
+	issue := s.issueAt(want, ir.FUBranch)
+	validate := int64(cfg.ReuseValidateCycles)
+	if cfg.SpeculativeValidation {
+		// Validation proceeds in the shadow of the committed values.
+		validate = 0
+	}
+	access := issue + int64(cfg.ReuseAccessCycles) + validate
+
+	if ev.ReuseHit {
+		s.stats.ReuseHits++
+		s.stats.ReuseInstrs += int64(ev.ReusedInstrs)
+		// Commit the live-out values, ReuseCommitWidth per cycle.
+		commitCycles := int64(0)
+		if ev.ReuseOut > 0 {
+			commitCycles = int64((ev.ReuseOut + cfg.ReuseCommitWidth - 1) / cfg.ReuseCommitWidth)
+		}
+		done := access + commitCycles
+		s.stats.ReuseCycles += done - issue
+		if r := s.prog.Region(ev.Instr.Region); r != nil {
+			for _, out := range r.Outputs {
+				s.setReady(out, done)
+			}
+		}
+		// Control transfers to the continuation like a taken branch.
+		s.redirect(done-1, int64(cfg.TakenBubble))
+	} else {
+		s.stats.ReuseMisses++
+		s.stats.MemoizedRuns++
+		// Failed reuse: the pipeline is cleared and fetch is redirected
+		// to the computation code (§3.3), a mispredict-like delay. A
+		// failed value speculation additionally squashes the forwarded
+		// results.
+		penalty := int64(cfg.ReuseFailPenalty)
+		if cfg.SpeculativeValidation {
+			penalty++
+		}
+		s.stats.StallReuse += penalty
+		s.redirect(access-1+validateRecovery(cfg), penalty)
+	}
+	if s.head < issue {
+		s.head = issue
+	}
+}
+
+// validateRecovery is the extra cycle a speculative validation needs to
+// confirm before a miss can redirect (the validation it skipped).
+func validateRecovery(cfg *Config) int64 {
+	if cfg.SpeculativeValidation {
+		return int64(cfg.ReuseValidateCycles)
+	}
+	return 0
+}

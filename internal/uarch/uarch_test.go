@@ -1,0 +1,301 @@
+package uarch
+
+import (
+	"testing"
+
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+)
+
+func TestCacheDirectMapped(t *testing.T) {
+	c := newCache(1024, 32) // 32 lines
+	if c.access(0) {
+		t.Fatal("cold miss expected")
+	}
+	if !c.access(0) || !c.access(31) {
+		t.Fatal("same line must hit")
+	}
+	if c.access(32) {
+		t.Fatal("next line is cold")
+	}
+	// Address 1024 maps to line index 0 again and evicts address 0.
+	if c.access(1024) {
+		t.Fatal("conflicting line is cold")
+	}
+	if c.access(0) {
+		t.Fatal("address 0 should have been evicted")
+	}
+}
+
+func TestBTBTwoBitCounter(t *testing.T) {
+	b := newBTB(16)
+	pc, tgt := int64(0x40), int64(0x80)
+	if taken, _ := b.predict(pc); taken {
+		t.Fatal("unknown branch predicts not-taken")
+	}
+	b.update(pc, true, tgt) // allocates with counter 2 (weakly taken)
+	if taken, gotTgt := b.predict(pc); !taken || gotTgt != tgt {
+		t.Fatal("after one taken update, predict taken with target")
+	}
+	b.update(pc, false, 0) // 2 → 1
+	if taken, _ := b.predict(pc); taken {
+		t.Fatal("counter should have decayed below threshold")
+	}
+	b.update(pc, true, tgt) // 1 → 2
+	b.update(pc, true, tgt) // 2 → 3 (saturates)
+	b.update(pc, true, tgt)
+	b.update(pc, false, 0) // 3 → 2: still predicts taken (hysteresis)
+	if taken, _ := b.predict(pc); !taken {
+		t.Fatal("saturating counter should keep predicting taken")
+	}
+}
+
+// timeProgram runs prog through the emulator + simulator, returning stats.
+func timeProgram(t *testing.T, p *ir.Program, args ...int64) Stats {
+	t.Helper()
+	m := emu.New(p)
+	sim := NewSimulator(DefaultConfig(), p)
+	m.Trace = sim.Tracer()
+	if _, err := m.Run(args...); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return sim.Stats()
+}
+
+// TestDependentChainLatency: N dependent adds take ≥ N cycles; N
+// independent adds take ≈ N/4 issue cycles (4 integer ALUs).
+func TestDependencyVsParallelIssue(t *testing.T) {
+	const n = 64
+	// Both variants execute the same instruction count (so front-end
+	// effects like cold I-cache misses are identical); only the
+	// dependence structure differs.
+	dep := func() *ir.Program {
+		pb := ir.NewProgramBuilder("dep")
+		f := pb.Func("main", 1)
+		b := f.NewBlock()
+		regs := make([]ir.Reg, n)
+		for i := range regs {
+			regs[i] = f.NewReg()
+			b.MovI(regs[i], int64(i))
+		}
+		r := regs[0]
+		for i := 0; i < n; i++ {
+			b.AddI(r, r, 1)
+		}
+		b.Ret(r)
+		return pb.Build()
+	}()
+	indep := func() *ir.Program {
+		pb := ir.NewProgramBuilder("indep")
+		f := pb.Func("main", 1)
+		b := f.NewBlock()
+		regs := make([]ir.Reg, n)
+		for i := range regs {
+			regs[i] = f.NewReg()
+			b.MovI(regs[i], int64(i))
+		}
+		for i := 0; i < n; i++ {
+			b.AddI(regs[i], regs[i], 1)
+		}
+		b.Ret(regs[0])
+		return pb.Build()
+	}()
+	ds := timeProgram(t, dep, 0)
+	is := timeProgram(t, indep, 0)
+	if ds.Cycles < n {
+		t.Fatalf("dependent chain of %d adds took %d cycles", n, ds.Cycles)
+	}
+	if is.Cycles >= ds.Cycles {
+		t.Fatalf("independent adds (%d cycles) should be faster than dependent (%d)",
+			is.Cycles, ds.Cycles)
+	}
+	// 4 ALUs: the 2n independent int ops need at least 2n/4 cycles.
+	if is.Cycles < int64(2*n/4) {
+		t.Fatalf("independent adds too fast: %d cycles for %d ops", is.Cycles, 2*n)
+	}
+}
+
+// TestFPUnitContention: Mul issues to the 2 multi-cycle units, so 2·k
+// independent multiplies need ≥ k issue slots on those units.
+func TestFPUnitContention(t *testing.T) {
+	const n = 32
+	pb := ir.NewProgramBuilder("mul")
+	f := pb.Func("main", 1)
+	b := f.NewBlock()
+	regs := make([]ir.Reg, n)
+	for i := range regs {
+		regs[i] = f.NewReg()
+		b.MovI(regs[i], int64(i))
+	}
+	for i := range regs {
+		b.MulI(regs[i], regs[i], 3)
+	}
+	b.Ret(regs[0])
+	st := timeProgram(t, pb.Build(), 0)
+	if st.Cycles < n/2 {
+		t.Fatalf("%d independent muls on 2 units took only %d cycles", n, st.Cycles)
+	}
+}
+
+// TestBranchMispredictCost: an unpredictable branch pattern costs far more
+// than a monotone one.
+func TestBranchMispredictCost(t *testing.T) {
+	build := func(vals []int64) *ir.Program {
+		pb := ir.NewProgramBuilder("br")
+		tab := pb.ReadOnlyObject("tab", vals)
+		f := pb.Func("main", 0)
+		entry := f.NewBlock()
+		head := f.NewBlock()
+		body := f.NewBlock()
+		skip := f.NewBlock()
+		latch := f.NewBlock()
+		exit := f.NewBlock()
+		i, s, base, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+		entry.MovI(i, 0)
+		entry.MovI(s, 0)
+		entry.Lea(base, tab, 0)
+		head.BgeI(i, int64(len(vals)), exit.ID())
+		body.Add(v, base, i)
+		body.Ld(v, v, 0, tab)
+		body.BeqI(v, 0, latch.ID())
+		skip.AddI(s, s, 1)
+		latch.AddI(i, i, 1)
+		latch.Jmp(head.ID())
+		exit.Ret(s)
+		return pb.Build()
+	}
+	n := 2048
+	stable := make([]int64, n) // always 0: perfectly predictable
+	alternating := make([]int64, n)
+	for i := range alternating {
+		// Pseudo-random pattern the 2-bit counters cannot learn.
+		alternating[i] = int64((i*1103515245 + 12345) >> 7 & 1)
+	}
+	ss := timeProgram(t, build(stable))
+	as := timeProgram(t, build(alternating))
+	if as.Mispredicts <= ss.Mispredicts {
+		t.Fatalf("alternating pattern should mispredict more: %d vs %d",
+			as.Mispredicts, ss.Mispredicts)
+	}
+	if as.Cycles <= ss.Cycles {
+		t.Fatalf("mispredictions must cost cycles: %d vs %d", as.Cycles, ss.Cycles)
+	}
+}
+
+// TestDCacheMissCost: striding beyond the cache costs more than re-walking
+// one line.
+func TestDCacheMissCost(t *testing.T) {
+	build := func(words, stride int64) *ir.Program {
+		pb := ir.NewProgramBuilder("dc")
+		tab := pb.ReadOnlyObject("tab", make([]int64, words))
+		f := pb.Func("main", 0)
+		entry := f.NewBlock()
+		head := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		i, s, base, v, idx := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+		entry.MovI(i, 0)
+		entry.MovI(s, 0)
+		entry.Lea(base, tab, 0)
+		head.BgeI(i, 4096, exit.ID())
+		body.MulI(idx, i, stride)
+		body.AndI(idx, idx, words-1)
+		body.Add(idx, base, idx)
+		body.Ld(v, idx, 0, tab)
+		body.Add(s, s, v)
+		body.AddI(i, i, 1)
+		body.Jmp(head.ID())
+		exit.Ret(s)
+		return pb.Build()
+	}
+	// 32 KB D-cache = 4096 words; a 64 K-word table at stride 7 misses
+	// constantly, a 64-word table never misses after warmup.
+	hot := timeProgram(t, build(64, 1))
+	cold := timeProgram(t, build(64*1024, 7))
+	if cold.DCacheMisses < hot.DCacheMisses+1000 {
+		t.Fatalf("expected heavy D-cache misses: hot=%d cold=%d",
+			hot.DCacheMisses, cold.DCacheMisses)
+	}
+	if cold.Cycles <= hot.Cycles {
+		t.Fatalf("cache misses must cost cycles: %d vs %d", cold.Cycles, hot.Cycles)
+	}
+}
+
+func TestIPCBounded(t *testing.T) {
+	pb := ir.NewProgramBuilder("ipc")
+	f := pb.Func("main", 1)
+	b := f.NewBlock()
+	r := f.NewReg()
+	b.MovI(r, 1)
+	b.Ret(r)
+	st := timeProgram(t, pb.Build(), 0)
+	if ipc := st.IPC(); ipc <= 0 || ipc > 6 {
+		t.Fatalf("IPC %f outside (0, 6]", ipc)
+	}
+}
+
+// TestOutOfOrderHidesLatency: the dynamically scheduled machine overlaps
+// a dependent multiply chain across independent loop iterations, beating
+// the in-order machine; both remain architecturally identical.
+func TestOutOfOrderHidesLatency(t *testing.T) {
+	pb := ir.NewProgramBuilder("ooo")
+	f := pb.Func("main", 1)
+	e := f.NewBlock()
+	h := f.NewBlock()
+	b := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, v := f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	// A 3-deep multiply chain per iteration, independent across
+	// iterations except for the final accumulate.
+	b.MulI(v, k, 3)
+	b.MulI(v, v, 5)
+	b.MulI(v, v, 7)
+	b.Add(acc, acc, v)
+	b.AddI(k, k, 1)
+	b.Jmp(h.ID())
+	x.Ret(acc)
+	p := ir.MustVerify(pb.Build())
+
+	inorder := timeProgram(t, p, 1024)
+	cfg := DefaultConfig()
+	cfg.OutOfOrder = true
+	cfg.ROBSize = 64
+	m := emu.New(p)
+	sim := NewSimulator(cfg, p)
+	m.Trace = sim.Tracer()
+	if _, err := m.Run(1024); err != nil {
+		t.Fatal(err)
+	}
+	ooo := sim.Stats()
+	if ooo.Cycles >= inorder.Cycles {
+		t.Fatalf("out-of-order (%d) should beat in-order (%d) on independent chains",
+			ooo.Cycles, inorder.Cycles)
+	}
+	if ooo.Instrs != inorder.Instrs {
+		t.Fatalf("instruction counts differ: %d vs %d", ooo.Instrs, inorder.Instrs)
+	}
+}
+
+// TestOutOfOrderROBBound: a tiny reorder buffer throttles the overlap.
+func TestOutOfOrderROBBound(t *testing.T) {
+	p := buildRepetitiveKernel(t)
+	run := func(rob int) int64 {
+		cfg := DefaultConfig()
+		cfg.OutOfOrder = true
+		cfg.ROBSize = rob
+		m := emu.New(p)
+		sim := NewSimulator(cfg, p)
+		m.Trace = sim.Tracer()
+		if _, err := m.Run(2048); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Stats().Cycles
+	}
+	small, big := run(4), run(128)
+	if big >= small {
+		t.Fatalf("ROB 128 (%d cycles) should beat ROB 4 (%d cycles)", big, small)
+	}
+}

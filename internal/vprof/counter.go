@@ -1,0 +1,111 @@
+package vprof
+
+// valueKey is the profiled input tuple of one instruction execution.
+type valueKey struct {
+	a, b int64
+}
+
+// ValueCounter approximates the most-frequent input tuples of an
+// instruction with the space-saving algorithm: a fixed-capacity counter
+// table where the minimum-count victim is replaced (inheriting its count)
+// when a new tuple arrives at capacity. TopK weights are therefore upper
+// bounds, which matches the paper's use of profiled invariance as an
+// optimistic reuse estimate.
+type ValueCounter struct {
+	counts map[valueKey]int64
+	cap    int
+	// distinct saturates at distinctCap and estimates the variety of the
+	// instruction's input stream (the "limited set of values" check).
+	distinct    int
+	seenOnce    map[valueKey]struct{}
+	total       int64
+	distinctCap int
+}
+
+// counterCapacity is the table size; comfortably above the paper's
+// five tracked invariant values.
+const counterCapacity = 16
+
+// distinctSaturation bounds the distinct-value estimator's memory.
+const distinctSaturation = 64
+
+func newValueCounter() *ValueCounter {
+	return &ValueCounter{
+		counts:      make(map[valueKey]int64, counterCapacity),
+		cap:         counterCapacity,
+		seenOnce:    make(map[valueKey]struct{}, distinctSaturation),
+		distinctCap: distinctSaturation,
+	}
+}
+
+// Observe records one execution with input tuple (a, b).
+func (c *ValueCounter) Observe(a, b int64) {
+	k := valueKey{a, b}
+	c.total++
+	if _, ok := c.seenOnce[k]; !ok && c.distinct < c.distinctCap {
+		c.seenOnce[k] = struct{}{}
+		c.distinct++
+	}
+	if _, ok := c.counts[k]; ok {
+		c.counts[k]++
+		return
+	}
+	if len(c.counts) < c.cap {
+		c.counts[k] = 1
+		return
+	}
+	// Space-saving replacement: evict the minimum and inherit its count.
+	var minKey valueKey
+	minVal := int64(-1)
+	for kk, v := range c.counts {
+		if minVal < 0 || v < minVal {
+			minKey, minVal = kk, v
+		}
+	}
+	delete(c.counts, minKey)
+	c.counts[k] = minVal + 1
+}
+
+// Total returns the number of observations.
+func (c *ValueCounter) Total() int64 { return c.total }
+
+// Distinct returns the (saturating) count of distinct input tuples seen.
+func (c *ValueCounter) Distinct() int { return c.distinct }
+
+// TopK returns the combined weight of the k most frequent tuples.
+func (c *ValueCounter) TopK(k int) int64 {
+	if k <= 0 || len(c.counts) == 0 {
+		return 0
+	}
+	// Selection over a ≤16-entry table; no need for sorting machinery.
+	top := make([]int64, 0, k)
+	for _, v := range c.counts {
+		if len(top) < k {
+			top = append(top, v)
+			continue
+		}
+		mi := 0
+		for i := 1; i < len(top); i++ {
+			if top[i] < top[mi] {
+				mi = i
+			}
+		}
+		if v > top[mi] {
+			top[mi] = v
+		}
+	}
+	var sum int64
+	for _, v := range top {
+		sum += v
+	}
+	return sum
+}
+
+// Invariance returns TopK(k)/Total — the fraction of executions covered by
+// the k most frequent input tuples (heuristic function 1 of §4.4).
+func (c *ValueCounter) Invariance(k int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.TopK(k)) / float64(c.total)
+}

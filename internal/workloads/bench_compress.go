@@ -1,0 +1,189 @@
+package workloads
+
+import "ccr/internal/ir"
+
+func init() { register("compress", buildCompress) }
+
+// buildCompress models 129.compress: LZW-style compression whose hash table
+// is written on nearly every symbol, so its loads never stay valid long
+// enough to reuse — leaving only several small, similarly-weighted
+// stateless kernels (hash mixing, ratio checks, code-size bookkeeping).
+// The paper singles compress out for its flat reuse distribution
+// (Figure 10) and small speedup.
+func buildCompress(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("compress")
+
+	htab := pb.Object("htab", 512, nil)
+	codetab := pb.Object("codetab", 256, nil)
+	input := pb.ReadOnlyObject("input",
+		concat(genSkewed(31, s.N, 48), genSkewed(41, s.N, 96)))
+	out := pb.Object("out", 128, nil)
+	litTab := pb.ReadOnlyObject("lit_tab", func() []int64 {
+		t := make([]int64, 64)
+		r := newRNG(0x2E)
+		for i := range t {
+			t[i] = int64(r.intn(12))
+		}
+		return t
+	}())
+	selseq := pb.ReadOnlyObject("selseq",
+		concat(genSelSeq(0x6A, s.N, 8), genSelSeq(0x6B, s.N, 8)))
+	mix := addMixer(pb)
+	variants := addVariantKernels(pb, "outop", 8, 0x6C, litTab, 63,
+		[]ir.MemID{codetab}, 255)
+
+	// hashMix(c, prefix): stateless hash kernel. Inputs vary widely, so
+	// it is formed but rarely hits — exactly compress's profile.
+	hm := pb.Func("hash_mix", 2)
+	c, pfx := hm.Param(0), hm.Param(1)
+	hmHot := hm.NewBlock()
+	hmExit := hm.NewBlock()
+	h, t := hm.NewReg(), hm.NewReg()
+	hmHot.ShlI(h, c, 4)
+	hmHot.Xor(h, h, pfx)
+	hmHot.MulI(t, h, 0x9E37)
+	hmHot.Xor(h, h, t)
+	hmHot.AndI(h, h, 511)
+	hmHot.Jmp(hmExit.ID())
+	hmExit.Ret(h)
+
+	// ratioCheck(inCount, outCount): small stateless kernel with strong
+	// locality (counters move slowly).
+	rc := pb.Func("ratio_check", 2)
+	ic, oc := rc.Param(0), rc.Param(1)
+	rcHot := rc.NewBlock()
+	rcExit := rc.NewBlock()
+	q, g := rc.NewReg(), rc.NewReg()
+	rcHot.ShrI(q, ic, 4)
+	rcHot.ShrI(g, oc, 4)
+	rcHot.Sub(q, q, g)
+	rcHot.SltI(g, q, 2)
+	rcHot.Add(q, q, g)
+	rcHot.Jmp(rcExit.ID())
+	rcExit.Ret(q)
+
+	// literalCost(ch): per-character output cost via a static table — one
+	// of several similarly-weighted small stateless kernels that give
+	// compress its flat reuse distribution.
+	lc := pb.Func("literal_cost", 1)
+	lch := lc.Param(0)
+	lcHot := lc.NewBlock()
+	lcExit := lc.NewBlock()
+	lv, lb2 := lc.NewReg(), lc.NewReg()
+	lcHot.AndI(lv, lch, 63)
+	lcHot.Lea(lb2, litTab, 0)
+	lcHot.Add(lb2, lb2, lv)
+	lcHot.Ld(lv, lb2, 0, litTab)
+	lcHot.MulI(lv, lv, 3)
+	lcHot.AddI(lv, lv, 2)
+	lcHot.Jmp(lcExit.ID())
+	lcExit.Ret(lv)
+
+	// flagBits(ch): a second small table-free kernel on the same domain.
+	fb2f := pb.Func("flag_bits", 1)
+	fch := fb2f.Param(0)
+	fbHot := fb2f.NewBlock()
+	fbExit := fb2f.NewBlock()
+	fv2, ft := fb2f.NewReg(), fb2f.NewReg()
+	fbHot.AndI(fv2, fch, 63)
+	fbHot.ShrI(ft, fv2, 3)
+	fbHot.Xor(fv2, fv2, ft)
+	fbHot.MulI(ft, fv2, 5)
+	fbHot.Add(fv2, fv2, ft)
+	fbHot.AndI(fv2, fv2, 31)
+	fbHot.Jmp(fbExit.ID())
+	fbExit.Ret(fv2)
+
+	// codeSize(free): bit-width bookkeeping, few distinct inputs.
+	cs := pb.Func("code_size", 1)
+	fr := cs.Param(0)
+	csHot := cs.NewBlock()
+	csExit := cs.NewBlock()
+	n, b := cs.NewReg(), cs.NewReg()
+	csHot.ShrI(n, fr, 6)
+	csHot.AndI(n, n, 15)
+	csHot.MulI(b, n, 3)
+	csHot.AddI(b, b, 9)
+	csHot.Jmp(csExit.ID())
+	csExit.Ret(b)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jMiss := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, ibase, ch, pfx2, hv, hb, probe, bits := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	tmp, ob, ratio, free := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	cb := f.NewReg()
+	mrounds, lcv := f.NewReg(), f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 4)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, selseq, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MovI(pfx2, 0)
+	mEntry.MovI(free, 256)
+	mEntry.MulI(ibase, ds, int64(s.N))
+	mEntry.Lea(tmp, input, 0)
+	mEntry.Add(ibase, ibase, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(tmp, ibase, j)
+	jBody.Ld(ch, tmp, 0, input)
+	jBody.Call(hv, hm.ID(), ch, pfx2)
+	jBody.Lea(hb, htab, 0)
+	jBody.Add(hb, hb, hv)
+	jBody.Ld(probe, hb, 0, htab)
+	jBody.Call(lcv, lc.ID(), ch)
+	jBody.Add(total, total, lcv)
+	jBody.Call(lcv, fb2f.ID(), ch)
+	jBody.Add(total, total, lcv)
+	jBody.Call(total, mix, total, mrounds)
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, selseq)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, ch, sel, ch, sel, ch, sel, ch}, variants)
+	jChk.Add(total, total, dv)
+	jChk.Beq(probe, ch, jLatch.ID())
+	// Hash miss: insert, update code table — the constant stores that
+	// ruin compress's memory reuse.
+	jMiss.St(hb, 0, ch, htab)
+	jMiss.AndI(tmp, free, 255)
+	jMiss.Lea(cb, codetab, 0)
+	jMiss.Add(cb, cb, tmp)
+	jMiss.St(cb, 0, pfx2, codetab)
+	jMiss.AddI(free, free, 1)
+	jMiss.Call(bits, cs.ID(), free)
+	jMiss.Add(total, total, bits)
+	jLatch.Mov(pfx2, ch)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.Call(ratio, rc.ID(), rr, free)
+	rLatch.Add(total, total, ratio)
+	rLatch.Lea(ob, out, 0)
+	rLatch.AndI(tmp, rr, 127)
+	rLatch.Add(ob, ob, tmp)
+	rLatch.St(ob, 0, total, out)
+	rLatch.AddI(rr, rr, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "compress",
+		Paper: "129.compress",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "LZW-style compressor: constant hash-table stores defeat memory reuse; several equally-weighted small stateless kernels give a flat reuse distribution and small speedup.",
+	}
+}

@@ -1,0 +1,181 @@
+package workloads
+
+import "ccr/internal/ir"
+
+func init() { register("espresso", buildEspresso) }
+
+// buildEspresso models 008.espresso, the paper's Figure 2 example: logic
+// minimization dominated by the count_ones macro — a straight-line
+// byte-table population count whose single input register repeats heavily —
+// plus a cube-covering inner loop over read-only cube masks.
+func buildEspresso(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("espresso")
+
+	// bit_count: read-only 256-entry population-count-of-byte table.
+	bc := make([]int64, 256)
+	for i := range bc {
+		n := int64(0)
+		for v := i; v != 0; v >>= 1 {
+			n += int64(v & 1)
+		}
+		bc[i] = n
+	}
+	bitCount := pb.ReadOnlyObject("bit_count", bc)
+
+	// cubes: read-only cover masks walked by the covering loop.
+	cubeWords := 16
+	cubesInit := make([]int64, cubeWords)
+	r := newRNG(0xE5)
+	for i := range cubesInit {
+		cubesInit[i] = int64(r.next() & 0xFFFFFFFF)
+	}
+	cubes := pb.ReadOnlyObject("cubes", cubesInit)
+
+	// words: input truth-table words with strong value locality.
+	mkWords := func(seed uint64, card int) []int64 {
+		idx := genSkewed(seed, s.N, card)
+		vals := make([]int64, card)
+		rr := newRNG(seed ^ 0x55)
+		for i := range vals {
+			vals[i] = int64(rr.next() & 0xFFFFFFFF)
+		}
+		out := make([]int64, s.N)
+		for i := range out {
+			out[i] = vals[idx[i]]
+		}
+		return out
+	}
+	words := pb.ReadOnlyObject("words", concat(mkWords(11, 18), mkWords(22, 26)))
+	scratch := pb.Object("scratch", 64, nil)
+	selseq := pb.ReadOnlyObject("selseq",
+		concat(genSelSeq(0x5A, s.N, 12), genSelSeq(0x5B, s.N, 12)))
+	mix := addMixer(pb)
+	wide := addWideScan(pb, bitCount, 255)
+	variants := addVariantKernels(pb, "cubeop", 12, 0x5C, bitCount, 255,
+		[]ir.MemID{scratch}, 63)
+
+	// countOnes(v): the Figure 2 macro — one basic block, one input
+	// register, one output register, four bit_count lookups.
+	co := pb.Func("count_ones", 1)
+	v := co.Param(0)
+	coHot := co.NewBlock()
+	coExit := co.NewBlock()
+	sum, t, idx, base := co.NewReg(), co.NewReg(), co.NewReg(), co.NewReg()
+	coHot.Lea(base, bitCount, 0)
+	coHot.AndI(idx, v, 255)
+	coHot.Add(t, base, idx)
+	coHot.Ld(sum, t, 0, bitCount)
+	for _, sh := range []int64{8, 16, 24} {
+		x := co.NewReg()
+		coHot.ShrI(x, v, sh)
+		coHot.AndI(x, x, 255)
+		coHot.Add(x, base, x)
+		coHot.Ld(x, x, 0, bitCount)
+		coHot.Add(sum, sum, x)
+	}
+	coHot.Jmp(coExit.ID())
+	coExit.Ret(sum)
+
+	// cover(mask): cyclic stateless region — intersect the mask against
+	// every cube, counting nonempty intersections. The mask values
+	// recur, so whole invocations are reusable.
+	cv := pb.Func("cover", 1)
+	mask := cv.Param(0)
+	cvEntry := cv.NewBlock()
+	cvHead := cv.NewBlock()
+	cvBody := cv.NewBlock()
+	cvHit := cv.NewBlock()
+	cvLatch := cv.NewBlock()
+	cvExit := cv.NewBlock()
+	cnt, ci, cb, cp, cw := cv.NewReg(), cv.NewReg(), cv.NewReg(), cv.NewReg(), cv.NewReg()
+	cvEntry.MovI(cnt, 0)
+	cvEntry.MovI(ci, 0)
+	cvEntry.Lea(cb, cubes, 0)
+	cvHead.BgeI(ci, int64(cubeWords), cvExit.ID())
+	cvBody.Add(cp, cb, ci)
+	cvBody.Ld(cw, cp, 0, cubes)
+	cvBody.And(cw, cw, mask)
+	cvBody.BeqI(cw, 0, cvLatch.ID())
+	cvHit.AddI(cnt, cnt, 1)
+	cvLatch.AddI(ci, ci, 1)
+	cvLatch.Jmp(cvHead.ID())
+	cvExit.Ret(cnt)
+
+	// main(dataset): pop-count every word, covering every 8th word.
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jCover := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr2, j, wbase, w, ones, cvr, tmp, sp := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	wv := f.NewReg()
+	mrounds := f.NewReg()
+	b1, b2, b3, b4, b5, b6 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 3)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, selseq, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr2, 0)
+	mEntry.MulI(wbase, ds, int64(s.N))
+	mEntry.Lea(tmp, words, 0)
+	mEntry.Add(wbase, wbase, tmp)
+	rHead.BgeI(rr2, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(w, wbase, j)
+	jBody.Ld(wv, w, 0, words)
+	jBody.Call(ones, co.ID(), wv)
+	jBody.Add(total, total, ones)
+	jBody.Call(total, mix, total, mrounds)
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, selseq)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, wv, sel, wv, sel, wv, sel, wv}, variants)
+	jChk.Add(total, total, dv)
+	jChk.AndI(tmp, j, 7)
+	jChk.BneI(tmp, 0, jLatch.ID())
+	jCover.Call(cvr, cv.ID(), wv)
+	jCover.Add(total, total, cvr)
+	// Wide-interface cube statistics: recurring inputs, too many for a
+	// computation instance — reuse potential the hardware cannot exploit.
+	jCover.AndI(b1, wv, 255)
+	jCover.ShrI(b2, wv, 8)
+	jCover.AndI(b2, b2, 15)
+	jCover.ShrI(b3, wv, 12)
+	jCover.AndI(b3, b3, 15)
+	jCover.ShrI(b4, wv, 16)
+	jCover.AndI(b4, b4, 15)
+	jCover.ShrI(b5, wv, 20)
+	jCover.AndI(b5, b5, 15)
+	jCover.ShrI(b6, wv, 24)
+	jCover.AndI(b6, b6, 15)
+	jCover.Call(cvr, wide, b1, b2, b3, b4, b5, b6)
+	jCover.Add(total, total, cvr)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.Lea(sp, scratch, 0)
+	rLatch.AndI(tmp, rr2, 63)
+	rLatch.Add(sp, sp, tmp)
+	rLatch.St(sp, 0, total, scratch)
+	rLatch.AddI(rr2, rr2, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "espresso",
+		Paper: "008.espresso",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Logic minimizer: Figure 2's count_ones byte-table popcount (single-input stateless block) plus a cube-covering loop over read-only masks.",
+	}
+}

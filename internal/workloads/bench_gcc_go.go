@@ -1,0 +1,348 @@
+package workloads
+
+import "ccr/internal/ir"
+
+func init() {
+	register("gcc", buildGcc)
+	register("go", buildGo)
+}
+
+// buildGcc models 126.gcc: a compiler front end with many small,
+// moderately reused kernels — identifier hashing against a read-only
+// keyword table, operator-precedence lookups, constant folding and a
+// tree-node cost walk over a slowly mutating node pool. No single region
+// dominates, giving gcc its middling speedup.
+func buildGcc(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("gcc")
+
+	kw := pb.ReadOnlyObject("keywords", func() []int64 {
+		t := make([]int64, 64)
+		r := newRNG(0x6C)
+		for i := range t {
+			t[i] = int64(r.intn(512))
+		}
+		return t
+	}())
+	prec := pb.ReadOnlyObject("prec", func() []int64 {
+		t := make([]int64, 32)
+		for i := range t {
+			t[i] = int64((i*3 + 1) & 15)
+		}
+		return t
+	}())
+	nodes := pb.Object("nodes", 48, func() []int64 {
+		t := make([]int64, 48)
+		r := newRNG(0x6D)
+		for i := range t {
+			t[i] = int64(r.intn(64))
+		}
+		return t
+	}())
+	toks := pb.ReadOnlyObject("toks",
+		concat(genSkewed(0x71, s.N, 16), genSkewed(0x72, s.N, 18)))
+	obj := pb.Object("objout", 64, nil)
+	// Auxiliary writable tables the case handlers consult (rarely
+	// mutated alongside the node pool).
+	typetab := pb.Object("typetab", 32, genUniform(0x6E, 32, 40))
+	consttab := pb.Object("consttab", 32, genUniform(0x6F, 32, 40))
+	// selseq: which of the ~80 case handlers each token drives — a hot
+	// head plus a warm plateau, as in a real compiler's opcode mix.
+	selseq := pb.ReadOnlyObject("selseq",
+		concat(genSelSeq(0x75, s.N, 112), genSelSeq(0x76, s.N, 112)))
+	mix := addMixer(pb)
+	wide := addWideScan(pb, kw, 63)
+	variants := addVariantKernels(pb, "case", 112, 0x77, kw, 63,
+		[]ir.MemID{nodes, typetab, consttab}, 31)
+
+	// hashIdent(tok): keyword-table probe on a small hash domain.
+	hi := pb.Func("hash_ident", 1)
+	tk := hi.Param(0)
+	hEntry := hi.NewBlock()
+	hHot := hi.NewBlock()
+	hExit := hi.NewBlock()
+	hh, hb, hv := hi.NewReg(), hi.NewReg(), hi.NewReg()
+	hEntry.MulI(hh, tk, 31)
+	hEntry.AndI(hh, hh, 63)
+	hHot.Lea(hb, kw, 0)
+	hHot.Add(hb, hb, hh)
+	hHot.Ld(hv, hb, 0, kw)
+	hHot.Xor(hv, hv, hh)
+	hHot.AndI(hv, hv, 255)
+	hHot.Jmp(hExit.ID())
+	hExit.Ret(hv)
+
+	// foldPrec(op, lhs): precedence lookup + constant folding.
+	fp := pb.Func("fold_prec", 2)
+	op, lhs := fp.Param(0), fp.Param(1)
+	fEntry := fp.NewBlock()
+	fHot := fp.NewBlock()
+	fExit := fp.NewBlock()
+	pv, pbr, acc := fp.NewReg(), fp.NewReg(), fp.NewReg()
+	fEntry.AndI(pv, op, 31)
+	fHot.Lea(pbr, prec, 0)
+	fHot.Add(pbr, pbr, pv)
+	fHot.Ld(pv, pbr, 0, prec)
+	fHot.Mul(acc, pv, lhs)
+	fHot.AddI(acc, acc, 7)
+	fHot.SraI(acc, acc, 2)
+	fHot.Jmp(fExit.ID())
+	fExit.Ret(acc)
+
+	// treeCost(kind): walk 6 node slots — cyclic MD over the node pool.
+	tc := pb.Func("tree_cost", 1)
+	kind := tc.Param(0)
+	tEntry := tc.NewBlock()
+	tHead := tc.NewBlock()
+	tBody := tc.NewBlock()
+	tLatch := tc.NewBlock()
+	tExit := tc.NewBlock()
+	cost, k, nb, np, nv := tc.NewReg(), tc.NewReg(), tc.NewReg(), tc.NewReg(), tc.NewReg()
+	off := tc.NewReg()
+	tEntry.MovI(cost, 0)
+	tEntry.MovI(k, 0)
+	tEntry.Lea(nb, nodes, 0)
+	tEntry.AndI(off, kind, 7)
+	tEntry.MulI(off, off, 5)
+	tHead.BgeI(k, 6, tExit.ID())
+	tBody.Add(np, off, k)
+	tBody.AndI(np, np, 47)
+	tBody.Add(np, nb, np)
+	tBody.Ld(nv, np, 0, nodes)
+	tBody.Add(cost, cost, nv)
+	tLatch.AddI(k, k, 1)
+	tLatch.Jmp(tHead.ID())
+	tExit.Ret(cost)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jMut := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, tbase, tv, hv2, pv2, cv, tmp, nb2 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	ob := f.NewReg()
+	mrounds := f.NewReg()
+	g1, g2, g3 := f.NewReg(), f.NewReg(), f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	a1, a2, a3, a4, a5 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 4)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, selseq, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MulI(tbase, ds, int64(s.N))
+	mEntry.Lea(tmp, toks, 0)
+	mEntry.Add(tbase, tbase, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(tmp, tbase, j)
+	jBody.Ld(tv, tmp, 0, toks)
+	jBody.Call(hv2, hi.ID(), tv)
+	jBody.Add(total, total, hv2)
+	jBody.Call(pv2, fp.ID(), tv, hv2)
+	jBody.Add(total, total, pv2)
+	jBody.Call(cv, tc.ID(), tv)
+	jBody.Add(total, total, cv)
+	jBody.Call(total, mix, total, mrounds)
+	// Type-unification walk with a wide recurring interface — potential
+	// the instance banks cannot hold.
+	jBody.AndI(g1, tv, 15)
+	jBody.ShrI(g2, tv, 1)
+	jBody.AndI(g2, g2, 7)
+	jBody.ShrI(g3, tv, 2)
+	jBody.AndI(g3, g3, 7)
+	jBody.Call(cv, wide, g1, g2, g3, g1, g2, g3)
+	jBody.Add(total, total, cv)
+	// Case-handler dispatch: the long tail of small reusable kernels.
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, selseq)
+	jBody.XorI(a1, sel, 3)
+	jBody.MulI(a2, sel, 5)
+	jBody.AndI(a2, a2, 63)
+	jBody.Add(a3, tv, rr)
+	jBody.AndI(a3, a3, 15)
+	jBody.MulI(a4, tv, 3)
+	jBody.Add(a4, a4, j)
+	jBody.AndI(a4, a4, 15)
+	jBody.AndI(a5, sel, 7)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, a1, a2, a3, a4, a5, a1, a2}, variants)
+	jChk.Add(total, total, dv)
+	jChk.RemI(tmp, j, int64(s.N+1))
+	jChk.BneI(tmp, int64(s.N/4), jLatch.ID())
+	// Occasional tree rewrite: mutate one node slot and a type entry.
+	jMut.Lea(nb2, nodes, 0)
+	jMut.AndI(tmp, total, 47)
+	jMut.Add(nb2, nb2, tmp)
+	jMut.St(nb2, 0, rr, nodes)
+	jMut.Lea(nb2, typetab, 0)
+	jMut.AndI(tmp, rr, 31)
+	jMut.Add(nb2, nb2, tmp)
+	jMut.St(nb2, 0, total, typetab)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.Lea(ob, obj, 0)
+	rLatch.AndI(tmp, rr, 63)
+	rLatch.Add(ob, ob, tmp)
+	rLatch.St(ob, 0, total, obj)
+	rLatch.AddI(rr, rr, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "gcc",
+		Paper: "126.gcc",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Compiler front end: keyword hashing, precedence folding and a tree-cost walk over a slowly mutating node pool — many mid-weight regions, no dominator.",
+	}
+}
+
+// buildGo models 099.go: board evaluation over a frequently mutating board.
+// Pattern scans are cyclic MD regions, but every simulated move stores to
+// the board and invalidates them, so only within-move repetition survives —
+// the suite's weakest reuse, matching the paper's limited go speedup.
+func buildGo(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("go")
+	const bsize = 128
+
+	board := pb.Object("board", bsize, func() []int64 {
+		t := make([]int64, bsize)
+		r := newRNG(0x99)
+		for i := range t {
+			t[i] = int64(r.intn(3))
+		}
+		return t
+	}())
+	patterns := pb.ReadOnlyObject("patterns", func() []int64 {
+		t := make([]int64, 27)
+		for i := range t {
+			t[i] = int64((i*7 + 2) % 19)
+		}
+		return t
+	}())
+	moves := pb.ReadOnlyObject("moves",
+		concat(genSkewed(0x91, s.N, 28), genSkewed(0x92, s.N, 30)))
+	score := pb.Object("score", 32, nil)
+	gosel := pb.ReadOnlyObject("gosel",
+		concat(genSelSeq(0x9A, s.N, 10), genSelSeq(0x9B, s.N, 10)))
+	mix := addMixer(pb)
+	goVariants := addVariantKernels(pb, "tact", 10, 0x9C, patterns, 15,
+		[]ir.MemID{board}, 127)
+
+	// evalPoint(pos): scan a 9-point neighbourhood of the board.
+	ep := pb.Func("eval_point", 1)
+	pos := ep.Param(0)
+	eEntry := ep.NewBlock()
+	eHead := ep.NewBlock()
+	eBody := ep.NewBlock()
+	eLatch := ep.NewBlock()
+	eExit := ep.NewBlock()
+	acc, k, bb, p, v := ep.NewReg(), ep.NewReg(), ep.NewReg(), ep.NewReg(), ep.NewReg()
+	h := ep.NewReg()
+	eEntry.MovI(acc, 0)
+	eEntry.MovI(k, 0)
+	eEntry.Lea(bb, board, 0)
+	eHead.BgeI(k, 9, eExit.ID())
+	eBody.Add(p, pos, k)
+	eBody.AndI(p, p, int64(bsize-1))
+	eBody.Add(p, bb, p)
+	eBody.Ld(v, p, 0, board)
+	eBody.MulI(h, v, 3)
+	eBody.Add(acc, acc, h)
+	eBody.Add(acc, acc, k)
+	eLatch.AddI(k, k, 1)
+	eLatch.Jmp(eHead.ID())
+	eExit.Ret(acc)
+
+	// patScore(hash): read-only pattern weight — stateless dispatch.
+	ps := pb.Func("pat_score", 1)
+	hsh := ps.Param(0)
+	pEntry := ps.NewBlock()
+	pHot := ps.NewBlock()
+	pExit := ps.NewBlock()
+	pi, pbs, pw := ps.NewReg(), ps.NewReg(), ps.NewReg()
+	pEntry.RemI(pi, hsh, 27)
+	pHot.Lea(pbs, patterns, 0)
+	pHot.Add(pbs, pbs, pi)
+	pHot.Ld(pw, pbs, 0, patterns)
+	pHot.MulI(pw, pw, 5)
+	pHot.Add(pw, pw, pi)
+	pHot.Jmp(pExit.ID())
+	pExit.Ret(pw)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jLatch := f.NewBlock()
+	rMove := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, mbase, mv, evv, pv, tmp, bb2, sb := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	mrounds := f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 40)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, gosel, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MulI(mbase, ds, int64(s.N))
+	mEntry.Lea(tmp, moves, 0)
+	mEntry.Add(mbase, mbase, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, 32, rMove.ID())
+	jBody.AndI(tmp, j, int64(s.N-1))
+	jBody.Add(tmp, mbase, tmp)
+	jBody.Ld(mv, tmp, 0, moves)
+	jBody.Call(evv, ep.ID(), mv)
+	jBody.Add(total, total, evv)
+	jBody.Call(pv, ps.ID(), evv)
+	jBody.Add(total, total, pv)
+	jBody.Call(total, mix, total, mrounds)
+	jBody.AndI(sel, j, int64(s.N-1))
+	jBody.Add(sel, sbase, sel)
+	jBody.Ld(sel, sel, 0, gosel)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, mv, sel, mv, sel, mv, sel, mv}, goVariants)
+	jChk.Add(total, total, dv)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	// Play a move after a short evaluation burst: the board mutation
+	// invalidates every recorded scan, so only within-burst repetition
+	// survives — the suite's weakest reuse.
+	rMove.Lea(bb2, board, 0)
+	rMove.AndI(tmp, total, int64(bsize-1))
+	rMove.Add(bb2, bb2, tmp)
+	rMove.St(bb2, 0, rr, board)
+	rMove.Lea(sb, score, 0)
+	rMove.AndI(tmp, rr, 31)
+	rMove.Add(sb, sb, tmp)
+	rMove.St(sb, 0, total, score)
+	rMove.AddI(rr, rr, 1)
+	rMove.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "go",
+		Paper: "099.go",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Go engine: neighbourhood scans over a board mutated every move — reuse survives only within a move's evaluations (weakest of the suite).",
+	}
+}

@@ -1,0 +1,291 @@
+package workloads
+
+import "ccr/internal/ir"
+
+func init() {
+	register("lex", buildLex)
+	register("yacc", buildYacc)
+}
+
+// automaton builds the shared table data for the two table-driven UNIX
+// tools: a transition table over (state, symbol) and a per-state action
+// table, both read-only.
+func automaton(seed uint64, states, syms int) (trans, action []int64) {
+	r := newRNG(seed)
+	trans = make([]int64, states*syms)
+	for i := range trans {
+		// Real scanners and parsers spend most of their time in a few
+		// hot states ("in identifier", "in whitespace"): bias the
+		// transition table heavily toward low-numbered states so the
+		// (state, symbol) working set is small.
+		switch {
+		case r.intn(100) < 85:
+			trans[i] = 0
+		case r.intn(100) < 70:
+			trans[i] = int64(1 + r.intn(2))
+		default:
+			trans[i] = int64(r.intn(states))
+		}
+	}
+	action = make([]int64, states)
+	for i := range action {
+		action[i] = int64(r.intn(6))
+	}
+	return trans, action
+}
+
+// buildLex models the UNIX lex scanner: a DFA stepped once per input
+// character. The (state, char) domain is small and heavily skewed, so the
+// table-driven step — several dependent lookups and arithmetic — is a
+// stateless region with two register inputs (group SL_2) that hits almost
+// always.
+func buildLex(s Scale) *Benchmark {
+	const states, syms = 16, 32
+	pb := ir.NewProgramBuilder("lex")
+	transInit, actionInit := automaton(0x1E, states, syms)
+	trans := pb.ReadOnlyObject("trans", transInit)
+	action := pb.ReadOnlyObject("action", actionInit)
+	input := pb.ReadOnlyObject("input",
+		concat(genSkewed(71, s.N, 9), genSkewed(72, s.N, 14)))
+	tokens := pb.Object("tokens", 64, nil)
+	lexsel := pb.ReadOnlyObject("lexsel",
+		concat(genSelSeq(0x7A, s.N, 10), genSelSeq(0x7B, s.N, 10)))
+	mix := addMixer(pb)
+	lexVariants := addVariantKernels(pb, "tok", 10, 0x7C, action, 15, nil, 0)
+
+	// dfaStep(state, ch) → state*64 + act: the hot region. The accept
+	// adjustment is branchless so the whole step is one reusable block.
+	dfa := pb.Func("dfa_step", 2)
+	st, ch := dfa.Param(0), dfa.Param(1)
+	dHot := dfa.NewBlock()
+	dExit := dfa.NewBlock()
+	nx, act, tb, ab, idx, sel := dfa.NewReg(), dfa.NewReg(), dfa.NewReg(), dfa.NewReg(), dfa.NewReg(), dfa.NewReg()
+	dHot.MulI(idx, st, syms)
+	dHot.Add(idx, idx, ch)
+	dHot.Lea(tb, trans, 0)
+	dHot.Add(tb, tb, idx)
+	dHot.Ld(nx, tb, 0, trans)
+	dHot.Lea(ab, action, 0)
+	dHot.Add(ab, ab, nx)
+	dHot.Ld(act, ab, 0, action)
+	// act += (act > 3) ? act+1 : 0, without a branch.
+	dHot.SltI(sel, act, 4)
+	dHot.SubI(sel, sel, 1) // 0 when act<4, -1 otherwise
+	dHot.AddI(idx, act, 1)
+	dHot.And(idx, idx, sel)
+	dHot.Add(act, act, idx)
+	dHot.ShlI(nx, nx, 6)
+	dHot.Add(nx, nx, act)
+	dHot.Jmp(dExit.ID())
+	dExit.Ret(nx)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jTok := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, ibase, cv, stv, step, tmp, tkb := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	mrounds := f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 1)
+	mEntry.MovI(total, 0)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, lexsel, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(rr, 0)
+	mEntry.MulI(ibase, ds, int64(s.N))
+	mEntry.Lea(tmp, input, 0)
+	mEntry.Add(ibase, ibase, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jInit.MovI(stv, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(tmp, ibase, j)
+	jBody.Ld(cv, tmp, 0, input)
+	jBody.Call(step, dfa.ID(), stv, cv)
+	jBody.SraI(stv, step, 6)
+	jBody.AndI(tmp, step, 63)
+	jBody.Add(total, total, tmp)
+	jBody.Call(total, mix, total, mrounds)
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, lexsel)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, cv, sel, cv, sel, cv, sel, cv}, lexVariants)
+	jChk.Add(total, total, dv)
+	jChk.AndI(tmp, total, 1)
+	jChk.BeqI(tmp, 0, jLatch.ID())
+	// Token boundary: record it (the store that keeps lex realistic).
+	jTok.Lea(tkb, tokens, 0)
+	jTok.AndI(tmp, total, 63)
+	jTok.Add(tkb, tkb, tmp)
+	jTok.St(tkb, 0, stv, tokens)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.AddI(rr, rr, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "lex",
+		Paper: "lex",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "DFA scanner: per-character table-driven step over a small (state, char) domain — strong SL_2 stateless reuse.",
+	}
+}
+
+// buildYacc models the UNIX yacc LR parser: an action lookup on
+// (state, token) plus a rule-reduction inner loop whose trip count is the
+// rule's RHS length — a cyclic stateless region with recurring inputs.
+func buildYacc(s Scale) *Benchmark {
+	const states, toks = 24, 16
+	pb := ir.NewProgramBuilder("yacc")
+	actInit, gotoInit := automaton(0xAC, states, toks)
+	actTab := pb.ReadOnlyObject("act_tab", actInit)
+	gotoTab := pb.ReadOnlyObject("goto_tab", gotoInit)
+	// rhslen: read-only rule → RHS length table (2..4 symbols).
+	rhs := make([]int64, 16)
+	r := newRNG(0x9A)
+	for i := range rhs {
+		rhs[i] = int64(2 + r.intn(3))
+	}
+	rhsLen := pb.ReadOnlyObject("rhs_len", rhs)
+	weights := pb.ReadOnlyObject("weights", func() []int64 {
+		w := make([]int64, 8)
+		for i := range w {
+			w[i] = int64(i*5 + 3)
+		}
+		return w
+	}())
+	input := pb.ReadOnlyObject("input",
+		concat(genSkewed(81, s.N, 10), genSkewed(82, s.N, 12)))
+	stack := pb.Object("stack", 256, nil)
+	selseq := pb.ReadOnlyObject("selseq",
+		concat(genSelSeq(0x4A, s.N, 16), genSelSeq(0x4B, s.N, 16)))
+	mix := addMixer(pb)
+	variants := addVariantKernels(pb, "rule", 16, 0x4C, weights, 7, nil, 0)
+
+	// reduceCost(rule): cyclic stateless region — walk the rule's RHS
+	// accumulating weights; the rule id recurs heavily.
+	rd := pb.Func("reduce_cost", 1)
+	rule := rd.Param(0)
+	rEntry := rd.NewBlock()
+	rHead := rd.NewBlock()
+	rBody := rd.NewBlock()
+	rLatch := rd.NewBlock()
+	rExit := rd.NewBlock()
+	cost, k, ln, lb, wb, wv := rd.NewReg(), rd.NewReg(), rd.NewReg(), rd.NewReg(), rd.NewReg(), rd.NewReg()
+	t2 := rd.NewReg()
+	rEntry.Lea(lb, rhsLen, 0)
+	rEntry.AndI(t2, rule, 15)
+	rEntry.Add(lb, lb, t2)
+	rEntry.Ld(ln, lb, 0, rhsLen)
+	rEntry.MovI(cost, 0)
+	rEntry.MovI(k, 0)
+	rHead.Bge(k, ln, rExit.ID())
+	rBody.Add(wv, rule, k)
+	rBody.AndI(wv, wv, 7)
+	rBody.Lea(wb, weights, 0)
+	rBody.Add(wb, wb, wv)
+	rBody.Ld(wv, wb, 0, weights)
+	rBody.Add(cost, cost, wv)
+	rLatch.AddI(k, k, 1)
+	rLatch.Jmp(rHead.ID())
+	rExit.Ret(cost)
+
+	// parseAction(state, tok): stateless action/goto lookup region.
+	pa := pb.Func("parse_action", 2)
+	st, tk := pa.Param(0), pa.Param(1)
+	pHot := pa.NewBlock()
+	pExit := pa.NewBlock()
+	av, gv, ab, gb, ix := pa.NewReg(), pa.NewReg(), pa.NewReg(), pa.NewReg(), pa.NewReg()
+	pHot.MulI(ix, st, toks)
+	pHot.Add(ix, ix, tk)
+	pHot.Lea(ab, actTab, 0)
+	pHot.Add(ab, ab, ix)
+	pHot.Ld(av, ab, 0, actTab)
+	pHot.Lea(gb, gotoTab, 0)
+	pHot.Add(gb, gb, av)
+	pHot.Ld(gv, gb, 0, gotoTab)
+	pHot.ShlI(gv, gv, 4)
+	pHot.Add(gv, gv, av)
+	pHot.Jmp(pExit.ID())
+	pExit.Ret(gv)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	oHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jRed := f.NewBlock()
+	jLatch := f.NewBlock()
+	oLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, ibase, tok, stv, actv, rulev, costv, tmp := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	sb, sp := f.NewReg(), f.NewReg()
+	mrounds := f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 3)
+	mEntry.MovI(total, 0)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, selseq, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(rr, 0)
+	mEntry.MovI(sp, 0)
+	mEntry.MulI(ibase, ds, int64(s.N))
+	mEntry.Lea(tmp, input, 0)
+	mEntry.Add(ibase, ibase, tmp)
+	oHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jInit.MovI(stv, 0)
+	jHead.BgeI(j, int64(s.N), oLatch.ID())
+	jBody.Add(tmp, ibase, j)
+	jBody.Ld(tok, tmp, 0, input)
+	jBody.Call(actv, pa.ID(), stv, tok)
+	jBody.SraI(stv, actv, 4)
+	jBody.AndI(stv, stv, 23)
+	jBody.AndI(rulev, actv, 15)
+	// Push the state (parse stack store, outside any region).
+	jBody.Lea(sb, stack, 0)
+	jBody.AndI(tmp, sp, 255)
+	jBody.Add(sb, sb, tmp)
+	jBody.St(sb, 0, stv, stack)
+	jBody.AddI(sp, sp, 1)
+	jBody.Call(total, mix, total, mrounds)
+	// Semantic-action dispatch.
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, selseq)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, rulev, stv, sel, rulev, stv, sel, rulev}, variants)
+	jChk.Add(total, total, dv)
+	jChk.AndI(tmp, tok, 3)
+	jChk.BneI(tmp, 0, jLatch.ID())
+	jRed.Call(costv, rd.ID(), rulev)
+	jRed.Add(total, total, costv)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	oLatch.Add(total, total, stv)
+	oLatch.AddI(rr, rr, 1)
+	oLatch.Jmp(oHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "yacc",
+		Paper: "yacc",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "LR parser: (state, token) action lookups and a rule-reduction loop over read-only tables — stateless acyclic and cyclic reuse.",
+	}
+}

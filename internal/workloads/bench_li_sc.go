@@ -1,0 +1,319 @@
+package workloads
+
+import "ccr/internal/ir"
+
+func init() {
+	register("li", buildLi)
+	register("sc", buildSc)
+}
+
+// buildLi models 130.li, the xlisp interpreter: symbol lookup scans an
+// association list that changes only on rare (re)definitions, and the
+// evaluator dispatches on a small set of node types through read-only
+// tables — cyclic memory-dependent reuse plus stateless dispatch.
+func buildLi(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("li")
+
+	// symtab: 32 [key, val] pairs; keys 0..31 prefilled.
+	symInit := make([]int64, 64)
+	r := newRNG(0x11)
+	for i := 0; i < 32; i++ {
+		symInit[2*i] = int64(i)
+		symInit[2*i+1] = int64(r.intn(1000))
+	}
+	symtab := pb.Object("symtab", 64, symInit)
+	dispatch := pb.ReadOnlyObject("dispatch", func() []int64 {
+		d := make([]int64, 16)
+		rr := newRNG(0x12)
+		for i := range d {
+			d[i] = int64(rr.intn(7))
+		}
+		return d
+	}())
+	shift := func(vs []int64) []int64 {
+		for i := range vs {
+			vs[i] += 3 // lookups scan at least 4 entries (multi-iteration)
+		}
+		return vs
+	}
+	keys := pb.ReadOnlyObject("keys",
+		concat(shift(genSkewed(0x21, s.N, 9)), shift(genSkewed(0x22, s.N, 11))))
+	heap := pb.Object("heap", 64, nil)
+	selseq := pb.ReadOnlyObject("selseq",
+		concat(genSelSeq(0x2A, s.N, 72), genSelSeq(0x2B, s.N, 72)))
+	mix := addMixer(pb)
+	variants := addVariantKernels(pb, "eval", 72, 0x2C, dispatch, 15,
+		[]ir.MemID{symtab}, 63)
+
+	// lookup(key): scan the association list until the key matches —
+	// the cyclic memory-dependent region.
+	lk := pb.Func("lookup", 1)
+	key := lk.Param(0)
+	lEntry := lk.NewBlock()
+	lHead := lk.NewBlock()
+	lBody := lk.NewBlock()
+	lFound := lk.NewBlock()
+	lLatch := lk.NewBlock()
+	lExit := lk.NewBlock()
+	val, i, base, p, kv := lk.NewReg(), lk.NewReg(), lk.NewReg(), lk.NewReg(), lk.NewReg()
+	lEntry.MovI(val, -1)
+	lEntry.MovI(i, 0)
+	lEntry.Lea(base, symtab, 0)
+	lHead.BgeI(i, 32, lExit.ID())
+	lBody.ShlI(p, i, 1)
+	lBody.Add(p, base, p)
+	lBody.Ld(kv, p, 0, symtab)
+	lBody.Bne(kv, key, lLatch.ID())
+	lFound.Ld(val, p, 1, symtab)
+	lFound.Jmp(lExit.ID())
+	lLatch.AddI(i, i, 1)
+	lLatch.Jmp(lHead.ID())
+	lExit.Ret(val)
+
+	// evalNode(v): type dispatch + small arithmetic, read-only table.
+	ev := pb.Func("eval_node", 1)
+	nv := ev.Param(0)
+	eEntry := ev.NewBlock()
+	eHot := ev.NewBlock()
+	eExit := ev.NewBlock()
+	ty, db, h, acc := ev.NewReg(), ev.NewReg(), ev.NewReg(), ev.NewReg()
+	eEntry.AndI(ty, nv, 15)
+	eHot.Lea(db, dispatch, 0)
+	eHot.Add(db, db, ty)
+	eHot.Ld(h, db, 0, dispatch)
+	eHot.MulI(acc, h, 13)
+	eHot.Add(acc, acc, ty)
+	eHot.ShlI(h, h, 2)
+	eHot.Add(acc, acc, h)
+	eHot.Jmp(eExit.ID())
+	eExit.Ret(acc)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jDef := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, kbase, kv2, vv, evv, tmp, sb, hb := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	mrounds := f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	va, vb := f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 5)
+	mEntry.MovI(total, 0)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, selseq, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(rr, 0)
+	mEntry.MulI(kbase, ds, int64(s.N))
+	mEntry.Lea(tmp, keys, 0)
+	mEntry.Add(kbase, kbase, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(tmp, kbase, j)
+	jBody.Ld(kv2, tmp, 0, keys)
+	jBody.Call(vv, lk.ID(), kv2)
+	jBody.Add(total, total, vv)
+	jBody.Call(evv, ev.ID(), vv)
+	jBody.Add(total, total, evv)
+	jBody.Call(total, mix, total, mrounds)
+	// Evaluator case dispatch.
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, selseq)
+	jBody.XorI(va, sel, 5)
+	jBody.MulI(vb, sel, 7)
+	jBody.AndI(vb, vb, 63)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, va, vb, va, vb, sel, va, vb}, variants)
+	jChk.Add(total, total, dv)
+	jChk.RemI(tmp, j, int64(s.N+1))
+	jChk.BneI(tmp, int64(s.N/3), jLatch.ID())
+	// Rare (defun): redefine one symbol's value, invalidating lookups.
+	jDef.Lea(sb, symtab, 0)
+	jDef.AndI(tmp, rr, 31)
+	jDef.ShlI(tmp, tmp, 1)
+	jDef.Add(sb, sb, tmp)
+	jDef.St(sb, 1, total, symtab)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.Lea(hb, heap, 0)
+	rLatch.AndI(tmp, rr, 63)
+	rLatch.Add(hb, hb, tmp)
+	rLatch.St(hb, 0, total, heap)
+	rLatch.AddI(rr, rr, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "li",
+		Paper: "130.li",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Lisp interpreter: association-list symbol lookup (cyclic MD, invalidated by rare redefinitions) and read-only type dispatch.",
+	}
+}
+
+// buildSc models 072.sc, the spreadsheet calculator: formula cells are
+// recomputed every round by summing fixed 8-cell ranges; the cell array is
+// edited in small patches between recalculations. Each formula is one
+// recurring invocation of the range-sum loop, so the number of computation
+// instances bounds how many formulas stay resident.
+func buildSc(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("sc")
+	// Six formulas fit the 8-record profiling window and an 8-instance
+	// entry, but round-robin recomputation thrashes a 4-instance entry —
+	// sc's instance-count sensitivity.
+	const formulas = 6
+
+	cellsInit := make([]int64, formulas*8)
+	r := newRNG(0x5C)
+	for i := range cellsInit {
+		cellsInit[i] = int64(r.intn(100))
+	}
+	cells := pb.Object("cells", int64(len(cellsInit)), cellsInit)
+	fmtTab := pb.ReadOnlyObject("fmt_tab", func() []int64 {
+		t := make([]int64, 16)
+		for i := range t {
+			t[i] = int64((i*11 + 4) & 63)
+		}
+		return t
+	}())
+	edits := pb.ReadOnlyObject("edits",
+		concat(genUniform(0x61, s.N, formulas*8), genUniform(0x62, s.N, formulas*8)))
+	// fseq: the order formulas are recomputed in, skewed toward the hot
+	// ones as dependency-driven recalculation would be.
+	fseq := pb.ReadOnlyObject("fseq", genSkewed(0x63, 64, formulas))
+	results := pb.Object("results", formulas, nil)
+	scsel := pb.ReadOnlyObject("scsel",
+		concat(genSelSeq(0xCA, s.N, 8), genSelSeq(0xCB, s.N, 8)))
+	mix := addMixer(pb)
+	scVariants := addVariantKernels(pb, "cellop", 8, 0xCC, fmtTab, 15,
+		[]ir.MemID{cells}, 31)
+
+	// rangeSum(base): sum 8 consecutive cells — the per-formula cyclic
+	// memory-dependent region, keyed by the range base address.
+	rs := pb.Func("range_sum", 1)
+	rb := rs.Param(0)
+	rEntry := rs.NewBlock()
+	rHead := rs.NewBlock()
+	rBody := rs.NewBlock()
+	rLatch := rs.NewBlock()
+	rExit := rs.NewBlock()
+	sum, k, p, v := rs.NewReg(), rs.NewReg(), rs.NewReg(), rs.NewReg()
+	rEntry.MovI(sum, 0)
+	rEntry.MovI(k, 0)
+	rHead.BgeI(k, 8, rExit.ID())
+	rBody.Add(p, rb, k)
+	rBody.Ld(v, p, 0, cells)
+	rBody.Add(sum, sum, v)
+	rLatch.AddI(k, k, 1)
+	rLatch.Jmp(rHead.ID())
+	rExit.Ret(sum)
+
+	// format(v): numeric formatting kernel over a static table.
+	fm := pb.Func("format", 1)
+	fv := fm.Param(0)
+	fEntry := fm.NewBlock()
+	fHot := fm.NewBlock()
+	fExit := fm.NewBlock()
+	fi, fb2, fw := fm.NewReg(), fm.NewReg(), fm.NewReg()
+	fEntry.AndI(fi, fv, 15)
+	fHot.Lea(fb2, fmtTab, 0)
+	fHot.Add(fb2, fb2, fi)
+	fHot.Ld(fw, fb2, 0, fmtTab)
+	fHot.MulI(fw, fw, 3)
+	fHot.Add(fw, fw, fi)
+	fHot.Jmp(fExit.ID())
+	fExit.Ret(fw)
+
+	// Per round: one cell edit, then several full recalculation passes
+	// (screen refreshes) — the reuse the CCR captures is across passes,
+	// while each edit's invalidation forces one re-recording per formula.
+	const passes = 5
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	oHead := f.NewBlock()
+	eBlock := f.NewBlock()
+	pHead := f.NewBlock()
+	fInit := f.NewBlock()
+	fHead := f.NewBlock()
+	fBody := f.NewBlock()
+	fChk := f.NewBlock()
+	fLatch := f.NewBlock()
+	pLatch := f.NewBlock()
+	oLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, fi2, cb, sumv, fmtv, tmp, ebase, eoff, resb := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	pp := f.NewReg()
+	mrounds := f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 6)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, scsel, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MulI(ebase, ds, int64(s.N))
+	mEntry.Lea(tmp, edits, 0)
+	mEntry.Add(ebase, ebase, tmp)
+	oHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	// One cell edit per round (spreadsheet input), invalidating sums.
+	eBlock.AndI(eoff, rr, int64(s.N-1))
+	eBlock.Add(eoff, ebase, eoff)
+	eBlock.Ld(eoff, eoff, 0, edits)
+	eBlock.Lea(tmp, cells, 0)
+	eBlock.Add(tmp, tmp, eoff)
+	eBlock.St(tmp, 0, rr, cells)
+	eBlock.MovI(pp, 0)
+	pHead.BgeI(pp, passes, oLatch.ID())
+	fInit.MovI(fi2, 0)
+	fHead.BgeI(fi2, formulas, pLatch.ID())
+	fBody.Add(cb, pp, fi2)
+	fBody.MulI(cb, cb, 7)
+	fBody.AndI(cb, cb, 63)
+	fBody.Lea(tmp, fseq, 0)
+	fBody.Add(cb, tmp, cb)
+	fBody.Ld(cb, cb, 0, fseq)
+	fBody.ShlI(cb, cb, 3)
+	fBody.Lea(tmp, cells, 0)
+	fBody.Add(cb, tmp, cb)
+	fBody.Call(sumv, rs.ID(), cb)
+	fBody.Add(total, total, sumv)
+	fBody.Call(fmtv, fm.ID(), sumv)
+	fBody.Add(total, total, fmtv)
+	fBody.Call(total, mix, total, mrounds)
+	fBody.Lea(resb, results, 0)
+	fBody.Add(resb, resb, fi2)
+	fBody.St(resb, 0, sumv, results)
+	fBody.Add(sel, rr, fi2)
+	fBody.AndI(sel, sel, int64(s.N-1))
+	fBody.Add(sel, sbase, sel)
+	fBody.Ld(sel, sel, 0, scsel)
+	emitDispatch(f, fBody, fChk.ID(), sel, dv,
+		[8]ir.Reg{sel, sumv, sel, sumv, sel, sumv, sel, sumv}, scVariants)
+	fChk.Add(total, total, dv)
+	fLatch.AddI(fi2, fi2, 1)
+	fLatch.Jmp(fHead.ID())
+	pLatch.AddI(pp, pp, 1)
+	pLatch.Jmp(pHead.ID())
+	oLatch.AddI(rr, rr, 1)
+	oLatch.Jmp(oHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "sc",
+		Paper: "072.sc",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Spreadsheet calculator: per-formula 8-cell range sums recomputed every round with one cell edit per round — instance-count-bound cyclic MD reuse.",
+	}
+}

@@ -1,0 +1,200 @@
+package workloads
+
+import "ccr/internal/ir"
+
+func init() { register("m88ksim", buildM88ksim) }
+
+// buildM88ksim models 124.m88ksim, the paper's flagship benchmark: a
+// processor simulator whose hot path checks a breakpoint table before
+// decoding every simulated instruction. The ckbrkpts function is the
+// paper's Figure 3 example — a loop over a 16-entry table that is reusable
+// as a whole because its common executed path (no breakpoints set) never
+// reads the varying address operand, and the table changes only when one
+// of a handful of functions updates it.
+func buildM88ksim(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("m88ksim")
+
+	// brktable: 16 entries of [code, adr] pairs; all zero = no breakpoints.
+	brktable := pb.Object("brktable", 32, nil)
+	// decode: read-only opcode → class table.
+	decodeInit := make([]int64, 64)
+	r := newRNG(0x88)
+	for i := range decodeInit {
+		decodeInit[i] = int64(r.intn(8))
+	}
+	decode := pb.ReadOnlyObject("decode", decodeInit)
+	// Simulated instruction stream: opcode(6 bits)<<16 | addr field.
+	mk := func(seed uint64, card int) []int64 {
+		ops := genSkewed(seed, s.N, card)
+		out := make([]int64, s.N)
+		rr := newRNG(seed ^ 0xABCD)
+		for i := range out {
+			out[i] = ops[i]<<16 | int64(rr.intn(1<<12))
+		}
+		return out
+	}
+	istream := pb.ReadOnlyObject("istream", concat(mk(101, 20), mk(202, 24)))
+	results := pb.Object("results", 64, nil)
+	selseq := pb.ReadOnlyObject("selseq",
+		concat(genSelSeq(0x8A, s.N, 36), genSelSeq(0x8B, s.N, 36)))
+	mix := addMixer(pb)
+	wide := addWideScan(pb, decode, 63)
+	variants := addVariantKernels(pb, "exec", 36, 0x8C, decode, 63,
+		[]ir.MemID{brktable}, 31)
+
+	// ckbrkpts(addr): scan the breakpoint table; found=1 when an armed
+	// entry matches addr &^ 3.
+	ck := pb.Func("ckbrkpts", 1)
+	addr := ck.Param(0)
+	ckEntry := ck.NewBlock()
+	ckHead := ck.NewBlock()
+	ckBody := ck.NewBlock()
+	ckCmp := ck.NewBlock()
+	ckLatch := ck.NewBlock()
+	ckMatch := ck.NewBlock()
+	ckExit := ck.NewBlock()
+	found, i, base, p, code, a := ck.NewReg(), ck.NewReg(), ck.NewReg(), ck.NewReg(), ck.NewReg(), ck.NewReg()
+	ckEntry.MovI(found, 0)
+	ckEntry.MovI(i, 0)
+	ckEntry.Lea(base, brktable, 0)
+	ckHead.BgeI(i, 16, ckExit.ID())
+	ckBody.ShlI(p, i, 1)
+	ckBody.Add(p, base, p)
+	ckBody.Ld(code, p, 0, brktable)
+	ckBody.BeqI(code, 0, ckLatch.ID())
+	ckCmp.Ld(a, p, 1, brktable)
+	ckCmp.AndI(a, a, ^int64(3))
+	ckCmp.Beq(a, addr, ckMatch.ID())
+	ckLatch.AddI(i, i, 1)
+	ckLatch.Jmp(ckHead.ID())
+	ckMatch.MovI(found, 1)
+	ckMatch.Jmp(ckExit.ID())
+	ckExit.Ret(found)
+
+	// simDecode(instr): extract the opcode (varying input) and then run a
+	// table-driven classification whose inputs — just the opcode — recur
+	// heavily: the classification block is an acyclic stateless region.
+	sd := pb.Func("sim_decode", 1)
+	instr := sd.Param(0)
+	sdEntry := sd.NewBlock()
+	sdHot := sd.NewBlock()
+	sdExit := sd.NewBlock()
+	sdSlow := sd.NewBlock()
+	op, cls, x, y := sd.NewReg(), sd.NewReg(), sd.NewReg(), sd.NewReg()
+	dbase := sd.NewReg()
+	sdEntry.SraI(op, instr, 16)
+	sdEntry.AndI(op, op, 63)
+	sdHot.Lea(dbase, decode, 0)
+	sdHot.Add(x, dbase, op)
+	sdHot.Ld(cls, x, 0, decode)
+	sdHot.MulI(x, cls, 5)
+	sdHot.Add(x, x, op)
+	sdHot.AndI(y, op, 7)
+	sdHot.Shl(y, cls, y)
+	sdHot.Add(x, x, y)
+	sdHot.BgtI(cls, 5, sdSlow.ID())
+	sdExit.Ret(x)
+	sdSlow.MulI(x, x, 3)
+	sdSlow.AddI(x, x, 11)
+	sdSlow.Jmp(sdExit.ID())
+
+	// main(dataset): simulate Rounds passes over the instruction stream;
+	// a temporary breakpoint is set and reset rarely (the paper's
+	// settmpbrk/rsttmpbrk pattern), invalidating recorded scans. Between
+	// kernel calls, mix models the simulator housekeeping no reuse scheme
+	// captures, and wide_scan adds recurring-but-wide computations that
+	// count as potential yet exceed the instance banks.
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jWide := f.NewBlock()
+	jBrk := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, ibase, w, pc, hit, d2, tmp, tb := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	mrounds := f.NewReg()
+	a1, a2, a3, a4, a5, a6 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	tmp2 := f.NewReg()
+	z := f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	va, vb := f.NewReg(), f.NewReg()
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MovI(mrounds, 6)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp2, selseq, 0)
+	mEntry.Add(sbase, sbase, tmp2)
+	mEntry.MulI(ibase, ds, int64(s.N))
+	mEntry.Lea(tmp2, istream, 0)
+	mEntry.Add(ibase, ibase, tmp2)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(w, ibase, j)
+	jBody.Ld(w, w, 0, istream)
+	jBody.ShlI(pc, j, 2)
+	jBody.Call(hit, ck.ID(), pc)
+	jBody.Add(total, total, hit)
+	jBody.Call(d2, sd.ID(), w)
+	jBody.Add(total, total, d2)
+	jBody.Call(total, mix, total, mrounds)
+	// Execute-stage handler dispatch (the long tail of small kernels).
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, selseq)
+	jBody.XorI(va, sel, 9)
+	jBody.MulI(vb, sel, 3)
+	jBody.AndI(vb, vb, 31)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, va, vb, va, vb, sel, va, vb}, variants)
+	jChk.Add(total, total, dv)
+	jChk.AndI(tmp, j, 3)
+	jChk.BneI(tmp, 0, jLatch.ID())
+	// Every 4th instruction: the wide-interface scan (potential-only).
+	jWide.SraI(a1, w, 16)
+	jWide.AndI(a1, a1, 15)
+	jWide.SraI(a2, w, 17)
+	jWide.AndI(a2, a2, 7)
+	jWide.SraI(a3, w, 18)
+	jWide.AndI(a3, a3, 7)
+	jWide.SraI(a4, w, 19)
+	jWide.AndI(a4, a4, 7)
+	jWide.SraI(a5, w, 20)
+	jWide.AndI(a5, a5, 3)
+	jWide.SraI(a6, w, 21)
+	jWide.AndI(a6, a6, 3)
+	jWide.Call(d2, wide, a1, a2, a3, a4, a5, a6)
+	jWide.Add(total, total, d2)
+	jWide.RemI(tmp, j, int64(s.N/2+1))
+	jWide.BneI(tmp, int64(s.N/2), jLatch.ID())
+	// Arm then immediately disarm a temporary breakpoint (rare), so the
+	// common ckbrkpts path stays breakpoint-free on both data sets while
+	// the table's recorded computations are invalidated.
+	jBrk.Lea(tb, brktable, 6)
+	jBrk.St(tb, 0, rr, brktable)
+	jBrk.MovI(z, 0)
+	jBrk.St(tb, 0, z, brktable)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.Lea(tb, results, 0)
+	rLatch.AndI(tmp, rr, 63)
+	rLatch.Add(tb, tb, tmp)
+	rLatch.St(tb, 0, total, results)
+	rLatch.AddI(rr, rr, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "m88ksim",
+		Paper: "124.m88ksim",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Processor simulator: per-instruction breakpoint-table scan (Figure 3) and table-driven decode; few large, hot, rarely-invalidated regions.",
+	}
+}

@@ -1,0 +1,454 @@
+package workloads
+
+import "ccr/internal/ir"
+
+func init() {
+	register("ijpeg", buildIjpeg)
+	register("mpeg2enc", buildMpeg2)
+	register("vortex", buildVortex)
+}
+
+// buildIjpeg models 132.ijpeg: image compression whose hot kernels are
+// table-driven — quantization with divides, a saturating range-limit
+// lookup, and a 1-D transform pass over read-only cosine coefficients.
+// Flat image regions make coefficient values recur heavily.
+func buildIjpeg(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("ijpeg")
+
+	quant := pb.ReadOnlyObject("quant", func() []int64 {
+		t := make([]int64, 64)
+		for i := range t {
+			t[i] = int64(1 + (i*5+3)%23)
+		}
+		return t
+	}())
+	clamp := pb.ReadOnlyObject("clamp", func() []int64 {
+		t := make([]int64, 256)
+		for i := range t {
+			v := i - 64
+			if v < 0 {
+				v = 0
+			}
+			if v > 127 {
+				v = 127
+			}
+			t[i] = int64(v)
+		}
+		return t
+	}())
+	cosTab := pb.ReadOnlyObject("cos_tab", func() []int64 {
+		t := make([]int64, 8)
+		for i := range t {
+			t[i] = int64([8]int{91, 88, 83, 75, 64, 50, 35, 18}[i])
+		}
+		return t
+	}())
+	coeffs := pb.ReadOnlyObject("coeffs",
+		concat(genSkewed(0xA1, s.N, 14), genSkewed(0xA2, s.N, 20)))
+	outbuf := pb.Object("outbuf", 64, nil)
+	jsel := pb.ReadOnlyObject("jsel",
+		concat(genSelSeq(0xAA, s.N, 12), genSelSeq(0xAB, s.N, 12)))
+	mix := addMixer(pb)
+	jVariants := addVariantKernels(pb, "huff", 12, 0xAC, clamp, 255, nil, 0)
+
+	// quantize(c, q): divide + clamp-table saturation (group SL_2).
+	qz := pb.Func("quantize", 2)
+	cc, qq := qz.Param(0), qz.Param(1)
+	qHot := qz.NewBlock()
+	qExit := qz.NewBlock()
+	qv, qb2, qi := qz.NewReg(), qz.NewReg(), qz.NewReg()
+	qHot.MulI(qv, cc, 16)
+	qHot.Div(qv, qv, qq)
+	qHot.AddI(qi, qv, 64)
+	qHot.AndI(qi, qi, 255)
+	qHot.Lea(qb2, clamp, 0)
+	qHot.Add(qb2, qb2, qi)
+	qHot.Ld(qv, qb2, 0, clamp)
+	qHot.Jmp(qExit.ID())
+	qExit.Ret(qv)
+
+	// dct1d(a, b): butterfly pass over the 8 cosine coefficients — a
+	// cyclic stateless region on a recurring (a, b) pair domain.
+	dc := pb.Func("dct1d", 2)
+	da, db := dc.Param(0), dc.Param(1)
+	dEntry := dc.NewBlock()
+	dHead := dc.NewBlock()
+	dBody := dc.NewBlock()
+	dLatch := dc.NewBlock()
+	dExit := dc.NewBlock()
+	acc, k, cb, cw, t1 := dc.NewReg(), dc.NewReg(), dc.NewReg(), dc.NewReg(), dc.NewReg()
+	dEntry.MovI(acc, 0)
+	dEntry.MovI(k, 0)
+	dEntry.Lea(cb, cosTab, 0)
+	dHead.BgeI(k, 8, dExit.ID())
+	dBody.Add(cw, cb, k)
+	dBody.Ld(cw, cw, 0, cosTab)
+	dBody.Mul(t1, cw, da)
+	dBody.Add(acc, acc, t1)
+	dBody.Mul(t1, cw, db)
+	dBody.Sub(acc, acc, t1)
+	dBody.SraI(acc, acc, 1)
+	dLatch.AddI(k, k, 1)
+	dLatch.Jmp(dHead.ID())
+	dExit.Ret(acc)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, cbase, cv, qv2, dv, tmp, qsel, ob := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	prev := f.NewReg()
+	qb := f.NewReg()
+	mrounds := f.NewReg()
+	sel, hvv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 17)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, jsel, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MovI(prev, 0)
+	mEntry.MulI(cbase, ds, int64(s.N))
+	mEntry.Lea(tmp, coeffs, 0)
+	mEntry.Add(cbase, cbase, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(tmp, cbase, j)
+	jBody.Ld(cv, tmp, 0, coeffs)
+	jBody.AndI(qsel, j, 63)
+	jBody.Lea(qb, quant, 0)
+	jBody.Add(qb, qb, qsel)
+	jBody.Ld(qsel, qb, 0, quant)
+	jBody.Call(qv2, qz.ID(), cv, qsel)
+	jBody.Add(total, total, qv2)
+	jBody.Call(dv, dc.ID(), cv, prev)
+	jBody.Add(total, total, dv)
+	jBody.Call(total, mix, total, mrounds)
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, jsel)
+	emitDispatch(f, jBody, jChk.ID(), sel, hvv,
+		[8]ir.Reg{sel, cv, sel, cv, sel, cv, sel, cv}, jVariants)
+	jChk.Add(total, total, hvv)
+	jChk.Mov(prev, cv)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.Lea(ob, outbuf, 0)
+	rLatch.AndI(tmp, rr, 63)
+	rLatch.Add(ob, ob, tmp)
+	rLatch.St(ob, 0, total, outbuf)
+	rLatch.AddI(rr, rr, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "ijpeg",
+		Paper: "132.ijpeg",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "JPEG codec: quantization divides, clamp-table saturation and a cosine butterfly loop over recurring coefficient pairs.",
+	}
+}
+
+// buildMpeg2 models mpeg2enc: motion estimation compares macroblock rows of
+// two frame buffers that change once per encoded frame; within a frame the
+// same candidate pairs are compared repeatedly, and quantization divides
+// recur on a small value set.
+func buildMpeg2(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("mpeg2enc")
+	const frameWords = 256
+
+	mkFrame := func(seed uint64) []int64 {
+		return genSkewed(seed, frameWords, 24)
+	}
+	ref := pb.Object("refframe", frameWords, mkFrame(0xF1))
+	cur := pb.Object("curframe", frameWords, mkFrame(0xF2))
+	cands := pb.ReadOnlyObject("cands",
+		concat(genSkewed(0xC1, s.N, 12), genSkewed(0xC2, s.N, 19)))
+	bits := pb.Object("bits", 32, nil)
+	msel := pb.ReadOnlyObject("msel",
+		concat(genSelSeq(0xBA, s.N, 10), genSelSeq(0xBB, s.N, 10)))
+	mix := addMixer(pb)
+	mVariants := addVariantKernels(pb, "bitop", 10, 0xBC, cands, 63,
+		[]ir.MemID{ref}, 255)
+
+	// sad16(a, b): sum of absolute differences over a 16-pixel row —
+	// cyclic MD over both frame buffers.
+	sad := pb.Func("sad16", 2)
+	pa, pbr := sad.Param(0), sad.Param(1)
+	sEntry := sad.NewBlock()
+	sHead := sad.NewBlock()
+	sBody := sad.NewBlock()
+	sLatch := sad.NewBlock()
+	sNeg := sad.NewBlock()
+	sExit := sad.NewBlock()
+	acc, k, va, vb, d := sad.NewReg(), sad.NewReg(), sad.NewReg(), sad.NewReg(), sad.NewReg()
+	t1, t2 := sad.NewReg(), sad.NewReg()
+	sEntry.MovI(acc, 0)
+	sEntry.MovI(k, 0)
+	sHead.BgeI(k, 16, sExit.ID())
+	sBody.Add(t1, pa, k)
+	sBody.Ld(va, t1, 0, cur)
+	sBody.Add(t2, pbr, k)
+	sBody.Ld(vb, t2, 0, ref)
+	sBody.Sub(d, va, vb)
+	sBody.BltI(d, 0, sNeg.ID())
+	sLatch.Add(acc, acc, d)
+	sLatch.AddI(k, k, 1)
+	sLatch.Jmp(sHead.ID())
+	sNeg.Sub(d, k, d) // d = -d without a zero register
+	sNeg.Sub(d, d, k)
+	sNeg.Jmp(sLatch.ID())
+	sExit.Ret(acc)
+
+	// quantDiv(level): divide by a recurring quantizer step.
+	qd := pb.Func("quant_div", 1)
+	lv := qd.Param(0)
+	qEntry := qd.NewBlock()
+	qHot := qd.NewBlock()
+	qExit := qd.NewBlock()
+	qi, qv := qd.NewReg(), qd.NewReg()
+	qEntry.AndI(qi, lv, 31)
+	qHot.AddI(qv, qi, 2)
+	qHot.MulI(qi, qi, 100)
+	qHot.Div(qv, qi, qv)
+	qHot.RemI(qi, qv, 17)
+	qHot.Add(qv, qv, qi)
+	qHot.Jmp(qExit.ID())
+	qExit.Ret(qv)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jLatch := f.NewBlock()
+	rFrame := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, cbase2, cnd, pa2, pb2, sv, qv2, tmp := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	fb, bb := f.NewReg(), f.NewReg()
+	mrounds := f.NewReg()
+	sel, dvv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 42)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, msel, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MulI(cbase2, ds, int64(s.N))
+	mEntry.Lea(tmp, cands, 0)
+	mEntry.Add(cbase2, cbase2, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, 128, rFrame.ID())
+	jBody.AndI(tmp, j, int64(s.N-1))
+	jBody.Add(tmp, cbase2, tmp)
+	jBody.Ld(cnd, tmp, 0, cands)
+	jBody.ShlI(pa2, cnd, 4)
+	jBody.AndI(pa2, pa2, int64(frameWords-16-1))
+	jBody.Lea(tmp, cur, 0)
+	jBody.Add(pa2, tmp, pa2)
+	jBody.MulI(pb2, cnd, 24)
+	jBody.AndI(pb2, pb2, int64(frameWords-16-1))
+	jBody.Lea(tmp, ref, 0)
+	jBody.Add(pb2, tmp, pb2)
+	jBody.Call(sv, sad.ID(), pa2, pb2)
+	jBody.Add(total, total, sv)
+	jBody.Call(qv2, qd.ID(), sv)
+	jBody.Add(total, total, qv2)
+	jBody.Call(total, mix, total, mrounds)
+	jBody.AndI(sel, j, int64(s.N-1))
+	jBody.Add(sel, sbase, sel)
+	jBody.Ld(sel, sel, 0, msel)
+	emitDispatch(f, jBody, jChk.ID(), sel, dvv,
+		[8]ir.Reg{sel, cnd, sel, cnd, sel, cnd, sel, cnd}, mVariants)
+	jChk.Add(total, total, dvv)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	// Frame boundary: motion-compensate a few pixels into both buffers.
+	rFrame.Lea(fb, cur, 0)
+	rFrame.AndI(tmp, rr, int64(frameWords-1))
+	rFrame.Add(fb, fb, tmp)
+	rFrame.St(fb, 0, total, cur)
+	rFrame.Lea(fb, ref, 0)
+	rFrame.AndI(tmp, total, int64(frameWords-1))
+	rFrame.Add(fb, fb, tmp)
+	rFrame.St(fb, 0, rr, ref)
+	rFrame.Lea(bb, bits, 0)
+	rFrame.AndI(tmp, rr, 31)
+	rFrame.Add(bb, bb, tmp)
+	rFrame.St(bb, 0, total, bits)
+	rFrame.AddI(rr, rr, 1)
+	rFrame.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "mpeg2enc",
+		Paper: "mpeg2enc",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Video encoder: 16-pixel SAD search over two frame buffers mutated at frame boundaries, plus quantizer divides on a small level set.",
+	}
+}
+
+// buildVortex models 147.vortex: an object database whose validation pass
+// walks object descriptors against a read-only schema. The same objects
+// are validated repeatedly between rare updates, giving strong
+// memory-dependent reuse.
+func buildVortex(s Scale) *Benchmark {
+	pb := ir.NewProgramBuilder("vortex")
+	const objects, fields = 12, 6
+
+	db := pb.Object("db", objects*fields, func() []int64 {
+		t := make([]int64, objects*fields)
+		r := newRNG(0xD1)
+		for i := range t {
+			t[i] = int64(r.intn(50))
+		}
+		return t
+	}())
+	schema := pb.ReadOnlyObject("schema", func() []int64 {
+		t := make([]int64, fields)
+		for i := range t {
+			t[i] = int64(10 + i*9)
+		}
+		return t
+	}())
+	queries := pb.ReadOnlyObject("queries",
+		concat(genSkewed(0xE1, s.N, objects), genSkewed(0xE2, s.N, objects)))
+	log := pb.Object("log", 64, nil)
+	selseq := pb.ReadOnlyObject("selseq",
+		concat(genSelSeq(0x3A, s.N, 24), genSelSeq(0x3B, s.N, 24)))
+	mix := addMixer(pb)
+	wide := addWideScan(pb, db, 63)
+	variants := addVariantKernels(pb, "check", 24, 0x3C, schema, 3,
+		[]ir.MemID{db}, 63)
+
+	// validate(obase): check each field of one object against the
+	// schema bound — cyclic MD over db + read-only schema.
+	vd := pb.Func("validate", 1)
+	obase := vd.Param(0)
+	vEntry := vd.NewBlock()
+	vHead := vd.NewBlock()
+	vBody := vd.NewBlock()
+	vBad := vd.NewBlock()
+	vLatch := vd.NewBlock()
+	vExit := vd.NewBlock()
+	bad, k, fv, sb2, sv := vd.NewReg(), vd.NewReg(), vd.NewReg(), vd.NewReg(), vd.NewReg()
+	p := vd.NewReg()
+	vEntry.MovI(bad, 0)
+	vEntry.MovI(k, 0)
+	vEntry.Lea(sb2, schema, 0)
+	vHead.BgeI(k, fields, vExit.ID())
+	vBody.Add(p, obase, k)
+	vBody.Ld(fv, p, 0, db)
+	vBody.Add(p, sb2, k)
+	vBody.Ld(sv, p, 0, schema)
+	vBody.Ble(fv, sv, vLatch.ID())
+	vBad.AddI(bad, bad, 1)
+	vLatch.AddI(k, k, 1)
+	vLatch.Jmp(vHead.ID())
+	vExit.Ret(bad)
+
+	// hashKey(q): stateless hash-index kernel.
+	hk := pb.Func("hash_key", 1)
+	q := hk.Param(0)
+	kHot := hk.NewBlock()
+	kExit := hk.NewBlock()
+	h, t := hk.NewReg(), hk.NewReg()
+	kHot.MulI(h, q, 2654435)
+	kHot.ShrI(t, h, 8)
+	kHot.Xor(h, h, t)
+	kHot.AndI(h, h, 1023)
+	kHot.Jmp(kExit.ID())
+	kExit.Ret(h)
+
+	f := pb.Func("main", 1)
+	ds := f.Param(0)
+	mEntry := f.NewBlock()
+	rHead := f.NewBlock()
+	jInit := f.NewBlock()
+	jHead := f.NewBlock()
+	jBody := f.NewBlock()
+	jChk := f.NewBlock()
+	jUpd := f.NewBlock()
+	jLatch := f.NewBlock()
+	rLatch := f.NewBlock()
+	mExit := f.NewBlock()
+	total, rr, j, qbase, qv, ob2, bv, hv, tmp, lb := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	dbb := f.NewReg()
+	mrounds := f.NewReg()
+	w1, w2 := f.NewReg(), f.NewReg()
+	sel, dv, sbase := f.NewReg(), f.NewReg(), f.NewReg()
+	mEntry.MovI(mrounds, 3)
+	mEntry.MulI(sbase, ds, int64(s.N))
+	mEntry.Lea(tmp, selseq, 0)
+	mEntry.Add(sbase, sbase, tmp)
+	mEntry.MovI(total, 0)
+	mEntry.MovI(rr, 0)
+	mEntry.MulI(qbase, ds, int64(s.N))
+	mEntry.Lea(tmp, queries, 0)
+	mEntry.Add(qbase, qbase, tmp)
+	rHead.BgeI(rr, int64(s.Rounds), mExit.ID())
+	jInit.MovI(j, 0)
+	jHead.BgeI(j, int64(s.N), rLatch.ID())
+	jBody.Add(tmp, qbase, j)
+	jBody.Ld(qv, tmp, 0, queries)
+	jBody.MulI(ob2, qv, fields)
+	jBody.Lea(tmp, db, 0)
+	jBody.Add(ob2, tmp, ob2)
+	jBody.Call(bv, vd.ID(), ob2)
+	jBody.Add(total, total, bv)
+	jBody.Call(hv, hk.ID(), qv)
+	jBody.Add(total, total, hv)
+	jBody.Call(total, mix, total, mrounds)
+	// Index-consistency sweep with a wide recurring interface.
+	jBody.AndI(w1, qv, 7)
+	jBody.AddI(w2, qv, 1)
+	jBody.AndI(w2, w2, 7)
+	jBody.Call(bv, wide, w1, w2, qv, w1, w2, qv)
+	jBody.Add(total, total, bv)
+	// Per-attribute consistency checks.
+	jBody.Add(sel, sbase, j)
+	jBody.Ld(sel, sel, 0, selseq)
+	emitDispatch(f, jBody, jChk.ID(), sel, dv,
+		[8]ir.Reg{sel, qv, w1, w2, qv, sel, w1, w2}, variants)
+	jChk.Add(total, total, dv)
+	jChk.RemI(tmp, j, int64(s.N/2+1))
+	jChk.BneI(tmp, int64(s.N/2), jLatch.ID())
+	// Rare database update.
+	jUpd.Lea(dbb, db, 0)
+	jUpd.AndI(tmp, total, int64(objects*fields-1))
+	jUpd.Add(dbb, dbb, tmp)
+	jUpd.St(dbb, 0, rr, db)
+	jLatch.AddI(j, j, 1)
+	jLatch.Jmp(jHead.ID())
+	rLatch.Lea(lb, log, 0)
+	rLatch.AndI(tmp, rr, 63)
+	rLatch.Add(lb, lb, tmp)
+	rLatch.St(lb, 0, total, log)
+	rLatch.AddI(rr, rr, 1)
+	rLatch.Jmp(rHead.ID())
+	mExit.Ret(total)
+
+	return &Benchmark{
+		Name:  "vortex",
+		Paper: "147.vortex",
+		Prog:  pb.Build(),
+		Train: []int64{DatasetTrain},
+		Ref:   []int64{DatasetRef},
+		About: "Object database: per-query descriptor validation against a read-only schema with rare updates — strong cyclic MD reuse.",
+	}
+}

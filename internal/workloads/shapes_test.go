@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"testing"
+
+	"ccr/internal/core"
+	"ccr/internal/ir"
+)
+
+// compileTiny compiles a benchmark at Tiny scale with paper options.
+func compileTiny(t *testing.T, name string) (*Benchmark, *core.CompileResult) {
+	t.Helper()
+	b := Load(name, Tiny)
+	cr, err := core.Compile(b.Prog, b.Train, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	return b, cr
+}
+
+// regionsOf groups a program's regions by the containing function name.
+func regionsOf(cr *core.CompileResult) map[string][]*ir.Region {
+	out := map[string][]*ir.Region{}
+	for _, rg := range cr.Prog.Regions {
+		name := cr.Prog.Func(rg.Func).Name
+		out[name] = append(out[name], rg)
+	}
+	return out
+}
+
+// Each test below pins the structural claim DESIGN.md makes about a
+// benchmark: which kernels become regions and of what class.
+
+func TestShapeM88ksim(t *testing.T) {
+	_, cr := compileTiny(t, "m88ksim")
+	regs := regionsOf(cr)
+	found := false
+	for _, rg := range regs["ckbrkpts"] {
+		if rg.Kind == ir.Cyclic && rg.Class == ir.MemoryDependent {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ckbrkpts scan must form a cyclic MD region (Figure 3)")
+	}
+	if len(regs["sim_decode"]) == 0 {
+		t.Error("decode classification should form a stateless region")
+	}
+	if len(regs["mix"]) != 0 {
+		t.Error("the mix chain must never form a region")
+	}
+}
+
+func TestShapeEspresso(t *testing.T) {
+	_, cr := compileTiny(t, "espresso")
+	regs := regionsOf(cr)
+	var co *ir.Region
+	for _, rg := range regs["count_ones"] {
+		co = rg
+	}
+	if co == nil {
+		t.Fatal("count_ones must form a region (Figure 2)")
+	}
+	if co.Class != ir.Stateless || len(co.Inputs) != 1 || len(co.Outputs) != 1 {
+		t.Errorf("count_ones region: class %v in=%v out=%v; Figure 2 wants SL 1→1",
+			co.Class, co.Inputs, co.Outputs)
+	}
+	if len(regs["wide_scan"]) != 0 {
+		t.Error("wide_scan exceeds the instance banks and must be rejected")
+	}
+}
+
+func TestShapeLexYacc(t *testing.T) {
+	_, cr := compileTiny(t, "lex")
+	regs := regionsOf(cr)
+	ok := false
+	for _, rg := range regs["dfa_step"] {
+		if rg.Class == ir.Stateless && len(rg.Inputs) == 2 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Error("lex dfa_step must form an SL region with (state, char) inputs")
+	}
+	_, cr = compileTiny(t, "yacc")
+	regs = regionsOf(cr)
+	if len(regs["parse_action"]) == 0 {
+		t.Error("yacc parse_action must form a region")
+	}
+}
+
+func TestShapeCompressPoisonedMemory(t *testing.T) {
+	_, cr := compileTiny(t, "compress")
+	regs := regionsOf(cr)
+	if len(regs["hash_mix"]) != 0 {
+		t.Error("hash_mix sees wide operand variation and must be rejected")
+	}
+	// The hash-table probe in main reads constantly-stored memory: no
+	// region may include a load of htab.
+	htab := cr.Prog.ObjectByName("htab")
+	for _, rg := range cr.Prog.Regions {
+		for _, m := range rg.MemObjects {
+			if m == htab.ID {
+				t.Errorf("region %d depends on the constantly-stored hash table", rg.ID)
+			}
+		}
+	}
+	if len(regs["literal_cost"]) == 0 {
+		t.Error("literal_cost is compress's small reusable kernel")
+	}
+}
+
+func TestShapeMemoryDependentSuite(t *testing.T) {
+	// The benchmarks the paper singles out for memory reuse must form MD
+	// regions over their characteristic tables.
+	cases := []struct{ bench, fn, obj string }{
+		{"li", "lookup", "symtab"},
+		{"sc", "range_sum", "cells"},
+		{"vortex", "validate", "db"},
+		{"mpeg2enc", "sad16", "curframe"},
+	}
+	for _, tc := range cases {
+		_, cr := compileTiny(t, tc.bench)
+		obj := cr.Prog.ObjectByName(tc.obj)
+		if obj == nil {
+			t.Fatalf("%s: object %s missing", tc.bench, tc.obj)
+		}
+		found := false
+		for _, rg := range cr.Prog.Regions {
+			if cr.Prog.Func(rg.Func).Name != tc.fn {
+				continue
+			}
+			for _, m := range rg.MemObjects {
+				if m == obj.ID {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s must form an MD region over %s", tc.bench, tc.fn, tc.obj)
+		}
+	}
+}
+
+func TestShapeVariantFamilies(t *testing.T) {
+	// The case-handler families must contribute many formed regions with
+	// mixed group classes (the Figure 9 spread).
+	for _, tc := range []struct {
+		bench  string
+		prefix string
+		min    int
+	}{
+		{"gcc", "case_", 20},
+		{"li", "eval_", 15},
+		{"vortex", "check_", 8},
+	} {
+		_, cr := compileTiny(t, tc.bench)
+		n := 0
+		for _, rg := range cr.Prog.Regions {
+			name := cr.Prog.Func(rg.Func).Name
+			if len(name) >= len(tc.prefix) && name[:len(tc.prefix)] == tc.prefix {
+				n++
+			}
+		}
+		if n < tc.min {
+			t.Errorf("%s: only %d %s* regions formed, want ≥ %d", tc.bench, n, tc.prefix, tc.min)
+		}
+	}
+}
+
+func TestInvalidationsHappen(t *testing.T) {
+	// Benchmarks with mutated region memory must execute invalidations.
+	for _, name := range []string{"m88ksim", "li", "sc", "vortex", "mpeg2enc", "go"} {
+		b, cr := compileTiny(t, name)
+		opts := core.DefaultOptions()
+		res, err := core.RunFunctional(cr.Prog, &opts.CRB, b.Train, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Emu.Invalidations == 0 {
+			t.Errorf("%s: expected invalidate instructions to execute", name)
+		}
+	}
+}
+
+func TestTrainRefDatasetsDiffer(t *testing.T) {
+	for _, name := range Names() {
+		b := Load(name, Tiny)
+		tr, err := core.RunFunctional(b.Prog, nil, b.Train, 0)
+		if err != nil {
+			t.Fatalf("%s train: %v", name, err)
+		}
+		rf, err := core.RunFunctional(b.Prog, nil, b.Ref, 0)
+		if err != nil {
+			t.Fatalf("%s ref: %v", name, err)
+		}
+		if tr.Result == rf.Result {
+			t.Errorf("%s: training and reference runs computed identical results — inputs too similar", name)
+		}
+	}
+}

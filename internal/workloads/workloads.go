@@ -1,0 +1,405 @@
+// Package workloads provides the benchmark suite of the reproduction: 13
+// synthetic IR programs named after the paper's SPECINT92/95, UNIX and
+// MediaBench programs (§5.1). The originals are proprietary; each synthetic
+// program reconstructs the kernels and the value-locality structure the
+// paper attributes to its namesake, so the CRB sweeps reproduce the same
+// qualitative shapes:
+//
+//   - 124.m88ksim: a breakpoint-table scan (the paper's Figure 3 ckbrkpts
+//     example) and a read-only decode table — few, large, hot cyclic
+//     regions ⇒ the biggest speedup of the suite.
+//   - pgpencode: radix-64 group encoding with a wide set of recurring
+//     input tuples ⇒ most sensitive to the number of computation
+//     instances per entry.
+//   - 129.compress: hash-table updates poison most memory reuse; many
+//     equally-weighted small regions ⇒ flat TOP-N distribution, small
+//     speedup.
+//   - lex/yacc: table-driven automata on small (state, symbol) domains ⇒
+//     strong stateless reuse.
+//
+// Every program embeds a training and a reference input data set in its
+// memory image; main's first argument selects the data set, so the same
+// (transformed) program text serves both the training and reference runs
+// of Figure 11.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"ccr/internal/ir"
+)
+
+// DatasetTrain and DatasetRef select the embedded input set via main's
+// first argument.
+const (
+	DatasetTrain int64 = 0
+	DatasetRef   int64 = 1
+)
+
+// Scale sets workload sizes: N is the input element count, Rounds the
+// outer repetition count. Dynamic instruction counts grow roughly with
+// N × Rounds.
+type Scale struct {
+	N      int
+	Rounds int
+}
+
+// Predefined scales: Tiny keeps unit tests fast, Small suits integration
+// tests, Medium drives the paper-figure regeneration, Large stresses.
+var (
+	Tiny   = Scale{N: 64, Rounds: 6}
+	Small  = Scale{N: 256, Rounds: 12}
+	Medium = Scale{N: 1024, Rounds: 24}
+	Large  = Scale{N: 4096, Rounds: 48}
+)
+
+// Benchmark is one ready-to-run workload.
+type Benchmark struct {
+	Name string
+	// Paper is the benchmark's name in the paper's figures.
+	Paper string
+	// Prog is the base (untransformed) program.
+	Prog *ir.Program
+	// Train and Ref are the main() argument vectors for the training and
+	// reference inputs.
+	Train, Ref []int64
+	// About describes what the synthetic program models.
+	About string
+}
+
+type builder func(s Scale) *Benchmark
+
+var registry = map[string]builder{}
+
+func register(name string, b builder) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate benchmark %q", name))
+	}
+	registry[name] = b
+}
+
+// Names returns the registered benchmark names in the paper's figure order.
+func Names() []string {
+	order := []string{
+		"espresso", "sc", "go", "m88ksim", "gcc", "compress",
+		"li", "ijpeg", "vortex", "lex", "yacc", "mpeg2enc", "pgpencode",
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	// Defensive: include any extras deterministically.
+	var extra []string
+	for n := range registry {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// Load builds the named benchmark at the given scale. It panics on unknown
+// names (a programming error) and verifies the program.
+func Load(name string, s Scale) *Benchmark {
+	b, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("workloads: unknown benchmark %q", name))
+	}
+	bench := b(s)
+	ir.MustVerify(bench.Prog)
+	return bench
+}
+
+// All builds every registered benchmark at the given scale.
+func All(s Scale) []*Benchmark {
+	names := Names()
+	out := make([]*Benchmark, 0, len(names))
+	for _, n := range names {
+		out = append(out, Load(n, s))
+	}
+	return out
+}
+
+// rng is a splitmix64 generator for deterministic synthetic data.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// skewed draws values from a domain of `card` distinct values with a
+// geometric skew: low indices dominate, approximating the skewed value
+// profiles the paper's value-locality studies report.
+func (r *rng) skewed(card int) int {
+	if card <= 1 {
+		return 0
+	}
+	v := 0
+	for v < card-1 && r.intn(100) < 58 {
+		v++
+	}
+	// Mix so that "hot" values are not simply 0..k in order.
+	return (v * 7) % card
+}
+
+// genSkewed fills a slice with n values drawn from card distinct values
+// (0..card-1 remapped through a per-seed permutation) with geometric skew.
+func genSkewed(seed uint64, n, card int) []int64 {
+	r := newRNG(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.skewed(card))
+	}
+	return out
+}
+
+// genUniform fills a slice with n uniform values in [0, card).
+func genUniform(seed uint64, n, card int) []int64 {
+	r := newRNG(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.intn(card))
+	}
+	return out
+}
+
+// concat embeds the training set followed by the reference set in one
+// object image; kernels index with base = dataset * len(train).
+func concat(train, ref []int64) []int64 {
+	out := make([]int64, 0, len(train)+len(ref))
+	out = append(out, train...)
+	out = append(out, ref...)
+	return out
+}
+
+// addMixer adds the shared "mix" function: mix(seed, rounds) models the
+// bulk of program execution that block- and region-level reuse cannot
+// capture. Each iteration narrows the running seed into a small-domain
+// value and computes on it — so most *individual* instructions repeat
+// their inputs (the instruction-level repetition the paper's §5.2 scalar
+// divides by), while the iteration's accumulator chain keeps the block-
+// and loop-level signatures unique, leaving nothing for the CCR (or any
+// coarse-grained scheme) to exploit. This reproduces the gap between
+// high instruction repetition and much lower coarse-grain reusability
+// that motivates the paper.
+func addMixer(pb *ir.ProgramBuilder) ir.FuncID {
+	f := pb.Func("mix", 2)
+	a, n := f.Param(0), f.Param(1)
+	entry := f.NewBlock()
+	head := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	i, t, v, w := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.MovI(i, 0)
+	head.Bge(i, n, exit.ID())
+	// Narrow the unique seed (these two do not repeat)...
+	body.ShrI(t, a, 9)
+	body.AndI(v, t, 15)
+	// ...then compute on the narrow value (these repeat individually).
+	body.MulI(w, v, 13)
+	body.AddI(w, w, 7)
+	body.Xor(w, w, v)
+	body.ShlI(v, v, 2)
+	body.Add(w, w, v)
+	body.MulI(t, v, 21)
+	body.XorI(t, t, 5)
+	body.Add(w, w, t)
+	body.SraI(t, w, 3)
+	body.AndI(t, t, 63)
+	body.Add(w, w, t)
+	// Fold back into the unique accumulator (does not repeat).
+	body.Add(a, a, w)
+	body.Add(a, a, i)
+	body.AddI(i, i, 1)
+	body.Jmp(head.ID())
+	exit.Ret(a)
+	return f.ID()
+}
+
+// addWideScan adds the shared "wide_scan" function: a table scan whose
+// invocation inputs recur (so it counts as region-level reuse potential in
+// the Figure 4 limit study) but whose live-in register set exceeds the
+// eight-entry computation-instance bank, so RCR formation must reject it —
+// the gap between reuse potential and exploitable reuse that separates the
+// paper's Figure 4 from its Figure 8 speedups.
+func addWideScan(pb *ir.ProgramBuilder, tab ir.MemID, mask int64) ir.FuncID {
+	f := pb.Func("wide_scan", 6)
+	x1, x2, x3, x4, x5, x6 := f.Param(0), f.Param(1), f.Param(2), f.Param(3), f.Param(4), f.Param(5)
+	entry := f.NewBlock()
+	head := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	acc, i, base, p, v, t := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.MovI(acc, 0)
+	entry.MovI(i, 0)
+	entry.Lea(base, tab, 0)
+	head.BgeI(i, 8, exit.ID())
+	body.Add(p, x1, i)
+	body.AndI(p, p, mask)
+	body.Add(p, base, p)
+	body.Ld(v, p, 0, tab)
+	body.Add(acc, acc, v)
+	body.Add(t, x2, x3)
+	body.Add(acc, acc, t)
+	body.Xor(t, x4, x5)
+	body.Add(acc, acc, t)
+	body.Add(acc, acc, x6)
+	body.AddI(i, i, 1)
+	body.Jmp(head.ID())
+	exit.Ret(acc)
+	return f.ID()
+}
+
+// variantSpec controls one generated kernel family member.
+type variantSpec struct {
+	inputs  int // register inputs used: 1..8
+	memObjs int // writable objects read: 0 (stateless), 1..3
+	size    int // approximate body size in instructions
+}
+
+// addVariantKernels generates a family of n small kernel functions —
+// the many similarly-shaped case handlers a large program (compiler,
+// database, interpreter) dispatches over. Variants differ in constants,
+// register-input counts (1..8, populating the SL_4/SL_6/SL_8 groups of
+// Figure 9) and memory dependence (reading roTab or the writable wrTabs,
+// populating the MD groups). Families of this size are what give a
+// 32-entry CRB real conflict pressure in Figure 8(b).
+//
+// Every variant takes 8 parameters (callers pass mixes of the dispatch
+// value); variant i only *uses* its first inputs(i) of them, so the
+// region interfaces differ.
+func addVariantKernels(pb *ir.ProgramBuilder, prefix string, n int, seed uint64,
+	roTab ir.MemID, roMask int64, wrTabs []ir.MemID, wrMask int64) []ir.FuncID {
+	r := newRNG(seed)
+	ids := make([]ir.FuncID, n)
+	for i := 0; i < n; i++ {
+		spec := variantSpec{
+			inputs: 1 + r.intn(3),
+			size:   8 + r.intn(8),
+		}
+		switch {
+		case r.intn(100) < 14:
+			spec.inputs = 5 + r.intn(2) // SL_6 band
+		case r.intn(100) < 10:
+			spec.inputs = 7 + r.intn(2) // SL_8 band
+		}
+		if len(wrTabs) > 0 {
+			switch {
+			case r.intn(100) < 34:
+				spec.memObjs = 1
+			case r.intn(100) < 16:
+				spec.memObjs = 2 + r.intn(2)
+			}
+		}
+		ids[i] = addVariant(pb, fmt.Sprintf("%s_%02d", prefix, i), spec,
+			int64(r.intn(251))+3, roTab, roMask, wrTabs, wrMask)
+	}
+	return ids
+}
+
+func addVariant(pb *ir.ProgramBuilder, name string, spec variantSpec, c int64,
+	roTab ir.MemID, roMask int64, wrTabs []ir.MemID, wrMask int64) ir.FuncID {
+	f := pb.Func(name, 8)
+	hot := f.NewBlock()
+	exit := f.NewBlock()
+	acc, t := f.NewReg(), f.NewReg()
+	// The table lookups are driven by the first (stable) parameter so
+	// the variant's high-invariance prefix stays long even when its
+	// trailing parameters carry medium-variety values.
+	hot.MulI(acc, f.Param(0), c)
+	lookup := func(tab ir.MemID, mask int64) {
+		b := f.NewReg()
+		hot.AndI(t, acc, mask)
+		hot.Lea(b, tab, 0)
+		hot.Add(b, b, t)
+		hot.Ld(t, b, 0, tab)
+		hot.Add(acc, acc, t)
+	}
+	lookup(roTab, roMask)
+	for m := 0; m < spec.memObjs && m < len(wrTabs); m++ {
+		lookup(wrTabs[m], wrMask)
+	}
+	emitted := 1 + 5*(1+spec.memObjs)
+	for emitted+2*(spec.inputs-1) < spec.size {
+		hot.ShlI(t, acc, (int64(emitted)%5)+1)
+		hot.Xor(acc, acc, t)
+		emitted += 2
+	}
+	for k := 1; k < spec.inputs; k++ {
+		hot.Add(acc, acc, f.Param(k))
+		hot.XorI(acc, acc, c+int64(k))
+	}
+	hot.Jmp(exit.ID())
+	exit.Ret(acc)
+	return f.ID()
+}
+
+// emitDispatch appends, after block `from`, a compare-and-call chain that
+// invokes variants[sel % len] with the eight argument registers, placing
+// the result in dest and continuing at `cont`. It creates 2·n blocks in
+// layout order (test, call, test, call, …), so the caller must invoke it
+// exactly where the chain belongs. The chain itself is unreusable
+// control-flow glue — the case-dispatch overhead every large program
+// carries.
+func emitDispatch(f *ir.FuncBuilder, from *ir.BlockBuilder, cont ir.BlockID,
+	sel, dest ir.Reg, args [8]ir.Reg, variants []ir.FuncID) {
+	n := len(variants)
+	idx := f.NewReg()
+	from.RemI(idx, sel, int64(n))
+	type pair struct{ test, call *ir.BlockBuilder }
+	cases := make([]pair, n)
+	for i := range cases {
+		cases[i] = pair{test: f.NewBlock(), call: f.NewBlock()}
+	}
+	from.Jmp(cases[0].test.ID())
+	for i, cb := range cases {
+		if i+1 < n {
+			cb.test.BneI(idx, int64(i), cases[i+1].test.ID())
+		} else {
+			cb.test.Nop() // last case: unconditional
+		}
+		cb.call.Call(dest, variants[i], args[0], args[1], args[2], args[3],
+			args[4], args[5], args[6], args[7])
+		cb.call.Jmp(cont)
+	}
+}
+
+// genSelSeq draws dispatch selectors over [0, n): a skewed head (60 %)
+// over the first 16 values plus a uniform plateau (40 %) so every variant
+// stays warm enough to be formed while the hot few dominate.
+func genSelSeq(seed uint64, count, n int) []int64 {
+	r := newRNG(seed)
+	out := make([]int64, count)
+	head := 16
+	if head > n {
+		head = n
+	}
+	for i := range out {
+		if r.intn(100) < 30 {
+			out[i] = int64(r.skewed(head))
+		} else {
+			out[i] = int64(r.intn(n))
+		}
+	}
+	return out
+}

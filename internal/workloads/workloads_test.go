@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"testing"
+
+	"ccr/internal/core"
+	"ccr/internal/ir"
+)
+
+// TestAllBenchmarksPipeline runs every registered benchmark end to end at
+// Tiny scale: compile with the training input, then check architectural
+// equivalence between base and CCR programs on both inputs.
+func TestAllBenchmarksPipeline(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b := Load(name, Tiny)
+			opts := core.DefaultOptions()
+			cr, err := core.Compile(b.Prog, b.Train, opts)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, args := range [][]int64{b.Train, b.Ref} {
+				want, err := core.RunFunctional(b.Prog, nil, args, 0)
+				if err != nil {
+					t.Fatalf("base run %v: %v", args, err)
+				}
+				got, err := core.RunFunctional(cr.Prog, &opts.CRB, args, 0)
+				if err != nil {
+					t.Fatalf("ccr run %v: %v", args, err)
+				}
+				if got.Result != want.Result {
+					t.Fatalf("args %v: ccr result %d != base %d", args, got.Result, want.Result)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarksDeterministic ensures program construction is reproducible.
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a := Load(name, Tiny)
+		b := Load(name, Tiny)
+		if a.Prog.Dump() != b.Prog.Dump() {
+			t.Errorf("%s: non-deterministic program construction", name)
+		}
+	}
+}
+
+// TestM88ksimShape checks the flagship benchmark's expected structure: a
+// cyclic memory-dependent region (the breakpoint scan) plus stateless
+// decode regions, high reuse, and a solid speedup.
+func TestM88ksimShape(t *testing.T) {
+	b := Load("m88ksim", Small)
+	opts := core.DefaultOptions()
+	cr, err := core.Compile(b.Prog, b.Train, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var cyclicMD, statelessN int
+	for _, pl := range cr.Plans {
+		if pl.Kind == ir.Cyclic && pl.Class == ir.MemoryDependent {
+			cyclicMD++
+		}
+		if pl.Class == ir.Stateless {
+			statelessN++
+		}
+	}
+	if cyclicMD == 0 {
+		t.Errorf("expected a cyclic MD region (ckbrkpts scan); plans: %d", len(cr.Plans))
+	}
+	if statelessN == 0 {
+		t.Errorf("expected stateless decode regions")
+	}
+	base, err := core.Simulate(b.Prog, nil, opts.Uarch, b.Train, 0)
+	if err != nil {
+		t.Fatalf("simulate base: %v", err)
+	}
+	ccr, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, b.Train, 0)
+	if err != nil {
+		t.Fatalf("simulate ccr: %v", err)
+	}
+	if ccr.Result != base.Result {
+		t.Fatalf("result mismatch: %d vs %d", ccr.Result, base.Result)
+	}
+	sp := core.Speedup(base, ccr)
+	if sp < 1.2 {
+		t.Errorf("m88ksim speedup %.3f, want ≥ 1.2 (base=%d ccr=%d cycles, hits=%d misses=%d)",
+			sp, base.Cycles, ccr.Cycles, ccr.Emu.ReuseHits, ccr.Emu.ReuseMisses)
+	}
+}

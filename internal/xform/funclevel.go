@@ -1,0 +1,123 @@
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"ccr/internal/ir"
+	"ccr/internal/region"
+)
+
+// splitFuncLevelCalls restructures a (cloned) function so that every
+// function-level call site sits in its own basic block:
+//
+//	[pre: instrs before the call] [call: the call alone] [post: the rest]
+//
+// The transformer's normal layout pass can then insert the reuse inception
+// in front of the call block. All branch targets and the block references
+// of every plan in the same function are remapped to the new numbering.
+// Control enters a split block at its first segment (pre), which is
+// correct for every external edge: the call only executes after the
+// preceding instructions.
+func splitFuncLevelCalls(f *ir.Func, funcPlans []*region.Plan) error {
+	var sites []*region.Plan
+	for _, pl := range funcPlans {
+		if pl.Kind == ir.FuncLevel {
+			sites = append(sites, pl)
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	// Call indices per block, ascending.
+	byBlock := map[ir.BlockID][]int{}
+	planAt := map[ir.InstrRef]*region.Plan{}
+	for _, pl := range sites {
+		if pl.CallSite.Func != f.ID {
+			return fmt.Errorf("plan call site in wrong function")
+		}
+		byBlock[pl.CallSite.Block] = append(byBlock[pl.CallSite.Block], pl.CallSite.Index)
+		planAt[pl.CallSite] = pl
+	}
+	for b, idxs := range byBlock {
+		sort.Ints(idxs)
+		blk := f.Block(b)
+		if blk == nil {
+			return fmt.Errorf("call-site block b%d out of range", b)
+		}
+		for _, i := range idxs {
+			if i >= len(blk.Instrs) || blk.Instrs[i].Op != ir.Call {
+				return fmt.Errorf("call site b%d[%d] is not a call", b, i)
+			}
+		}
+	}
+
+	// Pass 1: new layout. remap[old] = new ID of the block's first
+	// segment; callSeg/postSeg record the per-site segment IDs.
+	type segment struct {
+		instrs []ir.Instr
+	}
+	var segs []segment
+	remap := make([]ir.BlockID, len(f.Blocks))
+	callSeg := map[ir.InstrRef]ir.BlockID{}
+	postSeg := map[ir.InstrRef]ir.BlockID{}
+	for _, blk := range f.Blocks {
+		remap[blk.ID] = ir.BlockID(len(segs))
+		idxs := byBlock[blk.ID]
+		if len(idxs) == 0 {
+			segs = append(segs, segment{instrs: blk.Instrs})
+			continue
+		}
+		start := 0
+		for _, i := range idxs {
+			if i > start {
+				segs = append(segs, segment{instrs: blk.Instrs[start:i]})
+			}
+			// When the call opens the block, external edges land
+			// directly on the call segment; the layout pass will route
+			// them through the inception it inserts in front.
+			ref := ir.InstrRef{Func: f.ID, Block: blk.ID, Index: i}
+			callSeg[ref] = ir.BlockID(len(segs))
+			segs = append(segs, segment{instrs: blk.Instrs[i : i+1]})
+			// Whatever segment is emitted next — the next call's pre
+			// segment, the next call itself, or the remainder — is where
+			// control resumes after this call.
+			postSeg[ref] = ir.BlockID(len(segs))
+			start = i + 1
+		}
+		// Final segment: the remainder (possibly empty, as the landing
+		// pad for the last call's fall-through / reuse continuation).
+		segs = append(segs, segment{instrs: blk.Instrs[start:]})
+	}
+
+	// Pass 2: materialize blocks and retarget branches.
+	newBlocks := make([]*ir.Block, len(segs))
+	for i, sg := range segs {
+		nb := &ir.Block{ID: ir.BlockID(i), Instrs: append([]ir.Instr(nil), sg.instrs...)}
+		for j := range nb.Instrs {
+			in := &nb.Instrs[j]
+			if in.Op.IsBranch() && in.Op != ir.Call && in.Op != ir.Ret {
+				in.Target = remap[in.Target]
+			}
+		}
+		newBlocks[i] = nb
+	}
+	f.Blocks = newBlocks
+
+	// Pass 3: remap every plan of this function.
+	for _, pl := range funcPlans {
+		if pl.Kind == ir.FuncLevel {
+			ref := pl.CallSite
+			pl.Entry = callSeg[ref]
+			pl.Continuation = postSeg[ref]
+			pl.Blocks = []ir.BlockID{callSeg[ref]}
+			continue
+		}
+		for i := range pl.Blocks {
+			pl.Blocks[i] = remap[pl.Blocks[i]]
+		}
+		pl.Entry = remap[pl.Entry]
+		pl.Continuation = remap[pl.Continuation]
+	}
+	return nil
+}

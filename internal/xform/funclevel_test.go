@@ -1,0 +1,168 @@
+package xform
+
+import (
+	"testing"
+
+	"ccr/internal/crb"
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+	"ccr/internal/region"
+)
+
+// buildCallShapes builds a program exercising the splitter's edge cases:
+// two calls in one block, a call as a block's first instruction, and a
+// call as a block's last instruction (falling through to the next block).
+func buildCallShapes(t *testing.T) (*ir.Program, []*region.Plan) {
+	t.Helper()
+	pb := ir.NewProgramBuilder("shapes")
+	g := pb.Func("pure", 1)
+	gb := g.NewBlock()
+	gx := g.NewBlock()
+	v := g.NewReg()
+	gb.AndI(v, g.Param(0), 3)
+	gb.MulI(v, v, 7)
+	gb.AddI(v, v, 1)
+	gb.MulI(v, v, 3)
+	gb.XorI(v, v, 5)
+	gb.Jmp(gx.ID())
+	gx.Ret(v)
+
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	b1 := f.NewBlock() // two calls with arithmetic between
+	b2 := f.NewBlock() // call at index 0
+	b3 := f.NewBlock() // call as last instruction, falls into latch
+	la := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, s, r1, r2 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	b1.AndI(s, k, 3)
+	b1.Call(r1, g.ID(), s)
+	b1.Add(acc, acc, r1)
+	b1.Call(r2, g.ID(), s)
+	b1.Add(acc, acc, r2)
+	b2.Call(r1, g.ID(), acc)
+	b2.Add(acc, acc, r1)
+	b3.AndI(s, k, 1)
+	b3.Call(r2, g.ID(), s)
+	la.Add(acc, acc, r2)
+	la.AddI(k, k, 1)
+	la.Jmp(h.ID())
+	x.Ret(acc)
+	p := ir.MustVerify(pb.Build())
+
+	mkPlan := func(b ir.BlockID, i int, args []ir.Reg, dest ir.Reg) *region.Plan {
+		return &region.Plan{
+			Func: f.ID(), Kind: ir.FuncLevel, Class: ir.Stateless,
+			CallSite: ir.InstrRef{Func: f.ID(), Block: b, Index: i},
+			Callee:   g.ID(),
+			Inputs:   args, Outputs: []ir.Reg{dest},
+			StaticSize: 7,
+		}
+	}
+	plans := []*region.Plan{
+		mkPlan(b1.ID(), 1, []ir.Reg{s}, r1),
+		mkPlan(b1.ID(), 3, []ir.Reg{s}, r2),
+		mkPlan(b2.ID(), 0, []ir.Reg{acc}, r1),
+		mkPlan(b3.ID(), 1, []ir.Reg{s}, r2),
+	}
+	return p, plans
+}
+
+func TestFuncLevelSplitShapes(t *testing.T) {
+	base, plans := buildCallShapes(t)
+	prog, err := Transform(base, plans)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if len(prog.Regions) != 4 {
+		t.Fatalf("regions = %d", len(prog.Regions))
+	}
+	for _, rg := range prog.Regions {
+		if rg.Kind != ir.FuncLevel {
+			t.Fatalf("region %d kind = %v", rg.ID, rg.Kind)
+		}
+	}
+	// The input plans must be untouched (Transform works on copies).
+	for _, pl := range plans {
+		if pl.Entry != 0 || len(pl.Blocks) != 0 {
+			t.Fatalf("caller's plan mutated: %+v", pl)
+		}
+	}
+
+	// Architectural equivalence with and without a CRB, plus hit checks.
+	for _, withCRB := range []bool{false, true} {
+		mb := emu.New(base)
+		want, err := mb.Run(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := emu.New(prog)
+		if withCRB {
+			mc.CRB = crb.New(crb.Config{Entries: 16, Instances: 8}, prog)
+		}
+		got, err := mc.Run(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("withCRB=%v: got %d, want %d", withCRB, got, want)
+		}
+		if withCRB && mc.Stats.ReuseHits == 0 {
+			t.Fatal("expected function-level hits")
+		}
+	}
+}
+
+// TestFuncLevelNoOutputs: a memoized call whose result is discarded.
+func TestFuncLevelNoOutput(t *testing.T) {
+	pb := ir.NewProgramBuilder("noout")
+	g := pb.Func("pure", 1)
+	gb := g.NewBlock()
+	v := g.NewReg()
+	gb.MulI(v, g.Param(0), 3)
+	gb.AddI(v, v, 1)
+	gb.MulI(v, v, 5)
+	gb.AddI(v, v, 2)
+	gb.Ret(v)
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	x := f.NewBlock()
+	k, s := f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.AndI(s, k, 3)
+	bo.Call(ir.NoReg, g.ID(), s)
+	bo.AddI(k, k, 1)
+	bo.Jmp(h.ID())
+	x.Ret(k)
+	p := ir.MustVerify(pb.Build())
+	plans := []*region.Plan{{
+		Func: f.ID(), Kind: ir.FuncLevel, Class: ir.Stateless,
+		CallSite: ir.InstrRef{Func: f.ID(), Block: bo.ID(), Index: 1},
+		Callee:   g.ID(), Inputs: []ir.Reg{s}, StaticSize: 5,
+	}}
+	prog, err := Transform(p, plans)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	m := emu.New(prog)
+	m.CRB = crb.New(crb.Config{Entries: 8, Instances: 8}, prog)
+	got, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Fatalf("result = %d", got)
+	}
+	if m.Stats.ReuseHits < 90 {
+		t.Fatalf("hits = %d", m.Stats.ReuseHits)
+	}
+}

@@ -1,0 +1,363 @@
+// Package xform realizes region-formation plans: it rewrites the base
+// program into the CCR form, inserting a reuse instruction at each region's
+// inception point, marking live-out definitions and region end/exit points
+// with the ISA extension attributes, and placing computation-invalidate
+// instructions after every store that may write a region-registered memory
+// object (paper §3.2 and §4).
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"ccr/internal/ir"
+	"ccr/internal/region"
+)
+
+// Transform clones base and rewrites it according to plans. The clone is
+// linked and ready to execute; base and the plans are left untouched.
+// Region identifiers are assigned in plan order.
+func Transform(base *ir.Program, plans []*region.Plan) (*ir.Program, error) {
+	p := base.Clone()
+	p.Regions = nil
+
+	// Work on private copies: function-level splitting remaps the plans'
+	// block references.
+	work := make([]*region.Plan, len(plans))
+	for i, pl := range plans {
+		cp := *pl
+		cp.Blocks = append([]ir.BlockID(nil), pl.Blocks...)
+		cp.Inputs = append([]ir.Reg(nil), pl.Inputs...)
+		cp.Outputs = append([]ir.Reg(nil), pl.Outputs...)
+		cp.MemObjects = append([]ir.MemID(nil), pl.MemObjects...)
+		work[i] = &cp
+	}
+
+	byFunc := map[ir.FuncID][]*planned{}
+	rawByFunc := map[ir.FuncID][]*region.Plan{}
+	for i, pl := range work {
+		byFunc[pl.Func] = append(byFunc[pl.Func], &planned{plan: pl, id: ir.RegionID(i)})
+		rawByFunc[pl.Func] = append(rawByFunc[pl.Func], pl)
+	}
+	// Give every function-level call site its own basic block before the
+	// layout pass runs.
+	for fid, fplans := range rawByFunc {
+		if err := splitFuncLevelCalls(p.Func(fid), fplans); err != nil {
+			return nil, fmt.Errorf("xform: %s: %w", p.Func(fid).Name, err)
+		}
+	}
+	regions := make([]*ir.Region, len(plans))
+	for _, f := range p.Funcs {
+		fps := byFunc[f.ID]
+		if len(fps) == 0 {
+			continue
+		}
+		if err := rewriteFunc(p, f, fps, regions); err != nil {
+			return nil, fmt.Errorf("xform: %s: %w", f.Name, err)
+		}
+	}
+	p.Regions = regions
+	// Plans may touch only some functions; regions slice must be dense.
+	for i, r := range regions {
+		if r == nil {
+			return nil, fmt.Errorf("xform: plan %d produced no region", i)
+		}
+	}
+	placeInvalidations(p)
+	p.Link()
+	if err := ir.Verify(p); err != nil {
+		return nil, fmt.Errorf("xform: transformed program invalid: %w", err)
+	}
+	return p, nil
+}
+
+type planned struct {
+	plan *region.Plan
+	id   ir.RegionID
+	// inceptionNew is the new BlockID of the inserted inception block.
+	inceptionNew ir.BlockID
+}
+
+// canFallThrough reports whether control can flow off the end of the block
+// into the next one.
+func canFallThrough(b *ir.Block) bool {
+	t := b.Terminator()
+	return t == nil || (t.Op != ir.Jmp && t.Op != ir.Ret)
+}
+
+func rewriteFunc(p *ir.Program, f *ir.Func, fps []*planned, regions []*ir.Region) error {
+	entryPlan := map[ir.BlockID]*planned{}
+	memberPlan := map[ir.BlockID]*planned{}
+	for _, fp := range fps {
+		if prev, dup := entryPlan[fp.plan.Entry]; dup {
+			return fmt.Errorf("plans %d and %d share entry b%d", prev.id, fp.id, fp.plan.Entry)
+		}
+		entryPlan[fp.plan.Entry] = fp
+		for _, b := range fp.plan.Blocks {
+			if prev, dup := memberPlan[b]; dup {
+				return fmt.Errorf("plans %d and %d overlap at b%d", prev.id, fp.id, b)
+			}
+			memberPlan[b] = fp
+		}
+	}
+
+	// Pass 1: decide the new layout. Before each region entry we insert
+	// the inception block; if the physically preceding block is a member
+	// of the same region and can fall through into the entry (an internal
+	// edge, e.g. a cyclic region whose latch precedes its header), a
+	// trampoline jump is inserted so the internal edge bypasses the reuse
+	// instruction.
+	type item struct {
+		kind  int // 0 = original, 1 = inception, 2 = trampoline
+		orig  ir.BlockID
+		fp    *planned
+		tramp ir.BlockID // trampoline jump target (original entry ID)
+	}
+	var layout []item
+	for _, b := range f.Blocks {
+		if fp := entryPlan[b.ID]; fp != nil {
+			if b.ID > 0 {
+				prev := f.Blocks[b.ID-1]
+				if memberPlan[prev.ID] == fp && canFallThrough(prev) {
+					layout = append(layout, item{kind: 2, fp: fp, tramp: b.ID})
+				}
+			}
+			layout = append(layout, item{kind: 1, fp: fp})
+		}
+		layout = append(layout, item{kind: 0, orig: b.ID})
+	}
+	newID := map[ir.BlockID]ir.BlockID{}
+	for i, it := range layout {
+		if it.kind == 0 {
+			newID[it.orig] = ir.BlockID(i)
+		} else if it.kind == 1 {
+			it.fp.inceptionNew = ir.BlockID(i)
+		}
+	}
+
+	// landing returns where external control transfers to original block
+	// T now arrive: the inception block when T is a region entry.
+	landing := func(t ir.BlockID) ir.BlockID {
+		if fp := entryPlan[t]; fp != nil {
+			return fp.inceptionNew
+		}
+		return newID[t]
+	}
+
+	// Pass 2: materialize the new block list with rewritten targets.
+	newBlocks := make([]*ir.Block, len(layout))
+	for i, it := range layout {
+		nb := &ir.Block{ID: ir.BlockID(i)}
+		switch it.kind {
+		case 1: // inception
+			cont := it.fp.plan.Continuation
+			nb.Instrs = []ir.Instr{{
+				Op:     ir.Reuse,
+				Region: it.fp.id,
+				Target: landing(cont),
+				Mem:    ir.NoMem,
+			}}
+		case 2: // trampoline: internal edge straight to the entry block
+			nb.Instrs = []ir.Instr{{
+				Op:     ir.Jmp,
+				Target: newID[it.tramp],
+				Mem:    ir.NoMem,
+				Region: ir.NoRegion,
+			}}
+		default:
+			ob := f.Blocks[it.orig]
+			nb.Instrs = make([]ir.Instr, len(ob.Instrs))
+			copy(nb.Instrs, ob.Instrs)
+			srcPlan := memberPlan[it.orig]
+			if srcPlan != nil && len(nb.Instrs) == 0 {
+				// Empty member blocks (e.g. bare join points) get a nop
+				// so region membership and end/exit markers have an
+				// instruction to attach to.
+				nb.Instrs = []ir.Instr{{Op: ir.Nop, Mem: ir.NoMem, Region: ir.NoRegion}}
+			}
+			for j := range nb.Instrs {
+				in := &nb.Instrs[j]
+				if in.Args != nil {
+					in.Args = append([]ir.Reg(nil), in.Args...)
+				}
+				if !in.Op.IsBranch() || in.Op == ir.Call || in.Op == ir.Ret {
+					continue
+				}
+				t := in.Target
+				if tp := entryPlan[t]; tp != nil && tp == srcPlan {
+					// Internal edge to the region's own entry (cyclic
+					// back edge): bypass the inception block.
+					in.Target = newID[t]
+				} else {
+					in.Target = landing(t)
+				}
+			}
+		}
+		newBlocks[i] = nb
+	}
+
+	// Pass 3: region annotations on member blocks, using the original CFG
+	// shape for edge classification. Function-level regions have no member
+	// instructions: the hardware contract is carried entirely by the
+	// region table entry (callee, argument registers, result register).
+	for _, fp := range fps {
+		pl := fp.plan
+		if pl.Kind == ir.FuncLevel {
+			regions[fp.id] = &ir.Region{
+				ID:           fp.id,
+				Func:         f.ID,
+				Class:        pl.Class,
+				Kind:         ir.FuncLevel,
+				Inception:    fp.inceptionNew,
+				Body:         newID[pl.Entry],
+				Continuation: landing(pl.Continuation),
+				Inputs:       append([]ir.Reg(nil), pl.Inputs...),
+				Outputs:      append([]ir.Reg(nil), pl.Outputs...),
+				MemObjects:   append([]ir.MemID(nil), pl.MemObjects...),
+				StaticSize:   pl.StaticSize,
+				Callee:       pl.Callee,
+			}
+			continue
+		}
+		members := map[ir.BlockID]bool{}
+		for _, b := range pl.Blocks {
+			members[b] = true
+		}
+		outputs := map[ir.Reg]bool{}
+		for _, r := range pl.Outputs {
+			outputs[r] = true
+		}
+		for _, ob := range pl.Blocks {
+			nb := newBlocks[newID[ob]]
+			for j := range nb.Instrs {
+				in := &nb.Instrs[j]
+				in.Region = fp.id
+				if d := in.Def(); d != ir.NoReg && outputs[d] {
+					in.Attr |= ir.AttrLiveOut
+				}
+			}
+			// Classify edges leaving this member block.
+			origBlk := f.Blocks[ob]
+			markEdges(f, origBlk, members, pl.Continuation, nb)
+		}
+		regions[fp.id] = &ir.Region{
+			ID:           fp.id,
+			Func:         f.ID,
+			Class:        pl.Class,
+			Kind:         pl.Kind,
+			Inception:    fp.inceptionNew,
+			Body:         newID[pl.Entry],
+			Continuation: landing(pl.Continuation),
+			Inputs:       append([]ir.Reg(nil), pl.Inputs...),
+			Outputs:      append([]ir.Reg(nil), pl.Outputs...),
+			MemObjects:   append([]ir.MemID(nil), pl.MemObjects...),
+			StaticSize:   pl.StaticSize,
+			Callee:       ir.NoFunc,
+		}
+	}
+
+	f.Blocks = newBlocks
+	return nil
+}
+
+// markEdges sets AttrRegionEnd on the instruction through which control
+// leaves a member block toward the continuation, and AttrRegionExit on
+// instructions leaving toward any other outside block. Edge shape is taken
+// from the original block origBlk; attributes are applied to the rewritten
+// block nb.
+func markEdges(f *ir.Func, origBlk *ir.Block, members map[ir.BlockID]bool, cont ir.BlockID, nb *ir.Block) {
+	if len(nb.Instrs) == 0 {
+		return
+	}
+	last := len(nb.Instrs) - 1
+	t := origBlk.Terminator()
+	// Successor edges of the original block: explicit target and/or
+	// fall-through. Originally-empty member blocks (now holding a nop)
+	// have a pure fall-through edge.
+	type edge struct{ to ir.BlockID }
+	var edges []edge
+	fall := origBlk.ID + 1
+	switch {
+	case t == nil:
+		if int(fall) < len(f.Blocks) {
+			edges = []edge{{fall}}
+		}
+	case t.Op == ir.Jmp:
+		edges = []edge{{t.Target}}
+	case t.Op == ir.Ret:
+		return
+	case t.Op.IsCondBranch():
+		edges = []edge{{t.Target}}
+		if int(fall) < len(f.Blocks) {
+			edges = append(edges, edge{fall})
+		}
+	default:
+		if int(fall) < len(f.Blocks) {
+			edges = []edge{{fall}}
+		}
+	}
+	for _, e := range edges {
+		if members[e.to] {
+			continue
+		}
+		if e.to == cont {
+			nb.Instrs[last].Attr |= ir.AttrRegionEnd
+		} else {
+			nb.Instrs[last].Attr |= ir.AttrRegionExit
+		}
+	}
+}
+
+// placeInvalidations inserts a computation-invalidate instruction after
+// every store that may write an object registered by any region. Stores
+// with unknown target objects conservatively invalidate every registered
+// object.
+func placeInvalidations(p *ir.Program) {
+	registered := map[ir.MemID]bool{}
+	for _, r := range p.Regions {
+		for _, m := range r.MemObjects {
+			registered[m] = true
+		}
+	}
+	if len(registered) == 0 {
+		return
+	}
+	all := make([]ir.MemID, 0, len(registered))
+	for m := range registered {
+		all = append(all, m)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			needs := false
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == ir.St && (in.Mem == ir.NoMem || registered[in.Mem]) {
+					needs = true
+					break
+				}
+			}
+			if !needs {
+				continue
+			}
+			out := make([]ir.Instr, 0, len(b.Instrs)+4)
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				out = append(out, in)
+				if in.Op != ir.St {
+					continue
+				}
+				switch {
+				case in.Mem != ir.NoMem && registered[in.Mem]:
+					out = append(out, ir.Instr{Op: ir.Inval, Mem: in.Mem, Region: ir.NoRegion})
+				case in.Mem == ir.NoMem:
+					for _, m := range all {
+						out = append(out, ir.Instr{Op: ir.Inval, Mem: m, Region: ir.NoRegion})
+					}
+				}
+			}
+			b.Instrs = out
+		}
+	}
+}

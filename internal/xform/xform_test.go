@@ -1,0 +1,229 @@
+package xform
+
+import (
+	"testing"
+
+	"ccr/internal/alias"
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+	"ccr/internal/region"
+	"ccr/internal/vprof"
+)
+
+// compile runs the front half of the pipeline (alias + profile + form) and
+// transforms, returning base and transformed programs plus plans.
+func compile(t *testing.T, p *ir.Program, arg int64, opts region.Options) (*ir.Program, []*region.Plan) {
+	t.Helper()
+	ar := alias.Analyze(p)
+	ar.Annotate()
+	pr := vprof.NewProfiler(p)
+	m := emu.New(p)
+	m.Trace = pr.Tracer()
+	if _, err := m.Run(arg); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	plans := region.Form(p, pr.Finish(), ar, opts)
+	out, err := Transform(p, plans)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	return out, plans
+}
+
+// buildScan is the canonical cyclic-region program (scan over a rarely
+// mutated table).
+func buildScan(t *testing.T) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgramBuilder("scan")
+	tab := pb.Object("tab", 8, []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	aux := pb.Object("aux", 4, nil)
+	g := pb.Func("scan", 0)
+	ge := g.NewBlock()
+	gh := g.NewBlock()
+	gb := g.NewBlock()
+	gl := g.NewBlock()
+	gx := g.NewBlock()
+	s, i, base, v := g.NewReg(), g.NewReg(), g.NewReg(), g.NewReg()
+	ge.MovI(s, 0)
+	ge.MovI(i, 0)
+	ge.Lea(base, tab, 0)
+	gh.BgeI(i, 8, gx.ID())
+	gb.Add(v, base, i)
+	gb.Ld(v, v, 0, tab)
+	gb.Add(s, s, v)
+	gl.AddI(i, i, 1)
+	gl.Jmp(gh.ID())
+	gx.Ret(s)
+	f := pb.Func("main", 1)
+	pb.SetMain(f.ID())
+	e := f.NewBlock()
+	h := f.NewBlock()
+	bo := f.NewBlock()
+	mu := f.NewBlock()
+	la := f.NewBlock()
+	x := f.NewBlock()
+	k, acc, r, tmp, p0 := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	e.MovI(k, 0)
+	e.MovI(acc, 0)
+	h.Bge(k, f.Param(0), x.ID())
+	bo.Call(r, g.ID())
+	bo.Add(acc, acc, r)
+	bo.RemI(tmp, k, 50)
+	bo.BneI(tmp, 0, la.ID())
+	mu.Lea(p0, tab, 0)
+	mu.St(p0, 2, k, tab)
+	mu.Lea(p0, aux, 0)
+	mu.St(p0, 0, k, aux)
+	la.AddI(k, k, 1)
+	la.Jmp(h.ID())
+	x.Ret(acc)
+	return ir.MustVerify(pb.Build())
+}
+
+func TestTransformStructure(t *testing.T) {
+	base := buildScan(t)
+	prog, plans := compile(t, base, 300, region.DefaultOptions())
+	if len(plans) == 0 {
+		t.Fatal("no plans formed")
+	}
+	if len(prog.Regions) != len(plans) {
+		t.Fatalf("regions %d != plans %d", len(prog.Regions), len(plans))
+	}
+	for _, rg := range prog.Regions {
+		f := prog.Func(rg.Func)
+		inc := f.Block(rg.Inception)
+		if len(inc.Instrs) != 1 || inc.Instrs[0].Op != ir.Reuse {
+			t.Fatalf("inception b%d is not a single reuse", rg.Inception)
+		}
+		if inc.Instrs[0].Target != rg.Continuation {
+			t.Fatalf("reuse target b%d != continuation b%d",
+				inc.Instrs[0].Target, rg.Continuation)
+		}
+		// Member instructions are tagged; at least one region end exists.
+		tagged, ends := 0, 0
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Region == rg.ID && in.Op != ir.Reuse {
+					tagged++
+					if in.Attr.Has(ir.AttrRegionEnd) {
+						ends++
+					}
+				}
+			}
+		}
+		if tagged == 0 || ends == 0 {
+			t.Fatalf("region %d: tagged=%d ends=%d", rg.ID, tagged, ends)
+		}
+	}
+	// The base program must be untouched (no reuse instructions).
+	for _, f := range base.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.Reuse || b.Instrs[i].Op == ir.Inval {
+					t.Fatal("base program was mutated")
+				}
+			}
+		}
+	}
+}
+
+func TestInvalidationPlacement(t *testing.T) {
+	base := buildScan(t)
+	prog, _ := compile(t, base, 300, region.DefaultOptions())
+	registered := map[ir.MemID]bool{}
+	for _, rg := range prog.Regions {
+		for _, m := range rg.MemObjects {
+			registered[m] = true
+		}
+	}
+	if len(registered) == 0 {
+		t.Skip("no memory-dependent regions formed")
+	}
+	// Every store to a registered object must be followed immediately by
+	// an Inval of that object; stores to unregistered objects must not.
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.St {
+					continue
+				}
+				wantInval := in.Mem != ir.NoMem && registered[in.Mem]
+				hasInval := i+1 < len(b.Instrs) && b.Instrs[i+1].Op == ir.Inval
+				if wantInval && (!hasInval || b.Instrs[i+1].Mem != in.Mem) {
+					t.Fatalf("%s b%d[%d]: store to registered obj%d lacks invalidate",
+						f.Name, b.ID, i, in.Mem)
+				}
+				if !wantInval && hasInval && b.Instrs[i+1].Mem == in.Mem {
+					t.Fatalf("%s b%d[%d]: spurious invalidate", f.Name, b.ID, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlappingPlansRejected(t *testing.T) {
+	base := buildScan(t)
+	alias.Analyze(base).Annotate()
+	pl := &region.Plan{
+		Func: 0, Kind: ir.Cyclic, Class: ir.Stateless,
+		Blocks: []ir.BlockID{1, 2, 3}, Entry: 1, Continuation: 4,
+	}
+	dup := &region.Plan{
+		Func: 0, Kind: ir.Acyclic, Class: ir.Stateless,
+		Blocks: []ir.BlockID{2}, Entry: 2, Continuation: 3,
+	}
+	if _, err := Transform(base, []*region.Plan{pl, dup}); err == nil {
+		t.Fatal("overlapping plans must be rejected")
+	}
+}
+
+// TestTransformedExecutionMatches runs the transformed program both with
+// and without a CRB against the base program (smoke version of the global
+// property test, kept here for locality).
+func TestTransformedExecutionMatches(t *testing.T) {
+	base := buildScan(t)
+	prog, _ := compile(t, base, 300, region.DefaultOptions())
+	for _, arg := range []int64{0, 1, 7, 123, 400} {
+		mb := emu.New(base)
+		want, err := mb.Run(arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := emu.New(prog)
+		got, err := mc.Run(arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("arg %d: got %d, want %d", arg, got, want)
+		}
+	}
+}
+
+// TestCyclicBackEdgeBypassesInception: the transformed loop must not pass
+// through the reuse instruction on every iteration — only per invocation.
+func TestCyclicBackEdgeBypassesInception(t *testing.T) {
+	base := buildScan(t)
+	prog, _ := compile(t, base, 300, region.DefaultOptions())
+	var cyc *ir.Region
+	for _, rg := range prog.Regions {
+		if rg.Kind == ir.Cyclic {
+			cyc = rg
+		}
+	}
+	if cyc == nil {
+		t.Skip("no cyclic region")
+	}
+	m := emu.New(prog)
+	if _, err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	lookups := m.Stats.ReuseHits + m.Stats.ReuseMisses
+	// 200 invocations (plus other regions' lookups) — far fewer than the
+	// ~1600 iterations the loop executes.
+	if lookups > 1000 {
+		t.Fatalf("reuse executed per iteration? lookups=%d", lookups)
+	}
+}
