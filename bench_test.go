@@ -6,6 +6,8 @@ package ccr
 // EXPERIMENTS.md come from `go run ./cmd/ccrpaper -scale medium`.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"ccr/internal/core"
@@ -117,6 +119,27 @@ func BenchmarkAblationNoMem(b *testing.B) {
 		if _, err := experiments.AblationNoMem(s); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSuiteParallel compares the serial and parallel execution paths
+// of the internal/runner engine on the Figure 8(a) sweep, so the speedup
+// from fanning the (benchmark × configuration) cells across workers is
+// tracked in the bench trajectory. On a single-core machine the two
+// sub-benchmarks should be within noise of each other (the parallel path
+// adds only goroutine scheduling); with more cores jobs=GOMAXPROCS wins.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Jobs = jobs
+				s := experiments.NewSuite(cfg)
+				if _, err := experiments.Figure8a(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,9 +2,18 @@
 // evaluation on the synthetic benchmark suite and prints them as text
 // tables (the data behind EXPERIMENTS.md).
 //
+// The simulation cells of each figure fan out across -jobs workers
+// (default: GOMAXPROCS) through internal/runner; shared artifacts —
+// compilations, baseline simulations, limit studies — are computed exactly
+// once per benchmark across the whole run. -manifest writes a JSON record
+// of the run: per-cell wall times, cache hit/miss counters and worker
+// utilization.
+//
 // Usage:
 //
-//	ccrpaper [-scale tiny|small|medium|large] [-fig 4|8a|8b|9|10|11|scalars|all]
+//	ccrpaper [-scale tiny|small|medium|large]
+//	         [-fig 4|8a|8b|9|10|11|scalars|compare|ablations|all]
+//	         [-jobs N] [-manifest run.json]
 package main
 
 import (
@@ -12,14 +21,21 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"ccr/internal/experiments"
+	"ccr/internal/runner"
 	"ccr/internal/workloads"
 )
 
+// knownFigs lists the -fig values in print order; "all" selects every one.
+var knownFigs = []string{"4", "8a", "8b", "9", "10", "11", "scalars", "compare", "ablations"}
+
 func main() {
 	scale := flag.String("scale", "medium", "workload scale: tiny, small, medium, large")
-	fig := flag.String("fig", "all", "which figure to regenerate: 4, 8a, 8b, 9, 10, 11, scalars, compare, ablations, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: "+strings.Join(knownFigs, ", ")+", all")
+	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	manifest := flag.String("manifest", "", "write a JSON run manifest to this file")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -36,7 +52,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	if *fig != "all" && !validFig(*fig) {
+		fmt.Fprintf(os.Stderr, "unknown -fig %q; known figures: %s, all\n",
+			*fig, strings.Join(knownFigs, ", "))
+		os.Exit(2)
+	}
+	cfg.Jobs = *jobs
+
 	suite := experiments.NewSuite(cfg)
+	m := runner.NewManifest(
+		fmt.Sprintf("ccrpaper -scale %s -fig %s -jobs %d", *scale, *fig, suite.Jobs()),
+		suite.Jobs())
+	suite.AttachManifest(m)
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	if want("4") {
@@ -127,4 +154,24 @@ func main() {
 		}
 		fmt.Println(experiments.RenderHeuristics(h))
 	}
+
+	suite.FlushCacheStats(m)
+	m.Finish()
+	if *manifest != "" {
+		if err := m.WriteFile(*manifest); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ccrpaper: %.2fs wall, %d jobs, %d cells; compile %d misses / %d hits\n",
+		m.WallSeconds, m.Jobs, len(m.Cells),
+		m.Caches["compile"].Misses, m.Caches["compile"].Hits)
+}
+
+func validFig(f string) bool {
+	for _, k := range knownFigs {
+		if f == k {
+			return true
+		}
+	}
+	return false
 }

@@ -6,10 +6,11 @@
 // Usage:
 //
 //	ccrsim -bench m88ksim [-scale medium] [-entries 128] [-cis 8]
-//	       [-assoc 1] [-nomem 0] [-ref] [-list]
+//	       [-assoc 1] [-nomem 0] [-ref] [-list] [-jobs N] [-manifest run.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 
 	"ccr/internal/core"
 	"ccr/internal/opt"
+	"ccr/internal/runner"
 	"ccr/internal/workloads"
 )
 
@@ -30,6 +32,8 @@ func main() {
 	useRef := flag.Bool("ref", false, "simulate the reference input instead of training")
 	optimize := flag.Bool("O", false, "run the classic optimizer on the base program first")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	jobs := flag.Int("jobs", 0, "workers for the base/CCR simulation pair (0 = GOMAXPROCS)")
+	manifest := flag.String("manifest", "", "write a JSON run manifest to this file")
 	flag.Parse()
 
 	if *list {
@@ -71,13 +75,34 @@ func main() {
 		args = b.Ref
 		which = "reference"
 	}
-	base, err := core.Simulate(b.Prog, nil, opts.Uarch, args, 0)
-	if err != nil {
+	// The base and CCR simulations are independent; run them as two cells
+	// of a runner pool (Compile above already annotated b.Prog, so both
+	// only read their programs).
+	pool := runner.Pool{
+		Jobs:     *jobs,
+		Manifest: runner.NewManifest(fmt.Sprintf("ccrsim -bench %s -scale %s", b.Name, *scale), *jobs),
+	}
+	var base, ccr *core.SimResult
+	results := pool.Run(context.Background(), []runner.Cell{
+		{ID: "base/" + b.Name, Do: func(context.Context) error {
+			var err error
+			base, err = core.Simulate(b.Prog, nil, opts.Uarch, args, 0)
+			return err
+		}},
+		{ID: "ccr/" + b.Name + "/" + opts.CRB.Key(), Do: func(context.Context) error {
+			var err error
+			ccr, err = core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, args, 0)
+			return err
+		}},
+	})
+	if err := runner.Errs(results); err != nil {
 		log.Fatal(err)
 	}
-	ccr, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, args, 0)
-	if err != nil {
-		log.Fatal(err)
+	if *manifest != "" {
+		pool.Manifest.Finish()
+		if err := pool.Manifest.WriteFile(*manifest); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if base.Result != ccr.Result {
 		log.Fatalf("architectural mismatch: base %d, ccr %d", base.Result, ccr.Result)

@@ -68,9 +68,23 @@ type CompileResult struct {
 // formation, and transformation. base is annotated in place with alias
 // attributes; the returned Prog is an independent transformed clone.
 func Compile(base *ir.Program, trainArgs []int64, opts Options) (*CompileResult, error) {
+	return CompileWith(base, Prepare(base), trainArgs, opts)
+}
+
+// Prepare runs the whole-program alias analysis and writes its annotations
+// into base. It is the only pipeline step that mutates the base program, so
+// callers sharing one program across goroutines can Prepare it once up
+// front and then compile and simulate it concurrently through CompileWith
+// and Simulate, which only read it.
+func Prepare(base *ir.Program) *alias.Result {
 	ar := alias.Analyze(base)
 	ar.Annotate()
+	return ar
+}
 
+// CompileWith is Compile with the alias analysis already performed (see
+// Prepare); it does not mutate base.
+func CompileWith(base *ir.Program, ar *alias.Result, trainArgs []int64, opts Options) (*CompileResult, error) {
 	prof, trainResult, err := ProfileRun(base, trainArgs, opts.Limit)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling run: %w", err)

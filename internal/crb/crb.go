@@ -6,7 +6,11 @@
 // produced, and whether it depended on (still-valid) memory state.
 package crb
 
-import "ccr/internal/ir"
+import (
+	"fmt"
+
+	"ccr/internal/ir"
+)
 
 // RegVal is one register entry of a computation-instance bank: the register
 // index and the value it must hold (input bank) or will receive (output
@@ -79,6 +83,14 @@ type Config struct {
 // direct-mapped CRB with 8 computation instances per entry (§5.2).
 func DefaultConfig() Config {
 	return Config{Entries: 128, Instances: 8, Assoc: 1}
+}
+
+// Key returns a canonical string identifying the configuration, for use
+// wherever a Config keys a cache or map. Unlike fmt's struct formatting it
+// names every field explicitly, so reordering or adding Config fields can
+// never silently alias two distinct configurations under one key.
+func (c Config) Key() string {
+	return fmt.Sprintf("e%d.i%d.a%d.nm%g", c.Entries, c.Instances, c.Assoc, c.NoMemEntriesFrac)
 }
 
 func (c Config) normalized() Config {

@@ -222,3 +222,29 @@ func TestCommitLookupRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConfigKeyCanonical checks Key distinguishes every field and is
+// stable for equal configurations.
+func TestConfigKeyCanonical(t *testing.T) {
+	base := Config{Entries: 128, Instances: 8, Assoc: 1, NoMemEntriesFrac: 0}
+	variants := []Config{
+		{Entries: 64, Instances: 8, Assoc: 1},
+		{Entries: 128, Instances: 16, Assoc: 1},
+		{Entries: 128, Instances: 8, Assoc: 2},
+		{Entries: 128, Instances: 8, Assoc: 1, NoMemEntriesFrac: 0.5},
+		// The %+v-formatting hazard Key replaces: two fields swapping
+		// values must not alias.
+		{Entries: 8, Instances: 128, Assoc: 1},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for _, v := range variants {
+		k := v.Key()
+		if seen[k] {
+			t.Fatalf("config %+v aliases an earlier key %q", v, k)
+		}
+		seen[k] = true
+	}
+	if base.Key() != (Config{Entries: 128, Instances: 8, Assoc: 1}).Key() {
+		t.Fatal("equal configs produced different keys")
+	}
+}

@@ -69,27 +69,43 @@ func AblationNoMem(s *Suite) (*AblationResult, error) {
 	return runAblation(s, res, points)
 }
 
+// runAblation fans the (benchmark × configuration) cells of an ablation
+// out across the suite's worker pool, like the Figure 8 sweeps.
 func runAblation(s *Suite, res *AblationResult, points []SweepPoint) (*AblationResult, error) {
-	res.Speedup = map[string][]float64{}
-	sums := make([][]float64, len(points))
-	for i, p := range points {
+	for _, p := range points {
 		res.Labels = append(res.Labels, p.Label)
-		_ = i
 	}
-	for _, b := range s.Benches {
-		res.Rows = append(res.Rows, b.Name)
-		row := make([]float64, len(points))
-		for i, pt := range points {
+	nb, np := len(s.Benches), len(points)
+	rows := make([][]float64, nb)
+	for i := range rows {
+		rows[i] = make([]float64, np)
+	}
+	err := s.Map(nb*np,
+		func(i int) string {
+			return fmt.Sprintf("ablation/%s/%s", s.Benches[i/np].Name, points[i%np].Label)
+		},
+		func(i int) error {
+			b, pt := s.Benches[i/np], points[i%np]
 			sp, err := s.Speedup(b, b.Train, pt.CRB)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row[i] = sp
-			sums[i] = append(sums[i], sp)
-		}
-		res.Speedup[b.Name] = row
+			rows[i/np][i%np] = sp
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	res.Avg = make([]float64, len(points))
+	res.Speedup = map[string][]float64{}
+	sums := make([][]float64, np)
+	for bi, b := range s.Benches {
+		res.Rows = append(res.Rows, b.Name)
+		res.Speedup[b.Name] = rows[bi]
+		for pi := range points {
+			sums[pi] = append(sums[pi], rows[bi][pi])
+		}
+	}
+	res.Avg = make([]float64, np)
 	for i := range points {
 		res.Avg[i] = stats.Mean(sums[i])
 	}

@@ -23,17 +23,27 @@ type Fig4Result struct {
 }
 
 // Figure4 reproduces the §2.3 limit study: block- vs region-level dynamic
-// reuse potential with eight records per code segment.
+// reuse potential with eight records per code segment. The per-benchmark
+// limit studies are independent, so they fan out across the suite's pool.
 func Figure4(s *Suite) (*Fig4Result, error) {
-	res := &Fig4Result{}
+	rows := make([]Fig4Row, len(s.Benches))
+	err := s.Map(len(s.Benches),
+		func(i int) string { return "fig4/" + s.Benches[i].Name },
+		func(i int) error {
+			b := s.Benches[i]
+			r, err := s.Limit(b)
+			if err != nil {
+				return err
+			}
+			rows[i] = Fig4Row{Bench: b.Name, BlockPct: r.BlockPct(), RegionPct: r.RegionPct()}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Rows: rows}
 	var blocks, regions []float64
-	for _, b := range s.Benches {
-		r, err := s.Limit(b)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig4Row{Bench: b.Name, BlockPct: r.BlockPct(), RegionPct: r.RegionPct()}
-		res.Rows = append(res.Rows, row)
+	for _, row := range rows {
 		blocks = append(blocks, row.BlockPct)
 		regions = append(regions, row.RegionPct)
 	}
@@ -66,23 +76,42 @@ type Fig8Result struct {
 	Avg     []float64            // per point
 }
 
+// sweep runs the (benchmark × configuration) product of a Figure 8-style
+// study through the suite's worker pool. Each cell writes into its own
+// slot of a preallocated matrix and aggregation walks the matrix in input
+// order, so the rendered table is byte-identical to a serial run.
 func sweep(s *Suite, points []SweepPoint) (*Fig8Result, error) {
-	res := &Fig8Result{Points: points, Speedup: map[string][]float64{}}
-	sums := make([][]float64, len(points))
-	for _, b := range s.Benches {
-		res.Rows = append(res.Rows, b.Name)
-		row := make([]float64, len(points))
-		for i, pt := range points {
+	nb, np := len(s.Benches), len(points)
+	rows := make([][]float64, nb)
+	for i := range rows {
+		rows[i] = make([]float64, np)
+	}
+	err := s.Map(nb*np,
+		func(i int) string {
+			return fmt.Sprintf("sweep/%s/%s", s.Benches[i/np].Name, points[i%np].Label)
+		},
+		func(i int) error {
+			b, pt := s.Benches[i/np], points[i%np]
 			sp, err := s.Speedup(b, b.Train, pt.CRB)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row[i] = sp
-			sums[i] = append(sums[i], sp)
-		}
-		res.Speedup[b.Name] = row
+			rows[i/np][i%np] = sp
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	res.Avg = make([]float64, len(points))
+	res := &Fig8Result{Points: points, Speedup: map[string][]float64{}}
+	sums := make([][]float64, np)
+	for bi, b := range s.Benches {
+		res.Rows = append(res.Rows, b.Name)
+		res.Speedup[b.Name] = rows[bi]
+		for pi := range points {
+			sums[pi] = append(sums[pi], rows[bi][pi])
+		}
+	}
+	res.Avg = make([]float64, np)
 	for i := range points {
 		res.Avg[i] = stats.Mean(sums[i])
 	}
@@ -278,52 +307,62 @@ type Fig10Result struct {
 	Avg  [4]float64
 }
 
-// Figure10 computes the reuse-concentration distribution.
+// Figure10 computes the reuse-concentration distribution, one parallel
+// cell per benchmark.
 func Figure10(s *Suite) (*Fig10Result, error) {
-	res := &Fig10Result{Top: map[string][4]float64{}}
 	cc := s.cfg.Opts.CRB
+	tops := make([][4]float64, len(s.Benches))
+	err := s.Map(len(s.Benches),
+		func(i int) string { return "fig10/" + s.Benches[i].Name },
+		func(i int) error {
+			b := s.Benches[i]
+			cr, err := s.Compiled(b)
+			if err != nil {
+				return err
+			}
+			run, err := s.CCRSim(b, b.Train, cc)
+			if err != nil {
+				return err
+			}
+			contrib := make([]float64, 0, len(cr.Prog.Regions))
+			var total float64
+			for _, rg := range cr.Prog.Regions {
+				v := 0.0
+				if rs := run.Emu.Regions[rg.ID]; rs != nil {
+					v = float64(rs.ReusedInstrs)
+				}
+				contrib = append(contrib, v)
+				total += v
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(contrib)))
+			if total > 0 && len(contrib) > 0 {
+				for fi, frac := range []float64{0.1, 0.2, 0.3, 0.4} {
+					n := int(frac*float64(len(contrib)) + 0.9999)
+					if n < 1 {
+						n = 1
+					}
+					if n > len(contrib) {
+						n = len(contrib)
+					}
+					var sum float64
+					for _, v := range contrib[:n] {
+						sum += v
+					}
+					tops[i][fi] = sum / total
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{Top: map[string][4]float64{}}
 	var sums [4]float64
-	for _, b := range s.Benches {
-		cr, err := s.Compiled(b)
-		if err != nil {
-			return nil, err
-		}
-		run, err := s.CCRSim(b, b.Train, cc)
-		if err != nil {
-			return nil, err
-		}
-		contrib := make([]float64, 0, len(cr.Prog.Regions))
-		var total float64
-		for _, rg := range cr.Prog.Regions {
-			v := 0.0
-			if rs := run.Emu.Regions[rg.ID]; rs != nil {
-				v = float64(rs.ReusedInstrs)
-			}
-			contrib = append(contrib, v)
-			total += v
-		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(contrib)))
-		var tops [4]float64
-		if total > 0 && len(contrib) > 0 {
-			for i, frac := range []float64{0.1, 0.2, 0.3, 0.4} {
-				n := int(frac*float64(len(contrib)) + 0.9999)
-				if n < 1 {
-					n = 1
-				}
-				if n > len(contrib) {
-					n = len(contrib)
-				}
-				var sum float64
-				for _, v := range contrib[:n] {
-					sum += v
-				}
-				tops[i] = sum / total
-			}
-		}
+	for bi, b := range s.Benches {
 		res.Rows = append(res.Rows, b.Name)
-		res.Top[b.Name] = tops
+		res.Top[b.Name] = tops[bi]
 		for i := range sums {
-			sums[i] += tops[i]
+			sums[i] += tops[bi][i]
 		}
 	}
 	for i := range sums {
@@ -364,30 +403,42 @@ type Fig11Result struct {
 }
 
 // Figure11 runs the transformed program (regions chosen on the training
-// profile) on both inputs.
+// profile) on both inputs. Each (benchmark, input) pair is one parallel
+// cell, so the training and reference runs of one benchmark overlap too.
 func Figure11(s *Suite) (*Fig11Result, error) {
-	res := &Fig11Result{}
 	cc := s.cfg.Opts.CRB
-	var trs, rfs, te, re, trp, rrp []float64
-	for _, b := range s.Benches {
-		row := Fig11Row{Bench: b.Name}
-		for i, args := range [][]int64{b.Train, b.Ref} {
+	nb := len(s.Benches)
+	rows := make([]Fig11Row, nb)
+	for i, b := range s.Benches {
+		rows[i].Bench = b.Name
+	}
+	inputName := [2]string{"train", "ref"}
+	err := s.Map(2*nb,
+		func(i int) string {
+			return fmt.Sprintf("fig11/%s/%s", s.Benches[i/2].Name, inputName[i%2])
+		},
+		func(i int) error {
+			b := s.Benches[i/2]
+			args := b.Train
+			if i%2 == 1 {
+				args = b.Ref
+			}
 			sp, err := s.Speedup(b, args, cc)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			baseRun, err := s.BaseSim(b, args)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ccrRun, err := s.CCRSim(b, args, cc)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			elim := float64(ccrRun.Emu.ReusedInstrs) / float64(baseRun.Emu.DynInstrs)
 			lim, err := s.LimitFor(b, args)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rep := 0.0
 			if lim.InstrRepetition > 0 {
@@ -396,12 +447,21 @@ func Figure11(s *Suite) (*Fig11Result, error) {
 					rep = 1
 				}
 			}
-			if i == 0 {
+			row := &rows[i/2]
+			// The two input cells of one benchmark write disjoint fields.
+			if i%2 == 0 {
 				row.TrainSpeedup, row.TrainElimFrac, row.TrainRepetElim = sp, elim, rep
 			} else {
 				row.RefSpeedup, row.RefElimFrac, row.RefRepetElim = sp, elim, rep
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	var trs, rfs, te, re, trp, rrp []float64
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		trs = append(trs, row.TrainSpeedup)
 		rfs = append(rfs, row.RefSpeedup)

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ccr/internal/runner"
+	"ccr/internal/workloads"
+)
+
+func suiteWithJobs(jobs int) *Suite {
+	cfg := DefaultConfig()
+	cfg.Scale = workloads.Tiny
+	cfg.Jobs = jobs
+	return NewSuite(cfg)
+}
+
+// TestParallelMatchesSerial locks in the runner's determinism contract:
+// a parallel figure run renders byte-identically to the serial (jobs=1)
+// run, for every converted driver.
+func TestParallelMatchesSerial(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(*Suite) (string, error)
+	}{
+		{"figure4", func(s *Suite) (string, error) {
+			r, err := Figure4(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"figure8a", func(s *Suite) (string, error) {
+			r, err := Figure8a(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render("Figure 8(a)"), nil
+		}},
+		{"figure8b", func(s *Suite) (string, error) {
+			r, err := Figure8b(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render("Figure 8(b)"), nil
+		}},
+		{"figure10", func(s *Suite) (string, error) {
+			r, err := Figure10(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"figure11", func(s *Suite) (string, error) {
+			r, err := Figure11(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ablation-assoc", func(s *Suite) (string, error) {
+			r, err := AblationAssoc(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ablation-nomem", func(s *Suite) (string, error) {
+			r, err := AblationNoMem(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+	serial, parallel := suiteWithJobs(1), suiteWithJobs(8)
+	for _, fig := range figures {
+		want, err := fig.run(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", fig.name, err)
+		}
+		got, err := fig.run(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", fig.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel output differs from serial\n--- serial ---\n%s--- parallel ---\n%s", fig.name, want, got)
+		}
+	}
+}
+
+// TestRunCellsErrorPropagation injects a failing cell and checks that the
+// sweep completes, the error surfaces with the cell's ID, and healthy
+// cells are unaffected.
+func TestRunCellsErrorPropagation(t *testing.T) {
+	s := suiteWithJobs(4)
+	boom := errors.New("injected cell failure")
+	var ran atomic.Int64
+	cells := make([]runner.Cell, 6)
+	for i := range cells {
+		i := i
+		cells[i] = runner.Cell{
+			ID: fmt.Sprintf("cell-%d", i),
+			Do: func(context.Context) error {
+				ran.Add(1)
+				if i == 2 {
+					return boom
+				}
+				return nil
+			},
+		}
+	}
+	err := s.RunCells(cells)
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunCells error = %v, want the injected failure", err)
+	}
+	if !strings.Contains(err.Error(), "cell-2") {
+		t.Fatalf("error does not name the failing cell: %v", err)
+	}
+	if ran.Load() != int64(len(cells)) {
+		t.Fatalf("only %d of %d cells ran: one failure must not abort the sweep", ran.Load(), len(cells))
+	}
+}
+
+// TestCompileSingleFlight runs several figure drivers concurrently-capable
+// and checks the compile cache proves one compilation per benchmark across
+// the whole run — the cache-aware half of the tentpole.
+func TestCompileSingleFlight(t *testing.T) {
+	s := suiteWithJobs(8)
+	if _, err := Figure8a(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure8b(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure10(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure11(s); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	nb := int64(len(s.Benches))
+	if st["compile"].Misses != nb {
+		t.Fatalf("compile cache: %d misses, want exactly one per benchmark (%d)", st["compile"].Misses, nb)
+	}
+	if st["compile"].Hits == 0 {
+		t.Fatal("compile cache never shared work across drivers")
+	}
+	// Baseline sims: one per (benchmark, input); Figures 8/10 use the
+	// training input, Figure 11 adds the reference input.
+	if st["base_sim"].Misses != 2*nb {
+		t.Fatalf("base_sim cache: %d misses, want %d", st["base_sim"].Misses, 2*nb)
+	}
+	if st["prepare"].Misses != nb {
+		t.Fatalf("prepare cache: %d misses, want %d", st["prepare"].Misses, nb)
+	}
+}
+
+// TestSuiteManifest checks a suite run fills an attached manifest with
+// cells, worker records and cache counters.
+func TestSuiteManifest(t *testing.T) {
+	s := suiteWithJobs(4)
+	m := runner.NewManifest("experiments-test", s.Jobs())
+	s.AttachManifest(m)
+	if _, err := Figure8a(s); err != nil {
+		t.Fatal(err)
+	}
+	s.FlushCacheStats(m)
+	m.Finish()
+	if len(m.Cells) != 3*len(s.Benches) {
+		t.Fatalf("manifest cells = %d, want %d", len(m.Cells), 3*len(s.Benches))
+	}
+	for _, c := range m.Cells {
+		if !strings.HasPrefix(c.ID, "sweep/") {
+			t.Fatalf("cell id %q", c.ID)
+		}
+		if c.Error != "" {
+			t.Fatalf("cell %s failed: %s", c.ID, c.Error)
+		}
+	}
+	if m.Caches["compile"].Misses == 0 {
+		t.Fatal("manifest missing cache stats")
+	}
+	var cells int
+	for _, w := range m.Workers {
+		cells += w.Cells
+	}
+	if cells != len(m.Cells) {
+		t.Fatalf("worker cell counts (%d) disagree with cell records (%d)", cells, len(m.Cells))
+	}
+	if m.WallSeconds <= 0 {
+		t.Fatal("manifest wall time not stamped")
+	}
+	if _, err := m.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,11 +7,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
+	"ccr/internal/alias"
 	"ccr/internal/core"
 	"ccr/internal/crb"
 	"ccr/internal/potential"
+	"ccr/internal/runner"
 	"ccr/internal/workloads"
 )
 
@@ -20,6 +24,9 @@ import (
 type Config struct {
 	Scale workloads.Scale
 	Opts  core.Options
+	// Jobs is the worker count the parallel figure drivers fan their
+	// simulation cells out on; <= 0 means one worker per GOMAXPROCS.
+	Jobs int
 }
 
 // DefaultConfig runs the suite at Medium scale with the paper's settings.
@@ -29,15 +36,20 @@ func DefaultConfig() Config {
 
 // Suite caches per-benchmark compilation and simulation results so the
 // figure drivers can share work: compilation and baseline timing do not
-// depend on the CRB configuration.
+// depend on the CRB configuration. All caches are thread-safe and
+// single-flight, so concurrent figure drivers (and the cells of one
+// parallel sweep) never recompute or duplicate a shared artifact.
 type Suite struct {
 	cfg     Config
 	Benches []*workloads.Benchmark
 
-	compiled map[string]*core.CompileResult
-	baseSim  map[string]*core.SimResult // key: name|dataset
-	ccrSim   map[string]*core.SimResult // key: name|dataset|crbcfg
-	limit    map[string]potential.Result
+	pool runner.Pool
+
+	prep     *runner.Cache // name → *alias.Result (the only b.Prog mutation)
+	compiled *runner.Cache // name → *core.CompileResult
+	baseSim  *runner.Cache // name|dataset → *core.SimResult
+	ccrSim   *runner.Cache // name|dataset|crb-key → *core.SimResult
+	limit    *runner.Cache // name|dataset → potential.Result
 }
 
 // NewSuite loads every benchmark at the configured scale.
@@ -45,63 +57,140 @@ func NewSuite(cfg Config) *Suite {
 	return &Suite{
 		cfg:      cfg,
 		Benches:  workloads.All(cfg.Scale),
-		compiled: map[string]*core.CompileResult{},
-		baseSim:  map[string]*core.SimResult{},
-		ccrSim:   map[string]*core.SimResult{},
-		limit:    map[string]potential.Result{},
+		pool:     runner.Pool{Jobs: cfg.Jobs},
+		prep:     runner.NewCache(),
+		compiled: runner.NewCache(),
+		baseSim:  runner.NewCache(),
+		ccrSim:   runner.NewCache(),
+		limit:    runner.NewCache(),
 	}
 }
 
 // Config returns the suite configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
+// Jobs returns the effective worker count of the suite's pool.
+func (s *Suite) Jobs() int {
+	if s.cfg.Jobs > 0 {
+		return s.cfg.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AttachManifest routes every subsequent RunCells fan-out into m; call
+// FlushCacheStats when the run is over to record the cache counters too.
+func (s *Suite) AttachManifest(m *runner.Manifest) { s.pool.Manifest = m }
+
+// CacheStats reports the hit/miss counters of the shared artifact caches.
+func (s *Suite) CacheStats() map[string]runner.CacheStats {
+	return map[string]runner.CacheStats{
+		"prepare":  s.prep.Stats(),
+		"compile":  s.compiled.Stats(),
+		"base_sim": s.baseSim.Stats(),
+		"ccr_sim":  s.ccrSim.Stats(),
+		"limit":    s.limit.Stats(),
+	}
+}
+
+// FlushCacheStats copies the current cache counters into m.
+func (s *Suite) FlushCacheStats(m *runner.Manifest) {
+	for name, st := range s.CacheStats() {
+		m.SetCache(name, st)
+	}
+}
+
+// RunCells fans cells out across the suite's worker pool and joins the
+// per-cell errors in input order. A failing cell does not abort the sweep.
+func (s *Suite) RunCells(cells []runner.Cell) error {
+	return runner.Errs(s.pool.Run(context.Background(), cells))
+}
+
+// Map is the index-based fan-out the figure drivers use: it runs fn(i) for
+// every i in [0, n) across the pool; id labels cell i in run manifests.
+// fn must write its result to a distinct location per index — results then
+// come out deterministic regardless of completion order.
+func (s *Suite) Map(n int, id func(int) string, fn func(int) error) error {
+	cells := make([]runner.Cell, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = runner.Cell{ID: id(i), Do: func(context.Context) error { return fn(i) }}
+	}
+	return s.RunCells(cells)
+}
+
+// prepared returns (running once per benchmark) the alias analysis of b,
+// annotating b.Prog in place. Every other suite entry point funnels
+// through it first, so b.Prog is never mutated while another goroutine
+// simulates it.
+func (s *Suite) prepared(b *workloads.Benchmark) (*alias.Result, error) {
+	v, err := s.prep.Do(b.Name, func() (any, error) {
+		return core.Prepare(b.Prog), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*alias.Result), nil
+}
+
 // Compiled returns (building on demand) the CCR compilation of the named
 // benchmark, profiled on its training input.
 func (s *Suite) Compiled(b *workloads.Benchmark) (*core.CompileResult, error) {
-	if cr, ok := s.compiled[b.Name]; ok {
+	v, err := s.compiled.Do(b.Name, func() (any, error) {
+		ar, err := s.prepared(b)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := core.CompileWith(b.Prog, ar, b.Train, s.cfg.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compile %s: %w", b.Name, err)
+		}
 		return cr, nil
-	}
-	cr, err := core.Compile(b.Prog, b.Train, s.cfg.Opts)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: compile %s: %w", b.Name, err)
+		return nil, err
 	}
-	s.compiled[b.Name] = cr
-	return cr, nil
+	return v.(*core.CompileResult), nil
 }
 
 func dsKey(args []int64) string { return fmt.Sprintf("%v", args) }
 
 // BaseSim returns the cached baseline timing run of b on args.
 func (s *Suite) BaseSim(b *workloads.Benchmark, args []int64) (*core.SimResult, error) {
-	key := b.Name + "|" + dsKey(args)
-	if r, ok := s.baseSim[key]; ok {
+	v, err := s.baseSim.Do(b.Name+"|"+dsKey(args), func() (any, error) {
+		if _, err := s.prepared(b); err != nil {
+			return nil, err
+		}
+		r, err := core.Simulate(b.Prog, nil, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: base sim %s: %w", b.Name, err)
+		}
 		return r, nil
-	}
-	r, err := core.Simulate(b.Prog, nil, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: base sim %s: %w", b.Name, err)
+		return nil, err
 	}
-	s.baseSim[key] = r
-	return r, nil
+	return v.(*core.SimResult), nil
 }
 
 // CCRSim returns the cached CCR timing run of b on args with the given
 // CRB configuration.
 func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*core.SimResult, error) {
-	key := fmt.Sprintf("%s|%s|%+v", b.Name, dsKey(args), cc)
-	if r, ok := s.ccrSim[key]; ok {
+	key := b.Name + "|" + dsKey(args) + "|" + cc.Key()
+	v, err := s.ccrSim.Do(key, func() (any, error) {
+		cr, err := s.Compiled(b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.Simulate(cr.Prog, &cc, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ccr sim %s: %w", b.Name, err)
+		}
 		return r, nil
-	}
-	cr, err := s.Compiled(b)
+	})
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.Simulate(cr.Prog, &cc, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ccr sim %s: %w", b.Name, err)
-	}
-	s.ccrSim[key] = r
-	return r, nil
+	return v.(*core.SimResult), nil
 }
 
 // Limit returns the cached reuse-potential limit study of b on its
@@ -112,16 +201,20 @@ func (s *Suite) Limit(b *workloads.Benchmark) (potential.Result, error) {
 
 // LimitFor runs (and caches) the limit study for a specific input vector.
 func (s *Suite) LimitFor(b *workloads.Benchmark, args []int64) (potential.Result, error) {
-	key := b.Name + "|" + dsKey(args)
-	if r, ok := s.limit[key]; ok {
+	v, err := s.limit.Do(b.Name+"|"+dsKey(args), func() (any, error) {
+		if _, err := s.prepared(b); err != nil {
+			return nil, err
+		}
+		r, err := potential.Measure(b.Prog, args, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: limit study %s: %w", b.Name, err)
+		}
 		return r, nil
-	}
-	r, err := potential.Measure(b.Prog, args, s.cfg.Opts.Limit)
+	})
 	if err != nil {
-		return potential.Result{}, fmt.Errorf("experiments: limit study %s: %w", b.Name, err)
+		return potential.Result{}, err
 	}
-	s.limit[key] = r
-	return r, nil
+	return v.(potential.Result), nil
 }
 
 // Speedup computes the paper's metric for b on args under CRB config cc.

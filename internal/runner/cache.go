@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats counts cache outcomes. A hit includes waiting on another
+// caller's in-flight computation — the work was shared either way.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Cache is a thread-safe, single-flight, content-keyed memo table for
+// shared pipeline artifacts. When several cells ask for the same key
+// concurrently, exactly one computes it and the rest block until the value
+// is ready, so an artifact is never computed twice — not even transiently
+// during a parallel sweep's warm-up.
+type Cache struct {
+	mu           sync.Mutex
+	m            map[string]*flight
+	hits, misses atomic.Int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: map[string]*flight{}} }
+
+// Do returns the value cached under key, computing it with fn on first
+// use. Errors are cached too: a deterministic failure is as shareable as a
+// result. fn runs without any cache lock held, so it may call Do on other
+// caches (or on this one with a different key).
+func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if f, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+	f.val, f.err = fn()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Stats returns the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len returns the number of distinct keys ever computed (or in flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,119 @@
+// Package runner is the parallel experiment-execution engine behind the
+// figure drivers: a worker pool that fans the independent simulation cells
+// of a sweep (benchmark × dataset × CRB configuration) out across a fixed
+// number of workers, a thread-safe single-flight cache for the pipeline
+// artifacts those cells share (compilations, baseline simulations, limit
+// studies), and structured run manifests recording per-cell wall time,
+// cache effectiveness and worker utilization.
+//
+// Results are always returned in input order, so a parallel sweep renders
+// byte-identically to a serial one; a failing cell reports its error
+// without aborting the rest of the sweep.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Cell is one independently executable unit of a sweep: typically a single
+// (benchmark, dataset, CRB configuration) simulation. Do must be safe to
+// call concurrently with every other cell of the same run; cross-cell
+// sharing belongs in a Cache.
+type Cell struct {
+	ID string
+	Do func(ctx context.Context) error
+}
+
+// CellResult records one cell's outcome.
+type CellResult struct {
+	ID     string
+	Index  int // position in the input slice
+	Worker int
+	Wall   time.Duration
+	Err    error
+}
+
+// Pool fans cells out across a fixed number of workers.
+type Pool struct {
+	// Jobs is the worker count; <= 0 means one worker per GOMAXPROCS.
+	Jobs int
+	// Manifest, when non-nil, accumulates cell records and worker busy
+	// time from every Run.
+	Manifest *Manifest
+}
+
+func (p *Pool) jobs() int {
+	if p == nil || p.Jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Jobs
+}
+
+// Run executes every cell and returns the results in input order,
+// independent of completion order. A failing cell only marks its own
+// result; the remaining cells still run. Cancelling ctx stops workers
+// from starting new cells — cells not yet started report ctx.Err().
+func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]CellResult, len(cells))
+	jobs := p.jobs()
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	busy := make([]time.Duration, jobs)
+	ran := make([]int, jobs)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range idx {
+				r := &results[i]
+				r.ID, r.Index, r.Worker = cells[i].ID, i, w
+				if err := ctx.Err(); err != nil {
+					r.Err = fmt.Errorf("runner: cell %s: %w", cells[i].ID, err)
+					continue
+				}
+				start := time.Now()
+				err := cells[i].Do(ctx)
+				r.Wall = time.Since(start)
+				if err != nil {
+					r.Err = fmt.Errorf("runner: cell %s: %w", cells[i].ID, err)
+				}
+				busy[w] += r.Wall
+				ran[w]++
+			}
+		}(w)
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if p != nil && p.Manifest != nil {
+		p.Manifest.record(jobs, results, busy, ran)
+	}
+	return results
+}
+
+// Errs joins the cell errors in input order; nil when every cell succeeded.
+func Errs(results []CellResult) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errors.Join(errs...)
+}

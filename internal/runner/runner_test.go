@@ -1,0 +1,245 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunDeterministicOrder checks that results come back in input order
+// regardless of completion order, and that every cell runs exactly once.
+func TestRunDeterministicOrder(t *testing.T) {
+	const n = 64
+	p := &Pool{Jobs: 8}
+	var ran atomic.Int64
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell{ID: fmt.Sprintf("c%02d", i), Do: func(context.Context) error {
+			// Later cells finish earlier to scramble completion order.
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			ran.Add(1)
+			return nil
+		}}
+	}
+	results := p.Run(context.Background(), cells)
+	if ran.Load() != n {
+		t.Fatalf("ran %d cells, want %d", ran.Load(), n)
+	}
+	for i, r := range results {
+		if r.Index != i || r.ID != cells[i].ID {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.ID, r.Err)
+		}
+		if r.Worker < 0 || r.Worker >= 8 {
+			t.Fatalf("cell %s: worker %d out of range", r.ID, r.Worker)
+		}
+	}
+	if err := Errs(results); err != nil {
+		t.Fatalf("Errs: %v", err)
+	}
+}
+
+// TestRunCollectsErrors checks that a failing cell does not abort the
+// sweep: every other cell still runs and all failures are joined.
+func TestRunCollectsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	cells := make([]Cell, 10)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{ID: fmt.Sprintf("cell%d", i), Do: func(context.Context) error {
+			ran.Add(1)
+			if i == 3 || i == 7 {
+				return boom
+			}
+			return nil
+		}}
+	}
+	p := &Pool{Jobs: 4}
+	results := p.Run(context.Background(), cells)
+	if ran.Load() != int64(len(cells)) {
+		t.Fatalf("ran %d cells, want %d", ran.Load(), len(cells))
+	}
+	err := Errs(results)
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error lost the cause: %v", err)
+	}
+	for _, id := range []string{"cell3", "cell7"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("error does not name %s: %v", id, err)
+		}
+	}
+	if strings.Contains(err.Error(), "cell4") {
+		t.Fatalf("healthy cell reported an error: %v", err)
+	}
+}
+
+// TestRunCancellation checks that cancelling the context stops unstarted
+// cells, which report the context error.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	cells := make([]Cell, 32)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{ID: fmt.Sprintf("c%d", i), Do: func(ctx context.Context) error {
+			if started.Add(1) == 2 {
+				cancel()
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		}}
+	}
+	p := &Pool{Jobs: 2}
+	results := p.Run(ctx, cells)
+	var canceled, skipped int
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cell %s: err = %v, want context.Canceled", r.ID, r.Err)
+		}
+		if r.Wall == 0 {
+			skipped++
+		} else {
+			canceled++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no cell was skipped after cancellation")
+	}
+	if int64(canceled) != started.Load() {
+		t.Fatalf("%d cells ran, %d recorded wall time", started.Load(), canceled)
+	}
+}
+
+// TestCacheSingleFlight hammers one key from many goroutines and checks
+// the computation runs exactly once while every caller gets the value.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	var calls atomic.Int64
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("shared", func() (any, error) {
+				calls.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss, %d hits", st, goroutines-1)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// TestCacheCachesErrors checks a deterministic failure is computed once.
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("bad", func() (any, error) { calls++; return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+// TestManifestRoundTrip runs a pool with a manifest attached and checks
+// the serialized record.
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("test-run", 2)
+	p := &Pool{Jobs: 2, Manifest: m}
+	cells := []Cell{
+		{ID: "ok", Do: func(context.Context) error { return nil }},
+		{ID: "fail", Do: func(context.Context) error { return errors.New("injected") }},
+		{ID: "ok2", Do: func(context.Context) error { return nil }},
+	}
+	p.Run(context.Background(), cells)
+	m.SetCache("compile", CacheStats{Hits: 3, Misses: 1})
+	m.Finish()
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != "test-run" || got.Jobs != 2 || got.GOMAXPROCS < 1 {
+		t.Fatalf("header: command=%q jobs=%d gomaxprocs=%d", got.Command, got.Jobs, got.GOMAXPROCS)
+	}
+	if len(got.Cells) != 3 {
+		t.Fatalf("cells = %d", len(got.Cells))
+	}
+	byID := map[string]CellRecord{}
+	for _, cr := range got.Cells {
+		byID[cr.ID] = cr
+	}
+	if byID["fail"].Error == "" || byID["ok"].Error != "" {
+		t.Fatalf("cell errors: %+v", got.Cells)
+	}
+	if len(got.Errors) != 1 {
+		t.Fatalf("errors = %v", got.Errors)
+	}
+	if got.Caches["compile"].Hits != 3 {
+		t.Fatalf("caches = %+v", got.Caches)
+	}
+	var totalCells int
+	for _, w := range got.Workers {
+		totalCells += w.Cells
+	}
+	if totalCells != 3 {
+		t.Fatalf("worker cell counts sum to %d", totalCells)
+	}
+	if got.WallSeconds <= 0 {
+		t.Fatalf("wall = %f", got.WallSeconds)
+	}
+}
+
+// TestPoolDefaultJobs checks the GOMAXPROCS default and single-cell runs.
+func TestPoolDefaultJobs(t *testing.T) {
+	var p Pool // zero value: GOMAXPROCS workers
+	results := p.Run(context.Background(), []Cell{
+		{ID: "only", Do: func(context.Context) error { return nil }},
+	})
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+	if got := p.Run(context.Background(), nil); len(got) != 0 {
+		t.Fatalf("empty run returned %d results", len(got))
+	}
+}

@@ -113,6 +113,8 @@ type blockSig struct {
 // computation instances).
 type blockRBEntry struct {
 	sigs []blockSig
+	// lastUse orders entries for deterministic LRU eviction.
+	lastUse uint64
 }
 
 // blockInfo is the static description the block-reuse hardware needs.
@@ -194,6 +196,7 @@ func (b *blockRB) lookup(pc int64, regs []int64, objVer []uint64) (*blockInfo, b
 		return bi, false
 	}
 	b.clock++
+	e.lastUse = b.clock
 	for i := range e.sigs {
 		s := &e.sigs[i]
 		if !s.valid {
@@ -232,17 +235,24 @@ func (b *blockRB) record(pc int64, regs []int64, objVer []uint64) {
 	e := b.table[pc]
 	if e == nil {
 		if len(b.table) >= b.capacity {
-			// Evict an arbitrary resident block (map iteration order);
-			// the capacity is generous enough that this is rare.
-			for k := range b.table {
-				delete(b.table, k)
-				break
+			// Evict the least-recently-used resident block, breaking
+			// ties by lowest PC, so runs are reproducible (map
+			// iteration order is not).
+			var victim int64
+			var oldest uint64 = ^uint64(0)
+			for k, v := range b.table {
+				if v.lastUse < oldest || (v.lastUse == oldest && k < victim) {
+					oldest = v.lastUse
+					victim = k
+				}
 			}
+			delete(b.table, victim)
 		}
 		e = &blockRBEntry{sigs: make([]blockSig, b.instances)}
 		b.table[pc] = e
 	}
 	b.clock++
+	e.lastUse = b.clock
 	slot := 0
 	var oldest uint64 = ^uint64(0)
 	for i := range e.sigs {
