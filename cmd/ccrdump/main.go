@@ -47,15 +47,16 @@ func main() {
 }
 
 func dumpBench(name, scale string, transformed bool) {
-	scales := map[string]workloads.Scale{
-		"tiny": workloads.Tiny, "small": workloads.Small,
-		"medium": workloads.Medium, "large": workloads.Large,
+	sc, err := workloads.ParseScale(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	sc, ok := scales[scale]
-	if !ok {
-		log.Fatalf("unknown scale %q", scale)
+	b, err := workloads.Lookup(name, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	b := workloads.Load(name, sc)
 	prog := b.Prog
 	if transformed {
 		cr, err := core.Compile(b.Prog, b.Train, core.DefaultOptions())

@@ -9,11 +9,19 @@
 // of the run: per-cell wall times, cache hit/miss counters and worker
 // utilization.
 //
+// A failing simulation cell no longer aborts the run: its figure renders a
+// FAILED(<reason>) entry and every other cell completes normally. -strict
+// turns any such failure into exit status 1. -verify additionally runs the
+// §3.1 transparency sweep (internal/oracle) over every benchmark, dataset
+// and CRB configuration, exiting 1 on any architectural divergence.
+// -cell-timeout and -retries bound and retry individual cells.
+//
 // Usage:
 //
 //	ccrpaper [-scale tiny|small|medium|large]
 //	         [-fig 4|8a|8b|9|10|11|scalars|compare|ablations|all]
 //	         [-jobs N] [-manifest run.json]
+//	         [-verify] [-strict] [-cell-timeout 30s] [-retries 1]
 package main
 
 import (
@@ -36,28 +44,27 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: "+strings.Join(knownFigs, ", ")+", all")
 	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	manifest := flag.String("manifest", "", "write a JSON run manifest to this file")
+	verify := flag.Bool("verify", false, "run the transparency-verification sweep (exit 1 on divergence)")
+	strict := flag.Bool("strict", false, "exit 1 if any simulation cell failed")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-time bound (0 = none)")
+	retries := flag.Int("retries", 0, "re-run a failed cell up to N more times")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
-	switch *scale {
-	case "tiny":
-		cfg.Scale = workloads.Tiny
-	case "small":
-		cfg.Scale = workloads.Small
-	case "medium":
-		cfg.Scale = workloads.Medium
-	case "large":
-		cfg.Scale = workloads.Large
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+	sc, err := workloads.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg.Scale = sc
 	if *fig != "all" && !validFig(*fig) {
 		fmt.Fprintf(os.Stderr, "unknown -fig %q; known figures: %s, all\n",
 			*fig, strings.Join(knownFigs, ", "))
 		os.Exit(2)
 	}
 	cfg.Jobs = *jobs
+	cfg.CellTimeout = *cellTimeout
+	cfg.Retries = *retries
 
 	suite := experiments.NewSuite(cfg)
 	m := runner.NewManifest(
@@ -65,6 +72,7 @@ func main() {
 		suite.Jobs())
 	suite.AttachManifest(m)
 
+	exitCode := 0
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	if want("4") {
 		r, err := experiments.Figure4(suite)
@@ -154,6 +162,17 @@ func main() {
 		}
 		fmt.Println(experiments.RenderHeuristics(h))
 	}
+	if *verify {
+		v, err := experiments.Verify(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(v.Render())
+		if v.Failed() > 0 {
+			fmt.Fprintf(os.Stderr, "ccrpaper: transparency verification failed at %d points\n", v.Failed())
+			exitCode = 1
+		}
+	}
 
 	suite.FlushCacheStats(m)
 	m.Finish()
@@ -165,6 +184,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ccrpaper: %.2fs wall, %d jobs, %d cells; compile %d misses / %d hits\n",
 		m.WallSeconds, m.Jobs, len(m.Cells),
 		m.Caches["compile"].Misses, m.Caches["compile"].Hits)
+	if n := suite.FailedCells(); n > 0 {
+		fmt.Fprintf(os.Stderr, "ccrpaper: %d cells failed (see FAILED entries above)\n", n)
+		if *strict {
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
 }
 
 func validFig(f string) bool {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ccr/internal/core"
 	"ccr/internal/experiments"
@@ -27,11 +28,16 @@ func main() {
 	dump := flag.Bool("dump", false, "dump the transformed program IR")
 	flag.Parse()
 
-	sc := map[string]workloads.Scale{
-		"tiny": workloads.Tiny, "small": workloads.Small,
-		"medium": workloads.Medium, "large": workloads.Large,
-	}[*scale]
-	b := workloads.Load(*bench, sc)
+	sc, err := workloads.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b, err := workloads.Lookup(*bench, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opts := core.DefaultOptions()
 	opts.CRB.Entries = *entries

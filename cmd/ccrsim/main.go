@@ -3,10 +3,16 @@
 // machines, with the detailed stall and reuse breakdown of the timing
 // model.
 //
+// -verify additionally digests a CRB-off run of the base program and a
+// CRB-on run of the transformed program (internal/oracle) and fails with
+// exit status 1 if any architectural observable diverged — the paper's
+// §3.1 transparency contract for this benchmark, input and CRB geometry.
+//
 // Usage:
 //
 //	ccrsim -bench m88ksim [-scale medium] [-entries 128] [-cis 8]
 //	       [-assoc 1] [-nomem 0] [-ref] [-list] [-jobs N] [-manifest run.json]
+//	       [-verify] [-cell-timeout 30s] [-retries 1]
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"ccr/internal/core"
 	"ccr/internal/opt"
+	"ccr/internal/oracle"
 	"ccr/internal/runner"
 	"ccr/internal/workloads"
 )
@@ -34,6 +41,9 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	jobs := flag.Int("jobs", 0, "workers for the base/CCR simulation pair (0 = GOMAXPROCS)")
 	manifest := flag.String("manifest", "", "write a JSON run manifest to this file")
+	verify := flag.Bool("verify", false, "differentially check the §3.1 transparency contract")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-time bound (0 = none)")
+	retries := flag.Int("retries", 0, "re-run a failed cell up to N more times")
 	flag.Parse()
 
 	if *list {
@@ -44,16 +54,16 @@ func main() {
 		return
 	}
 
-	scales := map[string]workloads.Scale{
-		"tiny": workloads.Tiny, "small": workloads.Small,
-		"medium": workloads.Medium, "large": workloads.Large,
-	}
-	sc, ok := scales[*scale]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+	sc, err := workloads.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	b := workloads.Load(*bench, sc)
+	b, err := workloads.Lookup(*bench, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *optimize {
 		st := opt.Optimize(b.Prog)
 		fmt.Printf("optimizer: folded %d, propagated %d, eliminated %d\n",
@@ -79,11 +89,14 @@ func main() {
 	// of a runner pool (Compile above already annotated b.Prog, so both
 	// only read their programs).
 	pool := runner.Pool{
-		Jobs:     *jobs,
-		Manifest: runner.NewManifest(fmt.Sprintf("ccrsim -bench %s -scale %s", b.Name, *scale), *jobs),
+		Jobs:        *jobs,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+		Manifest:    runner.NewManifest(fmt.Sprintf("ccrsim -bench %s -scale %s", b.Name, *scale), *jobs),
 	}
 	var base, ccr *core.SimResult
-	results := pool.Run(context.Background(), []runner.Cell{
+	var baseDigest, ccrDigest oracle.Digest
+	cells := []runner.Cell{
 		{ID: "base/" + b.Name, Do: func(context.Context) error {
 			var err error
 			base, err = core.Simulate(b.Prog, nil, opts.Uarch, args, 0)
@@ -94,7 +107,21 @@ func main() {
 			ccr, err = core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, args, 0)
 			return err
 		}},
-	})
+	}
+	if *verify {
+		cells = append(cells,
+			runner.Cell{ID: "digest/base/" + b.Name, Do: func(context.Context) error {
+				var err error
+				baseDigest, err = core.DigestRun(b.Prog, nil, args, 0)
+				return err
+			}},
+			runner.Cell{ID: "digest/ccr/" + b.Name + "/" + opts.CRB.Key(), Do: func(context.Context) error {
+				var err error
+				ccrDigest, err = core.DigestRun(cr.Prog, &opts.CRB, args, 0)
+				return err
+			}})
+	}
+	results := pool.Run(context.Background(), cells)
 	if err := runner.Errs(results); err != nil {
 		log.Fatal(err)
 	}
@@ -130,6 +157,15 @@ func main() {
 			ccr.CRB.Records, ccr.CRB.Evictions, ccr.CRB.RecordFails, ccr.CRB.Invalidates)
 	}
 	fmt.Printf("\nspeedup: %.3f×\n", core.Speedup(base, ccr))
+
+	if *verify {
+		if err := oracle.Compare(baseDigest, ccrDigest); err != nil {
+			fmt.Fprintf(os.Stderr, "ccrsim: transparency verification FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("transparency verified: %d stores, %d rets, %d mem words identical to base\n",
+			baseDigest.StoreCount, baseDigest.RetCount, baseDigest.MemWords)
+	}
 }
 
 func regionInstrs(cr *core.CompileResult) int {

@@ -40,11 +40,16 @@ func main() {
 			log.Fatal(err)
 		}
 	case *bench != "":
-		scales := map[string]workloads.Scale{
-			"tiny": workloads.Tiny, "small": workloads.Small,
-			"medium": workloads.Medium, "large": workloads.Large,
+		sc, err := workloads.ParseScale(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-		b := workloads.Load(*bench, scales[*scale])
+		b, err := workloads.Lookup(*bench, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		prog = b.Prog
 		if *ccrForm {
 			cr, err := core.Compile(b.Prog, b.Train, core.DefaultOptions())

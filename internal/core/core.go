@@ -22,6 +22,7 @@ import (
 	"ccr/internal/crb"
 	"ccr/internal/emu"
 	"ccr/internal/ir"
+	"ccr/internal/oracle"
 	"ccr/internal/region"
 	"ccr/internal/uarch"
 	"ccr/internal/vprof"
@@ -177,6 +178,27 @@ func RunFunctional(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int
 		out.CRB = &st
 	}
 	return out, nil
+}
+
+// DigestRun executes prog functionally and returns the architectural
+// digest of the run (see internal/oracle): final result, final memory
+// image, and the store/return-value streams. A non-nil crbCfg attaches a
+// CRB; digesting a base run with nil and a CCR run with a configuration,
+// then oracle.Compare-ing the two, checks the paper's §3.1 transparency
+// contract for that benchmark, input and CRB geometry.
+func DigestRun(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64) (oracle.Digest, error) {
+	m := emu.New(prog)
+	m.Limit = limit
+	if crbCfg != nil {
+		m.CRB = crb.New(*crbCfg, prog)
+	}
+	col := oracle.NewCollector(prog)
+	m.Trace = col.Tracer()
+	res, err := m.Run(args...)
+	if err != nil {
+		return oracle.Digest{}, err
+	}
+	return col.Finish(res, m.Mem), nil
 }
 
 // Speedup returns base cycles divided by ccr cycles — the paper's

@@ -1,0 +1,140 @@
+package crb_test
+
+import (
+	"testing"
+
+	"ccr/internal/crb"
+	"ccr/internal/ir"
+)
+
+// memProg fabricates the minimal region table the CRB needs: two regions,
+// region 0 memory-dependent on object 1, region 1 stateless. Only
+// prog.Regions is consulted by crb.New.
+func memProg() *ir.Program {
+	return &ir.Program{Regions: []*ir.Region{
+		{ID: 0, Class: ir.MemoryDependent, MemObjects: []ir.MemID{1}},
+		{ID: 1, Class: ir.Stateless},
+	}}
+}
+
+func readFrom(vals map[ir.Reg]int64) func(ir.Reg) int64 {
+	return func(r ir.Reg) int64 { return vals[r] }
+}
+
+func inst(usesMem bool, in, out int64) crb.Instance {
+	return crb.Instance{
+		UsesMem: usesMem,
+		Inputs:  []crb.RegVal{{Reg: 1, Val: in}},
+		Outputs: []crb.RegVal{{Reg: 2, Val: out}},
+	}
+}
+
+// TestInvalidateIsObjectGranular pins the memory-valid-bit semantics under
+// overlapping and partial-word stores: the hardware tracks validity per
+// object, not per address, so a store anywhere into a region's object —
+// even to words the recorded path never loaded — must kill every
+// memory-using instance of that region. Instances whose recorded path
+// executed no load (UsesMem false) survive, as do instances of regions not
+// registered against the stored object.
+func TestInvalidateIsObjectGranular(t *testing.T) {
+	c := crb.New(crb.Config{Entries: 8, Instances: 4}, memProg())
+	// Region 0: one memory-using instance and one pure-register instance
+	// (a side path that never loaded).
+	c.Commit(0, inst(true, 10, 100))
+	c.Commit(0, inst(false, 11, 110))
+	// Region 1 is stateless; object 1 is not registered against it.
+	c.Commit(1, inst(false, 12, 120))
+
+	// A store into object 2 (not region 0's object) invalidates nothing.
+	if n := c.Invalidate(2); n != 0 {
+		t.Fatalf("unrelated object invalidated %d instances", n)
+	}
+	// A store into object 1 — regardless of which word, including words the
+	// recorded execution never touched — kills exactly the memory-using
+	// instance.
+	if n := c.Invalidate(1); n != 1 {
+		t.Fatalf("invalidated %d instances, want 1 (the UsesMem one)", n)
+	}
+	if _, ok := c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10})); ok {
+		t.Fatal("memory-using instance reusable after its object was stored to")
+	}
+	if ci, ok := c.Lookup(0, readFrom(map[ir.Reg]int64{1: 11})); !ok || ci.Outputs[0].Val != 110 {
+		t.Fatalf("register-only instance must survive invalidation: %v %v", ci, ok)
+	}
+	if _, ok := c.Lookup(1, readFrom(map[ir.Reg]int64{1: 12})); !ok {
+		t.Fatal("unrelated region's instance lost to invalidation")
+	}
+	// Repeating the invalidation finds nothing left to kill: the valid bit
+	// clears once, it does not double-count.
+	if n := c.Invalidate(1); n != 0 {
+		t.Fatalf("second invalidation killed %d more instances", n)
+	}
+}
+
+// TestInvalidationRacesSameCycleLookup serializes the §4.3 race: when a
+// computation-invalidate and a reuse lookup for the same region arrive
+// back-to-back, the invalidation wins — the very next lookup with exactly
+// matching inputs must miss, with no stale window. Re-recording afterwards
+// restores reuse.
+func TestInvalidationRacesSameCycleLookup(t *testing.T) {
+	c := crb.New(crb.Config{Entries: 8, Instances: 4}, memProg())
+	read := readFrom(map[ir.Reg]int64{1: 10})
+	c.Commit(0, inst(true, 10, 100))
+	if _, ok := c.Lookup(0, read); !ok {
+		t.Fatal("instance not reusable before invalidation")
+	}
+	c.Invalidate(1)
+	if ci, ok := c.Lookup(0, read); ok {
+		t.Fatalf("lookup immediately after invalidation hit stale instance %+v", ci)
+	}
+	// The path re-executes and re-records; the fresh instance is reusable.
+	c.Commit(0, inst(true, 10, 101))
+	ci, ok := c.Lookup(0, read)
+	if !ok || ci.Outputs[0].Val != 101 {
+		t.Fatalf("re-recorded instance not reusable: %v %v", ci, ok)
+	}
+	st := c.Stats()
+	if st.Invalidates != 1 {
+		t.Fatalf("Invalidates = %d, want 1", st.Invalidates)
+	}
+}
+
+// TestEvictionMidRecording covers an entry evicted between a region's
+// recording-arming miss and its commit: with a single computation entry,
+// region 1 claims the entry while region 0's execution is still recording.
+// Region 0's commit must transparently re-allocate (evicting region 1) and
+// the committed instance must be reusable — recording in progress holds no
+// reference into the entry array.
+func TestEvictionMidRecording(t *testing.T) {
+	c := crb.New(crb.Config{Entries: 1, Instances: 4}, memProg())
+	read0 := readFrom(map[ir.Reg]int64{1: 10})
+
+	// Region 0 misses and arms recording.
+	if _, ok := c.Lookup(0, read0); ok {
+		t.Fatal("cold lookup hit")
+	}
+	// While region 0's body executes, region 1 records into the only entry,
+	// evicting region 0's (empty) allocation.
+	if !c.Commit(1, inst(false, 12, 120)) {
+		t.Fatal("region 1 commit rejected")
+	}
+	// Region 0's recording completes; its commit must re-claim the entry.
+	if !c.Commit(0, inst(true, 10, 100)) {
+		t.Fatal("mid-recording eviction lost region 0's commit")
+	}
+	ci, ok := c.Lookup(0, read0)
+	if !ok || ci.Outputs[0].Val != 100 {
+		t.Fatalf("instance committed after eviction not reusable: %v %v", ci, ok)
+	}
+	// Region 1's instance was evicted in turn; its lookup misses cleanly.
+	if _, ok := c.Lookup(1, readFrom(map[ir.Reg]int64{1: 12})); ok {
+		t.Fatal("evicted region 1 instance still resident")
+	}
+	if st := c.Stats(); st.Evictions < 1 {
+		t.Fatalf("Evictions = %d, want ≥ 1", st.Evictions)
+	}
+	// The invalidation plumbing still targets the re-claimed entry.
+	if n := c.Invalidate(1); n != 1 {
+		t.Fatalf("invalidation after mid-recording eviction killed %d, want 1", n)
+	}
+}

@@ -111,6 +111,22 @@ func (m *memo) noteDef(r ir.Reg, v int64, liveOut bool) bool {
 	return true
 }
 
+// ReuseBuffer is the emulator's view of the Computation Reuse Buffer: the
+// three architectural operations the CCR ISA extensions perform. *crb.CRB
+// is the real hardware model; test harnesses (internal/chaos) substitute
+// wrappers that inject faults between the emulator and the buffer.
+type ReuseBuffer interface {
+	// Lookup searches the region's computation entry for an instance whose
+	// inputs match the current register values (supplied by read).
+	Lookup(region ir.RegionID, read func(ir.Reg) int64) (*crb.Instance, bool)
+	// Commit installs a freshly recorded instance, reporting whether it
+	// was stored.
+	Commit(region ir.RegionID, inst crb.Instance) bool
+	// Invalidate discards the memory-dependent instances of every region
+	// registered against object m.
+	Invalidate(m ir.MemID) int
+}
+
 // Machine executes one program. Construct with New, run with Run.
 type Machine struct {
 	Prog *ir.Program
@@ -118,7 +134,7 @@ type Machine struct {
 	// CRB enables the CCR architectural extensions; with a nil CRB, reuse
 	// instructions always miss and nothing is memoized (the transformed
 	// program then behaves exactly like the base program, with overhead).
-	CRB *crb.CRB
+	CRB ReuseBuffer
 	// Trace, when non-nil, receives every executed dynamic instruction.
 	Trace Tracer
 	// Limit bounds the number of dynamic instructions executed

@@ -16,6 +16,9 @@ type AblationResult struct {
 	Rows    []string
 	Speedup map[string][]float64
 	Avg     []float64
+	// Failed maps a benchmark to per-label failure reasons ("" = cell ok);
+	// failed cells render as FAILED and drop out of the averages.
+	Failed rowFailures
 }
 
 // Render formats the ablation as a table.
@@ -24,7 +27,11 @@ func (r *AblationResult) Render() string {
 	t := stats.Table{Header: head}
 	for _, b := range r.Rows {
 		cells := []string{b}
-		for _, sp := range r.Speedup[b] {
+		for pi, sp := range r.Speedup[b] {
+			if reason := r.Failed.get(b, pi); reason != "" {
+				cells = append(cells, failCell(reason))
+				continue
+			}
 			cells = append(cells, fmt.Sprintf("%.3f", sp))
 		}
 		t.Add(cells...)
@@ -70,7 +77,8 @@ func AblationNoMem(s *Suite) (*AblationResult, error) {
 }
 
 // runAblation fans the (benchmark × configuration) cells of an ablation
-// out across the suite's worker pool, like the Figure 8 sweeps.
+// out across the suite's worker pool, like the Figure 8 sweeps. Failed
+// cells degrade to FAILED entries rather than aborting the ablation.
 func runAblation(s *Suite, res *AblationResult, points []SweepPoint) (*AblationResult, error) {
 	for _, p := range points {
 		res.Labels = append(res.Labels, p.Label)
@@ -80,7 +88,7 @@ func runAblation(s *Suite, res *AblationResult, points []SweepPoint) (*AblationR
 	for i := range rows {
 		rows[i] = make([]float64, np)
 	}
-	err := s.Map(nb*np,
+	errs := s.MapErrs(nb*np,
 		func(i int) string {
 			return fmt.Sprintf("ablation/%s/%s", s.Benches[i/np].Name, points[i%np].Label)
 		},
@@ -93,15 +101,16 @@ func runAblation(s *Suite, res *AblationResult, points []SweepPoint) (*AblationR
 			rows[i/np][i%np] = sp
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
 	res.Speedup = map[string][]float64{}
 	sums := make([][]float64, np)
 	for bi, b := range s.Benches {
 		res.Rows = append(res.Rows, b.Name)
 		res.Speedup[b.Name] = rows[bi]
 		for pi := range points {
+			if err := errs[bi*np+pi]; err != nil {
+				res.Failed.set(b.Name, np, pi, err)
+				continue
+			}
 			sums[pi] = append(sums[pi], rows[bi][pi])
 		}
 	}
@@ -109,6 +118,37 @@ func runAblation(s *Suite, res *AblationResult, points []SweepPoint) (*AblationR
 	for i := range points {
 		res.Avg[i] = stats.Mean(sums[i])
 	}
+	return res, nil
+}
+
+// twoColumnAblation fans one cell per benchmark across the pool, each cell
+// computing both columns of its row; a failing benchmark degrades to a
+// FAILED row instead of aborting the ablation.
+func twoColumnAblation(s *Suite, res *AblationResult, tag string, cell func(b *workloads.Benchmark) ([2]float64, error)) (*AblationResult, error) {
+	rows := make([][2]float64, len(s.Benches))
+	errs := s.MapErrs(len(s.Benches),
+		func(i int) string { return tag + "/" + s.Benches[i].Name },
+		func(i int) error {
+			row, err := cell(s.Benches[i])
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
+		})
+	res.Speedup = map[string][]float64{}
+	sums := make([][]float64, 2)
+	for bi, b := range s.Benches {
+		res.Rows = append(res.Rows, b.Name)
+		res.Speedup[b.Name] = rows[bi][:]
+		if errs[bi] != nil {
+			res.Failed.setRow(b.Name, 2, errs[bi])
+			continue
+		}
+		sums[0] = append(sums[0], rows[bi][0])
+		sums[1] = append(sums[1], rows[bi][1])
+	}
+	res.Avg = []float64{stats.Mean(sums[0]), stats.Mean(sums[1])}
 	return res, nil
 }
 
@@ -189,41 +229,35 @@ func RenderHeuristics(points []HeuristicPoint) string {
 // the §6 value-speculation variant that hides validation latency behind
 // speculative commit of the recorded live-out values.
 func AblationSpeculation(s *Suite) (*AblationResult, error) {
-	res := &AblationResult{Title: "Ablation: speculative reuse validation (128 entries, 8 CIs)"}
-	res.Speedup = map[string][]float64{}
-	res.Labels = []string{"validate", "speculate"}
-	sums := make([][]float64, 2)
+	res := &AblationResult{
+		Title:  "Ablation: speculative reuse validation (128 entries, 8 CIs)",
+		Labels: []string{"validate", "speculate"},
+	}
 	cc := s.cfg.Opts.CRB
 	specU := s.cfg.Opts.Uarch
 	specU.SpeculativeValidation = true
-	for _, b := range s.Benches {
-		res.Rows = append(res.Rows, b.Name)
+	return twoColumnAblation(s, res, "spec", func(b *workloads.Benchmark) ([2]float64, error) {
 		baseRun, err := s.BaseSim(b, b.Train)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		normal, err := s.CCRSim(b, b.Train, cc)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		cr, err := s.Compiled(b)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		spec, err := core.Simulate(cr.Prog, &cc, specU, b.Train, s.cfg.Opts.Limit)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		if spec.Result != baseRun.Result {
-			return nil, fmt.Errorf("speculation ablation %s: architectural mismatch", b.Name)
+			return [2]float64{}, fmt.Errorf("speculation ablation %s: architectural mismatch", b.Name)
 		}
-		row := []float64{core.Speedup(baseRun, normal), core.Speedup(baseRun, spec)}
-		res.Speedup[b.Name] = row
-		sums[0] = append(sums[0], row[0])
-		sums[1] = append(sums[1], row[1])
-	}
-	res.Avg = []float64{stats.Mean(sums[0]), stats.Mean(sums[1])}
-	return res, nil
+		return [2]float64{core.Speedup(baseRun, normal), core.Speedup(baseRun, spec)}, nil
+	})
 }
 
 // AblationFuncLevel compares the paper's evaluated configuration against
@@ -233,41 +267,33 @@ func AblationSpeculation(s *Suite) (*AblationResult, error) {
 // so the shared caches are bypassed for the extension runs.
 func AblationFuncLevel(s *Suite) (*AblationResult, error) {
 	res := &AblationResult{
-		Title:   "Ablation: function-level CCR (128 entries, 8 CIs)",
-		Labels:  []string{"regions", "+funclevel"},
-		Speedup: map[string][]float64{},
+		Title:  "Ablation: function-level CCR (128 entries, 8 CIs)",
+		Labels: []string{"regions", "+funclevel"},
 	}
 	flOpts := s.cfg.Opts
 	flOpts.Region.FunctionLevel = true
-	sums := make([][]float64, 2)
-	for _, b := range s.Benches {
+	return twoColumnAblation(s, res, "funclevel", func(b *workloads.Benchmark) ([2]float64, error) {
 		baseRun, err := s.BaseSim(b, b.Train)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		normal, err := s.Speedup(b, b.Train, s.cfg.Opts.CRB)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		cr, err := core.Compile(b.Prog, b.Train, flOpts)
 		if err != nil {
-			return nil, fmt.Errorf("funclevel ablation %s: %w", b.Name, err)
+			return [2]float64{}, fmt.Errorf("funclevel ablation %s: %w", b.Name, err)
 		}
 		fl, err := core.Simulate(cr.Prog, &flOpts.CRB, flOpts.Uarch, b.Train, flOpts.Limit)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		if fl.Result != baseRun.Result {
-			return nil, fmt.Errorf("funclevel ablation %s: architectural mismatch", b.Name)
+			return [2]float64{}, fmt.Errorf("funclevel ablation %s: architectural mismatch", b.Name)
 		}
-		row := []float64{normal, core.Speedup(baseRun, fl)}
-		res.Rows = append(res.Rows, b.Name)
-		res.Speedup[b.Name] = row
-		sums[0] = append(sums[0], row[0])
-		sums[1] = append(sums[1], row[1])
-	}
-	res.Avg = []float64{stats.Mean(sums[0]), stats.Mean(sums[1])}
-	return res, nil
+		return [2]float64{normal, core.Speedup(baseRun, fl)}, nil
+	})
 }
 
 // AblationOutOfOrder asks the question §3.3 raises: how much of the CCR
@@ -276,40 +302,32 @@ func AblationFuncLevel(s *Suite) (*AblationResult, error) {
 // longer shortcuts dependences the scheduler could overlap.
 func AblationOutOfOrder(s *Suite) (*AblationResult, error) {
 	res := &AblationResult{
-		Title:   "Ablation: in-order vs out-of-order machine (128 entries, 8 CIs)",
-		Labels:  []string{"inorder", "ooo"},
-		Speedup: map[string][]float64{},
+		Title:  "Ablation: in-order vs out-of-order machine (128 entries, 8 CIs)",
+		Labels: []string{"inorder", "ooo"},
 	}
 	oooCfg := s.cfg.Opts.Uarch
 	oooCfg.OutOfOrder = true
 	oooCfg.ROBSize = 64
-	sums := make([][]float64, 2)
-	for _, b := range s.Benches {
+	return twoColumnAblation(s, res, "ooo", func(b *workloads.Benchmark) ([2]float64, error) {
 		inorderSp, err := s.Speedup(b, b.Train, s.cfg.Opts.CRB)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		cr, err := s.Compiled(b)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		oooBase, err := core.Simulate(b.Prog, nil, oooCfg, b.Train, s.cfg.Opts.Limit)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		oooCCR, err := core.Simulate(cr.Prog, &s.cfg.Opts.CRB, oooCfg, b.Train, s.cfg.Opts.Limit)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		if oooCCR.Result != oooBase.Result {
-			return nil, fmt.Errorf("ooo ablation %s: architectural mismatch", b.Name)
+			return [2]float64{}, fmt.Errorf("ooo ablation %s: architectural mismatch", b.Name)
 		}
-		row := []float64{inorderSp, core.Speedup(oooBase, oooCCR)}
-		res.Rows = append(res.Rows, b.Name)
-		res.Speedup[b.Name] = row
-		sums[0] = append(sums[0], row[0])
-		sums[1] = append(sums[1], row[1])
-	}
-	res.Avg = []float64{stats.Mean(sums[0]), stats.Mean(sums[1])}
-	return res, nil
+		return [2]float64{inorderSp, core.Speedup(oooBase, oooCCR)}, nil
+	})
 }

@@ -16,49 +16,67 @@ type ComparisonResult struct {
 	Rows    []string
 	Speedup map[string][3]float64 // instr, block, ccr
 	Avg     [3]float64
+	// Failed maps a benchmark whose cell failed to the failure reason.
+	Failed map[string]string
 }
 
-// Comparison runs the three mechanisms over the suite.
+// Comparison runs the three mechanisms over the suite, one parallel cell
+// per benchmark; a failing benchmark degrades to a FAILED row.
 func Comparison(s *Suite) (*ComparisonResult, error) {
-	res := &ComparisonResult{Speedup: map[string][3]float64{}}
+	res := &ComparisonResult{Speedup: map[string][3]float64{}, Failed: map[string]string{}}
+	rows := make([][3]float64, len(s.Benches))
+	errs := s.MapErrs(len(s.Benches),
+		func(i int) string { return "comparison/" + s.Benches[i].Name },
+		func(i int) error {
+			b := s.Benches[i]
+			base, err := s.BaseSim(b, b.Train)
+			if err != nil {
+				return err
+			}
+			instrCfg := s.cfg.Opts.Uarch
+			instrCfg.InstrReuse = true
+			instrRun, err := core.Simulate(b.Prog, nil, instrCfg, b.Train, s.cfg.Opts.Limit)
+			if err != nil {
+				return err
+			}
+			blockCfg := s.cfg.Opts.Uarch
+			blockCfg.BlockReuse = true
+			blockRun, err := core.Simulate(b.Prog, nil, blockCfg, b.Train, s.cfg.Opts.Limit)
+			if err != nil {
+				return err
+			}
+			ccrSp, err := s.Speedup(b, b.Train, s.cfg.Opts.CRB)
+			if err != nil {
+				return err
+			}
+			if instrRun.Result != base.Result || blockRun.Result != base.Result {
+				return fmt.Errorf("comparison %s: baseline changed results", b.Name)
+			}
+			rows[i] = [3]float64{
+				core.Speedup(base, instrRun),
+				core.Speedup(base, blockRun),
+				ccrSp,
+			}
+			return nil
+		})
 	var sums [3]float64
-	for _, b := range s.Benches {
-		base, err := s.BaseSim(b, b.Train)
-		if err != nil {
-			return nil, err
-		}
-		instrCfg := s.cfg.Opts.Uarch
-		instrCfg.InstrReuse = true
-		instrRun, err := core.Simulate(b.Prog, nil, instrCfg, b.Train, s.cfg.Opts.Limit)
-		if err != nil {
-			return nil, err
-		}
-		blockCfg := s.cfg.Opts.Uarch
-		blockCfg.BlockReuse = true
-		blockRun, err := core.Simulate(b.Prog, nil, blockCfg, b.Train, s.cfg.Opts.Limit)
-		if err != nil {
-			return nil, err
-		}
-		ccrSp, err := s.Speedup(b, b.Train, s.cfg.Opts.CRB)
-		if err != nil {
-			return nil, err
-		}
-		if instrRun.Result != base.Result || blockRun.Result != base.Result {
-			return nil, fmt.Errorf("comparison %s: baseline changed results", b.Name)
-		}
-		row := [3]float64{
-			core.Speedup(base, instrRun),
-			core.Speedup(base, blockRun),
-			ccrSp,
-		}
+	var nOK int
+	for i, b := range s.Benches {
 		res.Rows = append(res.Rows, b.Name)
-		res.Speedup[b.Name] = row
-		for i := range sums {
-			sums[i] += row[i]
+		if errs[i] != nil {
+			res.Failed[b.Name] = shortReason(errs[i])
+			continue
+		}
+		nOK++
+		res.Speedup[b.Name] = rows[i]
+		for j := range sums {
+			sums[j] += rows[i][j]
 		}
 	}
-	for i := range sums {
-		res.Avg[i] = sums[i] / float64(len(res.Rows))
+	if nOK > 0 {
+		for i := range sums {
+			res.Avg[i] = sums[i] / float64(nOK)
+		}
 	}
 	return res, nil
 }
@@ -67,6 +85,11 @@ func Comparison(s *Suite) (*ComparisonResult, error) {
 func (r *ComparisonResult) Render() string {
 	t := stats.Table{Header: []string{"benchmark", "instr reuse", "block reuse", "CCR"}}
 	for _, b := range r.Rows {
+		if reason, ok := r.Failed[b]; ok {
+			fc := failCell(reason)
+			t.Add(b, fc, fc, fc)
+			continue
+		}
 		v := r.Speedup[b]
 		t.Add(b, fmt.Sprintf("%.3f", v[0]), fmt.Sprintf("%.3f", v[1]), fmt.Sprintf("%.3f", v[2]))
 	}

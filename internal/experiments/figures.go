@@ -20,14 +20,18 @@ type Fig4Row struct {
 type Fig4Result struct {
 	Rows                []Fig4Row
 	AvgBlock, AvgRegion float64
+	// Failed maps a benchmark whose cell failed to the failure reason; its
+	// row renders as FAILED and is excluded from the averages.
+	Failed map[string]string
 }
 
 // Figure4 reproduces the §2.3 limit study: block- vs region-level dynamic
 // reuse potential with eight records per code segment. The per-benchmark
 // limit studies are independent, so they fan out across the suite's pool.
+// A failing benchmark degrades to a FAILED row instead of aborting.
 func Figure4(s *Suite) (*Fig4Result, error) {
 	rows := make([]Fig4Row, len(s.Benches))
-	err := s.Map(len(s.Benches),
+	errs := s.MapErrs(len(s.Benches),
 		func(i int) string { return "fig4/" + s.Benches[i].Name },
 		func(i int) error {
 			b := s.Benches[i]
@@ -38,12 +42,14 @@ func Figure4(s *Suite) (*Fig4Result, error) {
 			rows[i] = Fig4Row{Bench: b.Name, BlockPct: r.BlockPct(), RegionPct: r.RegionPct()}
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig4Result{Rows: rows}
+	res := &Fig4Result{Rows: rows, Failed: map[string]string{}}
 	var blocks, regions []float64
-	for _, row := range rows {
+	for i, row := range rows {
+		if errs[i] != nil {
+			res.Rows[i].Bench = s.Benches[i].Name
+			res.Failed[s.Benches[i].Name] = shortReason(errs[i])
+			continue
+		}
 		blocks = append(blocks, row.BlockPct)
 		regions = append(regions, row.RegionPct)
 	}
@@ -56,6 +62,10 @@ func Figure4(s *Suite) (*Fig4Result, error) {
 func (r *Fig4Result) Render() string {
 	t := stats.Table{Header: []string{"benchmark", "block", "region"}}
 	for _, row := range r.Rows {
+		if reason, ok := r.Failed[row.Bench]; ok {
+			t.Add(row.Bench, failCell(reason), failCell(reason))
+			continue
+		}
 		t.Add(row.Bench, fmt.Sprintf("%.1f%%", row.BlockPct), fmt.Sprintf("%.1f%%", row.RegionPct))
 	}
 	t.Add("average", fmt.Sprintf("%.1f%%", r.AvgBlock), fmt.Sprintf("%.1f%%", r.AvgRegion))
@@ -74,19 +84,23 @@ type Fig8Result struct {
 	Rows    []string             // benchmark order
 	Speedup map[string][]float64 // bench → speedup per point
 	Avg     []float64            // per point
+	// Failed maps a benchmark to per-point failure reasons ("" = cell ok);
+	// failed cells render as FAILED and drop out of the per-point averages.
+	Failed rowFailures
 }
 
 // sweep runs the (benchmark × configuration) product of a Figure 8-style
 // study through the suite's worker pool. Each cell writes into its own
 // slot of a preallocated matrix and aggregation walks the matrix in input
-// order, so the rendered table is byte-identical to a serial run.
+// order, so the rendered table is byte-identical to a serial run. Failed
+// cells degrade to FAILED entries rather than aborting the sweep.
 func sweep(s *Suite, points []SweepPoint) (*Fig8Result, error) {
 	nb, np := len(s.Benches), len(points)
 	rows := make([][]float64, nb)
 	for i := range rows {
 		rows[i] = make([]float64, np)
 	}
-	err := s.Map(nb*np,
+	errs := s.MapErrs(nb*np,
 		func(i int) string {
 			return fmt.Sprintf("sweep/%s/%s", s.Benches[i/np].Name, points[i%np].Label)
 		},
@@ -99,15 +113,16 @@ func sweep(s *Suite, points []SweepPoint) (*Fig8Result, error) {
 			rows[i/np][i%np] = sp
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
 	res := &Fig8Result{Points: points, Speedup: map[string][]float64{}}
 	sums := make([][]float64, np)
 	for bi, b := range s.Benches {
 		res.Rows = append(res.Rows, b.Name)
 		res.Speedup[b.Name] = rows[bi]
 		for pi := range points {
+			if err := errs[bi*np+pi]; err != nil {
+				res.Failed.set(b.Name, np, pi, err)
+				continue
+			}
 			sums[pi] = append(sums[pi], rows[bi][pi])
 		}
 	}
@@ -153,7 +168,11 @@ func (r *Fig8Result) Render(title string) string {
 	t := stats.Table{Header: head}
 	for _, b := range r.Rows {
 		cells := []string{b}
-		for _, sp := range r.Speedup[b] {
+		for pi, sp := range r.Speedup[b] {
+			if reason := r.Failed.get(b, pi); reason != "" {
+				cells = append(cells, failCell(reason))
+				continue
+			}
 			cells = append(cells, fmt.Sprintf("%.3f", sp))
 		}
 		t.Add(cells...)
@@ -209,64 +228,93 @@ type Fig9Result struct {
 	// AcyclicReplaced is the mean dynamic instructions an acyclic region
 	// execution replaces (the paper reports ≈ 10).
 	AcyclicReplaced float64
+	// Failed maps a benchmark whose cell failed to the failure reason.
+	Failed map[string]string
+}
+
+// fig9Cell is one benchmark's contribution, computed inside a pool cell.
+type fig9Cell struct {
+	static, dynamic map[string]float64
+	acySum, acyN    float64
 }
 
 // Figure9 computes the computation-group distributions at the default CRB
-// configuration.
+// configuration, one parallel cell per benchmark; a failing benchmark
+// degrades to a FAILED row.
 func Figure9(s *Suite) (*Fig9Result, error) {
+	cc := s.cfg.Opts.CRB
+	cells := make([]fig9Cell, len(s.Benches))
+	errs := s.MapErrs(len(s.Benches),
+		func(i int) string { return "fig9/" + s.Benches[i].Name },
+		func(i int) error {
+			b := s.Benches[i]
+			cr, err := s.Compiled(b)
+			if err != nil {
+				return err
+			}
+			run, err := s.CCRSim(b, b.Train, cc)
+			if err != nil {
+				return err
+			}
+			st := map[string]float64{}
+			dy := map[string]float64{}
+			var totStatic, totDyn float64
+			cell := &cells[i]
+			for _, rg := range cr.Prog.Regions {
+				g := GroupOf(rg)
+				st[g]++
+				totStatic++
+				if rs := run.Emu.Regions[rg.ID]; rs != nil {
+					dy[g] += float64(rs.ReusedInstrs)
+					totDyn += float64(rs.ReusedInstrs)
+					if rg.Kind == ir.Acyclic && rs.Hits > 0 {
+						cell.acySum += float64(rs.ReusedInstrs) / float64(rs.Hits)
+						cell.acyN++
+					}
+				}
+			}
+			for g := range st {
+				st[g] /= totStatic
+			}
+			if totDyn > 0 {
+				for g := range dy {
+					dy[g] /= totDyn
+				}
+			}
+			cell.static, cell.dynamic = st, dy
+			return nil
+		})
 	res := &Fig9Result{
 		Static:     map[string]map[string]float64{},
 		Dynamic:    map[string]map[string]float64{},
 		AvgStatic:  map[string]float64{},
 		AvgDynamic: map[string]float64{},
+		Failed:     map[string]string{},
 	}
-	cc := s.cfg.Opts.CRB
 	var acySum, acyN float64
-	for _, b := range s.Benches {
-		cr, err := s.Compiled(b)
-		if err != nil {
-			return nil, err
-		}
-		run, err := s.CCRSim(b, b.Train, cc)
-		if err != nil {
-			return nil, err
-		}
+	var ok []string
+	for i, b := range s.Benches {
 		res.Rows = append(res.Rows, b.Name)
-		st := map[string]float64{}
-		dy := map[string]float64{}
-		var totStatic, totDyn float64
-		for _, rg := range cr.Prog.Regions {
-			g := GroupOf(rg)
-			st[g]++
-			totStatic++
-			if rs := run.Emu.Regions[rg.ID]; rs != nil {
-				dy[g] += float64(rs.ReusedInstrs)
-				totDyn += float64(rs.ReusedInstrs)
-				if rg.Kind == ir.Acyclic && rs.Hits > 0 {
-					acySum += float64(rs.ReusedInstrs) / float64(rs.Hits)
-					acyN++
-				}
-			}
+		if errs[i] != nil {
+			res.Failed[b.Name] = shortReason(errs[i])
+			continue
 		}
-		for g := range st {
-			st[g] /= totStatic
-		}
-		if totDyn > 0 {
-			for g := range dy {
-				dy[g] /= totDyn
-			}
-		}
-		res.Static[b.Name] = st
-		res.Dynamic[b.Name] = dy
+		ok = append(ok, b.Name)
+		res.Static[b.Name] = cells[i].static
+		res.Dynamic[b.Name] = cells[i].dynamic
+		acySum += cells[i].acySum
+		acyN += cells[i].acyN
 	}
 	for _, g := range PaperGroups {
 		var sSum, dSum float64
-		for _, b := range res.Rows {
+		for _, b := range ok {
 			sSum += res.Static[b][g]
 			dSum += res.Dynamic[b][g]
 		}
-		res.AvgStatic[g] = sSum / float64(len(res.Rows))
-		res.AvgDynamic[g] = dSum / float64(len(res.Rows))
+		if len(ok) > 0 {
+			res.AvgStatic[g] = sSum / float64(len(ok))
+			res.AvgDynamic[g] = dSum / float64(len(ok))
+		}
 	}
 	if acyN > 0 {
 		res.AcyclicReplaced = acySum / acyN
@@ -281,6 +329,13 @@ func (r *Fig9Result) Render() string {
 		t := stats.Table{Header: head}
 		for _, b := range r.Rows {
 			cells := []string{b}
+			if reason, ok := r.Failed[b]; ok {
+				for range PaperGroups {
+					cells = append(cells, failCell(reason))
+				}
+				t.Add(cells...)
+				continue
+			}
 			for _, g := range PaperGroups {
 				cells = append(cells, fmt.Sprintf("%.0f%%", 100*m[b][g]))
 			}
@@ -305,14 +360,16 @@ type Fig10Result struct {
 	Rows []string
 	Top  map[string][4]float64
 	Avg  [4]float64
+	// Failed maps a benchmark whose cell failed to the failure reason.
+	Failed map[string]string
 }
 
 // Figure10 computes the reuse-concentration distribution, one parallel
-// cell per benchmark.
+// cell per benchmark; a failing benchmark degrades to a FAILED row.
 func Figure10(s *Suite) (*Fig10Result, error) {
 	cc := s.cfg.Opts.CRB
 	tops := make([][4]float64, len(s.Benches))
-	err := s.Map(len(s.Benches),
+	errs := s.MapErrs(len(s.Benches),
 		func(i int) string { return "fig10/" + s.Benches[i].Name },
 		func(i int) error {
 			b := s.Benches[i]
@@ -353,20 +410,25 @@ func Figure10(s *Suite) (*Fig10Result, error) {
 			}
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig10Result{Top: map[string][4]float64{}}
+	res := &Fig10Result{Top: map[string][4]float64{}, Failed: map[string]string{}}
 	var sums [4]float64
+	var nOK int
 	for bi, b := range s.Benches {
 		res.Rows = append(res.Rows, b.Name)
+		if errs[bi] != nil {
+			res.Failed[b.Name] = shortReason(errs[bi])
+			continue
+		}
+		nOK++
 		res.Top[b.Name] = tops[bi]
 		for i := range sums {
 			sums[i] += tops[bi][i]
 		}
 	}
-	for i := range sums {
-		res.Avg[i] = sums[i] / float64(len(res.Rows))
+	if nOK > 0 {
+		for i := range sums {
+			res.Avg[i] = sums[i] / float64(nOK)
+		}
 	}
 	return res, nil
 }
@@ -375,6 +437,11 @@ func Figure10(s *Suite) (*Fig10Result, error) {
 func (r *Fig10Result) Render() string {
 	t := stats.Table{Header: []string{"benchmark", "TOP 10%", "TOP 20%", "TOP 30%", "TOP 40%"}}
 	for _, b := range r.Rows {
+		if reason, ok := r.Failed[b]; ok {
+			fc := failCell(reason)
+			t.Add(b, fc, fc, fc, fc)
+			continue
+		}
 		v := r.Top[b]
 		t.Add(b, stats.Pct(v[0]), stats.Pct(v[1]), stats.Pct(v[2]), stats.Pct(v[3]))
 	}
@@ -382,7 +449,9 @@ func (r *Fig10Result) Render() string {
 	return "Figure 10: dynamic reuse by top static computations\n" + t.String()
 }
 
-// Fig11Row compares training- and reference-input speedups.
+// Fig11Row compares training- and reference-input speedups. TrainErr and
+// RefErr are set (and the corresponding metrics zero) when that input's
+// cell failed.
 type Fig11Row struct {
 	Bench          string
 	TrainSpeedup   float64
@@ -391,12 +460,14 @@ type Fig11Row struct {
 	RefElimFrac    float64
 	TrainRepetElim float64 // reused instrs / region-level repetition
 	RefRepetElim   float64
+	TrainErr       string
+	RefErr         string
 }
 
 // Fig11Result is the input-sensitivity study.
 type Fig11Result struct {
 	Rows []Fig11Row
-	// Averages.
+	// Averages, over the cells that succeeded.
 	AvgTrain, AvgRef         float64
 	AvgTrainElim, AvgRefElim float64
 	AvgTrainRep, AvgRefRep   float64
@@ -404,7 +475,8 @@ type Fig11Result struct {
 
 // Figure11 runs the transformed program (regions chosen on the training
 // profile) on both inputs. Each (benchmark, input) pair is one parallel
-// cell, so the training and reference runs of one benchmark overlap too.
+// cell, so the training and reference runs of one benchmark overlap too;
+// a failed cell degrades that half of the row to FAILED.
 func Figure11(s *Suite) (*Fig11Result, error) {
 	cc := s.cfg.Opts.CRB
 	nb := len(s.Benches)
@@ -413,7 +485,7 @@ func Figure11(s *Suite) (*Fig11Result, error) {
 		rows[i].Bench = b.Name
 	}
 	inputName := [2]string{"train", "ref"}
-	err := s.Map(2*nb,
+	errs := s.MapErrs(2*nb,
 		func(i int) string {
 			return fmt.Sprintf("fig11/%s/%s", s.Benches[i/2].Name, inputName[i%2])
 		},
@@ -456,19 +528,31 @@ func Figure11(s *Suite) (*Fig11Result, error) {
 			}
 			return nil
 		})
-	if err != nil {
-		return nil, err
+	for i := range errs {
+		if errs[i] == nil {
+			continue
+		}
+		row := &rows[i/2]
+		if i%2 == 0 {
+			row.TrainErr = shortReason(errs[i])
+		} else {
+			row.RefErr = shortReason(errs[i])
+		}
 	}
 	res := &Fig11Result{}
 	var trs, rfs, te, re, trp, rrp []float64
 	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
-		trs = append(trs, row.TrainSpeedup)
-		rfs = append(rfs, row.RefSpeedup)
-		te = append(te, row.TrainElimFrac)
-		re = append(re, row.RefElimFrac)
-		trp = append(trp, row.TrainRepetElim)
-		rrp = append(rrp, row.RefRepetElim)
+		if row.TrainErr == "" {
+			trs = append(trs, row.TrainSpeedup)
+			te = append(te, row.TrainElimFrac)
+			trp = append(trp, row.TrainRepetElim)
+		}
+		if row.RefErr == "" {
+			rfs = append(rfs, row.RefSpeedup)
+			re = append(re, row.RefElimFrac)
+			rrp = append(rrp, row.RefRepetElim)
+		}
 	}
 	res.AvgTrain = stats.Mean(trs)
 	res.AvgRef = stats.Mean(rfs)
@@ -483,10 +567,22 @@ func Figure11(s *Suite) (*Fig11Result, error) {
 func (r *Fig11Result) Render() string {
 	t := stats.Table{Header: []string{"benchmark", "train", "ref", "elim(train)", "elim(ref)", "rep-elim(train)", "rep-elim(ref)"}}
 	for _, row := range r.Rows {
+		trainCell := func(v string) string {
+			if row.TrainErr != "" {
+				return failCell(row.TrainErr)
+			}
+			return v
+		}
+		refCell := func(v string) string {
+			if row.RefErr != "" {
+				return failCell(row.RefErr)
+			}
+			return v
+		}
 		t.Add(row.Bench,
-			fmt.Sprintf("%.3f", row.TrainSpeedup), fmt.Sprintf("%.3f", row.RefSpeedup),
-			stats.Pct(row.TrainElimFrac), stats.Pct(row.RefElimFrac),
-			stats.Pct(row.TrainRepetElim), stats.Pct(row.RefRepetElim))
+			trainCell(fmt.Sprintf("%.3f", row.TrainSpeedup)), refCell(fmt.Sprintf("%.3f", row.RefSpeedup)),
+			trainCell(stats.Pct(row.TrainElimFrac)), refCell(stats.Pct(row.RefElimFrac)),
+			trainCell(stats.Pct(row.TrainRepetElim)), refCell(stats.Pct(row.RefRepetElim)))
 	}
 	t.Add("average",
 		fmt.Sprintf("%.3f", r.AvgTrain), fmt.Sprintf("%.3f", r.AvgRef),

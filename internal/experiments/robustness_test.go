@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccr/internal/runner"
+	"ccr/internal/workloads"
+)
+
+// TestFailedCellDegradesGracefully plants a booby-trapped benchmark (nil
+// program → the cell panics inside the pipeline) in a suite and checks the
+// blast radius: the panic is recovered into that benchmark's FAILED row,
+// every healthy benchmark's figures are intact, the manifest records the
+// panic with a stack, and FailedCells drives the -strict exit condition.
+func TestFailedCellDegradesGracefully(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = workloads.Tiny
+	s := NewSuite(cfg)
+	s.Benches = append(s.Benches, &workloads.Benchmark{
+		Name: "boom", Paper: "boom", Train: []int64{1}, Ref: []int64{1},
+	})
+	m := runner.NewManifest("robustness-test", s.Jobs())
+	s.AttachManifest(m)
+
+	res, err := Figure4(s)
+	if err != nil {
+		t.Fatalf("figure driver aborted instead of degrading: %v", err)
+	}
+	reason, failed := res.Failed["boom"]
+	if !failed {
+		t.Fatalf("booby-trapped cell not recorded as failed: %+v", res.Failed)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "FAILED(") {
+		t.Fatalf("failed row not rendered:\n%s", out)
+	}
+	healthy := 0
+	for _, row := range res.Rows {
+		if _, bad := res.Failed[row.Bench]; bad {
+			continue
+		}
+		healthy++
+		if row.RegionPct <= 0 {
+			t.Fatalf("healthy row %q polluted by the failure: %+v", row.Bench, row)
+		}
+	}
+	if healthy != len(s.Benches)-1 {
+		t.Fatalf("%d healthy rows, want %d", healthy, len(s.Benches)-1)
+	}
+	if res.AvgRegion <= 0 {
+		t.Fatalf("averages must come from the survivors: %+v", res)
+	}
+
+	if s.FailedCells() == 0 {
+		t.Fatal("FailedCells did not count the failure (-strict would pass)")
+	}
+	m.Finish()
+	if m.FailedCells == 0 {
+		t.Fatalf("manifest missed the failed cell: %+v", m)
+	}
+	if m.Panics == 0 {
+		t.Fatalf("manifest missed the recovered panic (reason %q)", reason)
+	}
+	var rec *runner.CellRecord
+	for i := range m.Cells {
+		if strings.Contains(m.Cells[i].ID, "boom") && m.Cells[i].Error != "" {
+			rec = &m.Cells[i]
+		}
+	}
+	if rec == nil {
+		t.Fatal("no cell record for the booby-trapped benchmark")
+	}
+	if rec.Stack == "" || !strings.Contains(rec.Stack, "goroutine") {
+		t.Fatalf("panic stack not in manifest: %+v", rec)
+	}
+}
+
+// TestVerifyCleanAtTiny runs the full transparency verification sweep at
+// Tiny scale: every benchmark × dataset × CRB configuration (plus the
+// function-level variant) must match the CRB-off digest.
+func TestVerifyCleanAtTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification sweep in -short mode")
+	}
+	s := tinySuite(t)
+	v, err := Verify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Checked == 0 {
+		t.Fatal("verification sweep checked nothing")
+	}
+	if v.Failed() != 0 {
+		t.Fatalf("transparency violated on %d points:\n%s", v.Failed(), v.Render())
+	}
+	if s.FailedCells() != 0 {
+		t.Fatalf("%d cells failed during verification", s.FailedCells())
+	}
+}

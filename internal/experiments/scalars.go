@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"ccr/internal/ir"
 	"ccr/internal/stats"
@@ -32,65 +33,97 @@ type ScalarsResult struct {
 	// StatelessStaticFrac is the stateless share of static computations
 	// (paper: ~65%).
 	StatelessStaticFrac float64
+	// Failed maps a benchmark whose cell failed to the failure reason;
+	// its contribution is excluded from every scalar above.
+	Failed map[string]string
 }
 
-// Scalars computes the headline numbers.
+// scalarsCell is one benchmark's contribution, computed inside a pool cell.
+type scalarsCell struct {
+	sp16, sp8, elim  float64
+	rep              float64
+	hasRep           bool
+	regions, cyclic  int
+	stateless, total float64
+}
+
+// Scalars computes the headline numbers, one parallel cell per benchmark;
+// a failing benchmark is excluded and recorded in Failed.
 func Scalars(s *Suite) (*ScalarsResult, error) {
-	res := &ScalarsResult{}
+	res := &ScalarsResult{Failed: map[string]string{}}
 	cc16 := s.cfg.Opts.CRB
 	cc16.Entries, cc16.Instances = 128, 16
 	cc8 := s.cfg.Opts.CRB
 	cc8.Entries, cc8.Instances = 128, 8
 
+	cells := make([]scalarsCell, len(s.Benches))
+	errs := s.MapErrs(len(s.Benches),
+		func(i int) string { return "scalars/" + s.Benches[i].Name },
+		func(i int) error {
+			b := s.Benches[i]
+			c := &cells[i]
+			var err error
+			if c.sp16, err = s.Speedup(b, b.Train, cc16); err != nil {
+				return err
+			}
+			if c.sp8, err = s.Speedup(b, b.Train, cc8); err != nil {
+				return err
+			}
+			baseRun, err := s.BaseSim(b, b.Train)
+			if err != nil {
+				return err
+			}
+			ccrRun, err := s.CCRSim(b, b.Train, cc8)
+			if err != nil {
+				return err
+			}
+			c.elim = float64(ccrRun.Emu.ReusedInstrs) / float64(baseRun.Emu.DynInstrs)
+			lim, err := s.Limit(b)
+			if err != nil {
+				return err
+			}
+			if lim.InstrRepetition > 0 {
+				r := float64(ccrRun.Emu.ReusedInstrs) / float64(lim.InstrRepetition)
+				if r > 1 {
+					r = 1
+				}
+				c.rep, c.hasRep = r, true
+			}
+			cr, err := s.Compiled(b)
+			if err != nil {
+				return err
+			}
+			for _, rg := range cr.Prog.Regions {
+				c.regions++
+				c.total++
+				if rg.Kind == ir.Cyclic {
+					c.cyclic++
+				}
+				if rg.Class == ir.Stateless {
+					c.stateless++
+				}
+			}
+			return nil
+		})
+
 	var sp16, sp8, elim, rep []float64
 	var slCount, total float64
-	for _, b := range s.Benches {
-		v16, err := s.Speedup(b, b.Train, cc16)
-		if err != nil {
-			return nil, err
+	for i, b := range s.Benches {
+		if errs[i] != nil {
+			res.Failed[b.Name] = shortReason(errs[i])
+			continue
 		}
-		v8, err := s.Speedup(b, b.Train, cc8)
-		if err != nil {
-			return nil, err
+		c := &cells[i]
+		sp16 = append(sp16, c.sp16)
+		sp8 = append(sp8, c.sp8)
+		elim = append(elim, c.elim)
+		if c.hasRep {
+			rep = append(rep, c.rep)
 		}
-		sp16 = append(sp16, v16)
-		sp8 = append(sp8, v8)
-
-		baseRun, err := s.BaseSim(b, b.Train)
-		if err != nil {
-			return nil, err
-		}
-		ccrRun, err := s.CCRSim(b, b.Train, cc8)
-		if err != nil {
-			return nil, err
-		}
-		elim = append(elim, float64(ccrRun.Emu.ReusedInstrs)/float64(baseRun.Emu.DynInstrs))
-		lim, err := s.Limit(b)
-		if err != nil {
-			return nil, err
-		}
-		if lim.InstrRepetition > 0 {
-			r := float64(ccrRun.Emu.ReusedInstrs) / float64(lim.InstrRepetition)
-			if r > 1 {
-				r = 1
-			}
-			rep = append(rep, r)
-		}
-
-		cr, err := s.Compiled(b)
-		if err != nil {
-			return nil, err
-		}
-		for _, rg := range cr.Prog.Regions {
-			res.StaticRegions++
-			total++
-			if rg.Kind == ir.Cyclic {
-				res.CyclicRegions++
-			}
-			if rg.Class == ir.Stateless {
-				slCount++
-			}
-		}
+		res.StaticRegions += c.regions
+		res.CyclicRegions += c.cyclic
+		slCount += c.stateless
+		total += c.total
 	}
 	res.AvgSpeedup128x16 = stats.Mean(sp16)
 	res.AvgSpeedup128x8 = stats.Mean(sp8)
@@ -105,7 +138,7 @@ func Scalars(s *Suite) (*ScalarsResult, error) {
 
 // Render formats the scalar summary.
 func (r *ScalarsResult) Render() string {
-	return fmt.Sprintf(`Headline scalars (§5.2):
+	out := fmt.Sprintf(`Headline scalars (§5.2):
   average speedup, 128 entries x 16 CIs : %.3f  (paper: 1.30)
   average speedup, 128 entries x  8 CIs : %.3f  (paper: 1.25)
   dynamic instructions eliminated        : %s  (of base execution)
@@ -117,4 +150,15 @@ func (r *ScalarsResult) Render() string {
 		stats.Pct(r.ElimFrac), stats.Pct(r.RepetitionCaptured),
 		r.StaticRegions, r.CyclicRegions,
 		stats.Pct(r.StatelessStaticFrac))
+	if len(r.Failed) > 0 {
+		var names []string
+		for b := range r.Failed {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+		for _, b := range names {
+			out += fmt.Sprintf("  %s: %s (excluded)\n", b, failCell(r.Failed[b]))
+		}
+	}
+	return out
 }

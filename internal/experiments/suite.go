@@ -10,10 +10,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"ccr/internal/alias"
 	"ccr/internal/core"
 	"ccr/internal/crb"
+	"ccr/internal/oracle"
 	"ccr/internal/potential"
 	"ccr/internal/runner"
 	"ccr/internal/workloads"
@@ -27,6 +30,11 @@ type Config struct {
 	// Jobs is the worker count the parallel figure drivers fan their
 	// simulation cells out on; <= 0 means one worker per GOMAXPROCS.
 	Jobs int
+	// CellTimeout bounds each simulation cell's wall time (0 = none);
+	// Retries re-runs a failed cell up to N more times. Both map onto the
+	// runner pool's failure-isolation controls.
+	CellTimeout time.Duration
+	Retries     int
 }
 
 // DefaultConfig runs the suite at Medium scale with the paper's settings.
@@ -43,13 +51,15 @@ type Suite struct {
 	cfg     Config
 	Benches []*workloads.Benchmark
 
-	pool runner.Pool
+	pool   runner.Pool
+	failed atomic.Int64 // cells that failed across every fan-out
 
 	prep     *runner.Cache // name → *alias.Result (the only b.Prog mutation)
 	compiled *runner.Cache // name → *core.CompileResult
 	baseSim  *runner.Cache // name|dataset → *core.SimResult
 	ccrSim   *runner.Cache // name|dataset|crb-key → *core.SimResult
 	limit    *runner.Cache // name|dataset → potential.Result
+	digest   *runner.Cache // name|dataset → oracle.Digest of the base run
 }
 
 // NewSuite loads every benchmark at the configured scale.
@@ -57,12 +67,13 @@ func NewSuite(cfg Config) *Suite {
 	return &Suite{
 		cfg:      cfg,
 		Benches:  workloads.All(cfg.Scale),
-		pool:     runner.Pool{Jobs: cfg.Jobs},
+		pool:     runner.Pool{Jobs: cfg.Jobs, CellTimeout: cfg.CellTimeout, Retries: cfg.Retries},
 		prep:     runner.NewCache(),
 		compiled: runner.NewCache(),
 		baseSim:  runner.NewCache(),
 		ccrSim:   runner.NewCache(),
 		limit:    runner.NewCache(),
+		digest:   runner.NewCache(),
 	}
 }
 
@@ -89,6 +100,7 @@ func (s *Suite) CacheStats() map[string]runner.CacheStats {
 		"base_sim": s.baseSim.Stats(),
 		"ccr_sim":  s.ccrSim.Stats(),
 		"limit":    s.limit.Stats(),
+		"digest":   s.digest.Stats(),
 	}
 }
 
@@ -99,10 +111,22 @@ func (s *Suite) FlushCacheStats(m *runner.Manifest) {
 	}
 }
 
+// runCells fans cells out across the suite's worker pool, counting
+// failures toward FailedCells.
+func (s *Suite) runCells(cells []runner.Cell) []runner.CellResult {
+	results := s.pool.Run(context.Background(), cells)
+	for i := range results {
+		if results[i].Err != nil {
+			s.failed.Add(1)
+		}
+	}
+	return results
+}
+
 // RunCells fans cells out across the suite's worker pool and joins the
 // per-cell errors in input order. A failing cell does not abort the sweep.
 func (s *Suite) RunCells(cells []runner.Cell) error {
-	return runner.Errs(s.pool.Run(context.Background(), cells))
+	return runner.Errs(s.runCells(cells))
 }
 
 // Map is the index-based fan-out the figure drivers use: it runs fn(i) for
@@ -110,13 +134,30 @@ func (s *Suite) RunCells(cells []runner.Cell) error {
 // fn must write its result to a distinct location per index — results then
 // come out deterministic regardless of completion order.
 func (s *Suite) Map(n int, id func(int) string, fn func(int) error) error {
+	return errsJoin(s.MapErrs(n, id, fn))
+}
+
+// MapErrs is Map returning the per-index error vector: errs[i] is non-nil
+// exactly when cell i failed (including recovered panics and timeouts).
+// The figure drivers use it to degrade gracefully, rendering a failed
+// cell as a FAILED row instead of aborting the whole figure.
+func (s *Suite) MapErrs(n int, id func(int) string, fn func(int) error) []error {
 	cells := make([]runner.Cell, n)
 	for i := 0; i < n; i++ {
 		i := i
 		cells[i] = runner.Cell{ID: id(i), Do: func(context.Context) error { return fn(i) }}
 	}
-	return s.RunCells(cells)
+	results := s.runCells(cells)
+	errs := make([]error, n)
+	for i := range results {
+		errs[i] = results[i].Err
+	}
+	return errs
 }
+
+// FailedCells reports how many cells have failed across every fan-out of
+// this suite — the -strict exit condition.
+func (s *Suite) FailedCells() int { return int(s.failed.Load()) }
 
 // prepared returns (running once per benchmark) the alias analysis of b,
 // annotating b.Prog in place. Every other suite entry point funnels
@@ -215,6 +256,42 @@ func (s *Suite) LimitFor(b *workloads.Benchmark, args []int64) (potential.Result
 		return potential.Result{}, err
 	}
 	return v.(potential.Result), nil
+}
+
+// BaseDigest returns (computing once per benchmark × dataset) the
+// architectural digest of the base program's CRB-off run — the reference
+// side of every transparency check.
+func (s *Suite) BaseDigest(b *workloads.Benchmark, args []int64) (oracle.Digest, error) {
+	v, err := s.digest.Do(b.Name+"|"+dsKey(args), func() (any, error) {
+		if _, err := s.prepared(b); err != nil {
+			return nil, err
+		}
+		d, err := core.DigestRun(b.Prog, nil, args, s.cfg.Opts.Limit)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: base digest %s: %w", b.Name, err)
+		}
+		return d, nil
+	})
+	if err != nil {
+		return oracle.Digest{}, err
+	}
+	return v.(oracle.Digest), nil
+}
+
+// CCRDigest runs the transformed program functionally under the given CRB
+// configuration and returns its architectural digest. It is not cached:
+// each (benchmark, dataset, config) point is checked exactly once by the
+// verification sweep.
+func (s *Suite) CCRDigest(b *workloads.Benchmark, args []int64, cc crb.Config) (oracle.Digest, error) {
+	cr, err := s.Compiled(b)
+	if err != nil {
+		return oracle.Digest{}, err
+	}
+	d, err := core.DigestRun(cr.Prog, &cc, args, s.cfg.Opts.Limit)
+	if err != nil {
+		return oracle.Digest{}, fmt.Errorf("experiments: ccr digest %s: %w", b.Name, err)
+	}
+	return d, nil
 }
 
 // Speedup computes the paper's metric for b on args under CRB config cc.

@@ -37,16 +37,6 @@ func Parse(text string) (*Program, error) {
 	return p.prog, nil
 }
 
-// MustParse panics on parse errors; a convenience for tests and embedded
-// program text.
-func MustParse(text string) *Program {
-	p, err := Parse(text)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 type parser struct {
 	prog    *Program
 	curFunc *Func

@@ -1,0 +1,113 @@
+package oracle_test
+
+import (
+	"strings"
+	"testing"
+
+	"ccr/internal/core"
+	"ccr/internal/oracle"
+	"ccr/internal/workloads"
+)
+
+// TestDigestDeterministic pins the identity components: two runs of the
+// same program under the same configuration produce bit-identical digests,
+// trace checksum and instruction count included.
+func TestDigestDeterministic(t *testing.T) {
+	b := workloads.Load("compress", workloads.Tiny)
+	core.Prepare(b.Prog)
+	d1, err := core.DigestRun(b.Prog, nil, b.Train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := core.DigestRun(b.Prog, nil, b.Train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Equal(d2) {
+		t.Fatalf("repeated runs digest differently:\n%+v\n%+v", d1, d2)
+	}
+	if d1.DynInstrs == 0 || d1.StoreCount == 0 || d1.RetCount == 0 {
+		t.Fatalf("digest missing components: %+v", d1)
+	}
+}
+
+// TestTransparencyAcrossCRB is the §3.1 contract on a real benchmark: the
+// CCR run's invariant components match the base run's, while the identity
+// components legitimately differ (reuse hits skip instructions).
+func TestTransparencyAcrossCRB(t *testing.T) {
+	b := workloads.Load("compress", workloads.Tiny)
+	opts := core.DefaultOptions()
+	cr, err := core.Compile(b.Prog, b.Train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.DigestRun(b.Prog, nil, b.Train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.DigestRun(cr.Prog, &opts.CRB, b.Train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Compare(ref, got); err != nil {
+		t.Fatalf("transparency violated: %v", err)
+	}
+	if got.DynInstrs >= ref.DynInstrs {
+		t.Fatalf("CCR run traced %d instrs, base %d: no reuse happened?", got.DynInstrs, ref.DynInstrs)
+	}
+}
+
+// TestCompareNamesEachComponent exercises the checker on synthetic digests:
+// every mismatched invariant component is named, the identity components
+// are ignored, and the ret stream is only compared when both sides are
+// exact.
+func TestCompareNamesEachComponent(t *testing.T) {
+	base := oracle.Digest{
+		Result: 1, MemHash: 2, MemWords: 3,
+		Stores: 4, StoreCount: 5, Rets: 6, RetCount: 7, RetsExact: true,
+		Trace: 8, DynInstrs: 9,
+	}
+	if err := oracle.Compare(base, base); err != nil {
+		t.Fatalf("identical digests diverge: %v", err)
+	}
+
+	identity := base
+	identity.Trace, identity.DynInstrs = 1000, 2000
+	if err := oracle.Compare(base, identity); err != nil {
+		t.Fatalf("identity components must not participate: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(*oracle.Digest)
+	}{
+		{"result", func(d *oracle.Digest) { d.Result++ }},
+		{"mem-hash", func(d *oracle.Digest) { d.MemHash++ }},
+		{"mem-words", func(d *oracle.Digest) { d.MemWords++ }},
+		{"store-stream", func(d *oracle.Digest) { d.Stores++ }},
+		{"store-count", func(d *oracle.Digest) { d.StoreCount++ }},
+		{"ret-stream", func(d *oracle.Digest) { d.Rets++ }},
+		{"ret-count", func(d *oracle.Digest) { d.RetCount++ }},
+	} {
+		got := base
+		tc.mutate(&got)
+		err := oracle.Compare(base, got)
+		if err == nil {
+			t.Fatalf("%s mismatch undetected", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Fatalf("%s mismatch reported as %q", tc.name, err)
+		}
+	}
+
+	// An inexact ret stream on either side disables the ret check only.
+	inexact := base
+	inexact.Rets, inexact.RetCount, inexact.RetsExact = 999, 999, false
+	if err := oracle.Compare(base, inexact); err != nil {
+		t.Fatalf("inexact ret stream must be skipped: %v", err)
+	}
+	inexact.Result++
+	if oracle.Compare(base, inexact) == nil {
+		t.Fatal("result mismatch undetected when rets inexact")
+	}
+}

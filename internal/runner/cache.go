@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -48,8 +49,22 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
 	c.m[key] = f
 	c.mu.Unlock()
 	c.misses.Add(1)
-	f.val, f.err = fn()
-	close(f.done)
+	func() {
+		// A panicking fn must still complete the flight, or every
+		// concurrent caller waiting on this key would block forever. The
+		// panic is recorded as the flight's (cached) error and re-raised
+		// for this caller, whose own recovery (runner cells recover) then
+		// owns it.
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("runner: cache fn for %q panicked: %v", key, r)
+				close(f.done)
+				panic(r)
+			}
+			close(f.done)
+		}()
+		f.val, f.err = fn()
+	}()
 	return f.val, f.err
 }
 

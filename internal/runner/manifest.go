@@ -14,6 +14,13 @@ type CellRecord struct {
 	Worker  int     `json:"worker"`
 	Seconds float64 `json:"seconds"`
 	Error   string  `json:"error,omitempty"`
+	// Attempts is recorded only when the cell was retried; Panics and
+	// Timeouts count failed attempt outcomes, and Stack preserves the
+	// last recovered panic's goroutine stack.
+	Attempts int    `json:"attempts,omitempty"`
+	Panics   int    `json:"panics,omitempty"`
+	Timeouts int    `json:"timeouts,omitempty"`
+	Stack    string `json:"stack,omitempty"`
 }
 
 // WorkerRecord aggregates one worker's share of a run.
@@ -41,6 +48,11 @@ type Manifest struct {
 	Workers     []WorkerRecord        `json:"workers,omitempty"`
 	Caches      map[string]CacheStats `json:"caches,omitempty"`
 	Errors      []string              `json:"errors,omitempty"`
+	// Failure-isolation totals across every recorded cell.
+	FailedCells int `json:"failed_cells,omitempty"`
+	Panics      int `json:"panics,omitempty"`
+	Retries     int `json:"retries,omitempty"`
+	Timeouts    int `json:"timeouts,omitempty"`
 }
 
 // NewManifest starts a manifest for the given command line and worker
@@ -58,10 +70,18 @@ func (m *Manifest) record(jobs int, results []CellResult, busy []time.Duration, 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, r := range results {
-		rec := CellRecord{ID: r.ID, Worker: r.Worker, Seconds: r.Wall.Seconds()}
+		rec := CellRecord{ID: r.ID, Worker: r.Worker, Seconds: r.Wall.Seconds(),
+			Panics: r.Panics, Timeouts: r.Timeouts, Stack: r.Stack}
+		if r.Attempts > 1 {
+			rec.Attempts = r.Attempts
+			m.Retries += r.Attempts - 1
+		}
+		m.Panics += r.Panics
+		m.Timeouts += r.Timeouts
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
 			m.Errors = append(m.Errors, r.Err.Error())
+			m.FailedCells++
 		}
 		m.Cells = append(m.Cells, rec)
 	}

@@ -1,0 +1,216 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPanicIsolation: a panicking cell is recovered into its own result —
+// with the sentinel, the panic value and a stack — while every other cell
+// completes normally.
+func TestPanicIsolation(t *testing.T) {
+	var ok atomic.Int64
+	cells := []Cell{
+		{ID: "good-0", Do: func(context.Context) error { ok.Add(1); return nil }},
+		{ID: "boom", Do: func(context.Context) error { panic("kaboom") }},
+		{ID: "good-1", Do: func(context.Context) error { ok.Add(1); return nil }},
+	}
+	p := Pool{Jobs: 2}
+	results := p.Run(context.Background(), cells)
+	if ok.Load() != 2 {
+		t.Fatalf("healthy cells did not all run: %d", ok.Load())
+	}
+	r := results[1]
+	if !errors.Is(r.Err, ErrCellPanic) {
+		t.Fatalf("panic not classified: %v", r.Err)
+	}
+	if !strings.Contains(r.Err.Error(), "kaboom") || !strings.Contains(r.Err.Error(), "cell boom") {
+		t.Fatalf("panic error lacks context: %v", r.Err)
+	}
+	if r.Panics != 1 || r.Stack == "" || !strings.Contains(r.Stack, "goroutine") {
+		t.Fatalf("stack not captured: panics=%d stack=%q", r.Panics, r.Stack)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy cells polluted: %v / %v", results[0].Err, results[2].Err)
+	}
+}
+
+// TestCellTimeout: an uncooperative cell (never polls its context) is
+// abandoned after CellTimeout and reported with the sentinel.
+func TestCellTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	p := Pool{Jobs: 1, CellTimeout: 20 * time.Millisecond}
+	results := p.Run(context.Background(), []Cell{
+		{ID: "stuck", Do: func(context.Context) error { <-release; return nil }},
+		{ID: "after", Do: func(context.Context) error { return nil }},
+	})
+	if !errors.Is(results[0].Err, ErrCellTimeout) {
+		t.Fatalf("timeout not classified: %v", results[0].Err)
+	}
+	if results[0].Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", results[0].Timeouts)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("pool wedged after timeout: %v", results[1].Err)
+	}
+}
+
+// TestRetryEventuallySucceeds: a flaky cell failing twice with Retries: 2
+// ends up succeeding, with the attempt count recorded.
+func TestRetryEventuallySucceeds(t *testing.T) {
+	var calls atomic.Int64
+	p := Pool{Jobs: 1, Retries: 2}
+	results := p.Run(context.Background(), []Cell{{
+		ID: "flaky",
+		Do: func(context.Context) error {
+			if calls.Add(1) < 3 {
+				return fmt.Errorf("transient %d", calls.Load())
+			}
+			return nil
+		},
+	}})
+	if results[0].Err != nil {
+		t.Fatalf("retry should have rescued the cell: %v", results[0].Err)
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", results[0].Attempts)
+	}
+}
+
+// TestRetryExhaustion: the final attempt's error survives, and panicking
+// attempts are each counted.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	p := Pool{Jobs: 1, Retries: 2}
+	results := p.Run(context.Background(), []Cell{{
+		ID: "doomed",
+		Do: func(context.Context) error { panic(fmt.Sprintf("always %d", calls.Add(1))) },
+	}})
+	r := results[0]
+	if !errors.Is(r.Err, ErrCellPanic) || !strings.Contains(r.Err.Error(), "always 3") {
+		t.Fatalf("final attempt error not preserved: %v", r.Err)
+	}
+	if r.Attempts != 3 || r.Panics != 3 {
+		t.Fatalf("attempts=%d panics=%d, want 3/3", r.Attempts, r.Panics)
+	}
+}
+
+// TestCancellationNotRetried: a cell failing with context.Canceled must
+// not burn retry attempts.
+func TestCancellationNotRetried(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Pool{Jobs: 1, Retries: 5}
+	results := p.Run(ctx, []Cell{{
+		ID: "cancelled",
+		Do: func(context.Context) error {
+			cancel()
+			return context.Canceled
+		},
+	}})
+	if results[0].Attempts != 1 {
+		t.Fatalf("cancellation retried: %d attempts", results[0].Attempts)
+	}
+}
+
+// TestManifestRobustnessCounters: panics, retries, timeouts and failed
+// cells all land in the manifest, per cell and in the run totals.
+func TestManifestRobustnessCounters(t *testing.T) {
+	m := NewManifest("robustness", 2)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	p := Pool{Jobs: 2, Retries: 1, CellTimeout: 20 * time.Millisecond, Manifest: m}
+	p.Run(context.Background(), []Cell{
+		{ID: "ok", Do: func(context.Context) error { return nil }},
+		{ID: "panics", Do: func(context.Context) error { panic("nope") }},
+		{ID: "flaky", Do: func(context.Context) error {
+			if calls.Add(1) == 1 {
+				return errors.New("transient")
+			}
+			return nil
+		}},
+		{ID: "stuck", Do: func(context.Context) error { <-release; return nil }},
+	})
+	m.Finish()
+	if m.FailedCells != 2 {
+		t.Fatalf("FailedCells = %d, want 2 (panics + stuck)", m.FailedCells)
+	}
+	if m.Panics != 2 {
+		t.Fatalf("Panics = %d, want 2 (one per attempt)", m.Panics)
+	}
+	if m.Timeouts != 2 {
+		t.Fatalf("Timeouts = %d, want 2 (one per attempt)", m.Timeouts)
+	}
+	// panics: 1 retry; flaky: 1 retry; stuck: 1 retry.
+	if m.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3", m.Retries)
+	}
+	byID := map[string]CellRecord{}
+	for _, c := range m.Cells {
+		byID[c.ID] = c
+	}
+	if c := byID["panics"]; c.Panics != 2 || c.Attempts != 2 || c.Stack == "" || c.Error == "" {
+		t.Fatalf("panics cell record: %+v", c)
+	}
+	if c := byID["flaky"]; c.Attempts != 2 || c.Error != "" {
+		t.Fatalf("flaky cell record: %+v", c)
+	}
+	if c := byID["ok"]; c.Error != "" || c.Panics != 0 {
+		t.Fatalf("ok cell record: %+v", c)
+	}
+}
+
+// TestCachePanicReleasesWaiters: when a single-flight fn panics, waiting
+// goroutines must receive an error instead of deadlocking, and the panic
+// must still propagate to the flight owner.
+func TestCachePanicReleasesWaiters(t *testing.T) {
+	cache := NewCache()
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	panicked := make(chan any, 1)
+	go func() {
+		defer wg.Done()
+		defer func() { panicked <- recover() }()
+		cache.Do("k", func() (any, error) {
+			close(entered)
+			<-proceed
+			panic("in-flight")
+		})
+	}()
+	<-entered
+	waitErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := cache.Do("k", func() (any, error) { return nil, nil })
+		waitErr <- err
+	}()
+	// Give the waiter a moment to join the flight, then spring the panic.
+	time.Sleep(10 * time.Millisecond)
+	close(proceed)
+	select {
+	case err := <-waitErr:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("waiter error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter deadlocked on panicked flight")
+	}
+	if p := <-panicked; p == nil {
+		t.Fatal("panic swallowed instead of propagated to flight owner")
+	}
+	wg.Wait()
+	// The flight's error is cached like any other failure.
+	if _, err := cache.Do("k", func() (any, error) { return nil, nil }); err == nil {
+		t.Fatal("panicked flight not cached as error")
+	}
+}

@@ -16,8 +16,17 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
+)
+
+// ErrCellPanic wraps a panic recovered inside a cell; ErrCellTimeout marks
+// a cell attempt that exceeded Pool.CellTimeout. Both are classifiable
+// with errors.Is on the cell's final error.
+var (
+	ErrCellPanic   = errors.New("cell panicked")
+	ErrCellTimeout = errors.New("cell timed out")
 )
 
 // Cell is one independently executable unit of a sweep: typically a single
@@ -34,14 +43,30 @@ type CellResult struct {
 	ID     string
 	Index  int // position in the input slice
 	Worker int
-	Wall   time.Duration
-	Err    error
+	Wall   time.Duration // total across every attempt
+	Err    error         // final attempt's error (nil on success)
+	// Attempts is 1 plus the retries consumed; Panics and Timeouts count
+	// the attempts that ended in a recovered panic or a timeout.
+	Attempts int
+	Panics   int
+	Timeouts int
+	// Stack is the captured goroutine stack of the last recovered panic.
+	Stack string
 }
 
 // Pool fans cells out across a fixed number of workers.
 type Pool struct {
 	// Jobs is the worker count; <= 0 means one worker per GOMAXPROCS.
 	Jobs int
+	// CellTimeout bounds each cell *attempt*'s wall time; 0 disables the
+	// bound. Cells are CPU-bound and need not poll their context, so a
+	// timed-out attempt's goroutine is abandoned rather than preempted —
+	// it keeps running to completion in the background while the pool
+	// moves on (its panics, if any, are still recovered).
+	CellTimeout time.Duration
+	// Retries re-runs a failed cell (error, panic or timeout) up to this
+	// many additional attempts. Cancellation is never retried.
+	Retries int
 	// Manifest, when non-nil, accumulates cell records and worker busy
 	// time from every Run.
 	Manifest *Manifest
@@ -55,9 +80,10 @@ func (p *Pool) jobs() int {
 }
 
 // Run executes every cell and returns the results in input order,
-// independent of completion order. A failing cell only marks its own
-// result; the remaining cells still run. Cancelling ctx stops workers
-// from starting new cells — cells not yet started report ctx.Err().
+// independent of completion order. A failing, panicking or timed-out cell
+// only marks its own result; the remaining cells still run. Cancelling
+// ctx stops workers from starting new cells — cells not yet started
+// report ctx.Err().
 func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -86,10 +112,10 @@ func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
 					continue
 				}
 				start := time.Now()
-				err := cells[i].Do(ctx)
+				p.execute(ctx, cells[i], r)
 				r.Wall = time.Since(start)
-				if err != nil {
-					r.Err = fmt.Errorf("runner: cell %s: %w", cells[i].ID, err)
+				if r.Err != nil {
+					r.Err = fmt.Errorf("runner: cell %s: %w", cells[i].ID, r.Err)
 				}
 				busy[w] += r.Wall
 				ran[w]++
@@ -105,6 +131,71 @@ func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
 		p.Manifest.record(jobs, results, busy, ran)
 	}
 	return results
+}
+
+// execute runs one cell with panic isolation, the per-attempt timeout and
+// the bounded retry policy, filling r's outcome fields.
+func (p *Pool) execute(ctx context.Context, c Cell, r *CellResult) {
+	retries := 0
+	var timeout time.Duration
+	if p != nil {
+		retries, timeout = p.Retries, p.CellTimeout
+	}
+	for attempt := 0; ; attempt++ {
+		r.Attempts = attempt + 1
+		err, stack, timedOut := runAttempt(ctx, c, timeout)
+		if stack != "" {
+			r.Panics++
+			r.Stack = stack
+		}
+		if timedOut {
+			r.Timeouts++
+		}
+		r.Err = err
+		if err == nil || attempt >= retries || ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			return
+		}
+	}
+}
+
+// attemptOutcome carries one attempt's result across the timeout boundary.
+type attemptOutcome struct {
+	err   error
+	stack string
+}
+
+// runAttempt executes the cell body once, converting panics into
+// ErrCellPanic errors with a captured stack. With a timeout it runs the
+// body in a helper goroutine and abandons it when the deadline passes.
+func runAttempt(ctx context.Context, c Cell, timeout time.Duration) (err error, stack string, timedOut bool) {
+	if timeout <= 0 {
+		o := runRecovered(ctx, c)
+		return o.err, o.stack, false
+	}
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	ch := make(chan attemptOutcome, 1)
+	go func() { ch <- runRecovered(cctx, c) }()
+	select {
+	case o := <-ch:
+		return o.err, o.stack, false
+	case <-cctx.Done():
+		if errors.Is(cctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("%w after %v", ErrCellTimeout, timeout), "", true
+		}
+		return cctx.Err(), "", false
+	}
+}
+
+func runRecovered(ctx context.Context, c Cell) (o attemptOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.stack = string(debug.Stack())
+			o.err = fmt.Errorf("%w: %v", ErrCellPanic, r)
+		}
+	}()
+	o.err = c.Do(ctx)
+	return o
 }
 
 // Errs joins the cell errors in input order; nil when every cell succeeded.

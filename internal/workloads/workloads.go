@@ -26,6 +26,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"ccr/internal/ir"
 )
@@ -104,16 +105,45 @@ func Names() []string {
 	return append(out, extra...)
 }
 
-// Load builds the named benchmark at the given scale. It panics on unknown
-// names (a programming error) and verifies the program.
-func Load(name string, s Scale) *Benchmark {
+// Lookup builds the named benchmark at the given scale, returning an
+// error naming the known benchmarks when the name is unknown — the
+// CLI-facing counterpart of Load.
+func Lookup(name string, s Scale) (*Benchmark, error) {
 	b, ok := registry[name]
 	if !ok {
-		panic(fmt.Sprintf("workloads: unknown benchmark %q", name))
+		return nil, fmt.Errorf("workloads: unknown benchmark %q (known: %s)",
+			name, strings.Join(Names(), ", "))
 	}
 	bench := b(s)
 	ir.MustVerify(bench.Prog)
+	return bench, nil
+}
+
+// Load builds the named benchmark at the given scale. It panics on unknown
+// names, so it suits tests and internal callers with static names; CLI
+// paths should use Lookup and surface the error.
+func Load(name string, s Scale) *Benchmark {
+	bench, err := Lookup(name, s)
+	if err != nil {
+		panic(err.Error())
+	}
 	return bench
+}
+
+// ParseScale maps a CLI scale name (tiny, small, medium, large) to its
+// Scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return Scale{}, fmt.Errorf("workloads: unknown scale %q (known: tiny, small, medium, large)", name)
 }
 
 // All builds every registered benchmark at the given scale.
