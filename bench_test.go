@@ -15,6 +15,7 @@ import (
 	"ccr/internal/emu"
 	"ccr/internal/experiments"
 	"ccr/internal/ir"
+	"ccr/internal/telemetry"
 	"ccr/internal/uarch"
 	"ccr/internal/workloads"
 )
@@ -211,6 +212,43 @@ func BenchmarkCRBLookup(b *testing.B) {
 		regs[1] = int64(i % 64)
 		regs[2] = 7
 		c.Lookup(ir.RegionID(i%64), read)
+	}
+}
+
+// BenchmarkTelemetrySink measures the cost of the observability seam on a
+// full m88ksim CCR simulation under three sink configurations: nil (the
+// default fast path, which must stay free — DESIGN.md §9), NopSink (the
+// interface-call cost of the seam alone) and the real Metrics collector.
+// nil vs nop isolates what merely *having* the instrumentation costs when
+// disabled; it should be within noise.
+func BenchmarkTelemetrySink(b *testing.B) {
+	w := workloads.Load("m88ksim", workloads.Tiny)
+	opts := core.DefaultOptions()
+	cr, err := core.Compile(w.Prog, w.Train, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sinks := []struct {
+		name string
+		make func() telemetry.Sink
+	}{
+		{"nil", func() telemetry.Sink { return nil }},
+		{"nop", func() telemetry.Sink { return telemetry.NopSink{} }},
+		{"metrics", func() telemetry.Sink { return telemetry.NewMetrics() }},
+	}
+	for _, s := range sinks {
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := emu.New(cr.Prog)
+				buf := crb.New(opts.CRB, cr.Prog)
+				buf.SetSink(s.make())
+				m.CRB = buf
+				if _, err := m.Run(w.Train...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ccr/internal/buildinfo"
 	"ccr/internal/core"
 	"ccr/internal/crb"
 	"ccr/internal/ir"
@@ -33,9 +34,12 @@ func main() {
 	argList := flag.String("args", "", "comma-separated integer arguments for -run")
 	entries := flag.Int("entries", 0, "attach a CRB with this many entries when running (0 = none)")
 	cis := flag.Int("cis", 8, "computation instances per entry for -entries")
+	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
 
 	switch {
+	case *showVersion:
+		fmt.Println(buildinfo.String())
 	case *runFile != "":
 		runProgram(*runFile, *argList, *entries, *cis)
 	case *bench != "":

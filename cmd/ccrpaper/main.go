@@ -18,10 +18,16 @@
 //
 // Usage:
 //
+// -heartbeat makes the worker pool emit a structured progress log line
+// (cells done/total, failures, elapsed, ETA, worker utilization) to
+// stderr at the given interval so long sweeps are not silent; -telemetry
+// attaches a cause-attributed CRB metrics sink to every CCR simulation
+// and embeds the per-cell summaries in the -manifest output.
+//
 //	ccrpaper [-scale tiny|small|medium|large]
 //	         [-fig 4|8a|8b|9|10|11|scalars|compare|ablations|all]
-//	         [-jobs N] [-manifest run.json]
-//	         [-verify] [-strict] [-cell-timeout 30s] [-retries 1]
+//	         [-jobs N] [-manifest run.json] [-telemetry] [-heartbeat 30s]
+//	         [-verify] [-strict] [-cell-timeout 30s] [-retries 1] [-version]
 package main
 
 import (
@@ -30,7 +36,9 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
+	"ccr/internal/buildinfo"
 	"ccr/internal/experiments"
 	"ccr/internal/runner"
 	"ccr/internal/workloads"
@@ -48,8 +56,15 @@ func main() {
 	strict := flag.Bool("strict", false, "exit 1 if any simulation cell failed")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-time bound (0 = none)")
 	retries := flag.Int("retries", 0, "re-run a failed cell up to N more times")
+	heartbeat := flag.Duration("heartbeat", 30*time.Second, "progress-log interval for long sweeps (0 = silent)")
+	telem := flag.Bool("telemetry", false, "embed per-cell CRB telemetry summaries in the manifest")
+	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	cfg := experiments.DefaultConfig()
 	sc, err := workloads.ParseScale(*scale)
 	if err != nil {
@@ -65,6 +80,8 @@ func main() {
 	cfg.Jobs = *jobs
 	cfg.CellTimeout = *cellTimeout
 	cfg.Retries = *retries
+	cfg.Heartbeat = *heartbeat
+	cfg.Telemetry = *telem
 
 	suite := experiments.NewSuite(cfg)
 	m := runner.NewManifest(

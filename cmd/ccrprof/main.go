@@ -3,9 +3,17 @@
 // its class, group, interface and weight, plus the per-region dynamic
 // reuse behaviour under a chosen CRB configuration.
 //
+// -regions ranks the regions by dynamic reuse benefit (eliminated
+// instructions) and breaks every miss and eviction down by cause —
+// cold vs conflict vs input-mismatch vs memory-invalidation — from the
+// telemetry layer's attribution. -phases runs the training and reference
+// inputs back-to-back against one warm CRB, resetting the counter block
+// between phases, so the two phases report separately.
+//
 // Usage:
 //
 //	ccrprof -bench m88ksim [-scale small] [-entries 128] [-cis 8] [-dump]
+//	        [-regions] [-phases] [-version]
 package main
 
 import (
@@ -13,10 +21,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
+	"ccr/internal/buildinfo"
 	"ccr/internal/core"
 	"ccr/internal/experiments"
+	"ccr/internal/ir"
 	"ccr/internal/stats"
+	"ccr/internal/telemetry"
 	"ccr/internal/workloads"
 )
 
@@ -26,8 +38,15 @@ func main() {
 	entries := flag.Int("entries", 128, "CRB computation entries")
 	cis := flag.Int("cis", 8, "computation instances per entry")
 	dump := flag.Bool("dump", false, "dump the transformed program IR")
+	regions := flag.Bool("regions", false, "rank regions by reuse benefit with cause-attributed breakdowns")
+	phases := flag.Bool("phases", false, "report train/ref phases separately on one warm CRB")
+	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	sc, err := workloads.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -50,7 +69,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ccr, err := core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, b.Train, 0)
+	var tel *core.Telemetry
+	if *regions {
+		tel = &core.Telemetry{Metrics: telemetry.NewMetrics()}
+	}
+	ccr, err := core.SimulateWith(cr.Prog, &opts.CRB, opts.Uarch, b.Train, 0, tel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +100,67 @@ func main() {
 		ccr.Cycles, ccr.Uarch.Instrs, ccr.Uarch.IPC(), ccr.Emu.ReusedInstrs, ccr.Emu.Invalidations)
 	fmt.Printf("speedup: %.3f   reuse eliminated %.1f%% of base execution\n",
 		core.Speedup(base, ccr), 100*float64(ccr.Emu.ReusedInstrs)/float64(base.Emu.DynInstrs))
+	if *regions {
+		fmt.Println()
+		fmt.Print(regionReport(cr, base, ccr, tel.Metrics))
+	}
+	if *phases {
+		cfg := experiments.DefaultConfig()
+		cfg.Scale = sc
+		cfg.Opts = opts
+		suite := experiments.NewSuite(cfg)
+		pb, err := workloads.Lookup(*bench, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pr, err := experiments.TrainRefPhases(suite, pb, opts.CRB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(pr.Render())
+	}
 	if *dump {
 		fmt.Println(cr.Prog.Dump())
 	}
+}
+
+// regionReport ranks regions by eliminated dynamic instructions and
+// attributes every miss and eviction to its cause.
+func regionReport(cr *core.CompileResult, base, ccr *core.SimResult, m *telemetry.Metrics) string {
+	type row struct {
+		rg     *ir.Region
+		reused int64
+		rm     telemetry.RegionMetrics
+	}
+	rows := make([]row, 0, len(cr.Prog.Regions))
+	for _, rg := range cr.Prog.Regions {
+		r := row{rg: rg}
+		if rs := ccr.Emu.Regions[rg.ID]; rs != nil {
+			r.reused = rs.ReusedInstrs
+		}
+		if rm := m.Region(rg.ID); rm != nil {
+			r.rm = *rm
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].reused > rows[j].reused })
+	t := stats.Table{Header: []string{"region", "fn", "reused", "benefit", "hits",
+		"cold", "conflict", "input", "meminv", "commits", "evict", "slot-lru", "inval'd"}}
+	for _, r := range rows {
+		benefit := 0.0
+		if base.Emu.DynInstrs > 0 {
+			benefit = float64(r.reused) / float64(base.Emu.DynInstrs)
+		}
+		t.Add(fmt.Sprintf("%d", r.rg.ID), cr.Prog.Func(r.rg.Func).Name,
+			fmt.Sprintf("%d", r.reused), stats.Pct(benefit),
+			fmt.Sprintf("%d", r.rm.Hits),
+			fmt.Sprintf("%d", r.rm.MissCold), fmt.Sprintf("%d", r.rm.MissConflict),
+			fmt.Sprintf("%d", r.rm.MissInput), fmt.Sprintf("%d", r.rm.MissMemInvalid),
+			fmt.Sprintf("%d", r.rm.Commits),
+			fmt.Sprintf("%d", r.rm.EvictionsCapacity), fmt.Sprintf("%d", r.rm.SlotOverwrites),
+			fmt.Sprintf("%d", r.rm.InvalidatedInstances))
+	}
+	return "Regions by dynamic reuse benefit (cause-attributed):\n" + t.String()
 }

@@ -8,11 +8,21 @@
 // exit status 1 if any architectural observable diverged — the paper's
 // §3.1 transparency contract for this benchmark, input and CRB geometry.
 //
+// -trace records the CCR run's reuse-relevant events (region entries,
+// reuse hits with eliminated-instruction counts, invalidations with
+// fan-out) with cycle timestamps and writes them as Chrome trace-event
+// JSON — load the file in chrome://tracing or https://ui.perfetto.dev.
+// -trace-jsonl writes the same events as a compact JSONL stream, and
+// -metrics writes the cause-attributed per-region CRB counters (misses
+// split cold/conflict/input/mem-invalid, evictions split capacity vs
+// invalidation, per-object invalidation fan-out) as JSON.
+//
 // Usage:
 //
 //	ccrsim -bench m88ksim [-scale medium] [-entries 128] [-cis 8]
 //	       [-assoc 1] [-nomem 0] [-ref] [-list] [-jobs N] [-manifest run.json]
-//	       [-verify] [-cell-timeout 30s] [-retries 1]
+//	       [-trace out.json] [-trace-jsonl out.jsonl] [-metrics out.metrics.json]
+//	       [-verify] [-cell-timeout 30s] [-retries 1] [-version]
 package main
 
 import (
@@ -22,10 +32,12 @@ import (
 	"log"
 	"os"
 
+	"ccr/internal/buildinfo"
 	"ccr/internal/core"
 	"ccr/internal/opt"
 	"ccr/internal/oracle"
 	"ccr/internal/runner"
+	"ccr/internal/telemetry"
 	"ccr/internal/workloads"
 )
 
@@ -44,8 +56,17 @@ func main() {
 	verify := flag.Bool("verify", false, "differentially check the §3.1 transparency contract")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-time bound (0 = none)")
 	retries := flag.Int("retries", 0, "re-run a failed cell up to N more times")
+	tracePath := flag.String("trace", "", "write the CCR run's reuse events as Chrome trace JSON to this file")
+	traceJSONL := flag.String("trace-jsonl", "", "write the CCR run's reuse events as JSONL to this file")
+	traceCap := flag.Int("trace-cap", 0, "trace ring-buffer capacity in events (0 = default)")
+	metricsPath := flag.String("metrics", "", "write cause-attributed per-region CRB metrics JSON to this file")
+	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return
+	}
 	if *list {
 		for _, n := range workloads.Names() {
 			b := workloads.Load(n, workloads.Tiny)
@@ -94,6 +115,17 @@ func main() {
 		Retries:     *retries,
 		Manifest:    runner.NewManifest(fmt.Sprintf("ccrsim -bench %s -scale %s", b.Name, *scale), *jobs),
 	}
+	var tel *core.Telemetry
+	if *tracePath != "" || *traceJSONL != "" || *metricsPath != "" {
+		tel = &core.Telemetry{}
+		if *metricsPath != "" {
+			tel.Metrics = telemetry.NewMetrics()
+		}
+		if *tracePath != "" || *traceJSONL != "" {
+			tel.Trace = telemetry.NewTrace(*traceCap)
+		}
+	}
+	ccrCellID := "ccr/" + b.Name + "/" + opts.CRB.Key()
 	var base, ccr *core.SimResult
 	var baseDigest, ccrDigest oracle.Digest
 	cells := []runner.Cell{
@@ -102,9 +134,9 @@ func main() {
 			base, err = core.Simulate(b.Prog, nil, opts.Uarch, args, 0)
 			return err
 		}},
-		{ID: "ccr/" + b.Name + "/" + opts.CRB.Key(), Do: func(context.Context) error {
+		{ID: ccrCellID, Do: func(context.Context) error {
 			var err error
-			ccr, err = core.Simulate(cr.Prog, &opts.CRB, opts.Uarch, args, 0)
+			ccr, err = core.SimulateWith(cr.Prog, &opts.CRB, opts.Uarch, args, 0, tel)
 			return err
 		}},
 	}
@@ -125,12 +157,16 @@ func main() {
 	if err := runner.Errs(results); err != nil {
 		log.Fatal(err)
 	}
+	if tel != nil && tel.Metrics != nil {
+		pool.Manifest.SetTelemetry(ccrCellID, tel.Metrics.Summary())
+	}
 	if *manifest != "" {
 		pool.Manifest.Finish()
 		if err := pool.Manifest.WriteFile(*manifest); err != nil {
 			log.Fatal(err)
 		}
 	}
+	writeTelemetry(tel, *tracePath, *traceJSONL, *metricsPath)
 	if base.Result != ccr.Result {
 		log.Fatalf("architectural mismatch: base %d, ccr %d", base.Result, ccr.Result)
 	}
@@ -165,6 +201,47 @@ func main() {
 		}
 		fmt.Printf("transparency verified: %d stores, %d rets, %d mem words identical to base\n",
 			baseDigest.StoreCount, baseDigest.RetCount, baseDigest.MemWords)
+	}
+}
+
+// writeTelemetry flushes the requested trace and metrics exports.
+func writeTelemetry(tel *core.Telemetry, tracePath, traceJSONL, metricsPath string) {
+	if tel == nil {
+		return
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.Trace.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events (%d dropped) -> %s\n", tel.Trace.Len(), tel.Trace.Dropped(), tracePath)
+	}
+	if traceJSONL != "" {
+		f, err := os.Create(traceJSONL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tel.Trace.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if metricsPath != "" {
+		data, err := tel.Metrics.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(metricsPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"ccr/internal/analysis"
+	"ccr/internal/buildinfo"
 	"ccr/internal/core"
 	"ccr/internal/ir"
 	"ccr/internal/workloads"
@@ -26,7 +27,13 @@ func main() {
 	ccrForm := flag.Bool("ccr", false, "visualize the CCR-transformed program")
 	runFile := flag.String("run", "", "visualize a textual program file instead")
 	fn := flag.String("func", "main", "function to draw")
+	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return
+	}
 
 	var prog *ir.Program
 	switch {

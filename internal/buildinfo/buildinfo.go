@@ -1,0 +1,76 @@
+// Package buildinfo stamps binaries and run manifests with the build's
+// identity: module version and the VCS revision Go embedded at build time.
+// Every CLI exposes it behind -version, and runner.Manifest embeds it so a
+// recorded experiment names the exact code that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the serializable build identity.
+type Info struct {
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	// Modified is true when the working tree was dirty at build time.
+	Modified bool `json:"vcs_modified,omitempty"`
+}
+
+var get = sync.OnceValue(func() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Get returns the build identity of the running binary (computed once).
+func Get() Info { return get() }
+
+// String renders the identity as a one-line -version banner.
+func (i Info) String() string {
+	mod, ver := i.Module, i.Version
+	if mod == "" {
+		mod = "ccr"
+	}
+	if ver == "" {
+		ver = "(devel)"
+	}
+	s := fmt.Sprintf("%s %s %s", mod, ver, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += " (modified)"
+		}
+		if i.Time != "" {
+			s += " built " + i.Time
+		}
+	}
+	return s
+}
+
+// String returns the running binary's -version banner.
+func String() string { return Get().String() }

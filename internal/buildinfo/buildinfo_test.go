@@ -1,0 +1,41 @@
+package buildinfo
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGetPopulatesIdentity(t *testing.T) {
+	info := Get()
+	if info.Module != "ccr" {
+		t.Errorf("Module = %q, want ccr", info.Module)
+	}
+	if info.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if Get() != info {
+		t.Error("Get is not stable across calls")
+	}
+}
+
+func TestStringBanner(t *testing.T) {
+	s := String()
+	if !strings.Contains(s, "ccr") || !strings.Contains(s, Get().GoVersion) {
+		t.Errorf("banner %q missing module or go version", s)
+	}
+}
+
+func TestInfoSerializes(t *testing.T) {
+	data, err := json.Marshal(Get())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Info
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != Get() {
+		t.Errorf("round trip diverged: %+v vs %+v", back, Get())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ccr/internal/ir"
 	"ccr/internal/oracle"
 	"ccr/internal/region"
+	"ccr/internal/telemetry"
 	"ccr/internal/uarch"
 	"ccr/internal/vprof"
 	"ccr/internal/xform"
@@ -128,19 +129,44 @@ type SimResult struct {
 	CRB    *crb.Stats // nil when run without a CRB
 }
 
+// Telemetry bundles the opt-in observability attachments of one simulated
+// run (internal/telemetry). Both fields are optional; a nil Telemetry (or
+// nil fields) reproduces the uninstrumented fast path exactly.
+type Telemetry struct {
+	// Metrics, when non-nil, is attached to the CRB as its sink and
+	// accumulates cause-attributed per-region counters.
+	Metrics *telemetry.Metrics
+	// Trace, when non-nil, collects reuse-relevant dynamic events; timed
+	// runs stamp them with the timing model's cycle counter.
+	Trace *telemetry.Trace
+}
+
 // Simulate executes prog with the cycle-level timing model. A non-nil
 // crbCfg attaches a Computation Reuse Buffer, enabling the CCR extensions;
 // with nil, reuse instructions (if any) always miss.
 func Simulate(prog *ir.Program, crbCfg *crb.Config, ucfg uarch.Config, args []int64, limit int64) (*SimResult, error) {
+	return SimulateWith(prog, crbCfg, ucfg, args, limit, nil)
+}
+
+// SimulateWith is Simulate with an optional telemetry attachment.
+func SimulateWith(prog *ir.Program, crbCfg *crb.Config, ucfg uarch.Config, args []int64, limit int64, tel *Telemetry) (*SimResult, error) {
 	m := emu.New(prog)
 	m.Limit = limit
 	var buf *crb.CRB
 	if crbCfg != nil {
 		buf = crb.New(*crbCfg, prog)
+		if tel != nil && tel.Metrics != nil {
+			buf.SetSink(tel.Metrics)
+		}
 		m.CRB = buf
 	}
 	sim := uarch.NewSimulator(ucfg, prog)
-	m.Trace = sim.Tracer()
+	if tel != nil && tel.Trace != nil {
+		tel.Trace.SetClock(sim.CycleCount)
+		m.Trace = emu.Tee(sim.Tracer(), emu.TelemetryTracer(tel.Trace))
+	} else {
+		m.Trace = sim.Tracer()
+	}
 	res, err := m.Run(args...)
 	if err != nil {
 		return nil, err

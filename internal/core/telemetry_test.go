@@ -1,0 +1,174 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ccr/internal/crb"
+	"ccr/internal/emu"
+	"ccr/internal/oracle"
+	"ccr/internal/telemetry"
+	"ccr/internal/workloads"
+)
+
+// TestTelemetryDoesNotPerturbSimulation is the timing-level half of the
+// zero-overhead sink invariant (DESIGN.md §9): attaching the full
+// telemetry bundle — metrics sink on the CRB plus the event trace teed
+// into the timing tracer — must leave every architectural and
+// microarchitectural observable of the run bit-identical to the
+// uninstrumented path.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	base := buildScanBench(t)
+	opts := DefaultOptions()
+	const iters = 1000
+	cr, err := Compile(base, []int64{iters}, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	plain, err := Simulate(cr.Prog, &opts.CRB, opts.Uarch, []int64{iters}, 0)
+	if err != nil {
+		t.Fatalf("simulate plain: %v", err)
+	}
+	tel := &Telemetry{Metrics: telemetry.NewMetrics(), Trace: telemetry.NewTrace(0)}
+	instr, err := SimulateWith(cr.Prog, &opts.CRB, opts.Uarch, []int64{iters}, 0, tel)
+	if err != nil {
+		t.Fatalf("simulate instrumented: %v", err)
+	}
+
+	if plain.Result != instr.Result {
+		t.Errorf("Result diverged: %d vs %d", plain.Result, instr.Result)
+	}
+	if plain.Cycles != instr.Cycles {
+		t.Errorf("Cycles diverged: %d vs %d", plain.Cycles, instr.Cycles)
+	}
+	if !reflect.DeepEqual(plain.Emu, instr.Emu) {
+		t.Errorf("emu stats diverged:\nplain: %+v\ninstr: %+v", plain.Emu, instr.Emu)
+	}
+	if plain.Uarch != instr.Uarch {
+		t.Errorf("uarch stats diverged:\nplain: %+v\ninstr: %+v", plain.Uarch, instr.Uarch)
+	}
+	if *plain.CRB != *instr.CRB {
+		t.Errorf("CRB stats diverged:\nplain: %+v\ninstr: %+v", *plain.CRB, *instr.CRB)
+	}
+	if tel.Trace.Total() == 0 {
+		t.Error("trace collected nothing on a reuse-heavy run")
+	}
+}
+
+// TestTelemetryPreservesOracleDigest is the oracle-level transparency
+// gate: a CCR run with the metrics sink and event trace attached must
+// produce the exact architectural digest — including the full dynamic
+// trace checksum, which Compare deliberately ignores — of the same run
+// uninstrumented.
+func TestTelemetryPreservesOracleDigest(t *testing.T) {
+	base := buildScanBench(t)
+	opts := DefaultOptions()
+	const iters = 800
+	cr, err := Compile(base, []int64{iters}, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	plain, err := DigestRun(cr.Prog, &opts.CRB, []int64{iters}, 0)
+	if err != nil {
+		t.Fatalf("digest plain: %v", err)
+	}
+
+	m := emu.New(cr.Prog)
+	buf := crb.New(opts.CRB, cr.Prog)
+	buf.SetSink(telemetry.NewMetrics())
+	m.CRB = buf
+	col := oracle.NewCollector(cr.Prog)
+	m.Trace = emu.Tee(col.Tracer(), emu.TelemetryTracer(telemetry.NewTrace(0)))
+	res, err := m.Run(iters)
+	if err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	instr := col.Finish(res, m.Mem)
+
+	if err := oracle.Compare(plain, instr); err != nil {
+		t.Fatalf("telemetry broke transparency: %v", err)
+	}
+	if plain != instr {
+		t.Fatalf("digest identity diverged:\nplain: %+v\ninstr: %+v", plain, instr)
+	}
+}
+
+// TestMetricsSumToFlatStats pins the partition invariant documented on
+// RegionMetrics: the cause-attributed per-region counters, summed over all
+// regions, reproduce the flat crb.Stats totals exactly. A deliberately
+// tiny CRB (2 entries × 1 instance) forces conflict evictions and slot
+// overwrites alongside the invalidation traffic the mutating table
+// generates, so every counter pair is exercised with nonzero values.
+func TestMetricsSumToFlatStats(t *testing.T) {
+	b, err := workloads.Lookup("m88ksim", workloads.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	cr, err := Compile(b.Prog, b.Train, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	cfg := crb.Config{Entries: 2, Instances: 1}
+	tel := &Telemetry{Metrics: telemetry.NewMetrics(), Trace: telemetry.NewTrace(1 << 20)}
+	res, err := SimulateWith(cr.Prog, &cfg, opts.Uarch, b.Train, 0, tel)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+
+	st := *res.CRB
+	s := tel.Metrics.Summary()
+	check := func(name string, got, want int64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s: telemetry sum %d != flat stat %d", name, got, want)
+		}
+	}
+	check("Lookups", s.Lookups, st.Lookups)
+	check("Hits", s.Hits, st.Hits)
+	check("TagMisses = cold+conflict", s.MissCold+s.MissConflict, st.TagMisses)
+	check("InputMisses = input+mem-invalid", s.MissInput+s.MissMemInvalid, st.InputMisses)
+	check("Records", s.Commits, st.Records)
+	check("RecordFails", s.CommitFails, st.RecordFails)
+	check("Evictions", s.Evictions, st.Evictions)
+	check("Invalidates", s.Invalidated, st.Invalidates)
+	check("emu Invalidations", s.Invalidations, res.Emu.Invalidations)
+
+	// Per-object fan-out totals must also agree with the flat invalidated
+	// instance count.
+	var fanout int64
+	for _, mr := range tel.Metrics.Report().Mem {
+		fanout += mr.Fanout
+	}
+	check("mem fan-out", fanout, st.Invalidates)
+
+	// The tiny geometry must actually have exercised the interesting
+	// causes, or the partition check proves nothing.
+	if s.MissConflict == 0 || s.Evictions == 0 {
+		t.Errorf("geometry too gentle: no conflict pressure in %+v", s)
+	}
+	if s.Invalidated == 0 {
+		t.Errorf("no invalidation traffic in %+v", s)
+	}
+
+	// Trace-side cross-check: event counts equal the emulator's own view.
+	var hits, enters, invals int64
+	for _, ev := range tel.Trace.Events() {
+		switch ev.Kind {
+		case telemetry.EventReuseHit:
+			hits++
+		case telemetry.EventRegionEnter:
+			enters++
+		case telemetry.EventInvalidate:
+			invals++
+		}
+	}
+	if tel.Trace.Dropped() != 0 {
+		t.Fatalf("trace overflowed (%d dropped); raise the test capacity", tel.Trace.Dropped())
+	}
+	check("trace hits", hits, res.Emu.ReuseHits)
+	check("trace enters", enters, res.Emu.ReuseMisses)
+	check("trace invals", invals, res.Emu.Invalidations)
+}

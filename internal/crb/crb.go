@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ccr/internal/ir"
+	"ccr/internal/telemetry"
 )
 
 // RegVal is one register entry of a computation-instance bank: the register
@@ -139,6 +140,15 @@ type CRB struct {
 	// invalidation of that object must discard. It is the hardware image
 	// of the compiler's region registration table.
 	memRegions map[ir.MemID][]ir.RegionID
+
+	// sink, when non-nil, receives the cause-attributed telemetry stream.
+	// Every instrumented path is guarded by a nil check so the zero-sink
+	// configuration stays allocation-free and byte-identical (DESIGN.md §9).
+	sink telemetry.Sink
+	// everResident marks regions that have held a computation entry at
+	// some point, distinguishing cold misses from conflict misses. Only
+	// maintained while a sink is attached.
+	everResident map[ir.RegionID]bool
 }
 
 // New builds a CRB for the given configuration and program region table.
@@ -178,6 +188,22 @@ func (c *CRB) Config() Config { return c.cfg }
 // Stats returns a copy of the event counters.
 func (c *CRB) Stats() Stats { return c.stats }
 
+// ResetStats zeroes the event counters without touching buffer contents,
+// so multi-phase runs (e.g. training then reference on one warm buffer)
+// can report each phase separately.
+func (c *CRB) ResetStats() { c.stats = Stats{} }
+
+// SetSink attaches (or, with nil, detaches) the telemetry sink receiving
+// the cause-attributed event stream. Attach before the first operation:
+// cold/conflict miss attribution is derived from the residence history
+// observed while a sink is present.
+func (c *CRB) SetSink(s telemetry.Sink) {
+	c.sink = s
+	if s != nil && c.everResident == nil {
+		c.everResident = map[ir.RegionID]bool{}
+	}
+}
+
 // setOf returns the entry slice forming the set a region maps to.
 func (c *CRB) setOf(region ir.RegionID) []entry {
 	set := int(region) % c.sets
@@ -205,17 +231,58 @@ func (c *CRB) Lookup(region ir.RegionID, read func(ir.Reg) int64) (*Instance, bo
 	e := c.findEntry(region)
 	if e == nil {
 		c.stats.TagMisses++
+		if c.sink != nil {
+			cause := telemetry.MissCold
+			if c.everResident[region] {
+				cause = telemetry.MissConflict
+			}
+			c.sink.Lookup(region, cause)
+		}
 		return nil, false
 	}
 	for i := range e.cis {
 		if e.cis[i].Reusable(read) {
 			e.lastUse[i] = c.clock
 			c.stats.Hits++
+			if c.sink != nil {
+				c.sink.Lookup(region, telemetry.Hit)
+			}
 			return &e.cis[i], true
 		}
 	}
 	c.stats.InputMisses++
+	if c.sink != nil {
+		cause := telemetry.MissInput
+		if memBlocked(e, read) {
+			cause = telemetry.MissMemInvalid
+		}
+		c.sink.Lookup(region, cause)
+	}
 	return nil, false
+}
+
+// memBlocked reports whether some instance of e would have matched the
+// current inputs but is unreusable only because an invalidation cleared
+// its memory-valid bit — the attribution scan behind MissMemInvalid. Only
+// run when a telemetry sink is attached.
+func memBlocked(e *entry, read func(ir.Reg) int64) bool {
+	for i := range e.cis {
+		ci := &e.cis[i]
+		if !ci.Valid || !ci.UsesMem || ci.MemOK {
+			continue
+		}
+		match := true
+		for _, in := range ci.Inputs {
+			if read(in.Reg) != in.Val {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
 }
 
 // Commit installs a freshly recorded instance for region, allocating or
@@ -229,10 +296,16 @@ func (c *CRB) Commit(region ir.RegionID, inst Instance) bool {
 		e = c.victim(region)
 		if inst.UsesMem && !e.memCap {
 			c.stats.RecordFails++
+			if c.sink != nil {
+				c.sink.Commit(region, false)
+			}
 			return false
 		}
 		if e.valid {
 			c.stats.Evictions++
+			if c.sink != nil {
+				c.sink.Evict(e.tag, telemetry.EvictCapacity, validInstances(e))
+			}
 		}
 		e.tag = region
 		e.valid = true
@@ -240,8 +313,14 @@ func (c *CRB) Commit(region ir.RegionID, inst Instance) bool {
 			e.cis[i] = Instance{}
 			e.lastUse[i] = 0
 		}
+		if c.sink != nil {
+			c.everResident[region] = true
+		}
 	} else if inst.UsesMem && !e.memCap {
 		c.stats.RecordFails++
+		if c.sink != nil {
+			c.sink.Commit(region, false)
+		}
 		return false
 	}
 	// Choose an invalid instance slot if one exists, else the LRU slot.
@@ -260,12 +339,30 @@ func (c *CRB) Commit(region ir.RegionID, inst Instance) bool {
 			}
 		}
 	}
+	if c.sink != nil {
+		if e.cis[slot].Valid {
+			c.sink.Evict(region, telemetry.EvictSlotLRU, 1)
+		}
+		c.sink.Commit(region, true)
+	}
 	inst.Valid = true
 	inst.MemOK = true
 	e.cis[slot] = inst
 	e.lastUse[slot] = c.clock
 	c.stats.Records++
 	return true
+}
+
+// validInstances counts the valid instances of e (telemetry attribution
+// for entry-level evictions).
+func validInstances(e *entry) int {
+	n := 0
+	for i := range e.cis {
+		if e.cis[i].Valid {
+			n++
+		}
+	}
+	return n
 }
 
 // victim selects the entry to replace for a region not resident: an invalid
@@ -306,15 +403,23 @@ func (c *CRB) Invalidate(m ir.MemID) int {
 		if e == nil {
 			continue
 		}
+		k := 0
 		for i := range e.cis {
 			ci := &e.cis[i]
 			if ci.Valid && ci.UsesMem && ci.MemOK {
 				ci.MemOK = false
-				n++
+				k++
 			}
+		}
+		n += k
+		if c.sink != nil && k > 0 {
+			c.sink.Evict(region, telemetry.EvictInvalidation, k)
 		}
 	}
 	c.stats.Invalidates += int64(n)
+	if c.sink != nil {
+		c.sink.Invalidate(m, n)
+	}
 	return n
 }
 

@@ -1,0 +1,211 @@
+package crb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ccr/internal/crb"
+	"ccr/internal/ir"
+	"ccr/internal/telemetry"
+)
+
+// recSink records every telemetry callback as a printable event line so
+// tests can assert both the cause classification and the order of emission.
+type recSink struct {
+	events []string
+}
+
+func (r *recSink) Lookup(region ir.RegionID, outcome telemetry.LookupOutcome) {
+	r.events = append(r.events, fmt.Sprintf("lookup r%d %s", region, outcome))
+}
+
+func (r *recSink) Commit(region ir.RegionID, stored bool) {
+	r.events = append(r.events, fmt.Sprintf("commit r%d %v", region, stored))
+}
+
+func (r *recSink) Evict(region ir.RegionID, cause telemetry.EvictCause, instances int) {
+	r.events = append(r.events, fmt.Sprintf("evict r%d %s %d", region, cause, instances))
+}
+
+func (r *recSink) Invalidate(mem ir.MemID, fanout int) {
+	r.events = append(r.events, fmt.Sprintf("inval m%d %d", mem, fanout))
+}
+
+func (r *recSink) take() []string {
+	ev := r.events
+	r.events = nil
+	return ev
+}
+
+func expectEvents(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestSinkMissCauseClassification walks one entry through the full miss
+// taxonomy: a never-resident region is a cold miss, a wrong-input lookup on
+// a resident entry is an input miss, an evicted-then-relooked region is a
+// conflict miss, and a lookup whose inputs match an instance that only an
+// invalidation made unreusable is a memory-invalid miss.
+func TestSinkMissCauseClassification(t *testing.T) {
+	// Entries:1 forces regions 0 and 1 to conflict on the single entry.
+	c := crb.New(crb.Config{Entries: 1, Instances: 2}, memProg())
+	sink := &recSink{}
+	c.SetSink(sink)
+
+	// Never resident: cold miss.
+	c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+	expectEvents(t, sink.take(), []string{"lookup r0 miss-cold"})
+
+	// Resident with a non-matching instance: input miss. Matching: hit.
+	c.Commit(0, inst(true, 10, 100))
+	c.Lookup(0, readFrom(map[ir.Reg]int64{1: 99}))
+	c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+	expectEvents(t, sink.take(), []string{
+		"commit r0 true",
+		"lookup r0 miss-input",
+		"lookup r0 hit",
+	})
+
+	// Region 1 steals the entry (capacity eviction of region 0's one valid
+	// instance); region 0's next lookup is a conflict miss, not cold.
+	c.Commit(1, inst(false, 12, 120))
+	c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+	expectEvents(t, sink.take(), []string{
+		"evict r0 capacity 1",
+		"commit r1 true",
+		"lookup r0 miss-conflict",
+	})
+
+	// Re-install region 0 with a memory-using instance, invalidate its
+	// object: inputs still match, so the miss is attributed to the cleared
+	// memory-valid bit.
+	c.Commit(0, inst(true, 10, 100))
+	c.Invalidate(1)
+	c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+	expectEvents(t, sink.take(), []string{
+		"evict r1 capacity 1",
+		"commit r0 true",
+		"evict r0 invalidation 1",
+		"inval m1 1",
+		"lookup r0 miss-mem-invalid",
+	})
+}
+
+// TestSinkSlotLRUOverwrite pins the instance-level eviction attribution: a
+// commit into a full entry overwrites the LRU slot and reports it as a
+// slot-LRU eviction of exactly one instance.
+func TestSinkSlotLRUOverwrite(t *testing.T) {
+	c := crb.New(crb.Config{Entries: 8, Instances: 1}, memProg())
+	sink := &recSink{}
+	c.SetSink(sink)
+
+	c.Commit(1, inst(false, 1, 10))
+	c.Commit(1, inst(false, 2, 20))
+	expectEvents(t, sink.take(), []string{
+		"commit r1 true",
+		"evict r1 slot-lru 1",
+		"commit r1 true",
+	})
+}
+
+// TestSinkCommitRejected: a memory-dependent instance mapping to an entry
+// without memory-valid hardware is rejected, and the sink sees stored=false.
+func TestSinkCommitRejected(t *testing.T) {
+	c := crb.New(crb.Config{Entries: 4, Instances: 2, NoMemEntriesFrac: 1}, memProg())
+	sink := &recSink{}
+	c.SetSink(sink)
+
+	if c.Commit(0, inst(true, 10, 100)) {
+		t.Fatal("UsesMem commit stored despite NoMemEntriesFrac=1")
+	}
+	expectEvents(t, sink.take(), []string{"commit r0 false"})
+}
+
+// TestSinkInvalidateFanout: one store-triggered invalidation reports the
+// total fan-out across regions plus a per-region instance count, and an
+// invalidation that kills nothing still reports fan-out 0 (the instruction
+// executed) without any per-region eviction events.
+func TestSinkInvalidateFanout(t *testing.T) {
+	prog := &ir.Program{Regions: []*ir.Region{
+		{ID: 0, Class: ir.MemoryDependent, MemObjects: []ir.MemID{1}},
+		{ID: 1, Class: ir.MemoryDependent, MemObjects: []ir.MemID{1}},
+	}}
+	c := crb.New(crb.Config{Entries: 8, Instances: 4}, prog)
+	sink := &recSink{}
+	c.SetSink(sink)
+
+	c.Commit(0, inst(true, 10, 100))
+	c.Commit(0, inst(true, 11, 110))
+	c.Commit(1, inst(true, 12, 120))
+	sink.take()
+
+	if n := c.Invalidate(1); n != 3 {
+		t.Fatalf("Invalidate fan-out %d, want 3", n)
+	}
+	expectEvents(t, sink.take(), []string{
+		"evict r0 invalidation 2",
+		"evict r1 invalidation 1",
+		"inval m1 3",
+	})
+
+	// All instances already dead: no per-region evictions, fan-out 0.
+	c.Invalidate(1)
+	expectEvents(t, sink.take(), []string{"inval m1 0"})
+}
+
+// TestSinkDoesNotPerturbStats replays the same operation sequence against a
+// bare CRB and a sink-attached CRB and requires bit-identical flat counters
+// — the architectural half of the zero-overhead invariant (DESIGN.md §9).
+func TestSinkDoesNotPerturbStats(t *testing.T) {
+	drive := func(c *crb.CRB) {
+		c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+		c.Commit(0, inst(true, 10, 100))
+		c.Commit(0, inst(false, 11, 110))
+		c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+		c.Lookup(0, readFrom(map[ir.Reg]int64{1: 77}))
+		c.Commit(1, inst(false, 5, 50))
+		c.Invalidate(1)
+		c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+	}
+	bare := crb.New(crb.Config{Entries: 1, Instances: 2}, memProg())
+	drive(bare)
+
+	instrumented := crb.New(crb.Config{Entries: 1, Instances: 2}, memProg())
+	instrumented.SetSink(telemetry.NewMetrics())
+	drive(instrumented)
+
+	if bare.Stats() != instrumented.Stats() {
+		t.Fatalf("sink perturbed stats:\nbare:         %+v\ninstrumented: %+v",
+			bare.Stats(), instrumented.Stats())
+	}
+}
+
+// TestResetStatsKeepsContents: ResetStats zeroes counters but leaves the
+// buffer warm — the next matching lookup still hits.
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := crb.New(crb.Config{Entries: 8, Instances: 2}, memProg())
+	c.Commit(0, inst(false, 10, 100))
+	c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10}))
+	if s := c.Stats(); s.Hits != 1 || s.Records != 1 {
+		t.Fatalf("pre-reset stats %+v", s)
+	}
+
+	c.ResetStats()
+	if s := c.Stats(); s != (crb.Stats{}) {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+	if _, ok := c.Lookup(0, readFrom(map[ir.Reg]int64{1: 10})); !ok {
+		t.Fatal("warm instance lost across ResetStats")
+	}
+	if s := c.Stats(); s.Lookups != 1 || s.Hits != 1 {
+		t.Fatalf("post-reset stats %+v, want exactly one hit", s)
+	}
+}

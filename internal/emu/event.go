@@ -39,11 +39,37 @@ type Event struct {
 	ReuseIn, ReuseOut int
 	// ReusedInstrs is the dynamic instruction count eliminated by a hit.
 	ReusedInstrs int
+
+	// InvalCount is the instance fan-out of an executed Inval instruction
+	// (how many CRB instances it killed); zero for every other opcode.
+	InvalCount int
 }
 
 // Tracer receives every dynamic instruction. It is a plain function for
 // call overhead reasons; nil disables tracing.
 type Tracer func(*Event)
+
+// Tee fans one event stream out to several tracers, invoked in order. Nil
+// tracers are skipped; with zero or one live tracer no wrapper is built.
+func Tee(tracers ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev *Event) {
+		for _, t := range live {
+			t(ev)
+		}
+	}
+}
 
 // RegionStats aggregates per-region dynamic reuse behaviour for the
 // Figure 9(b)/10 analyses.

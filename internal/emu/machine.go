@@ -152,6 +152,9 @@ type Machine struct {
 	funcMemos []funcMemo
 	// addrBase[f][b] is the byte address of block b's first instruction.
 	addrBase [][]int64
+	// lastInval carries the current Inval instruction's instance fan-out
+	// from the execute switch to the event emitted for it.
+	lastInval int
 	// regPool recycles register files across calls.
 	regPool [][]int64
 	// readOnly[m] caches object read-only flags for the memoization path.
@@ -491,8 +494,9 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 			continue
 		case ir.Inval:
 			m.Stats.Invalidations++
+			m.lastInval = 0
 			if m.CRB != nil {
-				m.CRB.Invalidate(in.Mem)
+				m.lastInval = m.CRB.Invalidate(in.Mem)
 			}
 			if memoActive {
 				m.abortMemo()
@@ -549,6 +553,9 @@ func (m *Machine) emit(trace Tracer, ev *Event, f *ir.Func, b ir.BlockID, idx in
 		Regs: m.frames[len(m.frames)-1].regs,
 		Val1: v1, Val2: v2, Addr: addr, Result: result,
 		Taken: taken, TargetPC: tpc,
+	}
+	if in.Op == ir.Inval {
+		ev.InvalCount = m.lastInval
 	}
 	trace(ev)
 }

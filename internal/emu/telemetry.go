@@ -1,0 +1,39 @@
+package emu
+
+import (
+	"ccr/internal/ir"
+	"ccr/internal/telemetry"
+)
+
+// TelemetryTracer adapts the dynamic event stream to a telemetry trace
+// collector: the reuse-relevant events — region entry on a miss, reuse
+// hits with their eliminated-instruction counts, and invalidations with
+// their fan-out — are recorded; every other instruction is ignored, so
+// the per-event cost off those opcodes is a single opcode compare.
+// Combine with another consumer via Tee:
+//
+//	m.Trace = emu.Tee(sim.Tracer(), emu.TelemetryTracer(tr))
+func TelemetryTracer(tr *telemetry.Trace) Tracer {
+	return func(ev *Event) {
+		switch ev.Instr.Op {
+		case ir.Reuse:
+			kind := telemetry.EventRegionEnter
+			if ev.ReuseHit {
+				kind = telemetry.EventReuseHit
+			}
+			tr.Add(telemetry.TraceEvent{
+				Kind:   kind,
+				Region: ev.Instr.Region,
+				Reused: ev.ReusedInstrs,
+				PC:     ev.PC,
+			})
+		case ir.Inval:
+			tr.Add(telemetry.TraceEvent{
+				Kind:   telemetry.EventInvalidate,
+				Mem:    ev.Instr.Mem,
+				Fanout: ev.InvalCount,
+				PC:     ev.PC,
+			})
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccr/internal/crb"
+	"ccr/internal/emu"
+	"ccr/internal/stats"
+	"ccr/internal/workloads"
+)
+
+// PhaseStats is one phase's slice of a warm-buffer run: the CRB counters
+// accumulated during that phase only (the counter block is reset between
+// phases without flushing buffer contents) plus the phase's reuse outcome.
+type PhaseStats struct {
+	Name         string
+	CRB          crb.Stats
+	Result       int64
+	ReusedInstrs int64
+	Hits, Misses int64
+}
+
+// PhasedResult is the train-then-reference warm-buffer study of one
+// benchmark: the reference phase starts with the buffer state the training
+// phase left behind, so its counters expose how much recorded state
+// survives an input change — invisible when every run starts cold.
+type PhasedResult struct {
+	Bench  string
+	Phases [2]PhaseStats
+}
+
+// TrainRefPhases runs the transformed program on the training input and
+// then the reference input against one persistent CRB, resetting the
+// counter block (crb.ResetStats) between the phases so each phase reports
+// separately.
+func TrainRefPhases(s *Suite, b *workloads.Benchmark, cc crb.Config) (*PhasedResult, error) {
+	cr, err := s.Compiled(b)
+	if err != nil {
+		return nil, err
+	}
+	buf := crb.New(cc, cr.Prog)
+	res := &PhasedResult{Bench: b.Name}
+	inputs := [2][]int64{b.Train, b.Ref}
+	names := [2]string{"train", "ref"}
+	for i := range inputs {
+		m := emu.New(cr.Prog)
+		m.CRB = buf
+		m.Limit = s.cfg.Opts.Limit
+		r, err := m.Run(inputs[i]...)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: phased run %s/%s: %w", b.Name, names[i], err)
+		}
+		res.Phases[i] = PhaseStats{
+			Name:         names[i],
+			CRB:          buf.Stats(),
+			Result:       r,
+			ReusedInstrs: m.Stats.ReusedInstrs,
+			Hits:         m.Stats.ReuseHits,
+			Misses:       m.Stats.ReuseMisses,
+		}
+		buf.ResetStats()
+	}
+	return res, nil
+}
+
+// Render formats the phase comparison as a table.
+func (r *PhasedResult) Render() string {
+	t := stats.Table{Header: []string{"phase", "lookups", "hits", "tag-miss", "input-miss",
+		"records", "evictions", "invalidates", "reused"}}
+	for _, p := range r.Phases {
+		t.Add(p.Name,
+			fmt.Sprintf("%d", p.CRB.Lookups), fmt.Sprintf("%d", p.CRB.Hits),
+			fmt.Sprintf("%d", p.CRB.TagMisses), fmt.Sprintf("%d", p.CRB.InputMisses),
+			fmt.Sprintf("%d", p.CRB.Records), fmt.Sprintf("%d", p.CRB.Evictions),
+			fmt.Sprintf("%d", p.CRB.Invalidates), fmt.Sprintf("%d", p.ReusedInstrs))
+	}
+	return fmt.Sprintf("%s: warm-buffer train/ref phases\n%s", r.Bench, t.String())
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ccr/internal/crb"
+	"ccr/internal/workloads"
+)
+
+// TestTrainRefPhases pins the warm-buffer semantics of the phased study:
+// the per-phase counter blocks are independent (ResetStats between phases)
+// while the buffer contents persist, so the reference phase inherits the
+// training phase's recorded instances instead of starting cold. Each
+// phase's architectural result must also match an ordinary cold run of the
+// same input — warmth is a performance property, never a correctness one.
+func TestTrainRefPhases(t *testing.T) {
+	s := tinySuite(t)
+	b, err := workloads.Lookup("m88ksim", workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := crb.DefaultConfig()
+	r, err := TrainRefPhases(s, b, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	train, ref := r.Phases[0], r.Phases[1]
+	if train.Name != "train" || ref.Name != "ref" {
+		t.Fatalf("phase names %q,%q", train.Name, ref.Name)
+	}
+	// Counters were reset between phases: each block is phase-local, so
+	// lookups cannot accumulate across the run.
+	if train.CRB.Lookups == 0 || ref.CRB.Lookups == 0 {
+		t.Fatalf("a phase recorded no lookups: train %+v ref %+v", train.CRB, ref.CRB)
+	}
+	if train.CRB.Hits+train.CRB.TagMisses+train.CRB.InputMisses != train.CRB.Lookups {
+		t.Errorf("train counters inconsistent: %+v", train.CRB)
+	}
+	// The warm buffer must pay training's cold tag misses only once: the
+	// reference phase inherits the resident entries.
+	if ref.CRB.TagMisses > train.CRB.TagMisses {
+		t.Errorf("ref tag misses %d exceed train's %d — buffer not warm",
+			ref.CRB.TagMisses, train.CRB.TagMisses)
+	}
+
+	// Architectural transparency per phase: warm reuse must not change
+	// either input's result.
+	for i, args := range [][]int64{b.Train, b.Ref} {
+		cold, err := s.CCRSim(b, args, cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Result != r.Phases[i].Result {
+			t.Errorf("phase %s result %d != cold run %d",
+				r.Phases[i].Name, r.Phases[i].Result, cold.Result)
+		}
+	}
+
+	out := r.Render()
+	if !strings.Contains(out, "train") || !strings.Contains(out, "ref") {
+		t.Fatalf("render missing phase rows:\n%s", out)
+	}
+}

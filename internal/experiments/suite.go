@@ -19,6 +19,7 @@ import (
 	"ccr/internal/oracle"
 	"ccr/internal/potential"
 	"ccr/internal/runner"
+	"ccr/internal/telemetry"
 	"ccr/internal/workloads"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	// runner pool's failure-isolation controls.
 	CellTimeout time.Duration
 	Retries     int
+	// Heartbeat, when positive, makes the suite's pool emit structured
+	// progress logs at this interval during long sweeps.
+	Heartbeat time.Duration
+	// Telemetry attaches a cause-attributed telemetry sink to every CCR
+	// simulation and embeds its per-cell summary in the attached manifest.
+	Telemetry bool
 }
 
 // DefaultConfig runs the suite at Medium scale with the paper's settings.
@@ -65,9 +72,10 @@ type Suite struct {
 // NewSuite loads every benchmark at the configured scale.
 func NewSuite(cfg Config) *Suite {
 	return &Suite{
-		cfg:      cfg,
-		Benches:  workloads.All(cfg.Scale),
-		pool:     runner.Pool{Jobs: cfg.Jobs, CellTimeout: cfg.CellTimeout, Retries: cfg.Retries},
+		cfg:     cfg,
+		Benches: workloads.All(cfg.Scale),
+		pool: runner.Pool{Jobs: cfg.Jobs, CellTimeout: cfg.CellTimeout,
+			Retries: cfg.Retries, Heartbeat: cfg.Heartbeat},
 		prep:     runner.NewCache(),
 		compiled: runner.NewCache(),
 		baseSim:  runner.NewCache(),
@@ -222,9 +230,16 @@ func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*co
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.Simulate(cr.Prog, &cc, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
+		var tel *core.Telemetry
+		if s.cfg.Telemetry {
+			tel = &core.Telemetry{Metrics: telemetry.NewMetrics()}
+		}
+		r, err := core.SimulateWith(cr.Prog, &cc, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit, tel)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ccr sim %s: %w", b.Name, err)
+		}
+		if tel != nil && s.pool.Manifest != nil {
+			s.pool.Manifest.SetTelemetry("ccr_sim/"+key, tel.Metrics.Summary())
 		}
 		return r, nil
 	})

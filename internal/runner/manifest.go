@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"ccr/internal/buildinfo"
+	"ccr/internal/telemetry"
 )
 
 // CellRecord is one cell's entry in a run manifest.
@@ -40,6 +43,7 @@ type Manifest struct {
 	mu sync.Mutex
 
 	Command     string                `json:"command"`
+	Version     buildinfo.Info        `json:"version"`
 	Start       time.Time             `json:"start"`
 	WallSeconds float64               `json:"wall_seconds"`
 	Jobs        int                   `json:"jobs"`
@@ -47,7 +51,10 @@ type Manifest struct {
 	Cells       []CellRecord          `json:"cells"`
 	Workers     []WorkerRecord        `json:"workers,omitempty"`
 	Caches      map[string]CacheStats `json:"caches,omitempty"`
-	Errors      []string              `json:"errors,omitempty"`
+	// Telemetry holds per-cell CRB telemetry summaries, keyed by cell (or
+	// artifact) ID, when the run was executed with telemetry enabled.
+	Telemetry map[string]telemetry.Summary `json:"telemetry,omitempty"`
+	Errors    []string                     `json:"errors,omitempty"`
 	// Failure-isolation totals across every recorded cell.
 	FailedCells int `json:"failed_cells,omitempty"`
 	Panics      int `json:"panics,omitempty"`
@@ -60,6 +67,7 @@ type Manifest struct {
 func NewManifest(command string, jobs int) *Manifest {
 	return &Manifest{
 		Command:    command,
+		Version:    buildinfo.Get(),
 		Start:      time.Now(),
 		Jobs:       jobs,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -92,6 +100,16 @@ func (m *Manifest) record(jobs int, results []CellResult, busy []time.Duration, 
 		m.Workers[w].Cells += ran[w]
 		m.Workers[w].BusySeconds += busy[w].Seconds()
 	}
+}
+
+// SetTelemetry embeds one cell's CRB telemetry summary under its ID.
+func (m *Manifest) SetTelemetry(id string, s telemetry.Summary) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.Telemetry == nil {
+		m.Telemetry = map[string]telemetry.Summary{}
+	}
+	m.Telemetry[id] = s
 }
 
 // SetCache records the counters of one named artifact cache.

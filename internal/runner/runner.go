@@ -15,9 +15,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,6 +72,36 @@ type Pool struct {
 	// Manifest, when non-nil, accumulates cell records and worker busy
 	// time from every Run.
 	Manifest *Manifest
+	// Heartbeat, when positive, emits a structured progress log line at
+	// this interval while a Run is in flight (cells done/total, failures,
+	// elapsed, ETA, worker utilization) so long sweeps are not silent.
+	Heartbeat time.Duration
+	// Progress overrides the heartbeat destination; when nil, heartbeats
+	// go to slog.Default at Info level.
+	Progress func(Progress)
+}
+
+// Progress is one heartbeat snapshot of an in-flight Run.
+type Progress struct {
+	Done, Total, Failed int
+	Elapsed             time.Duration
+	// ETA estimates the remaining wall time from mean cell duration so
+	// far; zero until the first cell completes.
+	ETA time.Duration
+	// Utilization is the mean fraction of worker time spent inside cells.
+	Utilization float64
+}
+
+// LogValue renders the snapshot as structured attributes.
+func (p Progress) LogValue() slog.Value {
+	return slog.GroupValue(
+		slog.Int("done", p.Done),
+		slog.Int("total", p.Total),
+		slog.Int("failed", p.Failed),
+		slog.Duration("elapsed", p.Elapsed),
+		slog.Duration("eta", p.ETA),
+		slog.Float64("utilization", p.Utilization),
+	)
 }
 
 func (p *Pool) jobs() int {
@@ -98,6 +130,12 @@ func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
 	}
 	busy := make([]time.Duration, jobs)
 	ran := make([]int, jobs)
+	var done, failed, busyNS atomic.Int64
+	if p != nil && p.Heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go p.beat(stop, time.Now(), len(cells), jobs, &done, &failed, &busyNS)
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -109,6 +147,8 @@ func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
 				r.ID, r.Index, r.Worker = cells[i].ID, i, w
 				if err := ctx.Err(); err != nil {
 					r.Err = fmt.Errorf("runner: cell %s: %w", cells[i].ID, err)
+					done.Add(1)
+					failed.Add(1)
 					continue
 				}
 				start := time.Now()
@@ -116,9 +156,12 @@ func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
 				r.Wall = time.Since(start)
 				if r.Err != nil {
 					r.Err = fmt.Errorf("runner: cell %s: %w", cells[i].ID, r.Err)
+					failed.Add(1)
 				}
 				busy[w] += r.Wall
 				ran[w]++
+				done.Add(1)
+				busyNS.Add(int64(r.Wall))
 			}
 		}(w)
 	}
@@ -131,6 +174,49 @@ func (p *Pool) Run(ctx context.Context, cells []Cell) []CellResult {
 		p.Manifest.record(jobs, results, busy, ran)
 	}
 	return results
+}
+
+// beat emits heartbeat snapshots until stop closes, then one final
+// snapshot so short runs still record their completion line.
+func (p *Pool) beat(stop <-chan struct{}, start time.Time, total, jobs int,
+	done, failed, busyNS *atomic.Int64) {
+	t := time.NewTicker(p.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.emitProgress(p.snapshot(start, total, jobs, done, failed, busyNS))
+		}
+	}
+}
+
+func (p *Pool) snapshot(start time.Time, total, jobs int,
+	done, failed, busyNS *atomic.Int64) Progress {
+	pr := Progress{
+		Done:    int(done.Load()),
+		Total:   total,
+		Failed:  int(failed.Load()),
+		Elapsed: time.Since(start),
+	}
+	if pr.Done > 0 && pr.Done < total {
+		// Mean completed-cell wall time × remaining cells: elapsed time
+		// already amortizes the worker parallelism, so no jobs division.
+		pr.ETA = time.Duration(float64(pr.Elapsed) / float64(pr.Done) * float64(total-pr.Done))
+	}
+	if pr.Elapsed > 0 && jobs > 0 {
+		pr.Utilization = float64(busyNS.Load()) / (float64(pr.Elapsed) * float64(jobs))
+	}
+	return pr
+}
+
+func (p *Pool) emitProgress(pr Progress) {
+	if p.Progress != nil {
+		p.Progress(pr)
+		return
+	}
+	slog.Info("runner heartbeat", "progress", pr)
 }
 
 // execute runs one cell with panic isolation, the per-attempt timeout and

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+
+	"ccr/internal/ir"
+)
+
+// RegionMetrics is the cause-attributed counter block of one region.
+// The per-cause counters partition the flat crb.Stats totals exactly:
+// summed over all regions, Hits equals Stats.Hits, MissCold+MissConflict
+// equals Stats.TagMisses, MissInput+MissMemInvalid equals
+// Stats.InputMisses, Commits/CommitFails equal Records/RecordFails,
+// EvictionsCapacity equals Stats.Evictions and InvalidatedInstances
+// equals Stats.Invalidates (TestMetricsSumToFlatStats enforces this).
+type RegionMetrics struct {
+	Lookups int64 `json:"lookups"`
+	Hits    int64 `json:"hits"`
+
+	MissCold       int64 `json:"miss_cold"`
+	MissConflict   int64 `json:"miss_conflict"`
+	MissInput      int64 `json:"miss_input"`
+	MissMemInvalid int64 `json:"miss_mem_invalid"`
+
+	Commits     int64 `json:"commits"`
+	CommitFails int64 `json:"commit_fails,omitempty"`
+
+	// EvictionsCapacity counts entry replacements that victimized this
+	// region; EvictedInstances the valid instances those replacements
+	// dropped. SlotOverwrites counts single-instance LRU overwrites inside
+	// a full entry, and InvalidatedInstances the instances killed by
+	// computation-invalidate instructions.
+	EvictionsCapacity    int64 `json:"evictions_capacity,omitempty"`
+	EvictedInstances     int64 `json:"evicted_instances,omitempty"`
+	SlotOverwrites       int64 `json:"slot_overwrites,omitempty"`
+	InvalidatedInstances int64 `json:"invalidated_instances,omitempty"`
+}
+
+// MemMetrics aggregates the invalidation traffic of one memory object.
+type MemMetrics struct {
+	// Invalidations counts executed computation-invalidate instructions
+	// naming this object; Fanout sums the instances they killed.
+	Invalidations int64 `json:"invalidations"`
+	Fanout        int64 `json:"fanout"`
+}
+
+// Metrics is the Sink that accumulates cause-attributed per-region CRB
+// counters and per-object invalidation fan-out. It is not synchronized:
+// attach one Metrics per simulated machine (the suite and CLIs allocate a
+// fresh one per run cell).
+type Metrics struct {
+	regions map[ir.RegionID]*RegionMetrics
+	mems    map[ir.MemID]*MemMetrics
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		regions: map[ir.RegionID]*RegionMetrics{},
+		mems:    map[ir.MemID]*MemMetrics{},
+	}
+}
+
+func (m *Metrics) region(id ir.RegionID) *RegionMetrics {
+	rm := m.regions[id]
+	if rm == nil {
+		rm = &RegionMetrics{}
+		m.regions[id] = rm
+	}
+	return rm
+}
+
+// Lookup implements Sink.
+func (m *Metrics) Lookup(region ir.RegionID, outcome LookupOutcome) {
+	rm := m.region(region)
+	rm.Lookups++
+	switch outcome {
+	case Hit:
+		rm.Hits++
+	case MissCold:
+		rm.MissCold++
+	case MissConflict:
+		rm.MissConflict++
+	case MissInput:
+		rm.MissInput++
+	case MissMemInvalid:
+		rm.MissMemInvalid++
+	}
+}
+
+// Commit implements Sink.
+func (m *Metrics) Commit(region ir.RegionID, stored bool) {
+	rm := m.region(region)
+	if stored {
+		rm.Commits++
+	} else {
+		rm.CommitFails++
+	}
+}
+
+// Evict implements Sink.
+func (m *Metrics) Evict(region ir.RegionID, cause EvictCause, instances int) {
+	rm := m.region(region)
+	switch cause {
+	case EvictCapacity:
+		rm.EvictionsCapacity++
+		rm.EvictedInstances += int64(instances)
+	case EvictSlotLRU:
+		rm.SlotOverwrites += int64(instances)
+	case EvictInvalidation:
+		rm.InvalidatedInstances += int64(instances)
+	}
+}
+
+// Invalidate implements Sink.
+func (m *Metrics) Invalidate(mem ir.MemID, fanout int) {
+	mm := m.mems[mem]
+	if mm == nil {
+		mm = &MemMetrics{}
+		m.mems[mem] = mm
+	}
+	mm.Invalidations++
+	mm.Fanout += int64(fanout)
+}
+
+// Region returns the counters of one region (nil when never observed).
+func (m *Metrics) Region(id ir.RegionID) *RegionMetrics { return m.regions[id] }
+
+// Mem returns the invalidation counters of one object (nil when never
+// invalidated).
+func (m *Metrics) Mem(id ir.MemID) *MemMetrics { return m.mems[id] }
+
+// Summary is the compact totals block embedded in run manifests.
+type Summary struct {
+	Regions        int   `json:"regions"`
+	Lookups        int64 `json:"lookups"`
+	Hits           int64 `json:"hits"`
+	MissCold       int64 `json:"miss_cold"`
+	MissConflict   int64 `json:"miss_conflict"`
+	MissInput      int64 `json:"miss_input"`
+	MissMemInvalid int64 `json:"miss_mem_invalid"`
+	Commits        int64 `json:"commits"`
+	CommitFails    int64 `json:"commit_fails,omitempty"`
+	Evictions      int64 `json:"evictions,omitempty"`
+	Invalidated    int64 `json:"invalidated,omitempty"`
+	Invalidations  int64 `json:"invalidations,omitempty"`
+}
+
+// Summary folds the per-region counters into totals.
+func (m *Metrics) Summary() Summary {
+	s := Summary{Regions: len(m.regions)}
+	for _, rm := range m.regions {
+		s.Lookups += rm.Lookups
+		s.Hits += rm.Hits
+		s.MissCold += rm.MissCold
+		s.MissConflict += rm.MissConflict
+		s.MissInput += rm.MissInput
+		s.MissMemInvalid += rm.MissMemInvalid
+		s.Commits += rm.Commits
+		s.CommitFails += rm.CommitFails
+		s.Evictions += rm.EvictionsCapacity
+		s.Invalidated += rm.InvalidatedInstances
+	}
+	for _, mm := range m.mems {
+		s.Invalidations += mm.Invalidations
+	}
+	return s
+}
+
+// RegionReport is one region's row in the JSON metrics report.
+type RegionReport struct {
+	Region ir.RegionID `json:"region"`
+	RegionMetrics
+}
+
+// MemReport is one object's row in the JSON metrics report.
+type MemReport struct {
+	Mem ir.MemID `json:"mem"`
+	MemMetrics
+}
+
+// Report is the serializable form of a Metrics collection (ccrsim
+// -metrics writes one).
+type Report struct {
+	Totals  Summary        `json:"totals"`
+	Regions []RegionReport `json:"regions"`
+	Mem     []MemReport    `json:"mem,omitempty"`
+}
+
+// Report snapshots the metrics, regions and objects in ID order.
+func (m *Metrics) Report() Report {
+	r := Report{Totals: m.Summary()}
+	for id, rm := range m.regions {
+		r.Regions = append(r.Regions, RegionReport{Region: id, RegionMetrics: *rm})
+	}
+	sort.Slice(r.Regions, func(i, j int) bool { return r.Regions[i].Region < r.Regions[j].Region })
+	for id, mm := range m.mems {
+		r.Mem = append(r.Mem, MemReport{Mem: id, MemMetrics: *mm})
+	}
+	sort.Slice(r.Mem, func(i, j int) bool { return r.Mem[i].Mem < r.Mem[j].Mem })
+	return r
+}
+
+// JSON renders the report as indented JSON.
+func (m *Metrics) JSON() ([]byte, error) {
+	return json.MarshalIndent(m.Report(), "", "  ")
+}

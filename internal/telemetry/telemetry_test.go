@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccr/internal/ir"
+)
+
+func TestMetricsAccumulation(t *testing.T) {
+	m := NewMetrics()
+	m.Lookup(3, MissCold)
+	m.Lookup(3, Hit)
+	m.Lookup(3, Hit)
+	m.Lookup(3, MissInput)
+	m.Lookup(7, MissConflict)
+	m.Lookup(7, MissMemInvalid)
+	m.Commit(3, true)
+	m.Commit(3, false)
+	m.Evict(3, EvictCapacity, 2)
+	m.Evict(3, EvictSlotLRU, 1)
+	m.Evict(7, EvictInvalidation, 3)
+	m.Invalidate(1, 3)
+	m.Invalidate(1, 0)
+
+	r3 := m.Region(3)
+	if r3 == nil {
+		t.Fatal("region 3 never materialized")
+	}
+	want3 := RegionMetrics{Lookups: 4, Hits: 2, MissCold: 1, MissInput: 1,
+		Commits: 1, CommitFails: 1,
+		EvictionsCapacity: 1, EvictedInstances: 2, SlotOverwrites: 1}
+	if *r3 != want3 {
+		t.Errorf("region 3 = %+v, want %+v", *r3, want3)
+	}
+	r7 := m.Region(7)
+	want7 := RegionMetrics{Lookups: 2, MissConflict: 1, MissMemInvalid: 1,
+		InvalidatedInstances: 3}
+	if r7 == nil || *r7 != want7 {
+		t.Errorf("region 7 = %+v, want %+v", r7, want7)
+	}
+	mm := m.Mem(1)
+	if mm == nil || *mm != (MemMetrics{Invalidations: 2, Fanout: 3}) {
+		t.Errorf("mem 1 = %+v", mm)
+	}
+	if m.Region(99) != nil || m.Mem(99) != nil {
+		t.Error("unobserved IDs materialized counters")
+	}
+
+	s := m.Summary()
+	want := Summary{Regions: 2, Lookups: 6, Hits: 2,
+		MissCold: 1, MissConflict: 1, MissInput: 1, MissMemInvalid: 1,
+		Commits: 1, CommitFails: 1, Evictions: 1, Invalidated: 3, Invalidations: 2}
+	if s != want {
+		t.Errorf("Summary = %+v, want %+v", s, want)
+	}
+}
+
+func TestReportSortedAndSerializable(t *testing.T) {
+	m := NewMetrics()
+	m.Lookup(9, Hit)
+	m.Lookup(2, MissCold)
+	m.Lookup(5, MissCold)
+	m.Invalidate(4, 1)
+	m.Invalidate(2, 0)
+
+	r := m.Report()
+	for i := 1; i < len(r.Regions); i++ {
+		if r.Regions[i-1].Region >= r.Regions[i].Region {
+			t.Fatalf("regions not strictly ascending: %v", r.Regions)
+		}
+	}
+	for i := 1; i < len(r.Mem); i++ {
+		if r.Mem[i-1].Mem >= r.Mem[i].Mem {
+			t.Fatalf("mem rows not strictly ascending: %v", r.Mem)
+		}
+	}
+
+	data, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Totals  Summary          `json:"totals"`
+		Regions []map[string]any `json:"regions"`
+		Mem     []map[string]any `json:"mem"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v\n%s", err, data)
+	}
+	if decoded.Totals != m.Summary() {
+		t.Errorf("totals round-trip: %+v != %+v", decoded.Totals, m.Summary())
+	}
+	if len(decoded.Regions) != 3 || len(decoded.Mem) != 2 {
+		t.Errorf("decoded %d regions, %d mem rows", len(decoded.Regions), len(decoded.Mem))
+	}
+}
+
+func TestTraceSequenceStamping(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Add(TraceEvent{Kind: EventRegionEnter, Region: 1})
+	tr.Add(TraceEvent{Kind: EventReuseHit, Region: 1, Reused: 5})
+	ev := tr.Events()
+	if ev[0].When != 0 || ev[1].When != 1 {
+		t.Errorf("sequence stamps = %d,%d, want 0,1", ev[0].When, ev[1].When)
+	}
+
+	// With a clock installed, When comes from the clock, ignoring the
+	// caller-supplied value.
+	cycles := int64(100)
+	tr.SetClock(func() int64 { return cycles })
+	tr.Add(TraceEvent{Kind: EventReuseHit, Region: 2, When: -7})
+	if got := tr.Events()[2].When; got != 100 {
+		t.Errorf("clock stamp = %d, want 100", got)
+	}
+}
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Add(TraceEvent{Kind: EventRegionEnter, Region: ir.RegionID(i)})
+	}
+	if tr.Len() != 4 || tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 4/10/6", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if want := ir.RegionID(6 + i); e.Region != want {
+			t.Errorf("event %d region %d, want %d (most recent window)", i, e.Region, want)
+		}
+		if i > 0 && ev[i].When <= ev[i-1].When {
+			t.Errorf("events out of chronological order: %v", ev)
+		}
+	}
+}
+
+func TestTraceDefaultCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		tr := NewTrace(capacity)
+		tr.Add(TraceEvent{})
+		if got := cap(tr.buf); got != DefaultTraceCap {
+			t.Errorf("NewTrace(%d) capacity %d, want DefaultTraceCap %d", capacity, got, DefaultTraceCap)
+		}
+	}
+}
+
+// TestWriteChromeFormat pins the container shape the trace viewers require:
+// a top-level traceEvents array whose entries all carry ph/pid/ts, with
+// process/thread metadata and the dropped-event accounting when the ring
+// overflowed.
+func TestWriteChromeFormat(t *testing.T) {
+	tr := NewTrace(2)
+	tr.Add(TraceEvent{Kind: EventRegionEnter, Region: 3, PC: 40})
+	tr.Add(TraceEvent{Kind: EventReuseHit, Region: 3, Reused: 12, PC: 40})
+	tr.Add(TraceEvent{Kind: EventInvalidate, Mem: 2, Fanout: 1, PC: 96})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    *int64         `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	var hits, instants, meta int
+	for _, ev := range out.TraceEvents {
+		if ev.Phase == "" {
+			t.Fatalf("event %q missing ph", ev.Name)
+		}
+		switch ev.Phase {
+		case "X":
+			hits++
+			if ev.Dur != 12 {
+				t.Errorf("hit span dur = %d, want 12 (eliminated instrs)", ev.Dur)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	// The capacity-2 ring dropped the enter event: one hit span, one
+	// invalidation instant, and metadata for both processes plus the two
+	// named tracks.
+	if hits != 1 || instants != 1 {
+		t.Errorf("got %d spans, %d instants (events: %s)", hits, instants, buf.String())
+	}
+	if meta < 3 {
+		t.Errorf("only %d metadata events; want process and thread names", meta)
+	}
+	if out.OtherData["dropped_events"] == nil {
+		t.Error("overflowed trace did not report dropped_events")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Add(TraceEvent{Kind: EventRegionEnter, Region: 3, PC: 40})
+	tr.Add(TraceEvent{Kind: EventReuseHit, Region: 3, Reused: 12, PC: 40})
+	tr.Add(TraceEvent{Kind: EventInvalidate, Mem: 2, Fanout: 1, PC: 96})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var kinds []string
+	for sc.Scan() {
+		var je map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			t.Fatalf("line %q does not parse: %v", sc.Text(), err)
+		}
+		kind, _ := je["kind"].(string)
+		kinds = append(kinds, kind)
+		if kind == "inval" {
+			if je["mem"] == nil || je["region"] != nil {
+				t.Errorf("inval line fields wrong: %q", sc.Text())
+			}
+		} else if je["region"] == nil || je["mem"] != nil {
+			t.Errorf("reuse line fields wrong: %q", sc.Text())
+		}
+	}
+	if got := strings.Join(kinds, ","); got != "enter,hit,inval" {
+		t.Errorf("kinds = %s, want enter,hit,inval", got)
+	}
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ccr/internal/ir"
+)
+
+// EventKind classifies one trace event.
+type EventKind uint8
+
+const (
+	// EventRegionEnter: a reuse instruction missed, so the region body
+	// executes (and typically memoizes).
+	EventRegionEnter EventKind = iota
+	// EventReuseHit: a reuse instruction hit; the region body was skipped.
+	EventReuseHit
+	// EventInvalidate: a computation-invalidate instruction executed.
+	EventInvalidate
+)
+
+// String names the kind (also the JSONL "kind" value).
+func (k EventKind) String() string {
+	switch k {
+	case EventRegionEnter:
+		return "enter"
+	case EventReuseHit:
+		return "hit"
+	case EventInvalidate:
+		return "inval"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one recorded reuse-relevant dynamic event.
+type TraceEvent struct {
+	// When is the cycle timestamp (or the event sequence number when the
+	// collector has no cycle clock, e.g. on functional runs).
+	When int64
+	Kind EventKind
+	// Region is set for enter/hit events, Mem for invalidations.
+	Region ir.RegionID
+	Mem    ir.MemID
+	// Reused is the eliminated dynamic instruction count of a hit.
+	Reused int
+	// Fanout is the instance count an invalidation killed.
+	Fanout int
+	// PC is the byte address of the triggering instruction.
+	PC int64
+}
+
+// DefaultTraceCap bounds the ring buffer when no capacity is given.
+const DefaultTraceCap = 1 << 16
+
+// Trace is a bounded ring buffer of reuse-relevant events. When full, the
+// oldest events are overwritten — a long run keeps its most recent window
+// and reports how much was dropped. Not synchronized; one Trace per
+// simulated machine.
+type Trace struct {
+	clock func() int64
+	buf   []TraceEvent
+	next  int   // ring write index
+	total int64 // events ever added
+}
+
+// NewTrace builds a collector holding up to capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// SetClock installs the timestamp source (e.g. the timing model's cycle
+// counter). With no clock, events are stamped with their sequence number.
+func (t *Trace) SetClock(clock func() int64) { t.clock = clock }
+
+// Add stamps and records one event.
+func (t *Trace) Add(ev TraceEvent) {
+	if t.clock != nil {
+		ev.When = t.clock()
+	} else {
+		ev.When = t.total
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next++
+		if t.next == len(t.buf) {
+			t.next = 0
+		}
+	}
+	t.total++
+}
+
+// Len reports the number of retained events; Total the number ever added;
+// Dropped how many the ring overwrote.
+func (t *Trace) Len() int       { return len(t.buf) }
+func (t *Trace) Total() int64   { return t.total }
+func (t *Trace) Dropped() int64 { return t.total - int64(len(t.buf)) }
+
+// Events returns the retained events in chronological order.
+func (t *Trace) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form Perfetto and
+// chrome://tracing both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Chrome trace process IDs: reuse activity on one track group,
+// invalidation traffic on another.
+const (
+	chromePIDReuse = 1
+	chromePIDInval = 2
+)
+
+// WriteChrome renders the retained events as Chrome trace-event JSON.
+// Cycles map to microseconds (one trace "us" per cycle); each region gets
+// its own thread track, hits draw as spans whose duration is the
+// eliminated instruction count, misses and invalidations as instants.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents: []chromeEvent{
+			{Name: "process_name", Phase: "M", PID: chromePIDReuse,
+				Args: map[string]any{"name": "reuse"}},
+			{Name: "process_name", Phase: "M", PID: chromePIDInval,
+				Args: map[string]any{"name": "invalidation"}},
+		},
+	}
+	namedRegion := map[int]bool{}
+	namedMem := map[int]bool{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventReuseHit, EventRegionEnter:
+			tid := int(ev.Region)
+			if !namedRegion[tid] {
+				namedRegion[tid] = true
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "thread_name", Phase: "M", PID: chromePIDReuse, TID: tid,
+					Args: map[string]any{"name": fmt.Sprintf("region %d", ev.Region)}})
+			}
+			if ev.Kind == EventReuseHit {
+				dur := int64(ev.Reused)
+				if dur < 1 {
+					dur = 1
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "reuse hit", Cat: "reuse", Phase: "X",
+					TS: ev.When, Dur: dur, PID: chromePIDReuse, TID: tid,
+					Args: map[string]any{"region": ev.Region, "reused_instrs": ev.Reused, "pc": ev.PC}})
+			} else {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "region enter", Cat: "reuse", Phase: "i",
+					TS: ev.When, PID: chromePIDReuse, TID: tid, Scope: "t",
+					Args: map[string]any{"region": ev.Region, "pc": ev.PC}})
+			}
+		case EventInvalidate:
+			tid := int(ev.Mem)
+			if !namedMem[tid] {
+				namedMem[tid] = true
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "thread_name", Phase: "M", PID: chromePIDInval, TID: tid,
+					Args: map[string]any{"name": fmt.Sprintf("mem %d", ev.Mem)}})
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "invalidate", Cat: "invalidation", Phase: "i",
+				TS: ev.When, PID: chromePIDInval, TID: tid, Scope: "t",
+				Args: map[string]any{"mem": ev.Mem, "fanout": ev.Fanout, "pc": ev.PC}})
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		out.OtherData = map[string]any{"dropped_events": d, "total_events": t.Total()}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// jsonlEvent is the compact JSONL form of one event.
+type jsonlEvent struct {
+	T      int64  `json:"t"`
+	Kind   string `json:"kind"`
+	Region *int32 `json:"region,omitempty"`
+	Mem    *int32 `json:"mem,omitempty"`
+	Reused int    `json:"reused,omitempty"`
+	Fanout int    `json:"fanout,omitempty"`
+	PC     int64  `json:"pc"`
+}
+
+// WriteJSONL streams the retained events, one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		je := jsonlEvent{T: ev.When, Kind: ev.Kind.String(), PC: ev.PC}
+		switch ev.Kind {
+		case EventInvalidate:
+			mem := int32(ev.Mem)
+			je.Mem = &mem
+			je.Fanout = ev.Fanout
+		default:
+			region := int32(ev.Region)
+			je.Region = &region
+			je.Reused = ev.Reused
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

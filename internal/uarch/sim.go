@@ -111,6 +111,10 @@ func (s *Simulator) Stats() Stats {
 	return st
 }
 
+// CycleCount returns the current completion-time estimate — the same
+// value Stats().Cycles reports — for use as a telemetry timestamp clock.
+func (s *Simulator) CycleCount() int64 { return s.Stats().Cycles }
+
 func (s *Simulator) frame() *simFrame { return &s.frames[len(s.frames)-1] }
 
 func (s *Simulator) ready(r ir.Reg) int64 {
