@@ -148,6 +148,56 @@ func BenchmarkSuiteParallel(b *testing.B) {
 // Component micro-benchmarks: the substrate costs behind the figures.
 // ---------------------------------------------------------------------
 
+// BenchmarkMachineRun measures the steady-state cost of the emulator hot
+// loop alone: one Machine is built up front and Reset+Run between
+// iterations, so per-iteration cost is pure instruction interpretation —
+// no construction, no tracer, no CRB. This is the microbenchmark the
+// BENCH_emu.json regression gate tracks (scripts/bench.sh); with no tracer
+// it must report 0 allocs/op.
+func BenchmarkMachineRun(b *testing.B) {
+	w := workloads.Load("m88ksim", workloads.Tiny)
+	m := emu.New(w.Prog)
+	if _, err := m.Run(w.Train...); err != nil {
+		b.Fatal(err)
+	}
+	dyn := m.Stats.DynInstrs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if _, err := m.Run(w.Train...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(dyn), "instrs/run")
+}
+
+// BenchmarkMachineRunCCR is BenchmarkMachineRun on the transformed program
+// with a warm default-geometry CRB attached: the steady-state cost of the
+// reuse-enabled hot loop (lookup fast path included, recording mostly
+// warmed out).
+func BenchmarkMachineRunCCR(b *testing.B) {
+	w := workloads.Load("m88ksim", workloads.Tiny)
+	opts := core.DefaultOptions()
+	cr, err := core.Compile(w.Prog, w.Train, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := emu.New(cr.Prog)
+	m.CRB = crb.New(opts.CRB, cr.Prog)
+	if _, err := m.Run(w.Train...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if _, err := m.Run(w.Train...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEmulator measures raw functional-emulation throughput
 // (instructions per op reported as one m88ksim training run per iteration).
 func BenchmarkEmulator(b *testing.B) {
@@ -206,12 +256,11 @@ func BenchmarkCRBLookup(b *testing.B) {
 			Outputs: []crb.RegVal{{Reg: 3, Val: int64(r) * 3}},
 		})
 	}
-	read := func(r ir.Reg) int64 { return regs[r] }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		regs[1] = int64(i % 64)
 		regs[2] = 7
-		c.Lookup(ir.RegionID(i%64), read)
+		c.Lookup(ir.RegionID(i%64), regs)
 	}
 }
 

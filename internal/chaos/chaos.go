@@ -139,8 +139,8 @@ func cloneInstance(ci *crb.Instance) crb.Instance {
 
 // Lookup delegates to the CRB, then perturbs the outcome for the
 // lookup-side fault classes.
-func (in *Injector) Lookup(region ir.RegionID, read func(ir.Reg) int64) (*crb.Instance, bool) {
-	ci, ok := in.crb.Lookup(region, read)
+func (in *Injector) Lookup(region ir.RegionID, regs []int64) (*crb.Instance, bool) {
+	ci, ok := in.crb.Lookup(region, regs)
 	switch in.cfg.Fault {
 	case EvictDuringRead:
 		if ok && in.fire() {
@@ -165,7 +165,7 @@ func (in *Injector) Lookup(region ir.RegionID, read func(ir.Reg) int64) (*crb.In
 		if !ok {
 			for i := range in.shadow[region] {
 				sh := &in.shadow[region][i]
-				if !sh.UsesMem || !inputsMatch(sh, read) {
+				if !sh.UsesMem || !inputsMatch(sh, regs) {
 					continue
 				}
 				if in.fire() {
@@ -181,9 +181,9 @@ func (in *Injector) Lookup(region ir.RegionID, read func(ir.Reg) int64) (*crb.In
 	return ci, ok
 }
 
-func inputsMatch(ci *crb.Instance, read func(ir.Reg) int64) bool {
+func inputsMatch(ci *crb.Instance, regs []int64) bool {
 	for _, rv := range ci.Inputs {
-		if read(rv.Reg) != rv.Val {
+		if regs[rv.Reg] != rv.Val {
 			return false
 		}
 	}

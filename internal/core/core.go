@@ -213,7 +213,24 @@ func RunFunctional(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int
 // then oracle.Compare-ing the two, checks the paper's §3.1 transparency
 // contract for that benchmark, input and CRB geometry.
 func DigestRun(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64) (oracle.Digest, error) {
-	m := emu.New(prog)
+	return digestRun(prog, crbCfg, args, limit, emu.New)
+}
+
+// DigestRunEngine is DigestRun with the execution engine pinned: interp
+// true forces the legacy block-structured interpreter, false the
+// predecoded engine, regardless of the CCR_ENGINE environment default.
+// Comparing the two digests for one (program, config, input) point is the
+// engine-equivalence gate (TestEngineDifferential, ci's sweep).
+func DigestRunEngine(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64, interp bool) (oracle.Digest, error) {
+	return digestRun(prog, crbCfg, args, limit, func(p *ir.Program) *emu.Machine {
+		m := emu.New(p)
+		m.Interp = interp
+		return m
+	})
+}
+
+func digestRun(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64, newMachine func(*ir.Program) *emu.Machine) (oracle.Digest, error) {
+	m := newMachine(prog)
 	m.Limit = limit
 	if crbCfg != nil {
 		m.CRB = crb.New(*crbCfg, prog)

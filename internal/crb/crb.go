@@ -37,21 +37,43 @@ type Instance struct {
 	// execution — the number of instructions a reuse of this instance
 	// eliminates (used for reporting, not by the hardware).
 	ReplacedInstrs int
+
+	// sig is a hash of the instance's input values taken in the region's
+	// static input-list order; it is valid only when fullSig is set,
+	// meaning the input bank covers the complete static list so a
+	// signature mismatch proves the full comparison would fail. Both are
+	// computed by Commit — external constructors leave them unset and the
+	// instance simply takes the slow comparison path.
+	sig     uint64
+	fullSig bool
 }
 
 // Reusable reports whether the instance can satisfy a lookup whose current
-// register values are supplied by read.
-func (ci *Instance) Reusable(read func(ir.Reg) int64) bool {
+// register values are in regs (indexed by ir.Reg; it must cover every
+// register the instance's input bank names).
+func (ci *Instance) Reusable(regs []int64) bool {
 	if !ci.Valid || (ci.UsesMem && !ci.MemOK) {
 		return false
 	}
+	return ci.inputsMatch(regs)
+}
+
+// inputsMatch reports whether every input-bank register holds its recorded
+// value in regs.
+func (ci *Instance) inputsMatch(regs []int64) bool {
 	for _, in := range ci.Inputs {
-		if read(in.Reg) != in.Val {
+		if regs[in.Reg] != in.Val {
 			return false
 		}
 	}
 	return true
 }
+
+// FNV-1a constants for the input-value signature.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
 
 // entry is one computation entry: a tagged slot holding the instances
 // recorded for a single region.
@@ -141,6 +163,12 @@ type CRB struct {
 	// of the compiler's region registration table.
 	memRegions map[ir.MemID][]ir.RegionID
 
+	// regionInputs[r] is region r's static input-register list, the basis
+	// of the signature fast path: Lookup hashes the current values of
+	// these registers once and skips any instance whose full-bank
+	// signature differs. Empty (no program table) disables the filter.
+	regionInputs [][]ir.Reg
+
 	// sink, when non-nil, receives the cause-attributed telemetry stream.
 	// Every instrumented path is guarded by a nil check so the zero-sink
 	// configuration stays allocation-free and byte-identical (DESIGN.md §9).
@@ -164,16 +192,23 @@ func New(cfg Config, prog *ir.Program) *CRB {
 		c.sets = 1
 	}
 	capCount := int((1-cfg.NoMemEntriesFrac)*float64(cfg.Entries) + 0.5)
+	// One flat backing array each for the instance and LRU stores keeps
+	// the whole buffer contiguous (cache-friendly scans, one allocation).
+	cisAll := make([]Instance, cfg.Entries*cfg.Instances)
+	useAll := make([]uint64, cfg.Entries*cfg.Instances)
 	for i := range c.entries {
 		e := &c.entries[i]
-		e.cis = make([]Instance, cfg.Instances)
-		e.lastUse = make([]uint64, cfg.Instances)
+		lo, hi := i*cfg.Instances, (i+1)*cfg.Instances
+		e.cis = cisAll[lo:hi:hi]
+		e.lastUse = useAll[lo:hi:hi]
 		// Spread memory-capable entries evenly (Bresenham-style) so a
 		// fraction of every set has the capability.
 		e.memCap = (i+1)*capCount/cfg.Entries != i*capCount/cfg.Entries
 	}
 	if prog != nil {
+		c.regionInputs = make([][]ir.Reg, len(prog.Regions))
 		for _, r := range prog.Regions {
+			c.regionInputs[r.ID] = r.Inputs
 			for _, m := range r.MemObjects {
 				c.memRegions[m] = append(c.memRegions[m], r.ID)
 			}
@@ -221,11 +256,61 @@ func (c *CRB) findEntry(region ir.RegionID) *entry {
 	return nil
 }
 
+// sigOfRegs hashes the current values of the given registers in order.
+// ok is false when regs does not cover every named register (arbitrary
+// register files in tests), in which case the filter is skipped.
+func sigOfRegs(ins []ir.Reg, regs []int64) (sig uint64, ok bool) {
+	h := fnvOffset
+	for _, r := range ins {
+		if int(r) >= len(regs) {
+			return 0, false
+		}
+		h = (h ^ uint64(regs[r])) * fnvPrime
+	}
+	return h, true
+}
+
+// sigOfInstance hashes an instance's recorded input values in the
+// region's static input-list order. ok is false when the instance's input
+// bank does not cover the full static list (partial recordings, unknown
+// regions), in which case the instance cannot carry a signature and takes
+// the slow comparison path on every lookup.
+func (c *CRB) sigOfInstance(region ir.RegionID, inst *Instance) (sig uint64, ok bool) {
+	if region < 0 || int(region) >= len(c.regionInputs) {
+		return 0, false
+	}
+	ins := c.regionInputs[region]
+	if len(ins) == 0 || len(inst.Inputs) != len(ins) {
+		return 0, false
+	}
+	h := fnvOffset
+	for _, r := range ins {
+		found := false
+		for _, in := range inst.Inputs {
+			if in.Reg == r {
+				h = (h ^ uint64(in.Val)) * fnvPrime
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, false
+		}
+	}
+	return h, true
+}
+
 // Lookup performs the reuse-instruction access: it searches the region's
-// computation entry for an instance whose inputs match the current register
-// values (supplied by read). On a hit it returns the matching instance and
-// refreshes its LRU state.
-func (c *CRB) Lookup(region ir.RegionID, read func(ir.Reg) int64) (*Instance, bool) {
+// computation entry for an instance whose inputs match the current
+// register values in regs (indexed by ir.Reg). On a hit it returns the
+// matching instance and refreshes its LRU state.
+//
+// The scan is a single pass: each instance is first screened by the
+// input-value signature (one uint64 compare; a mismatch proves the bank
+// walk would fail), and instances blocked only by a cleared memory-valid
+// bit are detected in the same pass so the MissMemInvalid attribution
+// needs no second walk.
+func (c *CRB) Lookup(region ir.RegionID, regs []int64) (*Instance, bool) {
 	c.clock++
 	c.stats.Lookups++
 	e := c.findEntry(region)
@@ -240,49 +325,51 @@ func (c *CRB) Lookup(region ir.RegionID, read func(ir.Reg) int64) (*Instance, bo
 		}
 		return nil, false
 	}
+	var sig uint64
+	sigOK := false
+	if int(region) < len(c.regionInputs) {
+		if ins := c.regionInputs[region]; len(ins) > 0 {
+			sig, sigOK = sigOfRegs(ins, regs)
+		}
+	}
+	memBlocked := false
 	for i := range e.cis {
-		if e.cis[i].Reusable(read) {
+		ci := &e.cis[i]
+		if !ci.Valid {
+			continue
+		}
+		if sigOK && ci.fullSig && ci.sig != sig {
+			// Certain input mismatch: neither a hit nor a mem-blocked
+			// would-be match.
+			continue
+		}
+		if ci.UsesMem && !ci.MemOK {
+			// Unreusable regardless of inputs; under a sink, check
+			// whether the inputs would have matched so the miss can be
+			// attributed to invalidation rather than input divergence.
+			if c.sink != nil && !memBlocked && ci.inputsMatch(regs) {
+				memBlocked = true
+			}
+			continue
+		}
+		if ci.inputsMatch(regs) {
 			e.lastUse[i] = c.clock
 			c.stats.Hits++
 			if c.sink != nil {
 				c.sink.Lookup(region, telemetry.Hit)
 			}
-			return &e.cis[i], true
+			return ci, true
 		}
 	}
 	c.stats.InputMisses++
 	if c.sink != nil {
 		cause := telemetry.MissInput
-		if memBlocked(e, read) {
+		if memBlocked {
 			cause = telemetry.MissMemInvalid
 		}
 		c.sink.Lookup(region, cause)
 	}
 	return nil, false
-}
-
-// memBlocked reports whether some instance of e would have matched the
-// current inputs but is unreusable only because an invalidation cleared
-// its memory-valid bit — the attribution scan behind MissMemInvalid. Only
-// run when a telemetry sink is attached.
-func memBlocked(e *entry, read func(ir.Reg) int64) bool {
-	for i := range e.cis {
-		ci := &e.cis[i]
-		if !ci.Valid || !ci.UsesMem || ci.MemOK {
-			continue
-		}
-		match := true
-		for _, in := range ci.Inputs {
-			if read(in.Reg) != in.Val {
-				match = false
-				break
-			}
-		}
-		if match {
-			return true
-		}
-	}
-	return false
 }
 
 // Commit installs a freshly recorded instance for region, allocating or
@@ -347,6 +434,7 @@ func (c *CRB) Commit(region ir.RegionID, inst Instance) bool {
 	}
 	inst.Valid = true
 	inst.MemOK = true
+	inst.sig, inst.fullSig = c.sigOfInstance(region, &inst)
 	e.cis[slot] = inst
 	e.lastUse[slot] = c.clock
 	c.stats.Records++

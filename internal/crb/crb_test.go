@@ -7,8 +7,14 @@ import (
 	"ccr/internal/ir"
 )
 
-func regRead(vals map[ir.Reg]int64) func(ir.Reg) int64 {
-	return func(r ir.Reg) int64 { return vals[r] }
+// regRead builds a register file holding the given values (Lookup takes
+// the frame's register slice, indexed by ir.Reg).
+func regRead(vals map[ir.Reg]int64) []int64 {
+	regs := make([]int64, 32)
+	for r, v := range vals {
+		regs[r] = v
+	}
+	return regs
 }
 
 func inst(usesMem bool, inputs, outputs []RegVal) Instance {

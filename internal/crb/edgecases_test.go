@@ -17,8 +17,14 @@ func memProg() *ir.Program {
 	}}
 }
 
-func readFrom(vals map[ir.Reg]int64) func(ir.Reg) int64 {
-	return func(r ir.Reg) int64 { return vals[r] }
+// readFrom builds a register file holding the given values (Lookup takes
+// the frame's register slice, indexed by ir.Reg).
+func readFrom(vals map[ir.Reg]int64) []int64 {
+	regs := make([]int64, 32)
+	for r, v := range vals {
+		regs[r] = v
+	}
+	return regs
 }
 
 func inst(usesMem bool, in, out int64) crb.Instance {

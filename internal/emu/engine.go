@@ -1,0 +1,863 @@
+package emu
+
+// This file is the predecoded execution engine: the default Machine.Run
+// path. It executes the flat ir.DecodedProgram form — one dense PInstr
+// array per function, branch targets as flat PCs, object bounds folded in
+// — so the hot path is a switch over a contiguous stream with no
+// block/index bookkeeping, no InstrAddr arithmetic (byte addresses are
+// Base + 4*pc), and no heap traffic: frames and register files come from
+// the machine's pools and the shared Event value in Machine.ev is reused
+// for every emission. With no tracer attached and no CRB the loop
+// performs zero allocations per run (pinned by TestRunAllocs).
+//
+// The engine is two-tier:
+//
+//   - The *batch* tier runs whenever execution is unobservable: no tracer,
+//     no active memoization, and the function has an XCode (operand-shape
+//     specialized batch form, see ir.batchDecode). Its loop carries no
+//     per-instruction statistics at all: the instruction budget is charged
+//     per straight-line *run* on entry (rem -= RunEnd[pc]-pc+1) and entry
+//     counts per PC are accumulated in Machine.entryCnt, from which
+//     flushOpCounts reconstructs the exact Stats.ByOp/Branches histogram
+//     at every exit. Register files are indexed through a *[RegFileCap]
+//     array view with uint8 register numbers, so the ALU cases compile to
+//     bounds-check-free loads and stores.
+//   - The *careful* tier is the original instruction-at-a-time loop with
+//     full per-instruction accounting; it is authoritative for tracing,
+//     memoization recording, the limit endgame (where a whole run no
+//     longer fits in the budget), and functions whose shape the batch
+//     decoder rejects. It executes one straight-line run at a time and
+//     returns to the tier dispatch at every control transfer, so batch
+//     execution resumes as soon as the observable condition (an armed
+//     memo, typically) has passed.
+//
+// Both tiers must stay bit-identical to the reference interpreter in
+// machine.go (runInterp) under the internal/oracle digest, trace stream
+// included. The subtle equivalences they rely on:
+//
+//   - blocks are laid out contiguously in block order, so the flat
+//     successor pc+1 is exactly the interpreter's iterative fall-through
+//     (empty blocks contribute no code on either form), and the byte
+//     address of flat PC p is Base + 4*p at every position, including
+//     one-past-the-end-of-a-block fall-through slots;
+//   - the sentinel slot (ir.OpSentinel) after the last real instruction
+//     absorbs both fall-off-the-end and unresolvable branch targets; it is
+//     detected *before* the limit check, matching the interpreter's
+//     fall-through normalization order, and is never counted as an
+//     executed instruction;
+//   - per-run budget charging is exact because every execution entering at
+//     pc executes precisely the instructions [pc, RunEnd[pc]] before
+//     transferring control; the fault paths that abandon a pre-charged run
+//     midway (Ld/St bounds faults, the sentinel) refund the tail and log a
+//     byCorr range so the histogram stays exact;
+//   - memoStep must see the *pre-normalized* successor position — the
+//     (block, index+1) slot or the raw branch target — because the
+//     interpreter normalizes at most one block forward; the careful tier
+//     therefore derives that pair from the PInstr's CFG coordinates
+//     instead of the flat successor;
+//   - the call event carries the callee's register file and the return
+//     event the returning frame's, exactly as the interpreter emits them;
+//   - the dynamic instruction count lives in a countdown register (rem)
+//     and is folded back into Stats.DynInstrs at every point that can
+//     observe it: reuse execution, returns, trace emission, and run exit.
+//     In batch mode the charge is "through the end of the current run",
+//     which at every sync point (Reuse, Ret — both run enders) equals the
+//     interpreter's count through the current instruction.
+
+import (
+	"fmt"
+
+	"ccr/internal/ir"
+)
+
+// fframe is one call-stack frame of the predecoded engine.
+type fframe struct {
+	df      *ir.DecodedFunc
+	regs    []int64
+	pc      int // resume PC while a callee is active
+	retDest ir.Reg
+}
+
+func (m *Machine) pushFFrame(df *ir.DecodedFunc, retDest ir.Reg) *fframe {
+	regs := m.newRegs(df.Fn.NumRegs + 1)
+	m.fframes = append(m.fframes, fframe{df: df, regs: regs, retDest: retDest})
+	return &m.fframes[len(m.fframes)-1]
+}
+
+func (m *Machine) popFFrame() {
+	fr := &m.fframes[len(m.fframes)-1]
+	m.regPool = append(m.regPool, fr.regs)
+	fr.regs = nil
+	m.fframes = m.fframes[:len(m.fframes)-1]
+}
+
+// emitFlat builds the trace event for the instruction at flat PC pc of df.
+// regs is the register file the event exposes (the callee's for Call, the
+// executing frame's otherwise).
+func (m *Machine) emitFlat(trace Tracer, df *ir.DecodedFunc, pc int, in *ir.PInstr, mt *ir.PMeta,
+	v1, v2, addr, result int64, taken bool, tpc int64, regs []int64) {
+	ev := &m.ev
+	*ev = Event{
+		Func: df.Fn, Block: mt.Block, Index: int(mt.Index), Instr: mt.Src,
+		PC:   df.Addr(int32(pc)),
+		Regs: regs,
+		Val1: v1, Val2: v2, Addr: addr, Result: result,
+		Taken: taken, TargetPC: tpc,
+	}
+	if in.Op == ir.Inval {
+		ev.InvalCount = m.lastInval
+	}
+	trace(ev)
+}
+
+// batchFault finalizes a fault raised at flat PC pc of a pre-charged batch
+// run: the tail (pc, RunEnd[pc]] was charged but never executed, so it is
+// refunded from rem and subtracted from the histogram, while pc itself
+// stays counted (the interpreter counts the faulting instruction).
+func (m *Machine) batchFault(df *ir.DecodedFunc, pc int, rem *int64, limit int64, msg string) (int64, error) {
+	re := df.RunEnd[pc]
+	*rem += int64(re - int32(pc))
+	m.Stats.DynInstrs = limit - *rem
+	if int32(pc)+1 <= re {
+		m.byCorr = append(m.byCorr, opCorr{df.Fn.ID, int32(pc) + 1, re})
+	}
+	m.flushOpCounts()
+	mt := &df.Meta[pc]
+	return 0, &Fault{df.Fn.Name, mt.Block, int(mt.Index), msg}
+}
+
+// runFast executes main over the predecoded program form.
+func (m *Machine) runFast(args []int64) (int64, error) {
+	dec := m.dec
+	fr := m.pushFFrame(dec.Funcs[m.Prog.Main], ir.NoReg)
+	for i, a := range args {
+		fr.regs[i+1] = a
+	}
+	limit := m.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	trace := m.Trace
+	mem := m.Mem
+
+	// Hot state hoisted out of the frame, reloaded after call/return. The
+	// instruction budget counts down in rem; Stats.DynInstrs is restored
+	// as limit-rem wherever it can be observed.
+	df := fr.df
+	pc := 0
+	rem := limit - m.Stats.DynInstrs
+	byOp := &m.Stats.ByOp
+
+outer:
+	for {
+		// ---- batch tier ------------------------------------------------
+		// Eligible only when execution is unobservable (no tracer, no armed
+		// memo) and the function has a batch form. The run containing pc is
+		// charged up front; if it doesn't fit in the budget the careful
+		// tier below takes over and finds the exact ErrLimit point.
+		if trace == nil && !m.memo.active && df.XCode != nil {
+			xcode := df.XCode
+			runEnd := df.RunEnd
+			cnt := m.entryCnt[df.Fn.ID]
+			rp := (*[ir.RegFileCap]int64)(fr.regs[:ir.RegFileCap])
+			if k := int64(runEnd[pc]-int32(pc)) + 1; rem >= k {
+				rem -= k
+				cnt[pc]++
+				for {
+					in := &xcode[pc]
+					var npc int
+					switch in.XOp {
+					case ir.XNop:
+						pc++
+						continue
+					case ir.XMovR:
+						rp[in.Dest] = rp[in.Src1]
+						pc++
+						continue
+					case ir.XMovI:
+						rp[in.Dest] = in.Imm
+						pc++
+						continue
+					case ir.XLeaR:
+						rp[in.Dest] = in.Imm + rp[in.Src1]
+						pc++
+						continue
+					case ir.XLeaI:
+						rp[in.Dest] = in.Imm
+						pc++
+						continue
+					case ir.XAddRR:
+						rp[in.Dest] = rp[in.Src1] + rp[in.Src2]
+						pc++
+						continue
+					case ir.XAddRI:
+						rp[in.Dest] = rp[in.Src1] + in.Imm
+						pc++
+						continue
+					case ir.XSubRR:
+						rp[in.Dest] = rp[in.Src1] - rp[in.Src2]
+						pc++
+						continue
+					case ir.XSubRI:
+						rp[in.Dest] = rp[in.Src1] - in.Imm
+						pc++
+						continue
+					case ir.XMulRR:
+						rp[in.Dest] = rp[in.Src1] * rp[in.Src2]
+						pc++
+						continue
+					case ir.XMulRI:
+						rp[in.Dest] = rp[in.Src1] * in.Imm
+						pc++
+						continue
+					case ir.XDivRR:
+						var r int64
+						if d := rp[in.Src2]; d != 0 {
+							r = rp[in.Src1] / d
+						}
+						rp[in.Dest] = r
+						pc++
+						continue
+					case ir.XDivRI:
+						var r int64
+						if in.Imm != 0 {
+							r = rp[in.Src1] / in.Imm
+						}
+						rp[in.Dest] = r
+						pc++
+						continue
+					case ir.XRemRR:
+						var r int64
+						if d := rp[in.Src2]; d != 0 {
+							r = rp[in.Src1] % d
+						}
+						rp[in.Dest] = r
+						pc++
+						continue
+					case ir.XRemRI:
+						var r int64
+						if in.Imm != 0 {
+							r = rp[in.Src1] % in.Imm
+						}
+						rp[in.Dest] = r
+						pc++
+						continue
+					case ir.XAndRR:
+						rp[in.Dest] = rp[in.Src1] & rp[in.Src2]
+						pc++
+						continue
+					case ir.XAndRI:
+						rp[in.Dest] = rp[in.Src1] & in.Imm
+						pc++
+						continue
+					case ir.XOrRR:
+						rp[in.Dest] = rp[in.Src1] | rp[in.Src2]
+						pc++
+						continue
+					case ir.XOrRI:
+						rp[in.Dest] = rp[in.Src1] | in.Imm
+						pc++
+						continue
+					case ir.XXorRR:
+						rp[in.Dest] = rp[in.Src1] ^ rp[in.Src2]
+						pc++
+						continue
+					case ir.XXorRI:
+						rp[in.Dest] = rp[in.Src1] ^ in.Imm
+						pc++
+						continue
+					case ir.XShlRR:
+						rp[in.Dest] = rp[in.Src1] << (uint64(rp[in.Src2]) & 63)
+						pc++
+						continue
+					case ir.XShlRI:
+						rp[in.Dest] = rp[in.Src1] << (uint64(in.Imm) & 63)
+						pc++
+						continue
+					case ir.XShrRR:
+						rp[in.Dest] = int64(uint64(rp[in.Src1]) >> (uint64(rp[in.Src2]) & 63))
+						pc++
+						continue
+					case ir.XShrRI:
+						rp[in.Dest] = int64(uint64(rp[in.Src1]) >> (uint64(in.Imm) & 63))
+						pc++
+						continue
+					case ir.XSraRR:
+						rp[in.Dest] = rp[in.Src1] >> (uint64(rp[in.Src2]) & 63)
+						pc++
+						continue
+					case ir.XSraRI:
+						rp[in.Dest] = rp[in.Src1] >> (uint64(in.Imm) & 63)
+						pc++
+						continue
+					case ir.XSltRR:
+						rp[in.Dest] = b2i(rp[in.Src1] < rp[in.Src2])
+						pc++
+						continue
+					case ir.XSltRI:
+						rp[in.Dest] = b2i(rp[in.Src1] < in.Imm)
+						pc++
+						continue
+					case ir.XSleRR:
+						rp[in.Dest] = b2i(rp[in.Src1] <= rp[in.Src2])
+						pc++
+						continue
+					case ir.XSleRI:
+						rp[in.Dest] = b2i(rp[in.Src1] <= in.Imm)
+						pc++
+						continue
+					case ir.XSeqRR:
+						rp[in.Dest] = b2i(rp[in.Src1] == rp[in.Src2])
+						pc++
+						continue
+					case ir.XSeqRI:
+						rp[in.Dest] = b2i(rp[in.Src1] == in.Imm)
+						pc++
+						continue
+					case ir.XSneRR:
+						rp[in.Dest] = b2i(rp[in.Src1] != rp[in.Src2])
+						pc++
+						continue
+					case ir.XSneRI:
+						rp[in.Dest] = b2i(rp[in.Src1] != in.Imm)
+						pc++
+						continue
+					case ir.XLd:
+						a := rp[in.Src1] + in.Imm
+						if uint64(a) >= uint64(len(mem)) {
+							return m.batchFault(df, pc, &rem, limit,
+								fmt.Sprintf("load address %d out of range", a))
+						}
+						if in.ObjHi >= 0 && (a < in.ObjLo || a >= in.ObjHi) {
+							o := m.Prog.Objects[df.Code[pc].Aux]
+							return m.batchFault(df, pc, &rem, limit,
+								fmt.Sprintf("load address %d outside hinted object %s [%d,%d)", a, o.Name, o.Base, o.Base+o.Size))
+						}
+						rp[in.Dest] = mem[a]
+						pc++
+						continue
+					case ir.XSt:
+						a := rp[in.Src1] + in.Imm
+						if uint64(a) >= uint64(len(mem)) {
+							return m.batchFault(df, pc, &rem, limit,
+								fmt.Sprintf("store address %d out of range", a))
+						}
+						if in.ObjHi >= 0 && (a < in.ObjLo || a >= in.ObjHi) {
+							o := m.Prog.Objects[df.Code[pc].Aux]
+							return m.batchFault(df, pc, &rem, limit,
+								fmt.Sprintf("store address %d outside hinted object %s [%d,%d)", a, o.Name, o.Base, o.Base+o.Size))
+						}
+						mem[a] = rp[in.Src2]
+						if len(m.funcMemos) > 0 {
+							m.dropFuncMemos()
+						}
+						pc++
+						continue
+					case ir.XJmp:
+						npc = int(in.Target)
+					case ir.XBeqRR:
+						if rp[in.Src1] == rp[in.Src2] {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBeqRI:
+						if rp[in.Src1] == in.Imm {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBneRR:
+						if rp[in.Src1] != rp[in.Src2] {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBneRI:
+						if rp[in.Src1] != in.Imm {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBltRR:
+						if rp[in.Src1] < rp[in.Src2] {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBltRI:
+						if rp[in.Src1] < in.Imm {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBgeRR:
+						if rp[in.Src1] >= rp[in.Src2] {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBgeRI:
+						if rp[in.Src1] >= in.Imm {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBleRR:
+						if rp[in.Src1] <= rp[in.Src2] {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBleRI:
+						if rp[in.Src1] <= in.Imm {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBgtRR:
+						if rp[in.Src1] > rp[in.Src2] {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XBgtRI:
+						if rp[in.Src1] > in.Imm {
+							m.Stats.TakenBranches++
+							npc = int(in.Target)
+						} else {
+							npc = pc + 1
+						}
+					case ir.XCall:
+						cdf := dec.Funcs[in.ObjLo]
+						fr.pc = pc + 1 // return point; set before push (append may move frames)
+						nf := m.pushFFrame(cdf, ir.Reg(in.Dest))
+						caller := &m.fframes[len(m.fframes)-2]
+						for i, a := range df.Meta[pc].Src.Args {
+							nf.regs[i+1] = caller.regs[a]
+						}
+						fr = nf
+						df = cdf
+						pc = 0
+						continue outer
+					case ir.XRetR, ir.XRetI:
+						m.Stats.DynInstrs = limit - rem
+						retVal := in.Imm
+						if in.XOp == ir.XRetR {
+							retVal = rp[in.Src1]
+						}
+						dest := fr.retDest
+						m.popFFrame()
+						if len(m.funcMemos) > 0 {
+							m.commitFuncMemos(retVal, len(m.fframes))
+						}
+						if len(m.fframes) == 0 {
+							m.flushOpCounts()
+							return retVal, nil
+						}
+						fr = &m.fframes[len(m.fframes)-1]
+						if dest != ir.NoReg {
+							fr.regs[dest] = retVal
+						}
+						df = fr.df
+						pc = fr.pc
+						continue outer
+					case ir.XReuse:
+						m.Stats.DynInstrs = limit - rem
+						hit, _, _, _ := m.execReuse(ir.RegionID(in.ObjLo), fr.regs, df.Fn.NumRegs, len(m.fframes))
+						if hit {
+							npc = int(in.Target)
+						} else if m.memo.active {
+							// The miss armed recording; the careful tier
+							// owns the region body.
+							pc++
+							continue outer
+						} else {
+							npc = pc + 1
+						}
+					case ir.XInval:
+						m.Stats.Invalidations++
+						m.lastInval = 0
+						if m.CRB != nil {
+							m.lastInval = m.CRB.Invalidate(ir.MemID(in.ObjLo))
+						}
+						if len(m.funcMemos) > 0 {
+							m.dropFuncMemos()
+						}
+						pc++
+						continue
+					case ir.XEnd:
+						// The sentinel is not an executed instruction:
+						// refund its pre-charge before faulting.
+						rem++
+						m.Stats.DynInstrs = limit - rem
+						m.byCorr = append(m.byCorr, opCorr{df.Fn.ID, int32(pc), int32(pc)})
+						m.flushOpCounts()
+						return 0, &Fault{df.Fn.Name, ir.BlockID(len(df.Fn.Blocks)), 0, "fell off end of function"}
+					default:
+						// XBad never survives batchDecode; defensive only.
+						return m.batchFault(df, pc, &rem, limit,
+							fmt.Sprintf("invalid opcode %d", df.Code[pc].Op))
+					}
+					// Control transferred: charge the next run, or hand the
+					// endgame to the careful tier when it no longer fits.
+					k := int64(runEnd[npc]-int32(npc)) + 1
+					if rem < k {
+						pc = npc
+						continue outer
+					}
+					rem -= k
+					cnt[npc]++
+					pc = npc
+				}
+			}
+		}
+
+		// ---- careful tier ----------------------------------------------
+		// One straight-line run at a time, with full per-instruction
+		// accounting; control transfers return to the tier dispatch above.
+		code := df.Code
+		meta := df.Meta
+		regs := fr.regs
+		for {
+			// The sentinel slot is the last element of Code; reaching it
+			// (by fall-through or an unresolvable branch target) is the
+			// fell-off-the-end fault, detected before the limit check to
+			// match the interpreter's normalization order.
+			if uint(pc) >= uint(len(code)-1) {
+				m.Stats.DynInstrs = limit - rem
+				m.flushOpCounts()
+				return 0, &Fault{df.Fn.Name, ir.BlockID(len(df.Fn.Blocks)), 0, "fell off end of function"}
+			}
+			in := &code[pc]
+			if rem <= 0 {
+				m.Stats.DynInstrs = limit - rem
+				m.flushOpCounts()
+				return 0, ErrLimit
+			}
+			rem--
+			byOp[in.Op]++
+
+			var result, addr int64
+			taken := false
+			ctrl := false // ends the current straight-line run
+			nextPC := pc + 1
+
+			// Unconditional operand loads (register 0 always exists), then a
+			// branchless select: NoReg means 0 for Src1 and the immediate for
+			// Src2, exactly as the interpreter resolves operands.
+			v1 := regs[in.Src1]
+			if in.Src1 == ir.NoReg {
+				v1 = 0
+			}
+			v2 := regs[in.Src2]
+			if in.Src2 == ir.NoReg {
+				v2 = in.Imm
+			}
+
+			memoActive := m.memo.active
+			if memoActive {
+				// Record first-use inputs before any definition below.
+				ok := true
+				switch in.Op {
+				case ir.Call:
+					for _, a := range meta[pc].Src.Args {
+						ok = ok && m.memo.noteUse(a, regs[a])
+					}
+				default:
+					if in.Src1 != ir.NoReg {
+						ok = m.memo.noteUse(in.Src1, v1)
+					}
+					if ok && in.Src2 != ir.NoReg {
+						ok = m.memo.noteUse(in.Src2, v2)
+					}
+				}
+				if !ok {
+					m.abortMemo()
+					memoActive = false
+				}
+			}
+
+			switch in.Op {
+			case ir.Nop:
+			case ir.Mov:
+				result = v1
+				regs[in.Dest] = result
+			case ir.MovI:
+				result = in.Imm
+				regs[in.Dest] = result
+			case ir.Lea:
+				result = in.ObjLo + in.Imm
+				if in.Src1 != ir.NoReg {
+					result += v1
+				}
+				regs[in.Dest] = result
+			case ir.Add:
+				result = v1 + v2
+				regs[in.Dest] = result
+			case ir.Sub:
+				result = v1 - v2
+				regs[in.Dest] = result
+			case ir.Mul:
+				result = v1 * v2
+				regs[in.Dest] = result
+			case ir.Div:
+				if v2 != 0 {
+					result = v1 / v2
+				}
+				regs[in.Dest] = result
+			case ir.Rem:
+				if v2 != 0 {
+					result = v1 % v2
+				}
+				regs[in.Dest] = result
+			case ir.And:
+				result = v1 & v2
+				regs[in.Dest] = result
+			case ir.Or:
+				result = v1 | v2
+				regs[in.Dest] = result
+			case ir.Xor:
+				result = v1 ^ v2
+				regs[in.Dest] = result
+			case ir.Shl:
+				result = v1 << (uint64(v2) & 63)
+				regs[in.Dest] = result
+			case ir.Shr:
+				result = int64(uint64(v1) >> (uint64(v2) & 63))
+				regs[in.Dest] = result
+			case ir.Sra:
+				result = v1 >> (uint64(v2) & 63)
+				regs[in.Dest] = result
+			case ir.Slt:
+				result = b2i(v1 < v2)
+				regs[in.Dest] = result
+			case ir.Sle:
+				result = b2i(v1 <= v2)
+				regs[in.Dest] = result
+			case ir.Seq:
+				result = b2i(v1 == v2)
+				regs[in.Dest] = result
+			case ir.Sne:
+				result = b2i(v1 != v2)
+				regs[in.Dest] = result
+			case ir.Ld:
+				addr = v1 + in.Imm
+				if uint64(addr) >= uint64(len(mem)) {
+					m.Stats.DynInstrs = limit - rem
+					m.flushOpCounts()
+					return 0, &Fault{df.Fn.Name, meta[pc].Block, int(meta[pc].Index),
+						fmt.Sprintf("load address %d out of range", addr)}
+				}
+				if in.ObjHi >= 0 && (addr < in.ObjLo || addr >= in.ObjHi) {
+					m.Stats.DynInstrs = limit - rem
+					m.flushOpCounts()
+					o := m.Prog.Objects[in.Aux]
+					return 0, &Fault{df.Fn.Name, meta[pc].Block, int(meta[pc].Index),
+						fmt.Sprintf("load address %d outside hinted object %s [%d,%d)", addr, o.Name, o.Base, o.Base+o.Size)}
+				}
+				result = mem[addr]
+				regs[in.Dest] = result
+				if memoActive {
+					// Loads of writable objects make the instance depend on
+					// memory state; static (read-only) data needs no
+					// validation. A load with unknown provenance cannot be
+					// inside a compiler-formed region — abort defensively.
+					switch {
+					case ir.MemID(in.Aux) == ir.NoMem:
+						m.abortMemo()
+						memoActive = false
+					case !m.readOnly[in.Aux]:
+						m.memo.usesMem = true
+					}
+				}
+			case ir.St:
+				addr = v1 + in.Imm
+				if uint64(addr) >= uint64(len(mem)) {
+					m.Stats.DynInstrs = limit - rem
+					m.flushOpCounts()
+					return 0, &Fault{df.Fn.Name, meta[pc].Block, int(meta[pc].Index),
+						fmt.Sprintf("store address %d out of range", addr)}
+				}
+				if in.ObjHi >= 0 && (addr < in.ObjLo || addr >= in.ObjHi) {
+					m.Stats.DynInstrs = limit - rem
+					m.flushOpCounts()
+					o := m.Prog.Objects[in.Aux]
+					return 0, &Fault{df.Fn.Name, meta[pc].Block, int(meta[pc].Index),
+						fmt.Sprintf("store address %d outside hinted object %s [%d,%d)", addr, o.Name, o.Base, o.Base+o.Size)}
+				}
+				mem[addr] = v2
+				if memoActive {
+					// Regions never contain stores; defensive abort.
+					m.abortMemo()
+					memoActive = false
+				}
+				if len(m.funcMemos) > 0 {
+					// Pure-callee selection forbids this; never record a
+					// result that observed a store.
+					m.dropFuncMemos()
+				}
+			case ir.Jmp:
+				taken = true
+				ctrl = true
+				nextPC = int(in.Target)
+			case ir.Beq, ir.Bne, ir.Blt, ir.Bge, ir.Ble, ir.Bgt:
+				switch in.Op {
+				case ir.Beq:
+					taken = v1 == v2
+				case ir.Bne:
+					taken = v1 != v2
+				case ir.Blt:
+					taken = v1 < v2
+				case ir.Bge:
+					taken = v1 >= v2
+				case ir.Ble:
+					taken = v1 <= v2
+				case ir.Bgt:
+					taken = v1 > v2
+				}
+				m.Stats.Branches++
+				ctrl = true
+				if taken {
+					m.Stats.TakenBranches++
+					nextPC = int(in.Target)
+				}
+			case ir.Call:
+				if memoActive {
+					m.abortMemo()
+					memoActive = false
+				}
+				cdf := dec.Funcs[in.Aux]
+				fr.pc = nextPC // return point; set before push (append may move frames)
+				nf := m.pushFFrame(cdf, in.Dest)
+				caller := &m.fframes[len(m.fframes)-2]
+				for i, a := range meta[pc].Src.Args {
+					nf.regs[i+1] = caller.regs[a]
+				}
+				if trace != nil {
+					m.Stats.DynInstrs = limit - rem
+					m.emitFlat(trace, df, pc, in, &meta[pc], v1, v2, 0, 0, true, cdf.Base, nf.regs)
+				}
+				fr = nf
+				df = cdf
+				pc = 0
+				continue outer
+			case ir.Ret:
+				if memoActive {
+					m.abortMemo()
+					memoActive = false
+				}
+				m.Stats.DynInstrs = limit - rem
+				retVal := in.Imm
+				if in.Src1 != ir.NoReg {
+					retVal = v1
+				}
+				if trace != nil {
+					tpc := int64(0)
+					if len(m.fframes) > 1 {
+						p := &m.fframes[len(m.fframes)-2]
+						tpc = p.df.Addr(int32(p.pc))
+					}
+					m.emitFlat(trace, df, pc, in, &meta[pc], v1, v2, 0, retVal, true, tpc, regs)
+				}
+				dest := fr.retDest
+				m.popFFrame()
+				if len(m.funcMemos) > 0 {
+					m.commitFuncMemos(retVal, len(m.fframes))
+				}
+				if len(m.fframes) == 0 {
+					m.flushOpCounts()
+					return retVal, nil
+				}
+				fr = &m.fframes[len(m.fframes)-1]
+				if dest != ir.NoReg {
+					fr.regs[dest] = retVal
+				}
+				df = fr.df
+				pc = fr.pc
+				continue outer
+			case ir.Reuse:
+				m.Stats.DynInstrs = limit - rem
+				hit, rin, rout, reused := m.execReuse(ir.RegionID(in.Aux), regs, df.Fn.NumRegs, len(m.fframes))
+				taken = hit
+				if hit {
+					nextPC = int(in.Target)
+				}
+				if trace != nil {
+					tpc := df.Addr(in.Target)
+					if !hit {
+						tpc = df.Addr(int32(pc + 1))
+					}
+					mt := &meta[pc]
+					ev := &m.ev
+					*ev = Event{
+						Func: df.Fn, Block: mt.Block, Index: int(mt.Index), Instr: mt.Src,
+						PC:   df.Addr(int32(pc)),
+						Regs: regs,
+						Taken: hit, TargetPC: tpc,
+						ReuseHit: hit, ReuseIn: rin, ReuseOut: rout, ReusedInstrs: reused,
+					}
+					trace(ev)
+				}
+				pc = nextPC
+				continue outer
+			case ir.Inval:
+				m.Stats.Invalidations++
+				m.lastInval = 0
+				if m.CRB != nil {
+					m.lastInval = m.CRB.Invalidate(ir.MemID(in.Aux))
+				}
+				if memoActive {
+					m.abortMemo()
+					memoActive = false
+				}
+				if len(m.funcMemos) > 0 {
+					m.dropFuncMemos()
+				}
+			default:
+				m.Stats.DynInstrs = limit - rem
+				m.flushOpCounts()
+				return 0, &Fault{df.Fn.Name, meta[pc].Block, int(meta[pc].Index), fmt.Sprintf("invalid opcode %d", in.Op)}
+			}
+
+			if memoActive {
+				// memoStep wants the interpreter's pre-normalized successor
+				// position, derived from the CFG coordinates (see the file
+				// comment).
+				mt := &meta[pc]
+				var nb ir.BlockID
+				var ni int
+				if taken {
+					nb, ni = mt.Src.Target, 0
+				} else {
+					nb, ni = mt.Block, int(mt.Index)+1
+				}
+				m.memoStep(df.Fn, mt.Src, result, nb, ni)
+			}
+
+			if trace != nil {
+				m.Stats.DynInstrs = limit - rem
+				tpc := int64(0)
+				if in.Op.IsBranch() {
+					tpc = df.Addr(int32(nextPC))
+				}
+				m.emitFlat(trace, df, pc, in, &meta[pc], v1, v2, addr, result, taken, tpc, regs)
+			}
+			pc = nextPC
+			if ctrl {
+				continue outer
+			}
+		}
+	}
+}

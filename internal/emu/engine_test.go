@@ -1,0 +1,206 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"ccr/internal/ir"
+)
+
+// interpOf returns a machine forced onto the legacy block-structured
+// interpreter, the reference the predecoded engine must match exactly.
+func interpOf(p *ir.Program) *Machine {
+	m := New(p)
+	m.Interp = true
+	return m
+}
+
+// TestRunAllocs pins the allocation-free guarantee of the predecoded
+// engine: with no tracer and no CRB, steady-state Reset+Run performs zero
+// heap allocations (frames, register files, and the statistics flush all
+// come from machine-owned pools).
+func TestRunAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented runtime allocates outside the engine's control")
+	}
+	p := buildSumLoop(t, []int64{3, 1, 4, 1, 5, 9, 2, 6})
+	m := New(p)
+	if _, err := m.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		m.Reset()
+		if _, err := m.Run(8); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Run allocates %v times per run, want 0", allocs)
+	}
+}
+
+// runBoth executes the program on the predecoded engine and the reference
+// interpreter with the same limit and returns both machines for
+// comparison.
+func runBoth(t *testing.T, p *ir.Program, limit int64, args ...int64) (fast, ref *Machine, fres, rres int64, ferr, rerr error) {
+	t.Helper()
+	fast, ref = New(p), interpOf(p)
+	fast.Limit, ref.Limit = limit, limit
+	fres, ferr = fast.Run(args...)
+	rres, rerr = ref.Run(args...)
+	return
+}
+
+// compareStats asserts the statistics blocks agree field by field (the
+// digest-level equivalence the experiments suite checks end to end).
+func compareStats(t *testing.T, fast, ref *Machine) {
+	t.Helper()
+	f, r := &fast.Stats, &ref.Stats
+	if f.DynInstrs != r.DynInstrs {
+		t.Errorf("DynInstrs: engine %d, interp %d", f.DynInstrs, r.DynInstrs)
+	}
+	if f.Branches != r.Branches || f.TakenBranches != r.TakenBranches {
+		t.Errorf("branches: engine %d/%d, interp %d/%d",
+			f.Branches, f.TakenBranches, r.Branches, r.TakenBranches)
+	}
+	if f.ByOp != r.ByOp {
+		t.Errorf("ByOp diverged:\nengine %v\ninterp %v", f.ByOp, r.ByOp)
+	}
+}
+
+// TestEngineMatchesInterp compares result and statistics on the ordinary
+// loop workload (the batch tier executes everything here).
+func TestEngineMatchesInterp(t *testing.T) {
+	p := buildSumLoop(t, []int64{3, 1, 4, 1, 5, 9, 2, 6})
+	fast, ref, fres, rres, ferr, rerr := runBoth(t, p, 0, 8)
+	if ferr != nil || rerr != nil {
+		t.Fatalf("errs: engine %v, interp %v", ferr, rerr)
+	}
+	if fres != rres {
+		t.Fatalf("result: engine %d, interp %d", fres, rres)
+	}
+	compareStats(t, fast, ref)
+}
+
+// TestEngineLimitParity sweeps the instruction limit across every value up
+// to the full run length: at each point the engine and the interpreter
+// must agree on (result, error, DynInstrs). This walks the batch loop's
+// budget endgame — the handoff to the careful tier when a straight-line
+// run no longer fits — across every possible cut position, including cuts
+// at calls, returns, and branch boundaries.
+func TestEngineLimitParity(t *testing.T) {
+	p := buildCallLoop(t)
+	// Full run length first.
+	ref := interpOf(p)
+	if _, err := ref.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	full := ref.Stats.DynInstrs
+	for limit := int64(1); limit <= full+1; limit++ {
+		fast, ref, fres, rres, ferr, rerr := runBoth(t, p, limit, 6)
+		if (ferr == nil) != (rerr == nil) || (ferr != nil && ferr.Error() != rerr.Error()) {
+			t.Fatalf("limit %d: errs engine %v, interp %v", limit, ferr, rerr)
+		}
+		if fres != rres {
+			t.Fatalf("limit %d: result engine %d, interp %d", limit, fres, rres)
+		}
+		if fast.Stats.DynInstrs != ref.Stats.DynInstrs {
+			t.Fatalf("limit %d: DynInstrs engine %d, interp %d",
+				limit, fast.Stats.DynInstrs, ref.Stats.DynInstrs)
+		}
+		compareStats(t, fast, ref)
+	}
+}
+
+// buildCallLoop builds main(n) { s=0; for i=0..n-1 { s += double(i) }; ret s }
+// with a callee, so the limit sweep crosses call/return frame switches.
+func buildCallLoop(t *testing.T) *ir.Program {
+	t.Helper()
+	pb := ir.NewProgramBuilder("callloop")
+	g := pb.Func("double", 1)
+	gb := g.NewBlock()
+	gr := g.NewReg()
+	gb.Add(gr, g.Param(0), g.Param(0))
+	gb.Ret(gr)
+
+	f := pb.Func("main", 1)
+	n := f.Param(0)
+	entry := f.NewBlock()
+	loop := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	s, i, v := f.NewReg(), f.NewReg(), f.NewReg()
+	entry.MovI(s, 0)
+	entry.MovI(i, 0)
+	loop.Bge(i, n, exit.ID())
+	body.Call(v, g.ID(), i)
+	body.Add(s, s, v)
+	body.AddI(i, i, 1)
+	body.Jmp(loop.ID())
+	exit.Ret(s)
+	pb.SetMain(f.ID())
+	p := pb.Build()
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p
+}
+
+// TestEngineFellOffEndParity pins fault parity on the sentinel path: a
+// function whose final block lacks a terminator falls off the end with the
+// same fault coordinates and the same instruction count on both engines,
+// with the sentinel slot never counted as an executed instruction.
+func TestEngineFellOffEndParity(t *testing.T) {
+	pb := ir.NewProgramBuilder("felloff")
+	f := pb.Func("main", 0)
+	b := f.NewBlock()
+	r := f.NewReg()
+	b.MovI(r, 1)
+	b.AddI(r, r, 2) // no terminator: falls off the end
+	pb.SetMain(f.ID())
+	p := pb.Build()
+
+	fast, ref, _, _, ferr, rerr := runBoth(t, p, 0)
+	if ferr == nil || rerr == nil {
+		t.Fatalf("expected faults, got engine %v, interp %v", ferr, rerr)
+	}
+	var ff, rf *Fault
+	if !errors.As(ferr, &ff) || !errors.As(rerr, &rf) {
+		t.Fatalf("non-Fault errors: engine %v, interp %v", ferr, rerr)
+	}
+	if *ff != *rf {
+		t.Fatalf("fault diverged: engine %+v, interp %+v", ff, rf)
+	}
+	compareStats(t, fast, ref)
+	if fast.Stats.DynInstrs != 2 {
+		t.Fatalf("DynInstrs = %d, want 2 (sentinel not counted)", fast.Stats.DynInstrs)
+	}
+}
+
+// TestEngineLoadFaultParity pins fault parity mid-run: the batch tier
+// pre-charges whole straight-line runs, so a load fault in the middle must
+// refund the unexecuted tail to match the interpreter's exact instruction
+// count (the faulting instruction itself is counted).
+func TestEngineLoadFaultParity(t *testing.T) {
+	pb := ir.NewProgramBuilder("ldfault")
+	obj := pb.Object("buf", 4, nil)
+	f := pb.Func("main", 0)
+	b := f.NewBlock()
+	a, v, w := f.NewReg(), f.NewReg(), f.NewReg()
+	b.MovI(a, 1 << 40) // far out of range
+	b.Ld(v, a, 0, ir.NoMem)
+	b.Add(w, v, v) // pre-charged but never executed
+	b.Ret(w)
+	pb.SetMain(f.ID())
+	_ = obj
+	p := pb.Build()
+
+	fast, ref, _, _, ferr, rerr := runBoth(t, p, 0)
+	if ferr == nil || rerr == nil || ferr.Error() != rerr.Error() {
+		t.Fatalf("fault parity: engine %v, interp %v", ferr, rerr)
+	}
+	compareStats(t, fast, ref)
+	if fast.Stats.DynInstrs != 2 {
+		t.Fatalf("DynInstrs = %d, want 2 (movi + faulting load)", fast.Stats.DynInstrs)
+	}
+}

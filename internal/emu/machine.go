@@ -5,6 +5,22 @@
 // invalidation) against a Computation Reuse Buffer, and streams a dynamic
 // instruction event to an optional tracer.
 //
+// Two execution engines share one architectural semantics:
+//
+//   - the predecoded engine (the default, engine.go) runs the flat
+//     ir.DecodedProgram form — a single tight loop over a dense
+//     instruction array with pre-resolved operand indices and flat-PC
+//     branch targets, allocation-free on the no-tracer path;
+//   - the block-structured interpreter (runInterp below) walks the CFG
+//     form directly. It is retained as the reference implementation: the
+//     differential gate (experiments.TestEngineDifferential, CI) checks
+//     the two engines produce bit-identical internal/oracle digests —
+//     trace checksums included — on every bench × dataset × swept config.
+//
+// Setting CCR_ENGINE=interp in the environment (or Machine.Interp)
+// selects the interpreter, e.g. to re-run a whole -verify sweep on the
+// reference engine.
+//
 // The emulator is the "emulation" half of the paper's emulation-driven
 // simulation methodology: the timing model in internal/uarch consumes the
 // event stream rather than re-deriving semantics.
@@ -13,6 +29,7 @@ package emu
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"ccr/internal/crb"
 	"ccr/internal/ir"
@@ -55,29 +72,42 @@ type memo struct {
 	region  *ir.Region
 	inputs  []crb.RegVal
 	outputs []crb.RegVal
-	defined map[ir.Reg]bool
+	// defined is a bitset over the function's register indices (the
+	// registers written since the region was entered); it replaces a
+	// map[ir.Reg]bool so memoization mode stays off the allocator.
+	defined []uint64
 	usesMem bool
 	count   int
 }
 
-func (m *memo) reset(r *ir.Region) {
+func (m *memo) reset(r *ir.Region, numRegs int) {
 	m.active = true
 	m.region = r
 	m.inputs = m.inputs[:0]
 	m.outputs = m.outputs[:0]
-	if m.defined == nil {
-		m.defined = make(map[ir.Reg]bool, 16)
+	words := numRegs>>6 + 1
+	if cap(m.defined) < words {
+		m.defined = make([]uint64, words)
 	} else {
+		m.defined = m.defined[:words]
 		clear(m.defined)
 	}
 	m.usesMem = false
 	m.count = 0
 }
 
+func (m *memo) isDefined(r ir.Reg) bool {
+	return m.defined[uint32(r)>>6]&(1<<(uint32(r)&63)) != 0
+}
+
+func (m *memo) markDefined(r ir.Reg) {
+	m.defined[uint32(r)>>6] |= 1 << (uint32(r) & 63)
+}
+
 // noteUse records a register consumed before definition as an instance
 // input. It reports false when the input bank would overflow.
 func (m *memo) noteUse(r ir.Reg, v int64) bool {
-	if r == ir.NoReg || m.defined[r] {
+	if r == ir.NoReg || m.isDefined(r) {
 		return true
 	}
 	for _, in := range m.inputs {
@@ -94,7 +124,7 @@ func (m *memo) noteUse(r ir.Reg, v int64) bool {
 
 // noteDef records a definition; live-out definitions update the output bank.
 func (m *memo) noteDef(r ir.Reg, v int64, liveOut bool) bool {
-	m.defined[r] = true
+	m.markDefined(r)
 	if !liveOut {
 		return true
 	}
@@ -117,8 +147,11 @@ func (m *memo) noteDef(r ir.Reg, v int64, liveOut bool) bool {
 // wrappers that inject faults between the emulator and the buffer.
 type ReuseBuffer interface {
 	// Lookup searches the region's computation entry for an instance whose
-	// inputs match the current register values (supplied by read).
-	Lookup(region ir.RegionID, read func(ir.Reg) int64) (*crb.Instance, bool)
+	// inputs match the current register values. regs is the executing
+	// frame's register file, indexed by ir.Reg; it covers every register
+	// an instance of the region can name, and implementations must not
+	// retain or modify it.
+	Lookup(region ir.RegionID, regs []int64) (*crb.Instance, bool)
 	// Commit installs a freshly recorded instance, reporting whether it
 	// was stored.
 	Commit(region ir.RegionID, inst crb.Instance) bool
@@ -126,6 +159,12 @@ type ReuseBuffer interface {
 	// registered against object m.
 	Invalidate(m ir.MemID) int
 }
+
+// interpDefault selects the legacy block-structured interpreter for every
+// new Machine when CCR_ENGINE=interp is set in the environment — the
+// escape hatch for re-running a whole sweep on the reference engine
+// without touching call sites.
+var interpDefault = os.Getenv("CCR_ENGINE") == "interp"
 
 // Machine executes one program. Construct with New, run with Run.
 type Machine struct {
@@ -140,17 +179,26 @@ type Machine struct {
 	// Limit bounds the number of dynamic instructions executed
 	// (0 means the DefaultLimit).
 	Limit int64
+	// Interp selects the legacy block-structured interpreter instead of
+	// the predecoded engine (differential testing; see the package
+	// comment). Defaults to false unless CCR_ENGINE=interp is set.
+	Interp bool
 
 	Stats Stats
 
-	frames []frame
+	// dec is the shared predecoded form of Prog (built once per program,
+	// cached on it).
+	dec    *ir.DecodedProgram
+	frames []frame  // interpreter call stack
+	fframes []fframe // predecoded-engine call stack
 	memo   memo
 	// funcMemos is the stack of pending function-level recordings (§6
 	// extension): each marker waits for the call made right after its
 	// reuse instruction to return, then commits (args → result) to the
 	// CRB. Markers match returns by frame depth (LIFO).
 	funcMemos []funcMemo
-	// addrBase[f][b] is the byte address of block b's first instruction.
+	// addrBase[f][b] is the byte address of block b's first instruction
+	// (interpreter only; built lazily on the first interpreted run).
 	addrBase [][]int64
 	// lastInval carries the current Inval instruction's instance fan-out
 	// from the execute switch to the event emitted for it.
@@ -159,6 +207,24 @@ type Machine struct {
 	regPool [][]int64
 	// readOnly[m] caches object read-only flags for the memoization path.
 	readOnly []bool
+	// rstat is a flat RegionID-indexed cache over Stats.Regions, so the
+	// reuse path never hashes a map key.
+	rstat []*RegionStats
+	// initMem is the pristine linked memory image, kept so Reset can
+	// restore architectural state without reallocating.
+	initMem []int64
+	// entryCnt[f][pc] counts the batch loop's straight-line run entries at
+	// flat PC pc of function f. Per-opcode and branch counts are
+	// reconstructed from these at run exit (flushOpCounts), which is what
+	// keeps the batch loop free of per-instruction statistics updates.
+	entryCnt [][]int64
+	// byCorr records instruction ranges that were pre-counted by a run
+	// entry but never executed (a mid-run fault, or the sentinel slot);
+	// flushOpCounts subtracts them.
+	byCorr []opCorr
+	// ev is the event value reused across every emitted instruction, so
+	// attaching a tracer never forces a per-run heap allocation.
+	ev Event
 }
 
 // DefaultLimit is the dynamic-instruction budget applied when Machine.Limit
@@ -168,13 +234,83 @@ const DefaultLimit int64 = 2_000_000_000
 // New prepares a machine for the linked program p with fresh memory.
 func New(p *ir.Program) *Machine {
 	m := &Machine{
-		Prog: p,
-		Mem:  p.InitialMemory(),
+		Prog:    p,
+		Interp:  interpDefault,
+		dec:     p.Decoded(),
+		initMem: p.InitialMemory(),
 	}
+	m.Mem = append([]int64(nil), m.initMem...)
 	m.readOnly = make([]bool, len(p.Objects))
 	for _, o := range p.Objects {
 		m.readOnly[o.ID] = o.ReadOnly
 	}
+	m.rstat = make([]*RegionStats, len(p.Regions))
+	m.entryCnt = make([][]int64, len(m.dec.Funcs))
+	for i, df := range m.dec.Funcs {
+		m.entryCnt[i] = make([]int64, len(df.Code))
+	}
+	return m
+}
+
+// opCorr is a pre-counted-but-unexecuted instruction range [Lo, Hi] of
+// function F; see Machine.byCorr.
+type opCorr struct {
+	F      ir.FuncID
+	Lo, Hi int32
+}
+
+// flushOpCounts folds the batch loop's per-run entry counters into
+// Stats.ByOp and Stats.Branches. Every execution that enters a run at pc
+// executes exactly the instructions [pc, RunEnd[pc]], so a forward sweep
+// with a carry that resets after each control transfer reconstructs the
+// exact per-instruction execution counts; byCorr ranges then subtract the
+// pre-counted tails of runs that faulted mid-way. Called on every path out
+// of runFast, after which the counters are zero again.
+func (m *Machine) flushOpCounts() {
+	for fid, cnt := range m.entryCnt {
+		df := m.dec.Funcs[fid]
+		code := df.Code
+		runEnd := df.RunEnd
+		var carry int64
+		for pc := range code {
+			if c := cnt[pc]; c != 0 {
+				carry += c
+				cnt[pc] = 0
+			}
+			if carry != 0 {
+				op := code[pc].Op
+				m.Stats.ByOp[op] += carry
+				switch op {
+				case ir.Beq, ir.Bne, ir.Blt, ir.Bge, ir.Ble, ir.Bgt:
+					m.Stats.Branches += carry
+				}
+			}
+			if runEnd[pc] == int32(pc) {
+				carry = 0
+			}
+		}
+	}
+	for _, co := range m.byCorr {
+		code := m.dec.Funcs[co.F].Code
+		for pc := co.Lo; pc <= co.Hi; pc++ {
+			op := code[pc].Op
+			m.Stats.ByOp[op]--
+			switch op {
+			case ir.Beq, ir.Bne, ir.Blt, ir.Bge, ir.Ble, ir.Bgt:
+				m.Stats.Branches--
+			}
+		}
+	}
+	m.byCorr = m.byCorr[:0]
+}
+
+// ensureAddrBase builds the interpreter's per-block byte-address table on
+// first use (the predecoded engine derives addresses from flat PCs).
+func (m *Machine) ensureAddrBase() {
+	if m.addrBase != nil {
+		return
+	}
+	p := m.Prog
 	m.addrBase = make([][]int64, len(p.Funcs))
 	for _, f := range p.Funcs {
 		bases := make([]int64, len(f.Blocks))
@@ -183,24 +319,81 @@ func New(p *ir.Program) *Machine {
 		}
 		m.addrBase[f.ID] = bases
 	}
-	return m
 }
 
-func (m *Machine) pushFrame(f *ir.Func, retDest ir.Reg) *frame {
+// regionStat returns the per-region stats row through the flat cache,
+// falling back to the map for out-of-table IDs.
+func (m *Machine) regionStat(id ir.RegionID) *RegionStats {
+	if id >= 0 && int(id) < len(m.rstat) {
+		if rs := m.rstat[id]; rs != nil {
+			return rs
+		}
+		rs := m.Stats.region(id)
+		m.rstat[id] = rs
+		return rs
+	}
+	return m.Stats.region(id)
+}
+
+// Reset returns the machine to its pre-Run architectural state — pristine
+// memory, empty call stack, zeroed statistics — while keeping every
+// internal buffer (register pools, frame stacks, per-region stat entries)
+// allocated for reuse, so repeated Reset+Run cycles on one machine are
+// allocation-free in steady state. The attached CRB is external state and
+// is deliberately left warm, matching the phased train/ref idiom.
+func (m *Machine) Reset() {
+	copy(m.Mem, m.initMem)
+	for i := range m.frames {
+		if m.frames[i].regs != nil {
+			m.regPool = append(m.regPool, m.frames[i].regs)
+			m.frames[i].regs = nil
+		}
+	}
+	m.frames = m.frames[:0]
+	for i := range m.fframes {
+		if m.fframes[i].regs != nil {
+			m.regPool = append(m.regPool, m.fframes[i].regs)
+			m.fframes[i].regs = nil
+		}
+	}
+	m.fframes = m.fframes[:0]
+	m.funcMemos = m.funcMemos[:0]
+	m.memo.active = false
+	m.lastInval = 0
+	m.byCorr = m.byCorr[:0]
+	regions := m.Stats.Regions
+	for _, rs := range regions {
+		*rs = RegionStats{}
+	}
+	m.Stats = Stats{Regions: regions}
+}
+
+// newRegs draws a zeroed register file of the wanted size from the pool.
+// The backing array is always at least ir.RegFileCap long so the batch
+// engine can view it as a fixed-size array (only the first want words are
+// zeroed — batch-decodable functions never index past their own NumRegs).
+func (m *Machine) newRegs(want int) []int64 {
+	alloc := want
+	if alloc < ir.RegFileCap {
+		alloc = ir.RegFileCap
+	}
 	var regs []int64
-	want := f.NumRegs + 1
 	if n := len(m.regPool); n > 0 {
 		regs = m.regPool[n-1]
 		m.regPool = m.regPool[:n-1]
 	}
-	if cap(regs) < want {
-		regs = make([]int64, want)
-	} else {
-		regs = regs[:want]
-		for i := range regs {
-			regs[i] = 0
-		}
+	if cap(regs) < alloc {
+		return make([]int64, alloc)[:want]
 	}
+	regs = regs[:want]
+	for i := range regs {
+		regs[i] = 0
+	}
+	return regs
+}
+
+func (m *Machine) pushFrame(f *ir.Func, retDest ir.Reg) *frame {
+	regs := m.newRegs(f.NumRegs + 1)
 	m.frames = append(m.frames, frame{f: f, regs: regs, retDest: retDest})
 	return &m.frames[len(m.frames)-1]
 }
@@ -221,6 +414,16 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 	if len(args) != mainFn.NumParams {
 		return 0, fmt.Errorf("emu: main wants %d args, got %d", mainFn.NumParams, len(args))
 	}
+	if m.Interp {
+		return m.runInterp(mainFn, args)
+	}
+	return m.runFast(args)
+}
+
+// runInterp is the legacy block-structured interpreter: the reference
+// implementation the predecoded engine is differentially tested against.
+func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
+	m.ensureAddrBase()
 	fr := m.pushFrame(mainFn, ir.NoReg)
 	for i, a := range args {
 		fr.regs[i+1] = a
@@ -230,7 +433,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 		limit = DefaultLimit
 	}
 
-	var ev Event
+	ev := &m.ev
 	trace := m.Trace
 	for len(m.frames) > 0 {
 		fr := &m.frames[len(m.frames)-1]
@@ -437,7 +640,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 				nf.regs[i+1] = caller.regs[a]
 			}
 			if trace != nil {
-				m.emit(trace, &ev, caller.f, origB, origIdx, in, v1, v2, 0, 0,
+				m.emit(trace, ev, caller.f, origB, origIdx, in, v1, v2, 0, 0,
 					true, m.addrBase[callee.ID][0])
 			}
 			continue
@@ -456,12 +659,12 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 					p := &m.frames[len(m.frames)-2]
 					tpc = m.pcOf(p.f, p.b, p.idx)
 				}
-				m.emit(trace, &ev, fr.f, blk.ID, fr.idx, in, v1, v2, 0, retVal, true, tpc)
+				m.emit(trace, ev, fr.f, blk.ID, fr.idx, in, v1, v2, 0, retVal, true, tpc)
 			}
 			dest := fr.retDest
 			m.popFrame()
 			if len(m.funcMemos) > 0 {
-				m.commitFuncMemos(retVal)
+				m.commitFuncMemos(retVal, len(m.frames))
 			}
 			if len(m.frames) == 0 {
 				return retVal, nil
@@ -471,7 +674,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 			}
 			continue
 		case ir.Reuse:
-			hit, rin, rout, reused := m.execReuse(in, fr)
+			hit, rin, rout, reused := m.execReuse(in.Region, regs, fr.f.NumRegs, len(m.frames))
 			taken = hit
 			if hit {
 				nextB, nextI = in.Target, 0
@@ -482,13 +685,13 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 					tpc = m.pcAfter(fr.f, fr.b, fr.idx)
 				}
 				pc := m.pcOf(fr.f, fr.b, fr.idx)
-				ev = Event{
+				*ev = Event{
 					Func: fr.f, Block: fr.b, Index: fr.idx, Instr: in, PC: pc,
 					Regs:  fr.regs,
 					Taken: hit, TargetPC: tpc,
 					ReuseHit: hit, ReuseIn: rin, ReuseOut: rout, ReusedInstrs: reused,
 				}
-				trace(&ev)
+				trace(ev)
 			}
 			fr.b, fr.idx = nextB, nextI
 			continue
@@ -510,7 +713,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 		}
 
 		if memoActive {
-			m.memoStep(in, result, fr, nextB, nextI)
+			m.memoStep(fr.f, in, result, nextB, nextI)
 		}
 
 		if trace != nil {
@@ -518,7 +721,7 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 			if in.Op.IsBranch() {
 				tpc = m.pcOf(fr.f, nextB, nextI)
 			}
-			m.emit(trace, &ev, fr.f, fr.b, fr.idx, in, v1, v2, addr, result, taken, tpc)
+			m.emit(trace, ev, fr.f, fr.b, fr.idx, in, v1, v2, addr, result, taken, tpc)
 		}
 		fr.b, fr.idx = nextB, nextI
 	}
@@ -563,10 +766,12 @@ func (m *Machine) emit(trace Tracer, ev *Event, f *ir.Func, b ir.BlockID, idx in
 // execReuse implements the reuse instruction: CRB lookup, architectural
 // update on a hit, or entry into memoization mode on a miss. Function-
 // level regions record through a pending-call marker instead of the
-// region memoization mode.
-func (m *Machine) execReuse(in *ir.Instr, fr *frame) (hit bool, rin, rout, reused int) {
-	region := m.Prog.Region(in.Region)
-	rs := m.Stats.region(in.Region)
+// region memoization mode. regs is the executing frame's register file,
+// numRegs its function's register count, and depth the current call-stack
+// depth (for function-level markers). Shared by both engines.
+func (m *Machine) execReuse(id ir.RegionID, regs []int64, numRegs, depth int) (hit bool, rin, rout, reused int) {
+	region := m.Prog.Region(id)
+	rs := m.regionStat(id)
 	if m.memo.active {
 		// Control reached another region's inception while memoizing;
 		// regions are disjoint so this means an unannotated escape.
@@ -577,8 +782,7 @@ func (m *Machine) execReuse(in *ir.Instr, fr *frame) (hit bool, rin, rout, reuse
 		rs.Misses++
 		return false, 0, 0, 0
 	}
-	regs := fr.regs
-	ci, ok := m.CRB.Lookup(in.Region, func(r ir.Reg) int64 { return regs[r] })
+	ci, ok := m.CRB.Lookup(id, regs)
 	if ok {
 		for _, out := range ci.Outputs {
 			regs[out.Reg] = out.Val
@@ -594,7 +798,7 @@ func (m *Machine) execReuse(in *ir.Instr, fr *frame) (hit bool, rin, rout, reuse
 	if region.Kind == ir.FuncLevel {
 		fm := funcMemo{
 			region:   region,
-			depth:    len(m.frames),
+			depth:    depth,
 			startDyn: m.Stats.DynInstrs,
 		}
 		fm.inputs = make([]crb.RegVal, len(region.Inputs))
@@ -604,19 +808,19 @@ func (m *Machine) execReuse(in *ir.Instr, fr *frame) (hit bool, rin, rout, reuse
 		m.funcMemos = append(m.funcMemos, fm)
 		return false, 0, 0, 0
 	}
-	m.memo.reset(region)
+	m.memo.reset(region, numRegs)
 	return false, 0, 0, 0
 }
 
 // commitFuncMemos commits any pending function-level recording whose call
 // has just returned (the frame stack is back at the marker's depth).
-func (m *Machine) commitFuncMemos(retVal int64) {
+func (m *Machine) commitFuncMemos(retVal int64, depth int) {
 	for len(m.funcMemos) > 0 {
 		fm := &m.funcMemos[len(m.funcMemos)-1]
-		if len(m.frames) != fm.depth {
+		if depth != fm.depth {
 			return
 		}
-		rs := m.Stats.region(fm.region.ID)
+		rs := m.regionStat(fm.region.ID)
 		inst := crb.Instance{
 			UsesMem:        len(fm.region.MemObjects) > 0,
 			Inputs:         append([]crb.RegVal(nil), fm.inputs...),
@@ -638,15 +842,19 @@ func (m *Machine) commitFuncMemos(retVal int64) {
 func (m *Machine) dropFuncMemos() {
 	for i := range m.funcMemos {
 		m.Stats.MemoAborts++
-		m.Stats.region(m.funcMemos[i].region.ID).Aborts++
+		m.regionStat(m.funcMemos[i].region.ID).Aborts++
 	}
 	m.funcMemos = m.funcMemos[:0]
 }
 
 // memoStep performs the per-instruction memoization bookkeeping after the
 // instruction's architectural effects: definition recording, and commit or
-// abort depending on where control flows next.
-func (m *Machine) memoStep(in *ir.Instr, result int64, fr *frame, nextB ir.BlockID, nextI int) {
+// abort depending on where control flows next. (nextB, nextI) is the
+// pre-normalized successor position: (Target, 0) for a taken branch, the
+// same-block successor slot otherwise. Shared by both engines — the
+// predecoded engine derives the pair from the instruction's CFG position,
+// so the two engines take bit-identical commit/abort decisions.
+func (m *Machine) memoStep(f *ir.Func, in *ir.Instr, result int64, nextB ir.BlockID, nextI int) {
 	mm := &m.memo
 	mm.count++
 	if d := in.Def(); d != ir.NoReg {
@@ -657,7 +865,6 @@ func (m *Machine) memoStep(in *ir.Instr, result int64, fr *frame, nextB ir.Block
 	}
 	region := mm.region
 	// Determine whether control stays inside the region.
-	f := fr.f
 	if int(nextB) >= len(f.Blocks) {
 		m.abortMemo()
 		return
@@ -693,13 +900,18 @@ const (
 
 func (m *Machine) commitMemo() {
 	mm := &m.memo
-	rs := m.Stats.region(mm.region.ID)
+	rs := m.regionStat(mm.region.ID)
+	// One backing array for both banks: the CRB retains the slices, so
+	// they must be freshly owned, but they never need to grow.
+	bank := make([]crb.RegVal, len(mm.inputs)+len(mm.outputs))
 	inst := crb.Instance{
 		UsesMem:        mm.usesMem,
-		Inputs:         append([]crb.RegVal(nil), mm.inputs...),
-		Outputs:        append([]crb.RegVal(nil), mm.outputs...),
+		Inputs:         bank[:len(mm.inputs):len(mm.inputs)],
+		Outputs:        bank[len(mm.inputs):],
 		ReplacedInstrs: mm.count,
 	}
+	copy(inst.Inputs, mm.inputs)
+	copy(inst.Outputs, mm.outputs)
 	if m.CRB.Commit(mm.region.ID, inst) {
 		rs.Records++
 	}
@@ -711,6 +923,6 @@ func (m *Machine) abortMemo() {
 		return
 	}
 	m.Stats.MemoAborts++
-	m.Stats.region(m.memo.region.ID).Aborts++
+	m.regionStat(m.memo.region.ID).Aborts++
 	m.memo.active = false
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package emu
+
+// raceEnabled reports whether the race detector is compiled in (the
+// instrumented runtime allocates on paths the allocation-free guarantee
+// does not cover, so TestRunAllocs skips under -race).
+const raceEnabled = false

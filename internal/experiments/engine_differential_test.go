@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ccr/internal/core"
+	"ccr/internal/crb"
+	"ccr/internal/emu"
+	"ccr/internal/ir"
+	"ccr/internal/oracle"
+	"ccr/internal/workloads"
+)
+
+// TestEngineDifferential is the engine-equivalence gate: for every
+// benchmark × dataset × configuration point it checks the predecoded
+// engine against the legacy interpreter two ways.
+//
+//   - Traced: the internal/oracle digests (result, final memory, store and
+//     return-value streams) must be byte-identical. The oracle collector
+//     attaches a tracer, so this pins the careful tier and the event
+//     stream.
+//   - Untraced: a plain run with no tracer — the batch tier's fast path —
+//     must reproduce the interpreter's result, final memory image, and the
+//     complete statistics block (DynInstrs, per-opcode histogram, branch
+//     and reuse counters, per-region rows), plus the CRB counters when a
+//     buffer is attached.
+//
+// Configurations cover the untransformed base program, the default CCR
+// compilation, a conflict-pressure geometry, and the function-level
+// extension (memoization-mode and funcMemo paths).
+func TestEngineDifferential(t *testing.T) {
+	for _, b := range workloads.All(workloads.Tiny) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opts := core.DefaultOptions()
+			cr, err := core.Compile(b.Prog, b.Train, opts)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			flOpts := core.DefaultOptions()
+			flOpts.Region.FunctionLevel = true
+			crFL, err := core.Compile(b.Prog, b.Train, flOpts)
+			if err != nil {
+				t.Fatalf("funclevel compile: %v", err)
+			}
+			small := crb.Config{Entries: 8, Instances: 2}
+			points := []struct {
+				name string
+				prog *ir.Program
+				cfg  *crb.Config
+			}{
+				{"base", b.Prog, nil},
+				{"ccr-default", cr.Prog, &opts.CRB},
+				{"ccr-8E2CI", cr.Prog, &small},
+				{"funclevel", crFL.Prog, &flOpts.CRB},
+			}
+			datasets := []struct {
+				name string
+				args []int64
+			}{{"train", b.Train}, {"ref", b.Ref}}
+			for _, ds := range datasets {
+				for _, pt := range points {
+					label := fmt.Sprintf("%s/%s", ds.name, pt.name)
+
+					di, err := core.DigestRunEngine(pt.prog, pt.cfg, ds.args, 0, true)
+					if err != nil {
+						t.Fatalf("%s: interp digest: %v", label, err)
+					}
+					de, err := core.DigestRunEngine(pt.prog, pt.cfg, ds.args, 0, false)
+					if err != nil {
+						t.Fatalf("%s: engine digest: %v", label, err)
+					}
+					if err := oracle.Compare(di, de); err != nil {
+						t.Errorf("%s: traced digest diverged: %v", label, err)
+					} else if !di.Equal(de) {
+						t.Errorf("%s: digest identity diverged:\ninterp %+v\nengine %+v", label, di, de)
+					}
+
+					compareUntraced(t, label, pt.prog, pt.cfg, ds.args)
+				}
+			}
+		})
+	}
+}
+
+// compareUntraced runs both engines with no tracer attached (the batch
+// tier's eligibility condition) and asserts full architectural and
+// statistical parity.
+func compareUntraced(t *testing.T, label string, prog *ir.Program, cfg *crb.Config, args []int64) {
+	t.Helper()
+	run := func(interp bool) (*emu.Machine, int64, error) {
+		m := emu.New(prog)
+		m.Interp = interp
+		if cfg != nil {
+			m.CRB = crb.New(*cfg, prog)
+		}
+		res, err := m.Run(args...)
+		return m, res, err
+	}
+	mi, ri, ei := run(true)
+	me, re, ee := run(false)
+	if (ei == nil) != (ee == nil) || (ei != nil && ei.Error() != ee.Error()) {
+		t.Errorf("%s: untraced errs: interp %v, engine %v", label, ei, ee)
+		return
+	}
+	if ri != re {
+		t.Errorf("%s: untraced result: interp %d, engine %d", label, ri, re)
+	}
+	if !reflect.DeepEqual(mi.Mem, me.Mem) {
+		t.Errorf("%s: final memory images diverged", label)
+	}
+	si, se := mi.Stats, me.Stats
+	if si.DynInstrs != se.DynInstrs || si.ByOp != se.ByOp ||
+		si.Branches != se.Branches || si.TakenBranches != se.TakenBranches {
+		t.Errorf("%s: instruction stats diverged:\ninterp dyn=%d br=%d/%d %v\nengine dyn=%d br=%d/%d %v",
+			label, si.DynInstrs, si.Branches, si.TakenBranches, si.ByOp,
+			se.DynInstrs, se.Branches, se.TakenBranches, se.ByOp)
+	}
+	if si.ReuseHits != se.ReuseHits || si.ReuseMisses != se.ReuseMisses ||
+		si.ReusedInstrs != se.ReusedInstrs || si.MemoAborts != se.MemoAborts ||
+		si.Invalidations != se.Invalidations {
+		t.Errorf("%s: reuse stats diverged:\ninterp %+v\nengine %+v", label, si, se)
+	}
+	if !reflect.DeepEqual(si.Regions, se.Regions) {
+		t.Errorf("%s: per-region stats diverged:\ninterp %v\nengine %v", label, si.Regions, se.Regions)
+	}
+	if cfg != nil {
+		ci, ce := mi.CRB.(*crb.CRB).Stats(), me.CRB.(*crb.CRB).Stats()
+		if ci != ce {
+			t.Errorf("%s: CRB stats diverged:\ninterp %+v\nengine %+v", label, ci, ce)
+		}
+	}
+}

@@ -42,10 +42,16 @@ func TrainRefPhases(s *Suite, b *workloads.Benchmark, cc crb.Config) (*PhasedRes
 	res := &PhasedResult{Bench: b.Name}
 	inputs := [2][]int64{b.Train, b.Ref}
 	names := [2]string{"train", "ref"}
+	m := emu.New(cr.Prog)
+	m.CRB = buf
+	m.Limit = s.cfg.Opts.Limit
 	for i := range inputs {
-		m := emu.New(cr.Prog)
-		m.CRB = buf
-		m.Limit = s.cfg.Opts.Limit
+		if i > 0 {
+			// Reset restores the architectural state and clears the run
+			// statistics but keeps the attached CRB — exactly the
+			// warm-buffer semantics this study measures.
+			m.Reset()
+		}
 		r, err := m.Run(inputs[i]...)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: phased run %s/%s: %w", b.Name, names[i], err)

@@ -10,7 +10,10 @@
 // instruction attributes) are first-class parts of the instruction set.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Reg names a virtual register within a function. Register 0 (NoReg) is the
 // "absent operand" marker; valid registers are 1..NumRegs.
@@ -260,6 +263,10 @@ type Program struct {
 	MemWords int64
 	// TextLen is the total static instruction count, valid after Link.
 	TextLen int
+
+	// decoded caches the predecoded execution form (see predecode.go);
+	// Link invalidates it so it always matches the current layout.
+	decoded atomic.Pointer[DecodedProgram]
 }
 
 // Func returns the function with the given ID, or nil.
@@ -310,6 +317,7 @@ func (p *Program) Region(id RegionID) *Region {
 // be called after construction and after any transformation that changes
 // code layout, and before emulation or simulation.
 func (p *Program) Link() {
+	p.decoded.Store(nil)
 	var base int64
 	for _, o := range p.Objects {
 		o.Base = base

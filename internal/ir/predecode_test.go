@@ -1,0 +1,244 @@
+package ir
+
+import "testing"
+
+// buildCFG assembles a function exercising the predecode edge shapes:
+//
+//	b0: entry, fallthrough-only (no terminator)
+//	b1: empty
+//	b2: empty
+//	b3: self-loop body ending in a conditional back-edge to itself
+//	b4: exit
+//
+// Branch targets that cross the empty blocks must resolve to the next real
+// instruction, the self-loop target to the loop head itself.
+func buildCFG(t *testing.T) (*Program, *Func) {
+	t.Helper()
+	pb := NewProgramBuilder("edges")
+	f := pb.Func("main", 1)
+	n := f.Param(0)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock() // empty
+	b2 := f.NewBlock() // empty
+	b3 := f.NewBlock()
+	b4 := f.NewBlock()
+	i, s := f.NewReg(), f.NewReg()
+	b0.MovI(i, 0)
+	b0.MovI(s, 0)
+	// b0 has no terminator: falls through b1 and b2 (both empty) into b3.
+	b3.Add(s, s, i)
+	b3.AddI(i, i, 1)
+	b3.Blt(i, n, b3.ID()) // self-loop
+	b4.Ret(s)
+	_ = b1
+	_ = b2
+	p := pb.Build()
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p, p.Func(f.ID())
+}
+
+// TestPredecodeEmptyAndFallthrough pins the flat layout across empty and
+// fallthrough-only blocks: empty blocks contribute no code and their
+// BlockPC aliases the next real instruction, so the interpreter's iterative
+// fall-through normalization disappears into pc+1.
+func TestPredecodeEmptyAndFallthrough(t *testing.T) {
+	p, f := buildCFG(t)
+	df := p.Decoded().Funcs[f.ID]
+
+	if got, want := len(df.Code), f.NumInstrs()+1; got != want {
+		t.Fatalf("len(Code) = %d, want %d (instrs + sentinel)", got, want)
+	}
+	if df.Code[len(df.Code)-1].Op != OpSentinel {
+		t.Fatalf("last slot is %v, want OpSentinel", df.Code[len(df.Code)-1].Op)
+	}
+	// Empty blocks b1, b2 alias b3's first instruction.
+	if df.BlockPC[1] != df.BlockPC[3] || df.BlockPC[2] != df.BlockPC[3] {
+		t.Fatalf("empty BlockPC not aliased: %v", df.BlockPC)
+	}
+	// The one-past-the-last-block slot is the sentinel PC.
+	if got, want := df.BlockPC[len(f.Blocks)], int32(len(df.Code)-1); got != want {
+		t.Fatalf("BlockPC[end] = %d, want sentinel %d", got, want)
+	}
+	// The self-loop branch targets the loop head's own first instruction.
+	var br *PInstr
+	for i := range df.Code {
+		if df.Code[i].Op == Blt {
+			br = &df.Code[i]
+		}
+	}
+	if br == nil || br.Target != df.BlockPC[3] {
+		t.Fatalf("self-loop target = %+v, want BlockPC[3]=%d", br, df.BlockPC[3])
+	}
+}
+
+// TestPredecodeAddrRoundTrip checks the affine address law the engine's
+// events rely on: for every (block, index) position, the flat PC round-trips
+// through PCFor/Meta and Addr(pc) equals the interpreter's InstrAddr — so
+// pcOf (instruction address) and pcAfter (address of the next slot,
+// Addr(pc+1)) agree between the two forms at every position, including the
+// one-past-the-end-of-a-block fall-through slots.
+func TestPredecodeAddrRoundTrip(t *testing.T) {
+	p, f := buildCFG(t)
+	df := p.Decoded().Funcs[f.ID]
+	for _, b := range f.Blocks {
+		for idx := range b.Instrs {
+			pc := df.PCFor(b.ID, idx)
+			if mt := df.Meta[pc]; mt.Block != b.ID || int(mt.Index) != idx {
+				t.Fatalf("PCFor(%d,%d)=%d round-trips to (%d,%d)", b.ID, idx, pc, mt.Block, mt.Index)
+			}
+			if got, want := df.Addr(pc), f.InstrAddr(b.ID, idx); got != want {
+				t.Errorf("Addr(PCFor(%d,%d)) = %d, want InstrAddr %d", b.ID, idx, got, want)
+			}
+			// pcAfter semantics: the next slot's address is +4 in both forms.
+			if got, want := df.Addr(pc+1), f.InstrAddr(b.ID, idx)+4; got != want {
+				t.Errorf("Addr(pc+1) = %d, want %d", got, want)
+			}
+		}
+	}
+}
+
+// TestPredecodeRunEnd pins the run-interval invariant the batch engine's
+// per-run accounting is built on: RunEnd[pc] is the first control transfer
+// (or the sentinel) at or after pc, with no control transfer strictly
+// inside [pc, RunEnd[pc]).
+func TestPredecodeRunEnd(t *testing.T) {
+	p, f := buildCFG(t)
+	df := p.Decoded().Funcs[f.ID]
+	isEnd := func(op Opcode) bool {
+		switch op {
+		case Jmp, Beq, Bne, Blt, Bge, Ble, Bgt, Call, Ret, Reuse, OpSentinel:
+			return true
+		}
+		return false
+	}
+	for pc := range df.Code {
+		re := df.RunEnd[pc]
+		if re < int32(pc) || int(re) >= len(df.Code) {
+			t.Fatalf("RunEnd[%d] = %d out of range", pc, re)
+		}
+		if !isEnd(df.Code[re].Op) {
+			t.Fatalf("RunEnd[%d] = %d is %v, not a run ender", pc, re, df.Code[re].Op)
+		}
+		for q := pc; int32(q) < re; q++ {
+			if isEnd(df.Code[q].Op) {
+				t.Fatalf("control op %v inside run [%d,%d)", df.Code[q].Op, pc, re)
+			}
+		}
+	}
+}
+
+// TestPredecodeRegionTargets covers reuse-region decoding, including a
+// function-level region whose continuation is the reuse instruction's own
+// block (the xform/funclevel shape: Reuse falls through to a Call and the
+// taken edge skips it).
+func TestPredecodeRegionTargets(t *testing.T) {
+	pb := NewProgramBuilder("regions")
+	callee := pb.Func("leaf", 1)
+	cb := callee.NewBlock()
+	cb.Ret(callee.Param(0))
+
+	f := pb.Func("main", 1)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	r := f.NewReg()
+	b0.Emit(Instr{Op: Reuse, Region: 0, Target: b1.ID(), Mem: NoMem})
+	b0.Call(r, callee.ID(), f.Param(0))
+	b1.Ret(r)
+	pb.SetMain(f.ID())
+	p := pb.Build()
+
+	df := p.Decoded().Funcs[f.ID()]
+	if df.Code[0].Op != Reuse || df.Code[0].Target != df.BlockPC[b1.ID()] {
+		t.Fatalf("reuse target = %+v, want flat PC of b1 (%d)", df.Code[0], df.BlockPC[b1.ID()])
+	}
+	if RegionID(df.Code[0].Aux) != 0 {
+		t.Fatalf("reuse region aux = %d, want 0", df.Code[0].Aux)
+	}
+	// The reuse ends its run (a transfer either way), the call the next.
+	if df.RunEnd[0] != 0 || df.RunEnd[1] != 1 {
+		t.Fatalf("RunEnd = %v, want reuse and call each ending their own run", df.RunEnd[:2])
+	}
+}
+
+// TestPredecodeInvalidTargetFaults pins the sentinel contract: an
+// out-of-range branch target decodes to the sentinel PC rather than a wild
+// flat PC, so taking it raises the fell-off-the-end fault.
+func TestPredecodeInvalidTargetFaults(t *testing.T) {
+	pb := NewProgramBuilder("wild")
+	f := pb.Func("main", 0)
+	b := f.NewBlock()
+	b.Emit(Instr{Op: Jmp, Target: 99, Mem: NoMem, Region: NoRegion})
+	p := pb.Build()
+
+	df := p.Decoded().Funcs[f.ID()]
+	sentinel := int32(len(df.Code) - 1)
+	if df.Code[0].Target != sentinel {
+		t.Fatalf("invalid target resolved to %d, want sentinel %d", df.Code[0].Target, sentinel)
+	}
+}
+
+// TestPredecodeBatchShapes checks both sides of the batch-decode gate: a
+// function of ordinary shape gets an XCode parallel to Code with the
+// operand-shape-specialized opcodes, while a degenerate instruction (an ALU
+// op with a NoReg source, which only hand-built programs can contain)
+// leaves the whole function careful-only.
+func TestPredecodeBatchShapes(t *testing.T) {
+	p, f := buildCFG(t)
+	df := p.Decoded().Funcs[f.ID]
+	if df.XCode == nil {
+		t.Fatal("ordinary function has no XCode")
+	}
+	if len(df.XCode) != len(df.Code) {
+		t.Fatalf("XCode length %d != Code length %d", len(df.XCode), len(df.Code))
+	}
+	wantOps := map[Opcode]uint8{MovI: XMovI, Blt: XBltRR, Ret: XRetR, OpSentinel: XEnd}
+	for pc := range df.Code {
+		if want, ok := wantOps[df.Code[pc].Op]; ok {
+			if got := df.XCode[pc].XOp; got != want {
+				t.Errorf("pc %d (%v): XOp = %d, want %d", pc, df.Code[pc].Op, got, want)
+			}
+		}
+	}
+	// The operand shape picks the RR vs RI specialization.
+	for pc := range df.Code {
+		in := &df.Code[pc]
+		if in.Op != Add {
+			continue
+		}
+		want := XAddRR
+		if in.Src2 == NoReg {
+			want = XAddRI
+		}
+		if df.XCode[pc].XOp != want {
+			t.Errorf("pc %d add (src2=%d): XOp = %d, want %d", pc, in.Src2, df.XCode[pc].XOp, want)
+		}
+	}
+
+	// Degenerate shape: Add with Src1 == NoReg is unbatchable.
+	pb := NewProgramBuilder("degenerate")
+	g := pb.Func("main", 0)
+	b := g.NewBlock()
+	r := g.NewReg()
+	b.Emit(Instr{Op: Add, Dest: r, Src1: NoReg, Src2: NoReg, Imm: 7, Mem: NoMem, Region: NoRegion})
+	b.RetI(0)
+	p2 := pb.Build()
+	if df2 := p2.Decoded().Funcs[g.ID()]; df2.XCode != nil {
+		t.Fatal("degenerate function must be careful-only (XCode == nil)")
+	}
+}
+
+// TestDecodedCacheInvalidation checks Decoded() is rebuilt after Link, so
+// program transformation between runs can never execute stale flat code.
+func TestDecodedCacheInvalidation(t *testing.T) {
+	p, _ := buildCFG(t)
+	d1 := p.Decoded()
+	if p.Decoded() != d1 {
+		t.Fatal("Decoded() not cached between calls")
+	}
+	p.Link()
+	if p.Decoded() == d1 {
+		t.Fatal("Decoded() cache survived Link")
+	}
+}
