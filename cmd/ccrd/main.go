@@ -1,0 +1,66 @@
+// Command ccrd is the resident CCR simulation daemon: it keeps prepared
+// programs, CCR compilations, simulation results and oracle digests in
+// single-flight caches across requests and serves compile / simulate /
+// batch / sweep / verify / phases requests over the internal/serve wire
+// protocol on a unix socket or TCP address.
+//
+// SIGTERM (or SIGINT) drains gracefully: the listener closes, in-flight
+// requests finish and are answered, the run manifest (with -manifest) is
+// flushed, and the process exits 0. A second signal force-exits.
+//
+// Usage:
+//
+//	ccrd [-addr unix:/tmp/ccrd.sock] [-jobs N] [-manifest run.json] [-version]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"syscall"
+
+	"ccr/internal/buildinfo"
+	"ccr/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "unix:/tmp/ccrd.sock",
+		"listen address: unix:/path, tcp:host:port, a socket path, or host:port")
+	jobs := flag.Int("jobs", 0, "default pool width for request fan-outs (0 = GOMAXPROCS)")
+	manifest := flag.String("manifest", "", "accumulate a JSON run manifest, flushed on drain")
+	showVersion := flag.Bool("version", false, "print build/version info and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ccrd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ln, err := serve.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccrd:", err)
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Jobs:         *jobs,
+		ManifestPath: *manifest,
+		Logger:       slog.Default(),
+	})
+	srv.HandleSignals(syscall.SIGTERM, syscall.SIGINT)
+
+	slog.Info("ccrd: serving", "addr", *addr, "build", buildinfo.String())
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "ccrd:", err)
+		os.Exit(1)
+	}
+	// Serve returned because a drain began; wait for in-flight work.
+	srv.Wait()
+	slog.Info("ccrd: drained")
+}

@@ -74,3 +74,32 @@ func (i Info) String() string {
 
 // String returns the running binary's -version banner.
 func String() string { return Get().String() }
+
+// Mismatch compares two build identities for the client/server version
+// handshake and returns a human-readable reason when they identify
+// different builds, or "" when they match. Two builds match when they come
+// from the same module at the same VCS revision with the same dirty bit;
+// when neither side carries a revision (e.g. `go run` or test binaries
+// built outside VCS stamping), the module path and Go version must agree.
+// A revision on exactly one side is a mismatch: one binary is traceable
+// and the other is not, so equality cannot be established.
+func Mismatch(a, b Info) string {
+	if a.Module != b.Module {
+		return fmt.Sprintf("module %q vs %q", a.Module, b.Module)
+	}
+	switch {
+	case a.Revision == "" && b.Revision == "":
+		if a.GoVersion != b.GoVersion {
+			return fmt.Sprintf("unstamped builds with go %q vs %q", a.GoVersion, b.GoVersion)
+		}
+		return ""
+	case a.Revision == "" || b.Revision == "":
+		return fmt.Sprintf("vcs revision %q vs %q", a.Revision, b.Revision)
+	case a.Revision != b.Revision:
+		return fmt.Sprintf("vcs revision %q vs %q", a.Revision, b.Revision)
+	case a.Modified != b.Modified:
+		return fmt.Sprintf("same revision %q but dirty-tree bits %v vs %v",
+			a.Revision, a.Modified, b.Modified)
+	}
+	return ""
+}

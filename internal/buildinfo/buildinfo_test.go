@@ -39,3 +39,37 @@ func TestInfoSerializes(t *testing.T) {
 		t.Errorf("round trip diverged: %+v vs %+v", back, Get())
 	}
 }
+
+func TestMismatch(t *testing.T) {
+	stamped := Info{Module: "ccr", GoVersion: "go1.22", Revision: "abc123"}
+	cases := []struct {
+		name string
+		a, b Info
+		want bool // mismatch expected
+	}{
+		{"identical stamped", stamped, stamped, false},
+		{"identical unstamped", Info{Module: "ccr", GoVersion: "go1.22"},
+			Info{Module: "ccr", GoVersion: "go1.22"}, false},
+		{"different revision", stamped,
+			Info{Module: "ccr", GoVersion: "go1.22", Revision: "def456"}, true},
+		{"one side unstamped", stamped,
+			Info{Module: "ccr", GoVersion: "go1.22"}, true},
+		{"dirty bit differs", stamped,
+			Info{Module: "ccr", GoVersion: "go1.22", Revision: "abc123", Modified: true}, true},
+		{"different module", stamped,
+			Info{Module: "other", GoVersion: "go1.22", Revision: "abc123"}, true},
+		{"unstamped different go", Info{Module: "ccr", GoVersion: "go1.22"},
+			Info{Module: "ccr", GoVersion: "go1.21"}, true},
+		{"self identity", Get(), Get(), false},
+	}
+	for _, c := range cases {
+		reason := Mismatch(c.a, c.b)
+		if (reason != "") != c.want {
+			t.Errorf("%s: Mismatch = %q, want mismatch=%v", c.name, reason, c.want)
+		}
+		// Symmetry: mismatch detection must not depend on argument order.
+		if (Mismatch(c.b, c.a) != "") != c.want {
+			t.Errorf("%s: Mismatch not symmetric", c.name)
+		}
+	}
+}

@@ -88,6 +88,22 @@ func NewSuite(cfg Config) *Suite {
 // Config returns the suite configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
+// WithPool returns a view of s whose fan-outs run on the given pool but
+// share every resident artifact with s: the benchmark programs (alias
+// annotation included) and all six single-flight caches. The view has its
+// own failed-cell counter and the pool its own manifest/heartbeat sink, so
+// a long-running service can give each request private progress streaming
+// and accounting while every request warms the same caches.
+func (s *Suite) WithPool(pool runner.Pool) *Suite {
+	return &Suite{
+		cfg:     s.cfg,
+		Benches: s.Benches,
+		pool:    pool,
+		prep:    s.prep, compiled: s.compiled, baseSim: s.baseSim,
+		ccrSim: s.ccrSim, limit: s.limit, digest: s.digest,
+	}
+}
+
 // Jobs returns the effective worker count of the suite's pool.
 func (s *Suite) Jobs() int {
 	if s.cfg.Jobs > 0 {

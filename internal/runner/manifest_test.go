@@ -144,11 +144,11 @@ func TestPoolHeartbeat(t *testing.T) {
 	p := &Pool{
 		Jobs:      2,
 		Heartbeat: time.Millisecond,
-		Progress: func(pr Progress) {
+		Sink: ProgressFunc(func(pr Progress) {
 			mu.Lock()
 			snaps = append(snaps, pr)
 			mu.Unlock()
-		},
+		}),
 	}
 	const n = 4
 	cells := make([]Cell, n)
@@ -195,11 +195,22 @@ func TestPoolHeartbeat(t *testing.T) {
 // Progress.
 func TestHeartbeatDisabledByDefault(t *testing.T) {
 	called := false
-	p := &Pool{Jobs: 1, Progress: func(Progress) { called = true }}
+	p := &Pool{Jobs: 1, Sink: ProgressFunc(func(Progress) { called = true })}
 	p.Run(context.Background(), []Cell{
 		{ID: "x", Do: func(context.Context) error { return nil }},
 	})
 	if called {
 		t.Fatal("Progress called with Heartbeat = 0")
+	}
+}
+
+// TestMultiSink: a MultiSink fans each snapshot to every member in order.
+func TestMultiSink(t *testing.T) {
+	var got []string
+	a := ProgressFunc(func(Progress) { got = append(got, "a") })
+	b := ProgressFunc(func(Progress) { got = append(got, "b") })
+	MultiSink{a, b}.Progress(Progress{})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("MultiSink order = %v, want [a b]", got)
 	}
 }

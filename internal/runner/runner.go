@@ -72,13 +72,52 @@ type Pool struct {
 	// Manifest, when non-nil, accumulates cell records and worker busy
 	// time from every Run.
 	Manifest *Manifest
-	// Heartbeat, when positive, emits a structured progress log line at
-	// this interval while a Run is in flight (cells done/total, failures,
-	// elapsed, ETA, worker utilization) so long sweeps are not silent.
+	// Heartbeat, when positive, emits a progress snapshot at this interval
+	// while a Run is in flight (cells done/total, failures, elapsed, ETA,
+	// worker utilization) so long sweeps are not silent.
 	Heartbeat time.Duration
-	// Progress overrides the heartbeat destination; when nil, heartbeats
-	// go to slog.Default at Info level.
-	Progress func(Progress)
+	// Sink receives the heartbeat snapshots; when nil, they go to
+	// slog.Default at Info level (SlogSink). The daemon's streaming
+	// progress channel and the CLI heartbeat are both just sinks.
+	Sink ProgressSink
+}
+
+// ProgressSink consumes the heartbeat snapshots of an in-flight Run. A
+// sink must be safe for use from the pool's heartbeat goroutine; one Run
+// calls it from a single goroutine at a time.
+type ProgressSink interface {
+	Progress(Progress)
+}
+
+// ProgressFunc adapts a plain function to a ProgressSink.
+type ProgressFunc func(Progress)
+
+// Progress implements ProgressSink.
+func (f ProgressFunc) Progress(p Progress) { f(p) }
+
+// SlogSink logs each snapshot as a structured line on Logger (or
+// slog.Default when nil) — the default heartbeat destination of every CLI.
+type SlogSink struct {
+	Logger *slog.Logger
+}
+
+// Progress implements ProgressSink.
+func (s SlogSink) Progress(p Progress) {
+	l := s.Logger
+	if l == nil {
+		l = slog.Default()
+	}
+	l.Info("runner heartbeat", "progress", p)
+}
+
+// MultiSink fans each snapshot out to every sink in order.
+type MultiSink []ProgressSink
+
+// Progress implements ProgressSink.
+func (m MultiSink) Progress(p Progress) {
+	for _, s := range m {
+		s.Progress(p)
+	}
 }
 
 // Progress is one heartbeat snapshot of an in-flight Run.
@@ -212,11 +251,11 @@ func (p *Pool) snapshot(start time.Time, total, jobs int,
 }
 
 func (p *Pool) emitProgress(pr Progress) {
-	if p.Progress != nil {
-		p.Progress(pr)
+	if p.Sink != nil {
+		p.Sink.Progress(pr)
 		return
 	}
-	slog.Info("runner heartbeat", "progress", pr)
+	SlogSink{}.Progress(pr)
 }
 
 // execute runs one cell with panic isolation, the per-attempt timeout and

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ccr/internal/buildinfo"
+	"ccr/internal/serve/wire"
+)
+
+// ErrVersionMismatch marks a refused handshake: the server was built from
+// a different commit than this client. ccrctl maps it to exit status 2;
+// DialOptions.Force overrides it.
+var ErrVersionMismatch = errors.New("serve: client/server build mismatch")
+
+// IsVersionMismatch reports whether err is a refused version handshake.
+func IsVersionMismatch(err error) bool { return errors.Is(err, ErrVersionMismatch) }
+
+// DialOptions tunes Dial.
+type DialOptions struct {
+	// Force accepts a server whose build identity differs from this
+	// client's (the byte-identity guarantee is then the operator's risk).
+	Force bool
+	// Timeout bounds the dial and the handshake (0 = 5s).
+	Timeout time.Duration
+	// build overrides the client's handshake identity (tests only).
+	build *buildinfo.Info
+}
+
+// Client is a thin synchronous client for one daemon connection. One
+// request is in flight at a time per client; open several clients for
+// concurrency (the daemon handles connections concurrently).
+type Client struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	codec  *wire.Codec
+	nextID uint64
+	server Hello
+}
+
+// Dial connects, performs the hello handshake and enforces the version
+// policy: a protocol mismatch is always fatal, a build-identity mismatch
+// is ErrVersionMismatch unless opts.Force.
+func Dial(addrSpec string, opts DialOptions) (*Client, error) {
+	network, addr, err := ParseAddr(addrSpec)
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addrSpec, err)
+	}
+	cl := &Client{nc: nc, codec: wire.NewCodec(nc)}
+	nc.SetDeadline(time.Now().Add(timeout))
+	if err := cl.handshake(opts); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	return cl, nil
+}
+
+func (c *Client) handshake(opts DialOptions) error {
+	me := buildinfo.Get()
+	if opts.build != nil {
+		me = *opts.build
+	}
+	if err := c.codec.Write(wire.TypeHello, "", 0, Hello{
+		Proto: wire.ProtoVersion, Build: me,
+	}); err != nil {
+		return err
+	}
+	m, err := c.codec.Read()
+	if err != nil {
+		return fmt.Errorf("serve: handshake read: %w", err)
+	}
+	if m.Type == wire.TypeError {
+		var e wire.ErrorBody
+		m.Decode(&e)
+		return fmt.Errorf("serve: server refused handshake: %s", e.Error)
+	}
+	if m.Type != wire.TypeHello {
+		return fmt.Errorf("serve: handshake got %q frame, want hello", m.Type)
+	}
+	if err := m.Decode(&c.server); err != nil {
+		return err
+	}
+	if c.server.Proto != wire.ProtoVersion {
+		return fmt.Errorf("serve: server speaks protocol %d, client %d",
+			c.server.Proto, wire.ProtoVersion)
+	}
+	if reason := buildinfo.Mismatch(me, c.server.Build); reason != "" && !opts.Force {
+		return fmt.Errorf("%w: %s (server: %s; rerun with -force to override)",
+			ErrVersionMismatch, reason, c.server.Build.String())
+	}
+	return nil
+}
+
+// ServerBuild returns the server's handshake identity.
+func (c *Client) ServerBuild() buildinfo.Info { return c.server.Build }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// do issues one request and decodes the final response into resp,
+// forwarding any progress frames to onProgress.
+func (c *Client) do(op string, req, resp any, onProgress func(ProgressBody)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if err := c.codec.Write(wire.TypeRequest, op, id, req); err != nil {
+		return err
+	}
+	for {
+		m, err := c.codec.Read()
+		if err != nil {
+			return fmt.Errorf("serve: %s response: %w", op, err)
+		}
+		switch m.Type {
+		case wire.TypeProgress:
+			if m.ID == id && onProgress != nil {
+				var p ProgressBody
+				if err := m.Decode(&p); err == nil {
+					onProgress(p)
+				}
+			}
+		case wire.TypeResult:
+			if m.ID != id {
+				return fmt.Errorf("serve: response id %d for request %d", m.ID, id)
+			}
+			if resp == nil {
+				return nil
+			}
+			return m.Decode(resp)
+		case wire.TypeError:
+			var e wire.ErrorBody
+			if err := m.Decode(&e); err != nil {
+				return err
+			}
+			return fmt.Errorf("serve: %s: %s", op, e.Error)
+		default:
+			return fmt.Errorf("serve: unexpected %q frame", m.Type)
+		}
+	}
+}
+
+// Ping round-trips a nonce.
+func (c *Client) Ping(nonce int64) error {
+	var back PingBody
+	if err := c.do(OpPing, PingBody{Nonce: nonce}, &back, nil); err != nil {
+		return err
+	}
+	if back.Nonce != nonce {
+		return fmt.Errorf("serve: ping echoed %d, want %d", back.Nonce, nonce)
+	}
+	return nil
+}
+
+// Compile requests a compilation summary.
+func (c *Client) Compile(req CompileReq) (*CompileResp, error) {
+	var resp CompileResp
+	if err := c.do(OpCompile, req, &resp, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Simulate requests one simulation cell.
+func (c *Client) Simulate(req SimulateReq) (*SimulateResp, error) {
+	var resp SimulateResp
+	if err := c.do(OpSimulate, req, &resp, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch requests many cells in one round trip; onProgress (optional)
+// receives streaming heartbeats when req.Stream is set.
+func (c *Client) Batch(req BatchReq, onProgress func(ProgressBody)) (*BatchResp, error) {
+	var resp BatchResp
+	if err := c.do(OpBatch, req, &resp, onProgress); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep requests the full speedup grid.
+func (c *Client) Sweep(req SweepReq, onProgress func(ProgressBody)) (*SweepResp, error) {
+	var resp SweepResp
+	if err := c.do(OpSweep, req, &resp, onProgress); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Verify requests the transparency-verification sweep.
+func (c *Client) Verify(req VerifyReq, onProgress func(ProgressBody)) (*VerifyResp, error) {
+	var resp VerifyResp
+	if err := c.do(OpVerify, req, &resp, onProgress); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Phases requests the warm-buffer train→ref study.
+func (c *Client) Phases(req PhasesReq) (*PhasesResp, error) {
+	var resp PhasesResp
+	if err := c.do(OpPhases, req, &resp, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats requests the daemon's self-report.
+func (c *Client) Stats() (*StatsResp, error) {
+	var resp StatsResp
+	if err := c.do(OpStats, nil, &resp, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Drain asks the daemon to shut down gracefully.
+func (c *Client) Drain() error {
+	var resp DrainResp
+	return c.do(OpDrain, nil, &resp, nil)
+}

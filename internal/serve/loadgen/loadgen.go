@@ -1,0 +1,371 @@
+// Package loadgen is the ccrd load-test harness: it hammers a running
+// daemon with many concurrent clients issuing a deterministic mix of
+// request classes (simulate, digest, batch, compile, stats), measures
+// client-observed latency percentiles, throughput and error counts per
+// class, and reads the daemon's own cache counters before and after the
+// run to report the resident caches' hit rate.
+//
+// The headline number is WarmSpeedup: the median cold (first-ever) latency
+// of a simulate cell divided by the median warm (resident-cache) latency
+// of the same cells under load. BENCH_serve.json records it and CI gates
+// on it — a daemon that recomputes instead of serving from its caches
+// fails the gate.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ccr/internal/runner"
+	"ccr/internal/serve"
+	"ccr/internal/workloads"
+)
+
+// Config parameterizes one load-test run.
+type Config struct {
+	// Addr is the daemon address (serve.ParseAddr syntax).
+	Addr string `json:"addr,omitempty"`
+	// Clients is the number of concurrent client connections (default 8).
+	Clients int `json:"clients"`
+	// Requests is the total number of mixed requests across all clients in
+	// the hammer phase (default 400), on top of the cold phase that first
+	// touches every distinct cell once.
+	Requests int `json:"requests"`
+	// Scale selects the workload scale (default small).
+	Scale string `json:"scale"`
+	// Seed makes the per-client request interleaving reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Force forwards serve.DialOptions.Force.
+	Force bool `json:"-"`
+}
+
+// ClassStats aggregates one request class's client-observed latencies.
+type ClassStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors,omitempty"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Report is one load-test run's outcome.
+type Report struct {
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	Scale    string `json:"scale"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Errors        int     `json:"errors"`
+
+	Classes map[string]ClassStats `json:"classes"`
+
+	// ColdMS and WarmMS are the median client-observed latencies of the
+	// first-ever request per cell vs the same cells served warm under
+	// load; WarmSpeedup is their ratio (the resident-cache win).
+	ColdMS      float64 `json:"cold_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// WarmSpeedupServer is the same ratio measured from the daemon's own
+	// per-request wall time, excluding wire and scheduling noise.
+	WarmSpeedupServer float64 `json:"warm_speedup_server"`
+
+	// CacheHitRate is hits/(hits+misses) over every resident cache during
+	// the run (deltas between the before and after stats snapshots).
+	CacheHitRate float64                      `json:"cache_hit_rate"`
+	Caches       map[string]runner.CacheStats `json:"caches,omitempty"`
+}
+
+// cell is one distinct simulate point of the load grid.
+type cell struct {
+	req serve.SimulateReq
+}
+
+// grid is the distinct-cell universe the generator draws from: every
+// benchmark × dataset, as base runs, default-geometry CCR runs and one
+// alternate geometry.
+func grid(scale string) []cell {
+	geoms := []*serve.CRBGeom{nil, {Entries: 32, Instances: 4}}
+	var cells []cell
+	for _, bn := range workloads.Names() {
+		for _, ds := range []string{"train", "ref"} {
+			cells = append(cells, cell{req: serve.SimulateReq{
+				Bench: bn, Scale: scale, Dataset: ds, Base: true}})
+			for _, g := range geoms {
+				cells = append(cells, cell{req: serve.SimulateReq{
+					Bench: bn, Scale: scale, Dataset: ds, CRB: g}})
+			}
+		}
+	}
+	return cells
+}
+
+// The hammer-phase class mix, as a fixed pattern (deterministic given the
+// request index): mostly warm simulates, plus digests, small batches,
+// compiles and stats polls.
+var classPattern = []string{
+	"simulate", "simulate", "simulate", "simulate", "simulate", "simulate",
+	"simulate", "simulate", "simulate", "simulate", "simulate", "simulate",
+	"digest", "digest", "digest",
+	"batch", "batch",
+	"compile", "compile",
+	"stats",
+}
+
+// sample is one timed request.
+type sample struct {
+	class    string
+	ms       float64
+	serverNS int64
+	err      error
+}
+
+// Run executes the load test against a running daemon.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 400
+	}
+	scale := cfg.Scale
+	if scale == "" {
+		scale = "small"
+	}
+	dial := func() (*serve.Client, error) {
+		return serve.Dial(cfg.Addr, serve.DialOptions{Force: cfg.Force})
+	}
+	ctl, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+	statsBefore, err := ctl.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats before: %w", err)
+	}
+
+	cells := grid(scale)
+
+	// Cold phase: touch every distinct cell exactly once, serially, and
+	// time each first-ever computation.
+	var cold []sample
+	for _, c := range cells {
+		t0 := time.Now()
+		resp, err := ctl.Simulate(c.req)
+		s := sample{class: "cold", ms: msSince(t0), err: err}
+		if err == nil {
+			s.serverNS = resp.ServerNS
+		}
+		cold = append(cold, s)
+	}
+
+	// Hammer phase: Clients concurrent connections issue Requests mixed
+	// requests; each client walks the cell grid in its own seeded order so
+	// the daemon sees overlapping, interleaved keys.
+	start := time.Now()
+	perClient := (cfg.Requests + cfg.Clients - 1) / cfg.Clients
+	sampleCh := make(chan sample, cfg.Requests+cfg.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := dial()
+			if err != nil {
+				sampleCh <- sample{class: "dial", err: err}
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			order := rng.Perm(len(cells))
+			for i := 0; i < perClient; i++ {
+				class := classPattern[(i*cfg.Clients+w)%len(classPattern)]
+				c := cells[order[i%len(order)]]
+				t0 := time.Now()
+				var (
+					serverNS int64
+					err      error
+				)
+				switch class {
+				case "simulate":
+					var r *serve.SimulateResp
+					r, err = cl.Simulate(c.req)
+					if err == nil {
+						serverNS = r.ServerNS
+					}
+				case "digest":
+					req := c.req
+					req.Base = false
+					req.Digest = true
+					var r *serve.SimulateResp
+					r, err = cl.Simulate(req)
+					if err == nil {
+						serverNS = r.ServerNS
+					}
+				case "batch":
+					n := 4
+					if n > len(cells) {
+						n = len(cells)
+					}
+					breq := serve.BatchReq{Jobs: 2}
+					for j := 0; j < n; j++ {
+						breq.Cells = append(breq.Cells, cells[order[(i+j)%len(order)]].req)
+					}
+					var r *serve.BatchResp
+					r, err = cl.Batch(breq, nil)
+					if err == nil && r.Failed > 0 {
+						err = fmt.Errorf("loadgen: batch reported %d failed cells", r.Failed)
+					}
+				case "compile":
+					_, err = cl.Compile(serve.CompileReq{Bench: c.req.Bench, Scale: scale})
+				case "stats":
+					_, err = cl.Stats()
+				}
+				sampleCh <- sample{class: class, ms: msSince(t0), serverNS: serverNS, err: err}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(sampleCh)
+	wall := time.Since(start).Seconds()
+
+	var samples []sample
+	for s := range sampleCh {
+		samples = append(samples, s)
+	}
+
+	statsAfter, err := ctl.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats after: %w", err)
+	}
+
+	return build(cfg, scale, wall, cold, samples, statsBefore, statsAfter), nil
+}
+
+// build aggregates the raw samples into the report.
+func build(cfg Config, scale string, wall float64, cold, samples []sample,
+	before, after *serve.StatsResp) *Report {
+	r := &Report{
+		Clients:     cfg.Clients,
+		Requests:    len(samples),
+		Scale:       scale,
+		WallSeconds: wall,
+		Classes:     map[string]ClassStats{},
+	}
+	if wall > 0 {
+		r.ThroughputRPS = float64(len(samples)) / wall
+	}
+
+	byClass := map[string][]float64{}
+	var warmMS []float64
+	var warmSrv []float64
+	for _, s := range samples {
+		if s.err != nil {
+			r.Errors++
+			cs := r.Classes[s.class]
+			cs.Errors++
+			r.Classes[s.class] = cs
+			continue
+		}
+		byClass[s.class] = append(byClass[s.class], s.ms)
+		if s.class == "simulate" {
+			warmMS = append(warmMS, s.ms)
+			if s.serverNS > 0 {
+				warmSrv = append(warmSrv, float64(s.serverNS))
+			}
+		}
+	}
+	for class, lats := range byClass {
+		cs := r.Classes[class]
+		cs.Count = len(lats)
+		sort.Float64s(lats)
+		cs.P50MS = percentile(lats, 0.50)
+		cs.P95MS = percentile(lats, 0.95)
+		cs.P99MS = percentile(lats, 0.99)
+		cs.MaxMS = lats[len(lats)-1]
+		cs.MeanMS = mean(lats)
+		r.Classes[class] = cs
+	}
+
+	var coldMS, coldSrv []float64
+	for _, s := range cold {
+		if s.err != nil {
+			r.Errors++
+			continue
+		}
+		coldMS = append(coldMS, s.ms)
+		if s.serverNS > 0 {
+			coldSrv = append(coldSrv, float64(s.serverNS))
+		}
+	}
+	sort.Float64s(coldMS)
+	sort.Float64s(warmMS)
+	sort.Float64s(coldSrv)
+	sort.Float64s(warmSrv)
+	r.ColdMS = percentile(coldMS, 0.50)
+	r.WarmMS = percentile(warmMS, 0.50)
+	if r.WarmMS > 0 {
+		r.WarmSpeedup = r.ColdMS / r.WarmMS
+	}
+	if ws := percentile(warmSrv, 0.50); ws > 0 {
+		r.WarmSpeedupServer = percentile(coldSrv, 0.50) / ws
+	}
+
+	// Cache effectiveness: counter deltas across the run, summed over
+	// every resident cache of every scale.
+	var hits, misses int64
+	r.Caches = map[string]runner.CacheStats{}
+	for scaleName, su := range after.Suites {
+		for cacheName, st := range su.Caches {
+			key := scaleName + "/" + cacheName
+			prev := runner.CacheStats{}
+			if b, ok := before.Suites[scaleName]; ok {
+				prev = b.Caches[cacheName]
+			}
+			d := runner.CacheStats{Hits: st.Hits - prev.Hits, Misses: st.Misses - prev.Misses}
+			r.Caches[key] = d
+			hits += d.Hits
+			misses += d.Misses
+		}
+	}
+	if hits+misses > 0 {
+		r.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return r
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1e3
+}
+
+// percentile reads quantile q from an ascending-sorted slice (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"ccr/internal/serve"
+)
+
+// startDaemon brings an in-process daemon up on a unix socket.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "ccrd.sock")
+	srv := serve.NewServer(serve.Config{Jobs: 2})
+	ln, err := serve.Listen("unix:" + sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Drain()
+		srv.Wait()
+	})
+	return "unix:" + sock
+}
+
+func TestRunAgainstLiveDaemon(t *testing.T) {
+	addr := startDaemon(t)
+	cfg := Config{Addr: addr, Clients: 4, Requests: 80, Scale: "tiny", Seed: 1}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run had %d errors: %+v", rep.Errors, rep.Classes)
+	}
+	if rep.Requests < cfg.Requests {
+		t.Errorf("Requests = %d, want >= %d", rep.Requests, cfg.Requests)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("ThroughputRPS = %v", rep.ThroughputRPS)
+	}
+	for class, cs := range rep.Classes {
+		if cs.Count == 0 {
+			t.Errorf("class %s saw no requests", class)
+		}
+		if cs.P50MS > cs.P95MS || cs.P95MS > cs.P99MS || cs.P99MS > cs.MaxMS {
+			t.Errorf("class %s percentiles out of order: %+v", class, cs)
+		}
+	}
+	for _, class := range []string{"simulate", "digest", "batch", "compile", "stats"} {
+		if _, ok := rep.Classes[class]; !ok {
+			t.Errorf("class %s missing from mix", class)
+		}
+	}
+	if rep.ColdMS <= 0 || rep.WarmMS <= 0 || rep.WarmSpeedup <= 0 {
+		t.Errorf("cold/warm medians missing: cold=%v warm=%v speedup=%v",
+			rep.ColdMS, rep.WarmMS, rep.WarmSpeedup)
+	}
+	if rep.WarmSpeedupServer < 1 {
+		t.Errorf("server-side warm speedup %v < 1 — caches not serving hits",
+			rep.WarmSpeedupServer)
+	}
+	// The hammer phase re-requests cells the cold phase already computed,
+	// so the resident caches must be mostly hitting.
+	if rep.CacheHitRate < 0.5 {
+		t.Errorf("CacheHitRate = %v, want >= 0.5 (caches: %+v)", rep.CacheHitRate, rep.Caches)
+	}
+}
+
+func TestGates(t *testing.T) {
+	good := &Report{
+		Requests: 100, Errors: 0,
+		ColdMS: 50, WarmMS: 1, WarmSpeedup: 50,
+		CacheHitRate: 0.9,
+	}
+	if err := DefaultGates().Check(good); err != nil {
+		t.Errorf("good report failed gates: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"errors", func(r *Report) { r.Errors = 1 }},
+		{"warm speedup", func(r *Report) { r.WarmSpeedup = 2 }},
+		{"hit rate", func(r *Report) { r.CacheHitRate = 0.1 }},
+		{"empty", func(r *Report) { r.Requests = 0 }},
+	}
+	for _, c := range cases {
+		r := *good
+		c.mutate(&r)
+		if err := DefaultGates().Check(&r); err == nil {
+			t.Errorf("%s violation passed gates", c.name)
+		}
+	}
+	if err := DefaultGates().Check(nil); err == nil {
+		t.Error("nil report passed gates")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := NewRecord(
+		Config{Clients: 8, Requests: 400, Scale: "small"},
+		&Report{Requests: 400, WarmSpeedup: 12.5, CacheHitRate: 0.93,
+			Classes: map[string]ClassStats{"simulate": {Count: 240, P50MS: 0.4}}},
+		"abc1234", "initial capture")
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rec)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Errorf("record diverged through the file:\n%s\n%s", a, b)
+	}
+	if back.GOOS == "" || back.GOARCH == "" {
+		t.Errorf("record not stamped: %+v", back)
+	}
+	if _, err := ReadRecord(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing record did not error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.50, 5}, {0.90, 9}, {0.95, 10}, {0.99, 10}, {1.0, 10}}
+	for _, c := range cases {
+		if got := percentile(xs, c.q); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v", got)
+	}
+}

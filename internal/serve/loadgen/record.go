@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Record is the BENCH_serve.json schema: one machine-stamped load-test
+// report plus the gates CI enforces over it. Like BENCH_emu.json it is a
+// committed artifact — `ccrctl bench -update` rewrites it, `ccrctl bench
+// -check` regenerates a fresh report on the same machine class and gates.
+type Record struct {
+	CPU    string `json:"cpu,omitempty"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	Commit string `json:"commit,omitempty"`
+	Note   string `json:"note,omitempty"`
+
+	Config Config  `json:"config"`
+	Report *Report `json:"report"`
+}
+
+// NewRecord stamps a report with the runtime environment.
+func NewRecord(cfg Config, rep *Report, commit, note string) *Record {
+	return &Record{
+		CPU:    cpuModel(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Commit: commit,
+		Note:   note,
+		Config: cfg,
+		Report: rep,
+	}
+}
+
+// Gates are the pass/fail thresholds over a report.
+type Gates struct {
+	// MinWarmSpeedup is the required cold/warm median-latency ratio
+	// (default 5 — the resident caches must be worth at least 5×).
+	MinWarmSpeedup float64
+	// MaxErrorFrac is the tolerated fraction of failed requests
+	// (default 0 — any error fails).
+	MaxErrorFrac float64
+	// MinCacheHitRate is the required resident-cache hit rate under the
+	// mixed load (default 0.5).
+	MinCacheHitRate float64
+}
+
+// DefaultGates returns the CI thresholds.
+func DefaultGates() Gates {
+	return Gates{MinWarmSpeedup: 5, MaxErrorFrac: 0, MinCacheHitRate: 0.5}
+}
+
+// Check gates a report; the error lists every violated gate.
+func (g Gates) Check(r *Report) error {
+	var viol []string
+	if r == nil {
+		return fmt.Errorf("loadgen: no report")
+	}
+	if r.Requests == 0 {
+		viol = append(viol, "no requests completed")
+	}
+	frac := 0.0
+	if r.Requests > 0 {
+		frac = float64(r.Errors) / float64(r.Requests)
+	}
+	if frac > g.MaxErrorFrac {
+		viol = append(viol, fmt.Sprintf("error fraction %.4f > %.4f (%d errors)",
+			frac, g.MaxErrorFrac, r.Errors))
+	}
+	if r.WarmSpeedup < g.MinWarmSpeedup {
+		viol = append(viol, fmt.Sprintf("warm speedup %.2fx < required %.2fx (cold %.3fms, warm %.3fms)",
+			r.WarmSpeedup, g.MinWarmSpeedup, r.ColdMS, r.WarmMS))
+	}
+	if r.CacheHitRate < g.MinCacheHitRate {
+		viol = append(viol, fmt.Sprintf("cache hit rate %.3f < required %.3f",
+			r.CacheHitRate, g.MinCacheHitRate))
+	}
+	if len(viol) > 0 {
+		return fmt.Errorf("loadgen: gates failed:\n  %s", strings.Join(viol, "\n  "))
+	}
+	return nil
+}
+
+// WriteFile writes the record as indented JSON.
+func (r *Record) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadRecord loads a committed record.
+func ReadRecord(path string) (*Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// cpuModel best-effort reads the CPU model name (linux); empty elsewhere.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

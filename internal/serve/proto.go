@@ -1,0 +1,320 @@
+// Package serve is the ccrd simulation service: a long-running daemon that
+// keeps the expensive artifacts of the CCR pipeline — prepared (alias-
+// annotated) benchmark programs, predecoded ir code, CCR compilations,
+// baseline and CCR timing runs, limit studies and oracle digests — resident
+// in single-flight caches across requests, and serves compile / simulate /
+// sweep / verify / phases requests from many concurrent clients over the
+// length-prefixed JSON protocol of internal/serve/wire.
+//
+// The resident state is exactly the experiments.Suite cache family, shared
+// by every request at the same workload scale, so the daemon's answers are
+// byte-identical to a fresh single-shot CLI run: caches only ever memoize
+// deterministic pure computations keyed by their full inputs (benchmark,
+// dataset, crb.Config.Key()). Warm requests skip recomputation entirely —
+// the latency gap between the first and second identical request is the
+// service's reason to exist (BENCH_serve.json records it).
+package serve
+
+import (
+	"fmt"
+
+	"ccr/internal/buildinfo"
+	"ccr/internal/core"
+	"ccr/internal/crb"
+	"ccr/internal/experiments"
+	"ccr/internal/oracle"
+	"ccr/internal/runner"
+	"ccr/internal/workloads"
+)
+
+// Operation names carried in wire.Msg.Op.
+const (
+	OpPing     = "ping"
+	OpCompile  = "compile"
+	OpSimulate = "simulate"
+	OpBatch    = "batch"
+	OpSweep    = "sweep"
+	OpVerify   = "verify"
+	OpPhases   = "phases"
+	OpStats    = "stats"
+	OpDrain    = "drain"
+)
+
+// Hello is the handshake body, sent client-first and echoed by the server
+// with its own identity. The server refuses a protocol-generation mismatch
+// outright; the client refuses a build-identity mismatch (exit 2) unless
+// forced, because a version-skewed pair silently voids the byte-identity
+// guarantee the service advertises.
+type Hello struct {
+	Proto int            `json:"proto"`
+	Build buildinfo.Info `json:"build"`
+}
+
+// CRBGeom selects a CRB geometry on the wire; the zero value means the
+// paper's default configuration.
+type CRBGeom struct {
+	Entries   int     `json:"entries,omitempty"`
+	Instances int     `json:"instances,omitempty"`
+	Assoc     int     `json:"assoc,omitempty"`
+	NoMemFrac float64 `json:"nomem_frac,omitempty"`
+}
+
+// Config materializes the geometry over the default configuration.
+func (g CRBGeom) Config() crb.Config {
+	c := crb.DefaultConfig()
+	if g.Entries > 0 {
+		c.Entries = g.Entries
+	}
+	if g.Instances > 0 {
+		c.Instances = g.Instances
+	}
+	if g.Assoc > 0 {
+		c.Assoc = g.Assoc
+	}
+	if g.NoMemFrac > 0 {
+		c.NoMemEntriesFrac = g.NoMemFrac
+	}
+	return c
+}
+
+// SimulateReq asks for one simulation cell: a (benchmark, scale, dataset)
+// point run either as the base program without a CRB (Base) or as the CCR-
+// transformed program against the requested CRB geometry.
+type SimulateReq struct {
+	Bench   string `json:"bench"`
+	Scale   string `json:"scale,omitempty"`   // tiny|small|medium|large; default small
+	Dataset string `json:"dataset,omitempty"` // train|ref; default train
+	Base    bool   `json:"base,omitempty"`
+	// CRB overrides the default geometry for CCR runs; ignored with Base.
+	CRB *CRBGeom `json:"crb,omitempty"`
+	// Digest additionally runs the functional oracle digest of the cell
+	// (cached server-side) — the client-checkable transparency receipt.
+	Digest bool `json:"digest,omitempty"`
+	// NoTiming skips the cycle-level timing model; only meaningful
+	// together with Digest (a functional-only request).
+	NoTiming bool `json:"no_timing,omitempty"`
+}
+
+// EmuStats is the wire subset of the emulator's run statistics.
+type EmuStats struct {
+	DynInstrs     int64 `json:"dyn_instrs"`
+	ReuseHits     int64 `json:"reuse_hits,omitempty"`
+	ReuseMisses   int64 `json:"reuse_misses,omitempty"`
+	ReusedInstrs  int64 `json:"reused_instrs,omitempty"`
+	MemoAborts    int64 `json:"memo_aborts,omitempty"`
+	Invalidations int64 `json:"invalidations,omitempty"`
+}
+
+// SimulateResp is one cell's answer.
+type SimulateResp struct {
+	Bench   string `json:"bench"`
+	Dataset string `json:"dataset"`
+	// Config is the canonical crb.Config.Key() of the simulated geometry,
+	// or "base" for a CRB-off baseline run.
+	Config string `json:"config"`
+	Result int64  `json:"result"`
+	// Cycles is the timing model's cycle count (0 with NoTiming).
+	Cycles   int64      `json:"cycles,omitempty"`
+	Emu      EmuStats   `json:"emu"`
+	CRB      *crb.Stats `json:"crb,omitempty"`
+	// Digest is the functional run's architectural digest when requested.
+	Digest *oracle.Digest `json:"digest,omitempty"`
+	// ServerNS is the server-side wall time of this cell, nanoseconds —
+	// the cache-warmth signal (a warm cell is orders of magnitude faster).
+	ServerNS int64 `json:"server_ns"`
+}
+
+// CompileReq asks for the CCR compilation summary of one benchmark.
+type CompileReq struct {
+	Bench string `json:"bench"`
+	Scale string `json:"scale,omitempty"`
+}
+
+// CompileResp summarizes a compilation.
+type CompileResp struct {
+	Bench        string `json:"bench"`
+	Regions      int    `json:"regions"`
+	RegionInstrs int    `json:"region_instrs"`
+	TrainResult  int64  `json:"train_result"`
+	ServerNS     int64  `json:"server_ns"`
+}
+
+// BatchReq is the batch endpoint: one request, many cells, executed on a
+// per-request runner.Pool over the shared resident caches.
+type BatchReq struct {
+	Cells []SimulateReq `json:"cells"`
+	// Jobs is the pool width for this batch (0 = server default).
+	Jobs int `json:"jobs,omitempty"`
+	// Stream asks for progress frames while the batch runs; HeartbeatMS
+	// sets their interval (default 500ms).
+	Stream      bool `json:"stream,omitempty"`
+	HeartbeatMS int  `json:"heartbeat_ms,omitempty"`
+}
+
+// BatchCell is one cell's outcome inside a batch response.
+type BatchCell struct {
+	SimulateResp
+	Err string `json:"err,omitempty"`
+}
+
+// BatchResp answers a batch: results in cell order, plus pool accounting.
+type BatchResp struct {
+	Results     []BatchCell `json:"results"`
+	Failed      int         `json:"failed"`
+	Jobs        int         `json:"jobs"`
+	WallSeconds float64     `json:"wall_seconds"`
+}
+
+// SweepReq runs the full speedup grid — every benchmark × dataset × the
+// standard sweep geometries (the Figure 8 + ablation matrix) — on the
+// resident caches.
+type SweepReq struct {
+	Scale       string `json:"scale,omitempty"`
+	Jobs        int    `json:"jobs,omitempty"`
+	Stream      bool   `json:"stream,omitempty"`
+	HeartbeatMS int    `json:"heartbeat_ms,omitempty"`
+}
+
+// SweepRow is one grid point's speedup.
+type SweepRow struct {
+	Bench   string  `json:"bench"`
+	Dataset string  `json:"dataset"`
+	Config  string  `json:"config"`
+	Speedup float64 `json:"speedup,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// SweepResp answers a sweep.
+type SweepResp struct {
+	Rows        []SweepRow `json:"rows"`
+	Failed      int        `json:"failed"`
+	WallSeconds float64    `json:"wall_seconds"`
+}
+
+// VerifyReq runs the §3.1 transparency-verification sweep (the same code
+// path as `ccrpaper -verify`) on the resident suite.
+type VerifyReq struct {
+	Scale       string `json:"scale,omitempty"`
+	Jobs        int    `json:"jobs,omitempty"`
+	Stream      bool   `json:"stream,omitempty"`
+	HeartbeatMS int    `json:"heartbeat_ms,omitempty"`
+}
+
+// VerifyResp reports the sweep outcome; Rows is empty when the
+// transparency contract held at every point.
+type VerifyResp struct {
+	Checked     int                     `json:"checked"`
+	Rows        []experiments.VerifyRow `json:"rows,omitempty"`
+	WallSeconds float64                 `json:"wall_seconds"`
+}
+
+// PhasesReq runs the warm-buffer train→ref phase study of one benchmark —
+// the one endpoint whose CRB state deliberately persists across program
+// runs (within the request; the buffer never leaks between requests).
+type PhasesReq struct {
+	Bench string   `json:"bench"`
+	Scale string   `json:"scale,omitempty"`
+	CRB   *CRBGeom `json:"crb,omitempty"`
+}
+
+// PhasesResp carries the per-phase counters.
+type PhasesResp struct {
+	Bench  string                    `json:"bench"`
+	Phases [2]experiments.PhaseStats `json:"phases"`
+}
+
+// ProgressBody is a streaming-progress frame's payload: one heartbeat
+// snapshot of the request's pool (runner.Progress over the wire).
+type ProgressBody struct {
+	Done        int     `json:"done"`
+	Total       int     `json:"total"`
+	Failed      int     `json:"failed,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	EtaMS       float64 `json:"eta_ms,omitempty"`
+	Utilization float64 `json:"utilization"`
+}
+
+func progressBody(p runner.Progress) ProgressBody {
+	return ProgressBody{
+		Done: p.Done, Total: p.Total, Failed: p.Failed,
+		ElapsedMS:   float64(p.Elapsed.Microseconds()) / 1e3,
+		EtaMS:       float64(p.ETA.Microseconds()) / 1e3,
+		Utilization: p.Utilization,
+	}
+}
+
+// SuiteStats reports one resident suite's cache effectiveness.
+type SuiteStats struct {
+	Benches int                          `json:"benches"`
+	Caches  map[string]runner.CacheStats `json:"caches"`
+}
+
+// StatsResp is the daemon's self-report.
+type StatsResp struct {
+	Build         buildinfo.Info        `json:"build"`
+	Proto         int                   `json:"proto"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Requests      map[string]int64      `json:"requests"`
+	InFlight      int64                 `json:"in_flight"`
+	Conns         int64                 `json:"conns"`
+	Draining      bool                  `json:"draining"`
+	Suites        map[string]SuiteStats `json:"suites,omitempty"`
+}
+
+// PingBody is echoed verbatim.
+type PingBody struct {
+	Nonce int64 `json:"nonce,omitempty"`
+}
+
+// DrainResp acknowledges a drain request before shutdown begins.
+type DrainResp struct {
+	Draining bool `json:"draining"`
+}
+
+// datasetArgs resolves a wire dataset name onto a benchmark's argument
+// vector.
+func datasetArgs(b *workloads.Benchmark, dataset string) ([]int64, string, error) {
+	switch dataset {
+	case "", "train":
+		return b.Train, "train", nil
+	case "ref":
+		return b.Ref, "ref", nil
+	}
+	return nil, "", fmt.Errorf("serve: unknown dataset %q (want train or ref)", dataset)
+}
+
+// simKey canonically names a simulate cell for manifests.
+func simKey(req SimulateReq) string {
+	cfg := "base"
+	if !req.Base {
+		c := crb.DefaultConfig()
+		if req.CRB != nil {
+			c = req.CRB.Config()
+		}
+		cfg = c.Key()
+	}
+	ds := req.Dataset
+	if ds == "" {
+		ds = "train"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", req.Bench, scaleName(req.Scale), ds, cfg)
+}
+
+// scaleName normalizes the wire scale field.
+func scaleName(s string) string {
+	if s == "" {
+		return "small"
+	}
+	return s
+}
+
+// suiteConfig is the fixed pipeline configuration a resident suite runs:
+// the paper's defaults at the requested scale. Geometry variations come in
+// per request and key the ccr-sim cache, so one suite serves them all.
+func suiteConfig(sc workloads.Scale, jobs int) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = sc
+	cfg.Jobs = jobs
+	cfg.Opts = core.DefaultOptions()
+	return cfg
+}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireRoundTrip drives the codec from both ends with arbitrary bytes:
+//
+//  1. the bytes are fed to Read as a raw stream — a malformed frame must
+//     produce an error, never a panic (the daemon shares its process with
+//     every other client's connection);
+//  2. the bytes are wrapped into a well-formed message and round-tripped —
+//     whatever Write produced, Read must reproduce exactly.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte(`{"type":"request","op":"simulate","id":3}`))
+	seed := func(m Msg) {
+		var buf bytes.Buffer
+		c := NewCodec(&buf)
+		if err := c.WriteMsg(m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(Msg{Type: TypeHello})
+	seed(Msg{Type: TypeRequest, Op: "batch", ID: 99, Body: []byte(`{"cells":[{"bench":"lex"}]}`)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Malicious-stream half: decode until the stream errors or ends.
+		// The only accepted outcomes are messages and errors.
+		c := NewCodec(bytes.NewBuffer(data))
+		for i := 0; i < 64; i++ {
+			if _, err := c.Read(); err != nil {
+				if errors.Is(err, io.EOF) && i == 0 && len(data) > 0 && len(data) < 4 {
+					t.Fatal("short header must be ErrUnexpectedEOF, not clean EOF")
+				}
+				break
+			}
+		}
+
+		// Round-trip half: any bytes become a valid body via JSON string
+		// encoding (base64), and the envelope must survive bit-exactly.
+		id := uint64(len(data))
+		var buf bytes.Buffer
+		enc := NewCodec(&buf)
+		if err := enc.Write(TypeRequest, "fuzz", id, data); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// The frame header must announce exactly the bytes that follow.
+		raw := buf.Bytes()
+		if len(raw) < 4 {
+			t.Fatalf("frame shorter than header: %d bytes", len(raw))
+		}
+		if n := binary.BigEndian.Uint32(raw); int(n) != len(raw)-4 {
+			t.Fatalf("header announces %d bytes, frame has %d", n, len(raw)-4)
+		}
+		m, err := NewCodec(bytes.NewBuffer(raw)).Read()
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if m.Type != TypeRequest || m.Op != "fuzz" || m.ID != id {
+			t.Fatalf("envelope diverged: %+v", m)
+		}
+		var back []byte
+		if err := m.Decode(&back); err != nil {
+			t.Fatalf("decode body: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("body diverged: %x vs %x", back, data)
+		}
+	})
+}

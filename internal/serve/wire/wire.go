@@ -1,0 +1,177 @@
+// Package wire is the framing layer of the ccrd protocol: length-prefixed
+// JSON messages over any byte stream (unix socket or TCP). Each frame is a
+// 4-byte big-endian payload length followed by exactly that many bytes of
+// JSON encoding one Msg — a typed, id-correlated envelope.
+//
+// The codec is deliberately boring: self-delimiting frames make request
+// pipelining and interleaved streaming-progress frames trivial, a hard
+// frame-size bound keeps a malformed or hostile peer from ballooning the
+// daemon's memory, and every decode failure surfaces as an error — never a
+// panic — so one bad client cannot take the daemon down (FuzzWireRoundTrip
+// pins this).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProtoVersion is the wire-protocol generation, exchanged (alongside the
+// build identity) in the hello handshake. Bump it on any incompatible
+// framing or envelope change.
+const ProtoVersion = 1
+
+// MaxFrame bounds one frame's payload; larger announced lengths are
+// rejected before any allocation. Batch responses carry at most a few
+// thousand cells of a few hundred bytes each, so 64 MiB is generous.
+const MaxFrame = 64 << 20
+
+// Envelope types. Request op names (simulate, batch, ...) are the serve
+// package's vocabulary; the framing layer only distinguishes the message
+// kinds that affect conversation flow.
+const (
+	// TypeHello opens a connection in both directions: the client's build
+	// identity and protocol version, then the server's.
+	TypeHello = "hello"
+	// TypeRequest carries an operation request; Msg.Op names the operation.
+	TypeRequest = "request"
+	// TypeResult carries a request's successful final response.
+	TypeResult = "result"
+	// TypeError carries a request's failure as a string.
+	TypeError = "error"
+	// TypeProgress carries an intermediate progress snapshot for a
+	// streaming request; zero or more precede the final result/error.
+	TypeProgress = "progress"
+)
+
+// Msg is one frame's envelope. ID correlates a request with its progress
+// and final frames; the client chooses it, the server echoes it.
+type Msg struct {
+	Type string `json:"type"`
+	// Op is the requested operation for TypeRequest frames.
+	Op string `json:"op,omitempty"`
+	ID uint64 `json:"id,omitempty"`
+	// Body is the operation-specific payload.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Decode unmarshals the message body into v; an absent body decodes only
+// into pointers happy with empty input.
+func (m Msg) Decode(v any) error {
+	body := m.Body
+	if len(body) == 0 {
+		body = []byte("{}")
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: decode %s body: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Framing errors, classifiable with errors.Is.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
+	ErrEmptyFrame    = errors.New("wire: zero-length frame")
+)
+
+// Codec frames messages over one stream. Reads must come from a single
+// goroutine; writes are internally serialized so a streaming request's
+// progress frames (written from a heartbeat goroutine) can interleave
+// safely with responses.
+type Codec struct {
+	r    *bufio.Reader
+	w    *bufio.Writer
+	wmu  sync.Mutex
+	lim  int
+	rbuf [4]byte
+}
+
+// NewCodec wraps a byte stream. The read and write halves are independent;
+// rw is typically a net.Conn.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{r: bufio.NewReader(rw), w: bufio.NewWriter(rw), lim: MaxFrame}
+}
+
+// SetLimit overrides the frame-size bound (tests only; the default is
+// MaxFrame).
+func (c *Codec) SetLimit(n int) { c.lim = n }
+
+// Read reads the next frame. io.EOF is returned bare when the stream ends
+// cleanly between frames; any truncation mid-frame is io.ErrUnexpectedEOF.
+func (c *Codec) Read() (Msg, error) {
+	var m Msg
+	if _, err := io.ReadFull(c.r, c.rbuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return m, io.EOF
+		}
+		return m, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(c.rbuf[:])
+	if n == 0 {
+		return m, ErrEmptyFrame
+	}
+	if int64(n) > int64(c.lim) {
+		return m, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, c.lim)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return m, fmt.Errorf("wire: read %d-byte frame: %w", n, err)
+	}
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return m, fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return m, nil
+}
+
+// WriteMsg frames and flushes one message.
+func (c *Codec) WriteMsg(m Msg) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: encode frame: %w", err)
+	}
+	if len(payload) > c.lim {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), c.lim)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush frame: %w", err)
+	}
+	return nil
+}
+
+// Write marshals body and sends it under the given envelope.
+func (c *Codec) Write(typ, op string, id uint64, body any) error {
+	var raw json.RawMessage
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("wire: encode %s body: %w", typ, err)
+		}
+		raw = data
+	}
+	return c.WriteMsg(Msg{Type: typ, Op: op, ID: id, Body: raw})
+}
+
+// WriteError sends a TypeError frame carrying the error text for id.
+func (c *Codec) WriteError(id uint64, err error) error {
+	return c.Write(TypeError, "", id, ErrorBody{Error: err.Error()})
+}
+
+// ErrorBody is the body of a TypeError frame.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

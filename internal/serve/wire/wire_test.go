@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// pipeBuffer is an in-memory ReadWriter: writes append, reads consume.
+type pipeBuffer struct {
+	bytes.Buffer
+}
+
+func roundTrip(t *testing.T, msgs []Msg) []Msg {
+	t.Helper()
+	var buf pipeBuffer
+	c := NewCodec(&buf)
+	for _, m := range msgs {
+		if err := c.WriteMsg(m); err != nil {
+			t.Fatalf("write %+v: %v", m, err)
+		}
+	}
+	var out []Msg
+	for {
+		m, err := c.Read()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		out = append(out, m)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := []Msg{
+		{Type: TypeHello, Body: json.RawMessage(`{"proto":1}`)},
+		{Type: TypeRequest, Op: "simulate", ID: 7, Body: json.RawMessage(`{"bench":"compress"}`)},
+		{Type: TypeProgress, ID: 7, Body: json.RawMessage(`{"done":3,"total":9}`)},
+		{Type: TypeResult, ID: 7},
+		{Type: TypeError, ID: 8, Body: json.RawMessage(`{"error":"boom"}`)},
+	}
+	out := roundTrip(t, in)
+	if len(out) != len(in) {
+		t.Fatalf("got %d messages, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i].Type != out[i].Type || in[i].Op != out[i].Op || in[i].ID != out[i].ID {
+			t.Errorf("msg %d envelope diverged: %+v vs %+v", i, out[i], in[i])
+		}
+		if len(in[i].Body) > 0 && !bytes.Equal(in[i].Body, out[i].Body) {
+			t.Errorf("msg %d body diverged: %s vs %s", i, out[i].Body, in[i].Body)
+		}
+	}
+}
+
+func TestWriteHelperAndDecode(t *testing.T) {
+	var buf pipeBuffer
+	c := NewCodec(&buf)
+	type payload struct {
+		Bench string `json:"bench"`
+		N     int    `json:"n"`
+	}
+	if err := c.Write(TypeRequest, "simulate", 3, payload{Bench: "lex", N: 42}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeRequest || m.Op != "simulate" || m.ID != 3 {
+		t.Fatalf("envelope = %+v", m)
+	}
+	var p payload
+	if err := m.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, payload{Bench: "lex", N: 42}) {
+		t.Fatalf("decoded %+v", p)
+	}
+}
+
+func TestDecodeEmptyBody(t *testing.T) {
+	var p struct{ X int }
+	if err := (Msg{Type: TypeResult}).Decode(&p); err != nil {
+		t.Fatalf("empty body must decode into a struct: %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf pipeBuffer
+	c := NewCodec(&buf)
+	c.SetLimit(64)
+	big := strings.Repeat("x", 200)
+	if err := c.Write(TypeResult, "", 1, map[string]string{"v": big}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize write error = %v, want ErrFrameTooLarge", err)
+	}
+	// An announced length over the bound must be rejected before reading
+	// the payload.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	buf.Write(hdr[:])
+	if _, err := c.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize read error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":       {0, 0, 0, 0},
+		"truncated header":  {0, 0},
+		"truncated payload": {0, 0, 0, 9, '{', '}'},
+		"invalid json":      {0, 0, 0, 3, 'z', 'z', 'z'},
+	}
+	for name, raw := range cases {
+		c := NewCodec(bytes.NewBuffer(raw))
+		if _, err := c.Read(); err == nil {
+			t.Errorf("%s: Read accepted malformed input", name)
+		}
+	}
+	// A clean EOF between frames is bare io.EOF — the signal a connection
+	// closed normally.
+	c := NewCodec(bytes.NewBuffer(nil))
+	if _, err := c.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+// lockstepRW serializes concurrent writes so the interleaving test can use
+// one shared buffer from many goroutines.
+type lockstepRW struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *lockstepRW) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *lockstepRW) Read(p []byte) (int, error) { return l.buf.Read(p) }
+
+// TestConcurrentWrites: frames written from many goroutines through one
+// codec never interleave mid-frame — every frame decodes intact.
+func TestConcurrentWrites(t *testing.T) {
+	rw := &lockstepRW{}
+	c := NewCodec(rw)
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := c.Write(TypeProgress, "", uint64(w), map[string]int{"i": i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := 0
+	for {
+		m, err := c.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d corrupted: %v", seen, err)
+		}
+		if m.Type != TypeProgress || m.ID >= writers {
+			t.Fatalf("frame %d envelope mangled: %+v", seen, m)
+		}
+		seen++
+	}
+	if seen != writers*per {
+		t.Fatalf("read %d frames, want %d", seen, writers*per)
+	}
+}
