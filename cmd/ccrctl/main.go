@@ -49,7 +49,7 @@ commands:
   drain     ask the daemon to shut down gracefully
   bench     load-test the daemon and gate/record BENCH_serve.json
 
-common flags: -addr (default `+defaultAddr+`), -force, -version
+common flags: -addr (default `+defaultAddr+`), -connect-timeout, -force, -version
 run 'ccrctl <command> -h' for command flags`)
 }
 
@@ -82,6 +82,8 @@ func run(cmd string, args []string) {
 	fs := flag.NewFlagSet("ccrctl "+cmd, flag.ExitOnError)
 	addr := fs.String("addr", defaultAddr, "daemon address (unix:/path, tcp:host:port, path, or host:port)")
 	force := fs.Bool("force", false, "accept a server built from a different commit")
+	connectTimeout := fs.Duration("connect-timeout", 0,
+		"retry a failed connect with exponential backoff for this long, e.g. 10s (0 = fail fast)")
 	showVersion := fs.Bool("version", false, "print build/version info and exit")
 
 	// Per-command flags (registered up front so -h lists them).
@@ -145,7 +147,7 @@ func run(cmd string, args []string) {
 		return
 	}
 
-	cl, err := serve.Dial(*addr, serve.DialOptions{Force: *force})
+	cl, err := serve.DialRetry(*addr, serve.DialOptions{Force: *force}, *connectTimeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccrctl:", err)
 		if serve.IsVersionMismatch(err) {

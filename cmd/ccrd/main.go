@@ -4,13 +4,17 @@
 // batch / sweep / verify / phases requests over the internal/serve wire
 // protocol on a unix socket or TCP address.
 //
+// With -store, the content-addressed artifact store is layered under every
+// resident suite, so compilation and simulation results survive daemon
+// restarts (entries are revision-stamped; a rebuilt daemon recomputes).
+//
 // SIGTERM (or SIGINT) drains gracefully: the listener closes, in-flight
 // requests finish and are answered, the run manifest (with -manifest) is
 // flushed, and the process exits 0. A second signal force-exits.
 //
 // Usage:
 //
-//	ccrd [-addr unix:/tmp/ccrd.sock] [-jobs N] [-manifest run.json] [-version]
+//	ccrd [-addr unix:/tmp/ccrd.sock] [-jobs N] [-manifest run.json] [-store DIR] [-version]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"ccr/internal/buildinfo"
 	"ccr/internal/serve"
+	"ccr/internal/store"
 )
 
 func main() {
@@ -29,6 +34,7 @@ func main() {
 		"listen address: unix:/path, tcp:host:port, a socket path, or host:port")
 	jobs := flag.Int("jobs", 0, "default pool width for request fan-outs (0 = GOMAXPROCS)")
 	manifest := flag.String("manifest", "", "accumulate a JSON run manifest, flushed on drain")
+	storeDir := flag.String("store", "", "root a persistent artifact store here (survives restarts)")
 	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
 
@@ -42,6 +48,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *storeDir, Revision: store.DefaultRevision()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccrd:", err)
+			os.Exit(2)
+		}
+	}
+
 	ln, err := serve.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccrd:", err)
@@ -51,6 +67,7 @@ func main() {
 	srv := serve.NewServer(serve.Config{
 		Jobs:         *jobs,
 		ManifestPath: *manifest,
+		Store:        st,
 		Logger:       slog.Default(),
 	})
 	srv.HandleSignals(syscall.SIGTERM, syscall.SIGINT)

@@ -24,10 +24,24 @@
 // attaches a cause-attributed CRB metrics sink to every CCR simulation
 // and embeds the per-cell summaries in the -manifest output.
 //
+// -store roots a persistent content-addressed artifact store: compile,
+// simulation, limit and digest results are reused across process runs
+// (and shared with ccrd daemons pointed at the same directory).
+//
+// -fabric DIR switches to the crash-safe sweep fabric instead of figure
+// rendering: the verification sweep's cells are journaled under DIR,
+// sharded across -fabric-workers subprocesses and/or -fabric-remotes ccrd
+// daemons, and a rerun after any interruption (including SIGKILL) resumes
+// from the journal, skipping completed cells. digests.json is
+// byte-identical however the sweep is sharded or interrupted.
+//
 //	ccrpaper [-scale tiny|small|medium|large]
 //	         [-fig 4|8a|8b|9|10|11|scalars|compare|ablations|all]
 //	         [-jobs N] [-manifest run.json] [-telemetry] [-heartbeat 30s]
-//	         [-verify] [-strict] [-cell-timeout 30s] [-retries 1] [-version]
+//	         [-verify] [-strict] [-cell-timeout 30s] [-retries 1]
+//	         [-store DIR]
+//	         [-fabric DIR] [-fabric-workers N] [-fabric-remotes a,b]
+//	         [-fabric-benches x,y] [-fabric-lease 2m] [-version]
 package main
 
 import (
@@ -36,11 +50,14 @@ import (
 	"log"
 	"os"
 	"strings"
+	"syscall"
 	"time"
 
 	"ccr/internal/buildinfo"
 	"ccr/internal/experiments"
+	"ccr/internal/fabric"
 	"ccr/internal/runner"
+	"ccr/internal/store"
 	"ccr/internal/workloads"
 )
 
@@ -48,6 +65,7 @@ import (
 var knownFigs = []string{"4", "8a", "8b", "9", "10", "11", "scalars", "compare", "ablations"}
 
 func main() {
+	fabric.MaybeWorker() // fabric worker re-exec: never returns when spawned as one
 	scale := flag.String("scale", "medium", "workload scale: tiny, small, medium, large")
 	fig := flag.String("fig", "all", "which figure to regenerate: "+strings.Join(knownFigs, ", ")+", all")
 	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
@@ -58,12 +76,26 @@ func main() {
 	retries := flag.Int("retries", 0, "re-run a failed cell up to N more times")
 	heartbeat := flag.Duration("heartbeat", 30*time.Second, "progress-log interval for long sweeps (0 = silent)")
 	telem := flag.Bool("telemetry", false, "embed per-cell CRB telemetry summaries in the manifest")
+	storeDir := flag.String("store", "", "root a persistent artifact store here (reused across runs)")
+	fabricDir := flag.String("fabric", "", "run the resumable sweep fabric with this state directory instead of figures")
+	fabricWorkers := flag.Int("fabric-workers", 0, "fabric: local worker subprocesses (0 = compute inline)")
+	fabricRemotes := flag.String("fabric-remotes", "", "fabric: comma-separated ccrd daemon addresses to shard onto")
+	fabricBenches := flag.String("fabric-benches", "", "fabric: restrict the sweep to these comma-separated benchmarks")
+	fabricLease := flag.Duration("fabric-lease", 0, "fabric: per-cell lease before the cell is requeued (0 = default 2m)")
+	fabricDieAfter := flag.Int("fabric-die-after", 0, "fabric: SIGKILL self after N journaled cells (crash-drill knob)")
 	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(buildinfo.String())
 		return
+	}
+	if *fabricDir != "" {
+		os.Exit(runFabric(fabricConfig{
+			dir: *fabricDir, scale: *scale, storeDir: *storeDir,
+			workers: *fabricWorkers, remotes: *fabricRemotes,
+			benches: *fabricBenches, lease: *fabricLease, dieAfter: *fabricDieAfter,
+		}))
 	}
 	cfg := experiments.DefaultConfig()
 	sc, err := workloads.ParseScale(*scale)
@@ -82,6 +114,14 @@ func main() {
 	cfg.Retries = *retries
 	cfg.Heartbeat = *heartbeat
 	cfg.Telemetry = *telem
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, Revision: store.DefaultRevision()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccrpaper:", err)
+			os.Exit(2)
+		}
+		cfg.Store = st
+	}
 
 	suite := experiments.NewSuite(cfg)
 	m := runner.NewManifest(
@@ -208,6 +248,52 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// fabricConfig carries the -fabric* flag values into runFabric.
+type fabricConfig struct {
+	dir, scale, storeDir, remotes, benches string
+	workers, dieAfter                      int
+	lease                                  time.Duration
+}
+
+// runFabric runs (or resumes) a resumable sweep and returns the exit code.
+func runFabric(fc fabricConfig) int {
+	cfg := fabric.Config{
+		Dir:       fc.dir,
+		ScaleName: fc.scale,
+		Workers:   fc.workers,
+		StoreDir:  fc.storeDir,
+		Lease:     fc.lease,
+	}
+	if fc.remotes != "" {
+		cfg.Remotes = strings.Split(fc.remotes, ",")
+	}
+	if fc.benches != "" {
+		cfg.Benches = strings.Split(fc.benches, ",")
+	}
+	if fc.dieAfter > 0 {
+		cfg.HookAfterCell = func(done int) {
+			if done >= fc.dieAfter {
+				fmt.Fprintf(os.Stderr, "ccrpaper: crash drill, SIGKILL self after %d cells\n", done)
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	res, err := fabric.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccrpaper: fabric:", err)
+		return 1
+	}
+	m := res.Manifest
+	fmt.Fprintf(os.Stderr,
+		"ccrpaper: fabric %s: %d cells (%d resumed, %d computed) in %.2fs; requeues %d, restarts %d\n",
+		m.Scale, m.Cells, m.Resumed, m.Computed, m.WallSeconds, m.Requeues, m.Restarts)
+	if m.Store != nil {
+		fmt.Fprintf(os.Stderr, "ccrpaper: fabric store: %d puts, %d hits, %d misses (hit rate %.2f)\n",
+			m.Store.Puts, m.Store.Hits, m.Store.Misses, m.StoreHitRate)
+	}
+	return 0
 }
 
 func validFig(f string) bool {

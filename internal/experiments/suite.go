@@ -8,7 +8,11 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -16,9 +20,11 @@ import (
 	"ccr/internal/alias"
 	"ccr/internal/core"
 	"ccr/internal/crb"
+	"ccr/internal/ir"
 	"ccr/internal/oracle"
 	"ccr/internal/potential"
 	"ccr/internal/runner"
+	"ccr/internal/store"
 	"ccr/internal/telemetry"
 	"ccr/internal/workloads"
 )
@@ -42,6 +48,16 @@ type Config struct {
 	// Telemetry attaches a cause-attributed telemetry sink to every CCR
 	// simulation and embeds its per-cell summary in the attached manifest.
 	Telemetry bool
+	// Store, when non-nil, layers a content-addressed on-disk artifact
+	// store under the single-flight caches: compilations, baseline and
+	// CCR simulations, limit studies and base digests persist across
+	// processes. Keys are content addresses — the prepared program's
+	// dump digest plus a pipeline-options fingerprint plus the cell
+	// coordinates — and the store itself enforces the build-revision
+	// discipline, so a resumed sweep never trusts another build's
+	// artifacts. Telemetry summaries are only embedded for cells that
+	// were actually computed, not loaded.
+	Store *store.Store
 }
 
 // DefaultConfig runs the suite at Medium scale with the paper's settings.
@@ -67,6 +83,14 @@ type Suite struct {
 	ccrSim   *runner.Cache // name|dataset|crb-key → *core.SimResult
 	limit    *runner.Cache // name|dataset → potential.Result
 	digest   *runner.Cache // name|dataset → oracle.Digest of the base run
+
+	// progKey caches each benchmark's content address (the SHA-256 of the
+	// prepared program dump) — the store-key prefix tying every persisted
+	// artifact to the exact program bytes it was computed from.
+	progKey *runner.Cache
+	// optsKey fingerprints cfg.Opts; it joins every store key so two
+	// suites with different pipeline options never alias artifacts.
+	optsKey string
 }
 
 // NewSuite loads every benchmark at the configured scale.
@@ -82,7 +106,23 @@ func NewSuite(cfg Config) *Suite {
 		ccrSim:   runner.NewCache(),
 		limit:    runner.NewCache(),
 		digest:   runner.NewCache(),
+		progKey:  runner.NewCache(),
+		optsKey:  optsFingerprint(cfg.Opts),
 	}
+}
+
+// optsFingerprint derives a short canonical digest of the pipeline
+// options. core.Options is a tree of plain structs, so its JSON encoding
+// is deterministic (fixed field order, no maps).
+func optsFingerprint(opts core.Options) string {
+	b, err := json.Marshal(opts)
+	if err != nil {
+		// Options are always marshalable; a failure here would alias
+		// every configuration, so refuse loudly instead.
+		panic(fmt.Sprintf("experiments: options fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
 }
 
 // Config returns the suite configuration.
@@ -101,6 +141,7 @@ func (s *Suite) WithPool(pool runner.Pool) *Suite {
 		pool:    pool,
 		prep:    s.prep, compiled: s.compiled, baseSim: s.baseSim,
 		ccrSim: s.ccrSim, limit: s.limit, digest: s.digest,
+		progKey: s.progKey, optsKey: s.optsKey,
 	}
 }
 
@@ -128,10 +169,72 @@ func (s *Suite) CacheStats() map[string]runner.CacheStats {
 	}
 }
 
-// FlushCacheStats copies the current cache counters into m.
+// FlushCacheStats copies the current cache counters into m, along with
+// the artifact store's outcome counters when a store is attached.
 func (s *Suite) FlushCacheStats(m *runner.Manifest) {
 	for name, st := range s.CacheStats() {
 		m.SetCache(name, st)
+	}
+	if s.cfg.Store != nil {
+		m.SetStore(s.cfg.Store.Stats())
+	}
+}
+
+// Store returns the attached artifact store (nil when the suite is
+// memory-only).
+func (s *Suite) Store() *store.Store { return s.cfg.Store }
+
+// progDigest returns (computing once per benchmark) b's content address:
+// the SHA-256 of the prepared program's textual dump. It runs after
+// prepared(b), so the digest covers the alias annotations too and the
+// program is never dumped while being mutated.
+func (s *Suite) progDigest(b *workloads.Benchmark) (string, error) {
+	v, err := s.progKey.Do(b.Name, func() (any, error) {
+		if _, err := s.prepared(b); err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256([]byte(b.Prog.Dump()))
+		return hex.EncodeToString(sum[:16]), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return v.(string), nil
+}
+
+// storeKey assembles the full content address of one artifact: program
+// digest, options fingerprint, then the cell coordinates.
+func (s *Suite) storeKey(b *workloads.Benchmark, rest string) (string, error) {
+	pd, err := s.progDigest(b)
+	if err != nil {
+		return "", err
+	}
+	return pd + "|" + s.optsKey + "|" + rest, nil
+}
+
+// fromStore loads a persisted artifact when a store is attached; any
+// store-level read error degrades to a miss (the artifact is recomputed).
+func (s *Suite) fromStore(kind, key string, out any) bool {
+	if s.cfg.Store == nil || key == "" {
+		return false
+	}
+	ok, err := s.cfg.Store.Get(kind, key, out)
+	if err != nil {
+		slog.Warn("experiments: store read failed; recomputing", "kind", kind, "err", err)
+		return false
+	}
+	return ok
+}
+
+// toStore persists an artifact when a store is attached. Persistence is
+// best-effort: a failed write only costs the durability of this one
+// artifact, never the run.
+func (s *Suite) toStore(kind, key string, v any) {
+	if s.cfg.Store == nil || key == "" {
+		return
+	}
+	if err := s.cfg.Store.Put(kind, key, v); err != nil {
+		slog.Warn("experiments: store write failed", "kind", kind, "err", err)
 	}
 }
 
@@ -197,10 +300,36 @@ func (s *Suite) prepared(b *workloads.Benchmark) (*alias.Result, error) {
 	return v.(*alias.Result), nil
 }
 
+// storedCompile is the persisted form of a compilation: the transformed
+// program as its canonical textual dump (regions, annotations and data
+// included — the round-trip the IR fuzz target guards) plus the training
+// run's architectural result. Plans, profile and alias analysis are
+// process-local working state and are not persisted; every suite consumer
+// reads only Prog and TrainResult.
+type storedCompile struct {
+	Prog        string `json:"prog"`
+	TrainResult int64  `json:"train_result"`
+}
+
 // Compiled returns (building on demand) the CCR compilation of the named
-// benchmark, profiled on its training input.
+// benchmark, profiled on its training input. With a store attached the
+// transformed program persists across processes; a persisted program that
+// fails to re-parse degrades to a recompilation, never an error.
 func (s *Suite) Compiled(b *workloads.Benchmark) (*core.CompileResult, error) {
 	v, err := s.compiled.Do(b.Name, func() (any, error) {
+		key, err := s.storeKey(b, "compile")
+		if err != nil {
+			return nil, err
+		}
+		var sc storedCompile
+		if s.fromStore("compile", key, &sc) {
+			prog, perr := ir.Parse(sc.Prog)
+			if perr == nil {
+				return &core.CompileResult{Prog: prog, TrainResult: sc.TrainResult}, nil
+			}
+			slog.Warn("experiments: persisted compile unparsable; recompiling",
+				"bench", b.Name, "err", perr)
+		}
 		ar, err := s.prepared(b)
 		if err != nil {
 			return nil, err
@@ -209,6 +338,7 @@ func (s *Suite) Compiled(b *workloads.Benchmark) (*core.CompileResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: compile %s: %w", b.Name, err)
 		}
+		s.toStore("compile", key, storedCompile{Prog: cr.Prog.Dump(), TrainResult: cr.TrainResult})
 		return cr, nil
 	})
 	if err != nil {
@@ -222,13 +352,19 @@ func dsKey(args []int64) string { return fmt.Sprintf("%v", args) }
 // BaseSim returns the cached baseline timing run of b on args.
 func (s *Suite) BaseSim(b *workloads.Benchmark, args []int64) (*core.SimResult, error) {
 	v, err := s.baseSim.Do(b.Name+"|"+dsKey(args), func() (any, error) {
-		if _, err := s.prepared(b); err != nil {
+		key, err := s.storeKey(b, "ds="+dsKey(args))
+		if err != nil {
 			return nil, err
+		}
+		var cached core.SimResult
+		if s.fromStore("base_sim", key, &cached) {
+			return &cached, nil
 		}
 		r, err := core.Simulate(b.Prog, nil, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: base sim %s: %w", b.Name, err)
 		}
+		s.toStore("base_sim", key, r)
 		return r, nil
 	})
 	if err != nil {
@@ -242,6 +378,14 @@ func (s *Suite) BaseSim(b *workloads.Benchmark, args []int64) (*core.SimResult, 
 func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*core.SimResult, error) {
 	key := b.Name + "|" + dsKey(args) + "|" + cc.Key()
 	v, err := s.ccrSim.Do(key, func() (any, error) {
+		skey, err := s.storeKey(b, "ds="+dsKey(args)+"|"+cc.Key())
+		if err != nil {
+			return nil, err
+		}
+		var cached core.SimResult
+		if s.fromStore("ccr_sim", skey, &cached) {
+			return &cached, nil
+		}
 		cr, err := s.Compiled(b)
 		if err != nil {
 			return nil, err
@@ -257,6 +401,7 @@ func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*co
 		if tel != nil && s.pool.Manifest != nil {
 			s.pool.Manifest.SetTelemetry("ccr_sim/"+key, tel.Metrics.Summary())
 		}
+		s.toStore("ccr_sim", skey, r)
 		return r, nil
 	})
 	if err != nil {
@@ -274,13 +419,19 @@ func (s *Suite) Limit(b *workloads.Benchmark) (potential.Result, error) {
 // LimitFor runs (and caches) the limit study for a specific input vector.
 func (s *Suite) LimitFor(b *workloads.Benchmark, args []int64) (potential.Result, error) {
 	v, err := s.limit.Do(b.Name+"|"+dsKey(args), func() (any, error) {
-		if _, err := s.prepared(b); err != nil {
+		key, err := s.storeKey(b, "ds="+dsKey(args))
+		if err != nil {
 			return nil, err
+		}
+		var cached potential.Result
+		if s.fromStore("limit", key, &cached) {
+			return cached, nil
 		}
 		r, err := potential.Measure(b.Prog, args, s.cfg.Opts.Limit)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: limit study %s: %w", b.Name, err)
 		}
+		s.toStore("limit", key, r)
 		return r, nil
 	})
 	if err != nil {
@@ -294,13 +445,19 @@ func (s *Suite) LimitFor(b *workloads.Benchmark, args []int64) (potential.Result
 // side of every transparency check.
 func (s *Suite) BaseDigest(b *workloads.Benchmark, args []int64) (oracle.Digest, error) {
 	v, err := s.digest.Do(b.Name+"|"+dsKey(args), func() (any, error) {
-		if _, err := s.prepared(b); err != nil {
+		key, err := s.storeKey(b, "ds="+dsKey(args))
+		if err != nil {
 			return nil, err
+		}
+		var cached oracle.Digest
+		if s.fromStore("digest", key, &cached) {
+			return cached, nil
 		}
 		d, err := core.DigestRun(b.Prog, nil, args, s.cfg.Opts.Limit)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: base digest %s: %w", b.Name, err)
 		}
+		s.toStore("digest", key, d)
 		return d, nil
 	})
 	if err != nil {

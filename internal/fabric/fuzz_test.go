@@ -1,0 +1,49 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJournal drives the journal parser with arbitrary bytes: every input
+// must decode, error, or report a torn tail — never panic — and whatever
+// is accepted must satisfy the journal invariants (cell ids present, the
+// valid prefix newline-terminated, reparse idempotent).
+func FuzzJournal(f *testing.F) {
+	rec, _ := json.Marshal(testRecord("a/train/default", 1.5))
+	f.Add(append(rec, '\n'))
+	f.Add([]byte{})
+	f.Add([]byte("\n\n\n"))
+	f.Add(append(rec, append([]byte{'\n'}, rec[:len(rec)/2]...)...)) // torn tail
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(`{"cell":""}` + "\n"))
+	f.Add([]byte(`{"cell":"x","out":{"speedup":1e999}}` + "\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n'})
+	f.Add(bytes.Repeat([]byte(`{"cell":"x","out":{}}`+"\n"), 5))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		done, good, err := parseJournal(data)
+		if err != nil {
+			return // rejected outright: fine
+		}
+		if good > len(data) {
+			t.Fatalf("valid prefix %d exceeds input length %d", good, len(data))
+		}
+		if good > 0 && data[good-1] != '\n' {
+			t.Fatalf("valid prefix does not end at a newline")
+		}
+		for cell := range done {
+			if cell == "" {
+				t.Fatal("accepted a record without a cell id")
+			}
+		}
+		// The accepted prefix must reparse to the same state (what a
+		// resumed run after truncation would see).
+		done2, good2, err2 := parseJournal(data[:good])
+		if err2 != nil || good2 != good || len(done2) != len(done) {
+			t.Fatalf("reparse of valid prefix diverged: err=%v good=%d/%d done=%d/%d",
+				err2, good2, good, len(done2), len(done))
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package fabric
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRecord(cell string, speedup float64) Record {
+	return Record{
+		Cell: cell,
+		Out: CellOut{
+			Speedup:  speedup,
+			Verified: true,
+		},
+		Slot:    "w0",
+		Seconds: 0.25,
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		testRecord("compress/train/default", 1.5),
+		testRecord("compress/ref/default", 1.25),
+		testRecord("lex/train/128E,8CI", 2.0),
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	done, torn, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("clean journal reported torn")
+	}
+	if len(done) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(done), len(recs))
+	}
+	for _, r := range recs {
+		got, ok := done[r.Cell]
+		if !ok {
+			t.Fatalf("cell %s missing after reload", r.Cell)
+		}
+		if got != r {
+			t.Errorf("cell %s diverged: %+v vs %+v", r.Cell, got, r)
+		}
+	}
+}
+
+func TestLoadJournalAbsentIsEmpty(t *testing.T) {
+	done, torn, err := LoadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || torn || len(done) != 0 {
+		t.Fatalf("absent journal: done=%v torn=%v err=%v", done, torn, err)
+	}
+}
+
+// TestJournalTornTail: a mid-append kill leaves an unterminated final
+// line; load discards it, and RecoverJournal truncates it so resumed
+// appends cannot fuse into the garbage.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord("a/train/default", 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord("b/train/default", 1.75)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: half of a third record, no newline.
+	torn := append(append([]byte{}, full...), []byte(`{"cell":"c/train/def`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done, wasTorn, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wasTorn {
+		t.Error("torn tail not reported")
+	}
+	if len(done) != 2 {
+		t.Fatalf("loaded %d records from torn journal, want 2", len(done))
+	}
+
+	// Recovery truncates, and a post-recovery append lands cleanly.
+	j2, done2, wasTorn2, err := RecoverJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wasTorn2 || len(done2) != 2 {
+		t.Fatalf("recover: torn=%v done=%d", wasTorn2, len(done2))
+	}
+	if err := j2.Append(testRecord("c/train/default", 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	done3, torn3, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn3 || len(done3) != 3 {
+		t.Fatalf("after recovery+append: torn=%v done=%d, want clean 3", torn3, len(done3))
+	}
+}
+
+// TestJournalCorruptInteriorErrors: garbage on a newline-terminated line
+// is not a torn tail — it means the file is not a journal, and trusting
+// any of it would be wrong.
+func TestJournalCorruptInteriorErrors(t *testing.T) {
+	for name, content := range map[string]string{
+		"garbage line":    `{"cell":"a","out":{}}` + "\n" + "not json\n" + `{"cell":"b","out":{}}` + "\n",
+		"terminated junk": "\x00\x01\x02\n",
+		"missing cell":    `{"out":{}}` + "\n",
+		"fused records":   `{"cell":"a","out":{}}{"cell":"b","out":{}}` + "\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "journal.jsonl")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := LoadJournal(path); err == nil {
+				t.Errorf("corrupt journal loaded without error")
+			} else if !strings.Contains(err.Error(), "journal") {
+				t.Errorf("error does not identify the journal: %v", err)
+			}
+		})
+	}
+}
+
+// TestJournalDuplicateFirstWins: records are deterministic, so a
+// duplicated cell (two runs racing one journal) resolves to the first
+// record rather than erroring a resumable sweep.
+func TestJournalDuplicateFirstWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := testRecord("a/train/default", 1.5)
+	second := testRecord("a/train/default", 1.5)
+	second.Slot = "w1"
+	if err := j.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(second); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	done, _, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 || done["a/train/default"].Slot != "w0" {
+		t.Fatalf("duplicate resolution wrong: %+v", done)
+	}
+}

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ccr/internal/experiments"
+	"ccr/internal/store"
+	"ccr/internal/workloads"
+)
+
+// The worker re-exec contract: the coordinator spawns its own executable
+// with EnvWorker set, and main (or TestMain) calls MaybeWorker before
+// doing anything else. The worker then speaks the JSONL cell protocol on
+// stdin/stdout until stdin closes.
+const (
+	EnvWorker   = "CCR_FABRIC_WORKER"
+	EnvScale    = "CCR_FABRIC_SCALE"
+	EnvStore    = "CCR_FABRIC_STORE"
+	EnvRevision = "CCR_FABRIC_REVISION"
+)
+
+// workerResult is one response line on the worker's stdout: the cell it
+// answers, its output or error, and the worker process's cumulative store
+// counters (so the coordinator can aggregate hit rates across shards
+// without sharing memory).
+type workerResult struct {
+	Cell  string       `json:"cell"`
+	Out   *CellOut     `json:"out,omitempty"`
+	Err   string       `json:"err,omitempty"`
+	Store *store.Stats `json:"store,omitempty"`
+}
+
+// MaybeWorker turns the current process into a fabric worker when the
+// re-exec environment says so; otherwise it returns immediately. Call it
+// first thing in main — a worker never reaches the caller's own flow.
+func MaybeWorker() {
+	if os.Getenv(EnvWorker) == "" {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fabric worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerMain runs the worker side of the cell protocol: read one CellSpec
+// JSON line, compute it on a local suite (store-backed when EnvStore is
+// set), answer with one workerResult line, repeat until EOF. A cell error
+// is an answer, not a crash — only protocol-level failures (undecodable
+// input, unwritable output) end the worker.
+func WorkerMain(r io.Reader, w io.Writer) error {
+	scaleName := os.Getenv(EnvScale)
+	if scaleName == "" {
+		scaleName = "tiny"
+	}
+	scale, err := workloads.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	if dir := os.Getenv(EnvStore); dir != "" {
+		rev := os.Getenv(EnvRevision)
+		if rev == "" {
+			rev = store.DefaultRevision()
+		}
+		st, err := store.Open(store.Options{Dir: dir, Revision: rev})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	}
+	suite := experiments.NewSuite(cfg)
+
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	for {
+		var spec CellSpec
+		if err := dec.Decode(&spec); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("fabric worker: decode spec: %w", err)
+		}
+		res := workerResult{Cell: spec.ID()}
+		if out, err := computeCell(suite, spec); err != nil {
+			res.Err = strings.ReplaceAll(err.Error(), "\n", " ")
+		} else {
+			res.Out = &out
+		}
+		if suite.Store() != nil {
+			st := suite.Store().Stats()
+			res.Store = &st
+		}
+		if err := enc.Encode(res); err != nil {
+			return fmt.Errorf("fabric worker: encode result: %w", err)
+		}
+	}
+}

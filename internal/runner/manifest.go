@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ccr/internal/buildinfo"
+	"ccr/internal/store"
 	"ccr/internal/telemetry"
 )
 
@@ -24,6 +25,11 @@ type CellRecord struct {
 	Panics   int    `json:"panics,omitempty"`
 	Timeouts int    `json:"timeouts,omitempty"`
 	Stack    string `json:"stack,omitempty"`
+	// History is the per-attempt outcome sequence (outcome, error, wall
+	// time), recorded whenever the cell needed more than one attempt or
+	// ended in failure — the post-mortem trail that names which attempt
+	// of which cell timed out, panicked or errored, and when.
+	History []Attempt `json:"history,omitempty"`
 }
 
 // WorkerRecord aggregates one worker's share of a run.
@@ -54,7 +60,11 @@ type Manifest struct {
 	// Telemetry holds per-cell CRB telemetry summaries, keyed by cell (or
 	// artifact) ID, when the run was executed with telemetry enabled.
 	Telemetry map[string]telemetry.Summary `json:"telemetry,omitempty"`
-	Errors    []string                     `json:"errors,omitempty"`
+	// Store holds the artifact store's outcome counters when the run was
+	// executed over a persistent store (hits here are cells or artifacts
+	// whose results were loaded instead of recomputed).
+	Store  *store.Stats `json:"store,omitempty"`
+	Errors []string     `json:"errors,omitempty"`
 	// Failure-isolation totals across every recorded cell.
 	FailedCells int `json:"failed_cells,omitempty"`
 	Panics      int `json:"panics,omitempty"`
@@ -80,6 +90,9 @@ func (m *Manifest) record(jobs int, results []CellResult, busy []time.Duration, 
 	for _, r := range results {
 		rec := CellRecord{ID: r.ID, Worker: r.Worker, Seconds: r.Wall.Seconds(),
 			Panics: r.Panics, Timeouts: r.Timeouts, Stack: r.Stack}
+		if r.Attempts > 1 || r.Err != nil {
+			rec.History = append(rec.History, r.History...)
+		}
 		if r.Attempts > 1 {
 			rec.Attempts = r.Attempts
 			m.Retries += r.Attempts - 1
@@ -110,6 +123,13 @@ func (m *Manifest) SetTelemetry(id string, s telemetry.Summary) {
 		m.Telemetry = map[string]telemetry.Summary{}
 	}
 	m.Telemetry[id] = s
+}
+
+// SetStore records the artifact store's outcome counters.
+func (m *Manifest) SetStore(st store.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Store = &st
 }
 
 // SetCache records the counters of one named artifact cache.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ccr/internal/buildinfo"
+	"ccr/internal/store"
 	"ccr/internal/telemetry"
 )
 
@@ -108,11 +109,14 @@ func jsonFields(t *testing.T, v any) []string {
 func TestManifestSchemaStability(t *testing.T) {
 	golden := map[string][]string{
 		"Manifest": {"caches", "cells", "command", "errors", "failed_cells",
-			"gomaxprocs", "jobs", "panics", "retries", "start", "telemetry",
-			"timeouts", "version", "wall_seconds", "workers"},
-		"CellRecord":   {"attempts", "error", "id", "panics", "seconds", "stack", "timeouts", "worker"},
+			"gomaxprocs", "jobs", "panics", "retries", "start", "store",
+			"telemetry", "timeouts", "version", "wall_seconds", "workers"},
+		"CellRecord": {"attempts", "error", "history", "id", "panics",
+			"seconds", "stack", "timeouts", "worker"},
+		"Attempt":      {"error", "outcome", "seconds"},
 		"WorkerRecord": {"busy_seconds", "cells", "utilization", "worker"},
 		"CacheStats":   {"hits", "misses"},
+		"store.Stats":  {"corrupt", "hits", "misses", "puts", "stale"},
 		"buildinfo.Info": {"go_version", "module", "vcs_modified", "vcs_revision",
 			"vcs_time", "version"},
 		"telemetry.Summary": {"commit_fails", "commits", "evictions", "hits",
@@ -122,8 +126,10 @@ func TestManifestSchemaStability(t *testing.T) {
 	got := map[string][]string{
 		"Manifest":          jsonFields(t, Manifest{}),
 		"CellRecord":        jsonFields(t, CellRecord{}),
+		"Attempt":           jsonFields(t, Attempt{}),
 		"WorkerRecord":      jsonFields(t, WorkerRecord{}),
 		"CacheStats":        jsonFields(t, CacheStats{}),
+		"store.Stats":       jsonFields(t, store.Stats{}),
 		"buildinfo.Info":    jsonFields(t, buildinfo.Info{}),
 		"telemetry.Summary": jsonFields(t, telemetry.Summary{}),
 	}

@@ -214,3 +214,97 @@ func TestCachePanicReleasesWaiters(t *testing.T) {
 		t.Fatal("panicked flight not cached as error")
 	}
 }
+
+// TestAttemptHistory: a flaky cell's per-attempt trail records every
+// outcome class in order with its error and a sane wall time, and the
+// manifest preserves the trail so a post-mortem can name the failing
+// attempt. An all-ok single-attempt cell records no history in the
+// manifest (the common case stays lean).
+func TestAttemptHistory(t *testing.T) {
+	var tries atomic.Int64
+	cells := []Cell{
+		{ID: "flaky", Do: func(context.Context) error {
+			switch tries.Add(1) {
+			case 1:
+				return fmt.Errorf("transient glitch")
+			case 2:
+				panic("attempt-two panic")
+			}
+			return nil
+		}},
+		{ID: "clean", Do: func(context.Context) error { return nil }},
+	}
+	m := NewManifest("test", 1)
+	p := Pool{Jobs: 1, Retries: 3, Manifest: m}
+	results := p.Run(context.Background(), cells)
+
+	r := results[0]
+	if r.Err != nil {
+		t.Fatalf("flaky cell should succeed on attempt 3: %v", r.Err)
+	}
+	if len(r.History) != 3 {
+		t.Fatalf("history length = %d, want 3: %+v", len(r.History), r.History)
+	}
+	wantOutcomes := []string{"error", "panic", "ok"}
+	for i, a := range r.History {
+		if a.Outcome != wantOutcomes[i] {
+			t.Errorf("attempt %d outcome = %q, want %q", i, a.Outcome, wantOutcomes[i])
+		}
+		if a.Seconds < 0 {
+			t.Errorf("attempt %d has negative wall time", i)
+		}
+	}
+	if !strings.Contains(r.History[0].Error, "transient glitch") {
+		t.Errorf("attempt 0 error = %q", r.History[0].Error)
+	}
+	if !strings.Contains(r.History[1].Error, "attempt-two panic") {
+		t.Errorf("attempt 1 error = %q", r.History[1].Error)
+	}
+	if r.History[2].Error != "" {
+		t.Errorf("successful attempt carries error %q", r.History[2].Error)
+	}
+
+	// Manifest: the retried cell keeps its trail, the clean cell stays lean.
+	var flakyRec, cleanRec *CellRecord
+	for i := range m.Cells {
+		switch m.Cells[i].ID {
+		case "flaky":
+			flakyRec = &m.Cells[i]
+		case "clean":
+			cleanRec = &m.Cells[i]
+		}
+	}
+	if flakyRec == nil || cleanRec == nil {
+		t.Fatal("manifest missing cells")
+	}
+	if len(flakyRec.History) != 3 {
+		t.Fatalf("manifest history length = %d, want 3", len(flakyRec.History))
+	}
+	if len(cleanRec.History) != 0 {
+		t.Fatalf("clean cell recorded history: %+v", cleanRec.History)
+	}
+}
+
+// TestAttemptHistoryTimeout: a timed-out attempt is classified "timeout"
+// in the trail.
+func TestAttemptHistoryTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var tries atomic.Int64
+	p := Pool{Jobs: 1, CellTimeout: 20 * time.Millisecond, Retries: 1}
+	results := p.Run(context.Background(), []Cell{
+		{ID: "slow-then-ok", Do: func(context.Context) error {
+			if tries.Add(1) == 1 {
+				<-release
+			}
+			return nil
+		}},
+	})
+	r := results[0]
+	if r.Err != nil {
+		t.Fatalf("retry should have succeeded: %v", r.Err)
+	}
+	if len(r.History) != 2 || r.History[0].Outcome != "timeout" || r.History[1].Outcome != "ok" {
+		t.Fatalf("history = %+v, want [timeout ok]", r.History)
+	}
+}

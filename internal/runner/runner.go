@@ -40,6 +40,17 @@ type Cell struct {
 	Do func(ctx context.Context) error
 }
 
+// Attempt records one attempt of one cell: its outcome class, the error
+// that ended it (empty on success) and its wall time. The sequence of a
+// cell's attempts is its retry post-mortem: which attempt timed out,
+// which panicked, and how long each burned.
+type Attempt struct {
+	// Outcome is "ok", "error", "panic", "timeout" or "canceled".
+	Outcome string  `json:"outcome"`
+	Error   string  `json:"error,omitempty"`
+	Seconds float64 `json:"seconds"`
+}
+
 // CellResult records one cell's outcome.
 type CellResult struct {
 	ID     string
@@ -52,6 +63,8 @@ type CellResult struct {
 	Attempts int
 	Panics   int
 	Timeouts int
+	// History holds one record per attempt, in order.
+	History []Attempt
 	// Stack is the captured goroutine stack of the last recovered panic.
 	Stack string
 }
@@ -268,14 +281,28 @@ func (p *Pool) execute(ctx context.Context, c Cell, r *CellResult) {
 	}
 	for attempt := 0; ; attempt++ {
 		r.Attempts = attempt + 1
+		began := time.Now()
 		err, stack, timedOut := runAttempt(ctx, c, timeout)
+		rec := Attempt{Outcome: "ok", Seconds: time.Since(began).Seconds()}
 		if stack != "" {
 			r.Panics++
 			r.Stack = stack
+			rec.Outcome = "panic"
 		}
 		if timedOut {
 			r.Timeouts++
+			rec.Outcome = "timeout"
 		}
+		if err != nil {
+			if rec.Outcome == "ok" {
+				rec.Outcome = "error"
+				if errors.Is(err, context.Canceled) {
+					rec.Outcome = "canceled"
+				}
+			}
+			rec.Error = err.Error()
+		}
+		r.History = append(r.History, rec)
 		r.Err = err
 		if err == nil || attempt >= retries || ctx.Err() != nil || errors.Is(err, context.Canceled) {
 			return

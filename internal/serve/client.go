@@ -19,6 +19,27 @@ var ErrVersionMismatch = errors.New("serve: client/server build mismatch")
 // IsVersionMismatch reports whether err is a refused version handshake.
 func IsVersionMismatch(err error) bool { return errors.Is(err, ErrVersionMismatch) }
 
+// DialError marks a connection-establishment failure — the daemon is not
+// (yet) listening, the socket path is absent, the port refuses. It is the
+// only error class DialRetry treats as transient: everything after the
+// connect (handshake, protocol, version policy) fails fast.
+type DialError struct {
+	Addr string
+	Err  error
+}
+
+func (e *DialError) Error() string { return fmt.Sprintf("serve: dial %s: %v", e.Addr, e.Err) }
+
+// Unwrap exposes the underlying net error to errors.Is/As.
+func (e *DialError) Unwrap() error { return e.Err }
+
+// IsDialError reports whether err is a failure to establish the
+// connection (as opposed to a refused handshake or protocol error).
+func IsDialError(err error) bool {
+	var de *DialError
+	return errors.As(err, &de)
+}
+
 // DialOptions tunes Dial.
 type DialOptions struct {
 	// Force accepts a server whose build identity differs from this
@@ -55,7 +76,7 @@ func Dial(addrSpec string, opts DialOptions) (*Client, error) {
 	}
 	nc, err := net.DialTimeout(network, addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("serve: dial %s: %w", addrSpec, err)
+		return nil, &DialError{Addr: addrSpec, Err: err}
 	}
 	cl := &Client{nc: nc, codec: wire.NewCodec(nc)}
 	nc.SetDeadline(time.Now().Add(timeout))
@@ -65,6 +86,40 @@ func Dial(addrSpec string, opts DialOptions) (*Client, error) {
 	}
 	nc.SetDeadline(time.Time{})
 	return cl, nil
+}
+
+// DialRetry dials like Dial but retries connection-establishment
+// failures with exponential backoff (50ms base, 1s cap) until total has
+// elapsed. Only DialError failures are retried: a daemon that answers but
+// refuses the handshake (wrong protocol, wrong build) fails immediately —
+// waiting cannot fix a version mismatch. With total <= 0 it degenerates
+// to a single Dial. This is what lets a client race a daemon it just
+// spawned: connect as soon as the socket exists instead of sleeping a
+// guessed interval.
+func DialRetry(addrSpec string, opts DialOptions, total time.Duration) (*Client, error) {
+	deadline := time.Now().Add(total)
+	backoff := 50 * time.Millisecond
+	for {
+		cl, err := Dial(addrSpec, opts)
+		if err == nil || !IsDialError(err) {
+			return cl, err
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if total > 0 {
+				return nil, fmt.Errorf("serve: no daemon after %v: %w", total, err)
+			}
+			return nil, err
+		}
+		sleep := backoff
+		if sleep > remaining {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 func (c *Client) handshake(opts DialOptions) error {

@@ -529,3 +529,68 @@ func TestTCPTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDialRetryWaitsForListener races DialRetry against a daemon that
+// starts listening only after a delay — the spawned-daemon pattern every
+// smoke script and fabric remote slot depends on.
+func TestDialRetryWaitsForListener(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "late.sock")
+	addr := "unix:" + sock
+
+	// Fail fast (no retry window): nobody is listening yet.
+	if _, err := Dial(addr, DialOptions{}); err == nil {
+		t.Fatal("Dial succeeded with no listener")
+	} else if !IsDialError(err) {
+		t.Fatalf("absent-listener error = %v, want DialError", err)
+	}
+	if _, err := DialRetry(addr, DialOptions{}, 0); err == nil {
+		t.Fatal("DialRetry(total=0) succeeded with no listener")
+	}
+
+	srv := NewServer(Config{Jobs: 1})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln, err := Listen(addr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Drain()
+		srv.Wait()
+	})
+
+	cl, err := DialRetry(addr, DialOptions{}, 10*time.Second)
+	if err != nil {
+		t.Fatalf("DialRetry did not outwait the late listener: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialRetryFailsFastOnHandshake: a reachable daemon that refuses the
+// version handshake must not be retried — backoff cannot fix a build
+// mismatch, so the error surfaces immediately and keeps its class.
+func TestDialRetryFailsFastOnHandshake(t *testing.T) {
+	other := buildinfo.Info{Module: "ccr", GoVersion: "go1.22", Revision: "deadbeef"}
+	_, addr := startServer(t, Config{build: &other})
+
+	start := time.Now()
+	_, err := DialRetry(addr, DialOptions{}, 10*time.Second)
+	if err == nil {
+		t.Fatal("DialRetry accepted a version-mismatched server")
+	}
+	if !IsVersionMismatch(err) {
+		t.Fatalf("error = %v, want ErrVersionMismatch", err)
+	}
+	if IsDialError(err) {
+		t.Fatalf("handshake refusal classified as DialError: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DialRetry burned %v retrying a permanent failure", elapsed)
+	}
+}

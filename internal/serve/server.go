@@ -21,6 +21,7 @@ import (
 	"ccr/internal/oracle"
 	"ccr/internal/runner"
 	"ccr/internal/serve/wire"
+	"ccr/internal/store"
 	"ccr/internal/workloads"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	// ManifestPath, when set, accumulates every request fan-out into one
 	// run manifest and flushes it on drain.
 	ManifestPath string
+	// Store, when set, layers the content-addressed artifact store under
+	// every resident suite, so simulation results survive daemon restarts.
+	// Scales share the one store safely: keys are content-addressed by
+	// program digest, so entries from different scales never collide.
+	Store *store.Store
 	// Logger receives structured server logs (nil = slog.Default).
 	Logger *slog.Logger
 	// build overrides the handshake identity (tests only).
@@ -255,6 +261,9 @@ func (s *Server) flushManifest() {
 		}
 	}
 	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		s.manifest.SetStore(s.cfg.Store.Stats())
+	}
 	s.manifest.Finish()
 	if err := s.manifest.WriteFile(s.cfg.ManifestPath); err != nil {
 		s.log.Error("ccrd: manifest flush failed", "err", err)
@@ -282,9 +291,11 @@ func (s *Server) entry(scale string) (*suiteEntry, error) {
 	if e, ok := s.suites[name]; ok {
 		return e, nil
 	}
+	scfg := suiteConfig(sc, s.cfg.Jobs)
+	scfg.Store = s.cfg.Store
 	e := &suiteEntry{
 		scale:      sc,
-		suite:      experiments.NewSuite(suiteConfig(sc, s.cfg.Jobs)),
+		suite:      experiments.NewSuite(scfg),
 		ccrDigests: runner.NewCache(),
 	}
 	s.suites[name] = e

@@ -1,0 +1,50 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzEntry pins the store's corruption contract at the parser level:
+// DecodeEntry must classify every input — truncated, torn, bit-flipped or
+// garbage — as either a valid entry or an error, and never panic. It is
+// the durability mirror of the wire protocol's FuzzWireRoundTrip.
+func FuzzEntry(f *testing.F) {
+	valid, _ := json.Marshal(Entry{
+		Format: EntryFormat, Kind: "ccr_sim", Key: "compress|train|e128.i8.a1.nm0",
+		Revision: "abc123", Checksum: payloadChecksum([]byte(`{"cycles":99}`)),
+		Payload: json.RawMessage(`{"cycles":99}`),
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])   // torn mid-write
+	f.Add([]byte(`{}`))           // empty object
+	f.Add([]byte(`{"format":1}`)) // missing fields
+	f.Add([]byte(`[]`))           // wrong JSON shape
+	f.Add([]byte("\x00\x01\x02")) // binary garbage
+	f.Add([]byte(``))             // empty file
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the validated invariants.
+		if e.Format != EntryFormat || e.Kind == "" || e.Key == "" {
+			t.Fatalf("DecodeEntry accepted invalid entry: %+v", e)
+		}
+		if payloadChecksum(e.Payload) != e.Checksum {
+			t.Fatal("DecodeEntry accepted checksum mismatch")
+		}
+		// Re-encoding an accepted entry must round-trip.
+		out, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		e2, err := DecodeEntry(out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if e2.Kind != e.Kind || e2.Key != e.Key || e2.Checksum != e.Checksum {
+			t.Fatal("entry round trip diverged")
+		}
+	})
+}

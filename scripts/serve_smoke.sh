@@ -34,12 +34,8 @@ go build -o "$OUT/ccrctl" ./cmd/ccrctl
 CCRD_PID=$!
 trap 'kill -9 "$CCRD_PID" 2>/dev/null || true' EXIT
 
-# Wait for the socket to accept.
-for _ in $(seq 1 50); do
-  "$OUT/ccrctl" ping -addr "$ADDR" >/dev/null 2>&1 && break
-  sleep 0.1
-done
-"$OUT/ccrctl" ping -addr "$ADDR"
+# Wait for the socket to accept: the client retries the connect itself.
+"$OUT/ccrctl" ping -addr "$ADDR" -connect-timeout 10s
 
 # One cell, then the same cell again — the daemon must answer both.
 "$OUT/ccrctl" simulate -addr "$ADDR" -bench compress -scale "$SCALE" -digest \
