@@ -15,6 +15,7 @@ import (
 	"ccr/internal/emu"
 	"ccr/internal/experiments"
 	"ccr/internal/ir"
+	"ccr/internal/reuse"
 	"ccr/internal/telemetry"
 	"ccr/internal/uarch"
 	"ccr/internal/workloads"
@@ -261,6 +262,82 @@ func BenchmarkCRBLookup(b *testing.B) {
 		regs[1] = int64(i % 64)
 		regs[2] = 7
 		c.Lookup(ir.RegionID(i%64), regs)
+	}
+}
+
+// BenchmarkMachineRunDTM is BenchmarkMachineRun on the *base* program with
+// a warm default-geometry trace-memoization buffer attached: the
+// steady-state cost of the batch tier with the DTM reuse scheme enabled.
+// Like the bare run it must report 0 allocs/op — the DTM's lookup,
+// recording and invalidation paths all work out of preallocated entry
+// storage (scripts/bench.sh gates this).
+func BenchmarkMachineRunDTM(b *testing.B) {
+	w := workloads.Load("m88ksim", workloads.Tiny)
+	m := emu.New(w.Prog)
+	m.DTM = reuse.NewDTM(reuse.DefaultDTMConfig(), w.Prog)
+	if _, err := m.Run(w.Train...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if _, err := m.Run(w.Train...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDTMLookup measures the trace buffer's lookup hit path alone: a
+// small program with one hot DTM-eligible run is executed once to warm the
+// buffer, then the hot head is probed directly with a recorded input
+// context.
+func BenchmarkDTMLookup(b *testing.B) {
+	pb := ir.NewProgramBuilder("dtm-lookup-bench")
+	out := pb.Object("out", 1, []int64{0})
+	f := pb.Func("main", 1)
+	b0, b1, b2, b3, b4, b5 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	k, acc, sel, x, ptr := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	b0.MovI(k, 0)
+	b0.MovI(acc, 0)
+	b1.Bge(k, f.Param(0), b5.ID())
+	b2.AndI(sel, k, 3)
+	b2.Jmp(b3.ID())
+	b3.MulI(x, sel, 3)
+	b3.AddI(x, x, 7)
+	b3.Add(x, x, sel)
+	b3.Jmp(b4.ID())
+	b4.Add(acc, acc, x)
+	b4.Lea(ptr, out, 0)
+	b4.St(ptr, 0, acc, out)
+	b4.AddI(k, k, 1)
+	b4.Jmp(b1.ID())
+	b5.Ret(acc)
+	p := pb.Build()
+	p.Link()
+	ir.MustVerify(p)
+
+	d := reuse.NewDTM(reuse.DefaultDTMConfig(), p)
+	m := emu.New(p)
+	m.DTM = d
+	if _, err := m.Run(64); err != nil {
+		b.Fatal(err)
+	}
+	heads := d.HeadStats()
+	if len(heads) == 0 || heads[0].Hits == 0 {
+		b.Fatal("no warm trace head to probe")
+	}
+	hot := heads[0]
+	regs := make([]int64, 32)
+	regs[sel] = 1
+	if _, ok := d.Lookup(hot.Fn, hot.PC, regs); !ok {
+		b.Fatal("warm lookup missed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regs[sel] = int64(i & 3)
+		d.Lookup(hot.Fn, hot.PC, regs)
 	}
 }
 

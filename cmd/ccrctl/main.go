@@ -91,10 +91,15 @@ func run(cmd string, args []string) {
 	scale := fs.String("scale", "", "workload scale: tiny, small, medium, large (default small)")
 	dataset := fs.String("dataset", "", "input dataset: train or ref (default train)")
 	base := fs.Bool("base", false, "simulate the base program without a CRB")
+	scheme := fs.String("scheme", "", "reuse scheme: off, ccr, dtm, both (default ccr)")
 	entries := fs.Int("entries", 0, "CRB entries (0 = paper default)")
 	cis := fs.Int("cis", 0, "computation instances per entry (0 = default)")
 	assoc := fs.Int("assoc", 0, "CRB set associativity (0 = default)")
 	nomem := fs.Float64("nomem", 0, "fraction of entries without memory-valid hardware")
+	tentries := fs.Int("tentries", 0, "DTM trace entries (0 = default; dtm/both schemes)")
+	tinstances := fs.Int("tinstances", 0, "DTM trace instances per entry (0 = default)")
+	tassoc := fs.Int("tassoc", 0, "DTM set associativity (0 = default)")
+	minrun := fs.Int("minrun", 0, "DTM minimum run length worth memoizing (0 = default)")
 	digest := fs.Bool("digest", false, "also return the functional oracle digest")
 	notiming := fs.Bool("notiming", false, "skip the timing model (digest-only run)")
 	jobs := fs.Int("jobs", 0, "server-side pool width for fan-outs (0 = server default)")
@@ -134,6 +139,12 @@ func run(cmd string, args []string) {
 			return nil
 		}
 		return &serve.CRBGeom{Entries: *entries, Instances: *cis, Assoc: *assoc, NoMemFrac: *nomem}
+	}
+	dtmGeom := func() *serve.DTMGeom {
+		if *tentries == 0 && *tinstances == 0 && *tassoc == 0 && *minrun == 0 {
+			return nil
+		}
+		return &serve.DTMGeom{Entries: *tentries, Instances: *tinstances, Assoc: *tassoc, MinRun: *minrun}
 	}
 
 	// bench dials through loadgen itself.
@@ -184,7 +195,8 @@ func run(cmd string, args []string) {
 		requireBench(*bench)
 		resp, err := cl.Simulate(serve.SimulateReq{
 			Bench: *bench, Scale: *scale, Dataset: *dataset, Base: *base,
-			CRB: geom(), Digest: *digest, NoTiming: *notiming,
+			Scheme: *scheme, CRB: geom(), DTM: dtmGeom(),
+			Digest: *digest, NoTiming: *notiming,
 		})
 		if err != nil {
 			fatal(err)

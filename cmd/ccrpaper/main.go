@@ -36,7 +36,7 @@
 // byte-identical however the sweep is sharded or interrupted.
 //
 //	ccrpaper [-scale tiny|small|medium|large]
-//	         [-fig 4|8a|8b|9|10|11|scalars|compare|ablations|all]
+//	         [-fig 4|8a|8b|9|10|11|scalars|compare|ablations|decant|all]
 //	         [-jobs N] [-manifest run.json] [-telemetry] [-heartbeat 30s]
 //	         [-verify] [-strict] [-cell-timeout 30s] [-retries 1]
 //	         [-store DIR]
@@ -62,7 +62,7 @@ import (
 )
 
 // knownFigs lists the -fig values in print order; "all" selects every one.
-var knownFigs = []string{"4", "8a", "8b", "9", "10", "11", "scalars", "compare", "ablations"}
+var knownFigs = []string{"4", "8a", "8b", "9", "10", "11", "scalars", "compare", "ablations", "decant"}
 
 func main() {
 	fabric.MaybeWorker() // fabric worker re-exec: never returns when spawned as one
@@ -218,6 +218,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.RenderHeuristics(h))
+	}
+	if want("decant") {
+		d, err := experiments.Decant(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(d.Render())
 	}
 	if *verify {
 		v, err := experiments.Verify(suite)

@@ -10,9 +10,16 @@
 // inputs back-to-back against one warm CRB, resetting the counter block
 // between phases, so the two phases report separately.
 //
+// -scheme selects the reuse scheme (ccr, dtm, both, off). Schemes with a
+// DTM component additionally rank the trace-memoization head PCs by
+// eliminated instructions (-heads bounds the ranking); the pure dtm
+// scheme profiles the unmodified base program, so the region machinery is
+// skipped entirely.
+//
 // Usage:
 //
-//	ccrprof -bench m88ksim [-scale small] [-entries 128] [-cis 8] [-dump]
+//	ccrprof -bench m88ksim [-scale small] [-scheme ccr|dtm|both|off]
+//	        [-entries 128] [-cis 8] [-heads 10] [-dump]
 //	        [-regions] [-phases] [-version]
 package main
 
@@ -27,6 +34,7 @@ import (
 	"ccr/internal/core"
 	"ccr/internal/experiments"
 	"ccr/internal/ir"
+	"ccr/internal/reuse"
 	"ccr/internal/stats"
 	"ccr/internal/telemetry"
 	"ccr/internal/workloads"
@@ -35,8 +43,10 @@ import (
 func main() {
 	bench := flag.String("bench", "m88ksim", "benchmark name")
 	scale := flag.String("scale", "small", "workload scale: tiny, small, medium, large")
+	schemeFlag := flag.String("scheme", "ccr", "reuse scheme: off, ccr, dtm, both")
 	entries := flag.Int("entries", 128, "CRB computation entries")
 	cis := flag.Int("cis", 8, "computation instances per entry")
+	headN := flag.Int("heads", 10, "DTM head-ranking rows (dtm/both schemes)")
 	dump := flag.Bool("dump", false, "dump the transformed program IR")
 	regions := flag.Bool("regions", false, "rank regions by reuse benefit with cause-attributed breakdowns")
 	phases := flag.Bool("phases", false, "report train/ref phases separately on one warm CRB")
@@ -58,53 +68,86 @@ func main() {
 		os.Exit(2)
 	}
 
+	sch, err := reuse.ParseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opts := core.DefaultOptions()
 	opts.CRB.Entries = *entries
 	opts.CRB.Instances = *cis
-	cr, err := core.Compile(b.Prog, b.Train, opts)
-	if err != nil {
-		log.Fatal(err)
+	var rc reuse.Config
+	switch sch {
+	case reuse.Off:
+		rc = reuse.Config{Scheme: reuse.Off}
+	case reuse.CCRScheme:
+		rc = reuse.CCR(opts.CRB)
+	case reuse.DTMScheme:
+		rc = reuse.DTMOnly(opts.DTM)
+	case reuse.BothSchemes:
+		rc = reuse.Both(opts.CRB, opts.DTM)
+	}
+
+	prog := b.Prog
+	var cr *core.CompileResult
+	if sch.UsesCCR() {
+		cr, err = core.Compile(b.Prog, b.Train, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog = cr.Prog
 	}
 	base, err := core.Simulate(b.Prog, nil, opts.Uarch, b.Train, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var tel *core.Telemetry
-	if *regions {
+	if *regions && sch.UsesCCR() {
 		tel = &core.Telemetry{Metrics: telemetry.NewMetrics()}
 	}
-	ccr, err := core.SimulateWith(cr.Prog, &opts.CRB, opts.Uarch, b.Train, 0, tel)
+	run, err := core.SimulateReuse(prog, rc, opts.Uarch, b.Train, 0, tel)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("benchmark %s (%s): %d regions\n", b.Name, b.Paper, len(cr.Prog.Regions))
-	t := stats.Table{Header: []string{"region", "fn", "kind", "group", "size", "in", "out", "mem", "hits", "misses", "aborts", "reused"}}
-	for _, rg := range cr.Prog.Regions {
-		rs := ccr.Emu.Regions[rg.ID]
-		var hits, misses, aborts, reused int64
-		if rs != nil {
-			hits, misses, aborts, reused = rs.Hits, rs.Misses, rs.Aborts, rs.ReusedInstrs
+	fmt.Printf("benchmark %s (%s): scheme %s\n", b.Name, b.Paper, rc.Key())
+	if cr != nil {
+		fmt.Printf("%d regions\n", len(cr.Prog.Regions))
+		t := stats.Table{Header: []string{"region", "fn", "kind", "group", "size", "in", "out", "mem", "hits", "misses", "aborts", "reused"}}
+		for _, rg := range cr.Prog.Regions {
+			rs := run.Emu.Regions[rg.ID]
+			var hits, misses, aborts, reused int64
+			if rs != nil {
+				hits, misses, aborts, reused = rs.Hits, rs.Misses, rs.Aborts, rs.ReusedInstrs
+			}
+			t.Add(fmt.Sprintf("%d", rg.ID), cr.Prog.Func(rg.Func).Name, rg.Kind.String(),
+				experiments.GroupOf(rg),
+				fmt.Sprintf("%d", rg.StaticSize),
+				fmt.Sprintf("%d", len(rg.Inputs)), fmt.Sprintf("%d", len(rg.Outputs)),
+				fmt.Sprintf("%d", len(rg.MemObjects)),
+				fmt.Sprintf("%d", hits), fmt.Sprintf("%d", misses),
+				fmt.Sprintf("%d", aborts), fmt.Sprintf("%d", reused))
 		}
-		t.Add(fmt.Sprintf("%d", rg.ID), cr.Prog.Func(rg.Func).Name, rg.Kind.String(),
-			experiments.GroupOf(rg),
-			fmt.Sprintf("%d", rg.StaticSize),
-			fmt.Sprintf("%d", len(rg.Inputs)), fmt.Sprintf("%d", len(rg.Outputs)),
-			fmt.Sprintf("%d", len(rg.MemObjects)),
-			fmt.Sprintf("%d", hits), fmt.Sprintf("%d", misses),
-			fmt.Sprintf("%d", aborts), fmt.Sprintf("%d", reused))
+		fmt.Println(t.String())
 	}
-	fmt.Println(t.String())
+	eliminated := run.Emu.ReusedInstrs + run.Emu.DTMReusedInstrs
 	fmt.Printf("base:  %12d cycles  %12d instrs  IPC %.2f\n", base.Cycles, base.Uarch.Instrs, base.Uarch.IPC())
-	fmt.Printf("ccr:   %12d cycles  %12d instrs  IPC %.2f  (reused %d instrs, %d invals)\n",
-		ccr.Cycles, ccr.Uarch.Instrs, ccr.Uarch.IPC(), ccr.Emu.ReusedInstrs, ccr.Emu.Invalidations)
+	fmt.Printf("%-6s %12d cycles  %12d instrs  IPC %.2f  (reused %d instrs, %d invals)\n",
+		string(sch)+":", run.Cycles, run.Uarch.Instrs, run.Uarch.IPC(), eliminated, run.Emu.Invalidations)
 	fmt.Printf("speedup: %.3f   reuse eliminated %.1f%% of base execution\n",
-		core.Speedup(base, ccr), 100*float64(ccr.Emu.ReusedInstrs)/float64(base.Emu.DynInstrs))
-	if *regions {
+		core.Speedup(base, run), 100*float64(eliminated)/float64(base.Emu.DynInstrs))
+	if run.DTM != nil {
+		st := run.DTM
+		fmt.Printf("dtm:   %d lookups, %d hits, %d records, %d invalidated traces, %d evictions\n",
+			st.Lookups, st.Hits, st.Records, st.Invalidates, st.Evictions)
 		fmt.Println()
-		fmt.Print(regionReport(cr, base, ccr, tel.Metrics))
+		fmt.Print(headReport(prog, run, base, *headN))
 	}
-	if *phases {
+	if *regions && tel != nil {
+		fmt.Println()
+		fmt.Print(regionReport(cr, base, run, tel.Metrics))
+	}
+	if *phases && sch.UsesCCR() {
 		cfg := experiments.DefaultConfig()
 		cfg.Scale = sc
 		cfg.Opts = opts
@@ -122,8 +165,39 @@ func main() {
 		fmt.Print(pr.Render())
 	}
 	if *dump {
-		fmt.Println(cr.Prog.Dump())
+		fmt.Println(prog.Dump())
 	}
+}
+
+// headReport ranks the DTM trace heads by eliminated dynamic instructions,
+// locating each head in its function and block.
+func headReport(prog *ir.Program, run, base *core.SimResult, n int) string {
+	heads := append([]reuse.HeadStat(nil), run.DTMHeads...)
+	sort.SliceStable(heads, func(i, j int) bool {
+		if heads[i].Reused != heads[j].Reused {
+			return heads[i].Reused > heads[j].Reused
+		}
+		if heads[i].Fn != heads[j].Fn {
+			return heads[i].Fn < heads[j].Fn
+		}
+		return heads[i].PC < heads[j].PC
+	})
+	if n > 0 && len(heads) > n {
+		heads = heads[:n]
+	}
+	dec := prog.Decoded()
+	t := stats.Table{Header: []string{"head", "fn", "block", "hits", "reused", "benefit"}}
+	for _, hs := range heads {
+		blk := dec.Funcs[hs.Fn].Meta[hs.PC].Block
+		benefit := 0.0
+		if base.Emu.DynInstrs > 0 {
+			benefit = float64(hs.Reused) / float64(base.Emu.DynInstrs)
+		}
+		t.Add(fmt.Sprintf("%d@%d", hs.Fn, hs.PC), prog.Func(hs.Fn).Name,
+			fmt.Sprintf("b%d", blk), fmt.Sprintf("%d", hs.Hits),
+			fmt.Sprintf("%d", hs.Reused), stats.Pct(benefit))
+	}
+	return fmt.Sprintf("DTM heads by dynamic reuse benefit (%d of %d):\n", len(heads), len(run.DTMHeads)) + t.String()
 }
 
 // regionReport ranks regions by eliminated dynamic instructions and

@@ -17,10 +17,18 @@
 // split cold/conflict/input/mem-invalid, evictions split capacity vs
 // invalidation, per-object invalidation fan-out) as JSON.
 //
+// -scheme selects the reuse scheme under test: "ccr" (the default,
+// compiler-directed regions + CRB), "dtm" (dynamic trace memoization on
+// the unmodified base program — no compiler support), "both" (CRB and DTM
+// on the transformed program), or "off" (no reuse hardware at all). The
+// -tentries/-tinstances/-tassoc/-minrun flags size the DTM geometry the
+// same way -entries/-cis/-assoc size the CRB.
+//
 // Usage:
 //
-//	ccrsim -bench m88ksim [-scale medium] [-entries 128] [-cis 8]
-//	       [-assoc 1] [-nomem 0] [-ref] [-list] [-jobs N] [-manifest run.json]
+//	ccrsim -bench m88ksim [-scale medium] [-scheme ccr] [-entries 128]
+//	       [-cis 8] [-assoc 1] [-nomem 0] [-tentries 256] [-tinstances 4]
+//	       [-tassoc 2] [-minrun 3] [-ref] [-list] [-jobs N] [-manifest run.json]
 //	       [-trace out.json] [-trace-jsonl out.jsonl] [-metrics out.metrics.json]
 //	       [-verify] [-cell-timeout 30s] [-retries 1] [-version]
 package main
@@ -36,6 +44,7 @@ import (
 	"ccr/internal/core"
 	"ccr/internal/opt"
 	"ccr/internal/oracle"
+	"ccr/internal/reuse"
 	"ccr/internal/runner"
 	"ccr/internal/telemetry"
 	"ccr/internal/workloads"
@@ -44,10 +53,15 @@ import (
 func main() {
 	bench := flag.String("bench", "m88ksim", "benchmark name (see -list)")
 	scale := flag.String("scale", "small", "workload scale: tiny, small, medium, large")
+	schemeFlag := flag.String("scheme", "ccr", "reuse scheme: ccr, dtm, both, off")
 	entries := flag.Int("entries", 128, "CRB computation entries")
 	cis := flag.Int("cis", 8, "computation instances per entry")
 	assoc := flag.Int("assoc", 1, "CRB set associativity (1 = paper)")
 	nomem := flag.Float64("nomem", 0, "fraction of entries without memory-valid hardware")
+	tentries := flag.Int("tentries", 256, "DTM trace entries (schemes dtm/both)")
+	tinstances := flag.Int("tinstances", 4, "trace instances per DTM entry")
+	tassoc := flag.Int("tassoc", 2, "DTM set associativity")
+	minrun := flag.Int("minrun", 3, "minimum run length the DTM will memoize")
 	useRef := flag.Bool("ref", false, "simulate the reference input instead of training")
 	optimize := flag.Bool("O", false, "run the classic optimizer on the base program first")
 	list := flag.Bool("list", false, "list benchmarks and exit")
@@ -90,15 +104,44 @@ func main() {
 		fmt.Printf("optimizer: folded %d, propagated %d, eliminated %d\n",
 			st.Folded, st.Propagated, st.Eliminated)
 	}
+	scheme, err := reuse.ParseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opts := core.DefaultOptions()
 	opts.CRB.Entries = *entries
 	opts.CRB.Instances = *cis
 	opts.CRB.Assoc = *assoc
 	opts.CRB.NoMemEntriesFrac = *nomem
+	opts.DTM.Entries = *tentries
+	opts.DTM.Instances = *tinstances
+	opts.DTM.Assoc = *tassoc
+	opts.DTM.MinRun = *minrun
 
-	cr, err := core.Compile(b.Prog, b.Train, opts)
-	if err != nil {
-		log.Fatal(err)
+	var rc reuse.Config
+	switch scheme {
+	case reuse.Off:
+		rc = reuse.Config{Scheme: reuse.Off}
+	case reuse.CCRScheme:
+		rc = reuse.CCR(opts.CRB)
+	case reuse.DTMScheme:
+		rc = reuse.DTMOnly(opts.DTM)
+	case reuse.BothSchemes:
+		rc = reuse.Both(opts.CRB, opts.DTM)
+	}
+
+	// The CCR schemes run the compiler-transformed program; the pure-DTM
+	// and off schemes run the unmodified base program (trace memoization
+	// needs no compiler support — that is its point).
+	var cr *core.CompileResult
+	prog := b.Prog
+	if rc.Scheme.UsesCCR() {
+		cr, err = core.Compile(b.Prog, b.Train, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog = cr.Prog
 	}
 	args := b.Train
 	which := "training"
@@ -125,7 +168,7 @@ func main() {
 			tel.Trace = telemetry.NewTrace(*traceCap)
 		}
 	}
-	ccrCellID := "ccr/" + b.Name + "/" + opts.CRB.Key()
+	ccrCellID := string(scheme) + "/" + b.Name + "/" + rc.Key()
 	var base, ccr *core.SimResult
 	var baseDigest, ccrDigest oracle.Digest
 	cells := []runner.Cell{
@@ -136,7 +179,7 @@ func main() {
 		}},
 		{ID: ccrCellID, Do: func(context.Context) error {
 			var err error
-			ccr, err = core.SimulateWith(cr.Prog, &opts.CRB, opts.Uarch, args, 0, tel)
+			ccr, err = core.SimulateReuse(prog, rc, opts.Uarch, args, 0, tel)
 			return err
 		}},
 	}
@@ -147,9 +190,9 @@ func main() {
 				baseDigest, err = core.DigestRun(b.Prog, nil, args, 0)
 				return err
 			}},
-			runner.Cell{ID: "digest/ccr/" + b.Name + "/" + opts.CRB.Key(), Do: func(context.Context) error {
+			runner.Cell{ID: "digest/" + ccrCellID, Do: func(context.Context) error {
 				var err error
-				ccrDigest, err = core.DigestRun(cr.Prog, &opts.CRB, args, 0)
+				ccrDigest, err = core.DigestRunReuse(prog, rc, args, 0)
 				return err
 			}})
 	}
@@ -171,10 +214,13 @@ func main() {
 		log.Fatalf("architectural mismatch: base %d, ccr %d", base.Result, ccr.Result)
 	}
 
-	fmt.Printf("benchmark %s (%s), %s input, CRB %d entries × %d CIs (assoc %d)\n",
-		b.Name, b.Paper, which, *entries, *cis, *assoc)
-	fmt.Printf("regions formed: %d (%d static instructions inside regions)\n\n",
-		len(cr.Prog.Regions), regionInstrs(cr))
+	fmt.Printf("benchmark %s (%s), %s input, scheme %s (%s)\n",
+		b.Name, b.Paper, which, scheme, rc.Key())
+	if cr != nil {
+		fmt.Printf("regions formed: %d (%d static instructions inside regions)\n",
+			len(cr.Prog.Regions), regionInstrs(cr))
+	}
+	fmt.Println()
 
 	row := func(name string, r *core.SimResult) {
 		fmt.Printf("%-6s %12d cycles  %12d instrs  IPC %.2f  I$%6d  D$%6d  mpred%7d\n",
@@ -182,15 +228,21 @@ func main() {
 			r.Uarch.ICacheMisses, r.Uarch.DCacheMisses, r.Uarch.Mispredicts)
 	}
 	row("base", base)
-	row("ccr", ccr)
-	fmt.Printf("\nreuse: %d hits, %d misses, %d aborts, %d invalidations\n",
-		ccr.Emu.ReuseHits, ccr.Emu.ReuseMisses, ccr.Emu.MemoAborts, ccr.Emu.Invalidations)
+	row(string(scheme), ccr)
+	if rc.Scheme.UsesCCR() {
+		fmt.Printf("\nreuse: %d hits, %d misses, %d aborts, %d invalidations\n",
+			ccr.Emu.ReuseHits, ccr.Emu.ReuseMisses, ccr.Emu.MemoAborts, ccr.Emu.Invalidations)
+	}
+	reused := ccr.Emu.ReusedInstrs + ccr.Emu.DTMReusedInstrs
 	fmt.Printf("eliminated %d dynamic instructions (%.1f%% of base execution)\n",
-		ccr.Emu.ReusedInstrs,
-		100*float64(ccr.Emu.ReusedInstrs)/float64(base.Emu.DynInstrs))
+		reused, 100*float64(reused)/float64(base.Emu.DynInstrs))
 	if ccr.CRB != nil {
 		fmt.Printf("CRB: %d records, %d evictions, %d record-rejects, %d instance invalidates\n",
 			ccr.CRB.Records, ccr.CRB.Evictions, ccr.CRB.RecordFails, ccr.CRB.Invalidates)
+	}
+	if ccr.DTM != nil {
+		fmt.Printf("DTM: %d trace hits, %d records, %d evictions, %d store invalidates\n",
+			ccr.DTM.Hits, ccr.DTM.Records, ccr.DTM.Evictions, ccr.DTM.Invalidates)
 	}
 	fmt.Printf("\nspeedup: %.3f×\n", core.Speedup(base, ccr))
 

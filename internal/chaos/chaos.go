@@ -82,13 +82,42 @@ type Stats struct {
 	Eligible, Injected int
 }
 
-// Injector wraps a CRB, injecting the configured fault class. It
-// implements emu.ReuseBuffer.
-type Injector struct {
-	crb   *crb.CRB
+// sampler is the seeded fault scheduler shared by the CRB and DTM
+// injectors: a splitmix64 stream plus the Rate gate and counters.
+type sampler struct {
 	cfg   Config
 	state uint64
 	stats Stats
+}
+
+// next advances the seeded splitmix64 stream.
+func (s *sampler) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fire decides whether the current eligible operation is faulted.
+func (s *sampler) fire() bool {
+	s.stats.Eligible++
+	rate := s.cfg.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	if rate < 1 && float64(s.next()>>11)/float64(1<<53) >= rate {
+		return false
+	}
+	s.stats.Injected++
+	return true
+}
+
+// Injector wraps a CRB, injecting the configured fault class. It
+// implements emu.ReuseBuffer.
+type Injector struct {
+	sampler
+	crb *crb.CRB
 	// shadow holds copies of committed instances per region, the raw
 	// material for StaleMemValid and SpuriousHit resurrections.
 	shadow map[ir.RegionID][]crb.Instance
@@ -99,34 +128,11 @@ const shadowCap = 64
 
 // Wrap builds an injector around c.
 func Wrap(c *crb.CRB, cfg Config) *Injector {
-	return &Injector{crb: c, cfg: cfg, state: cfg.Seed, shadow: map[ir.RegionID][]crb.Instance{}}
+	return &Injector{sampler: sampler{cfg: cfg, state: cfg.Seed}, crb: c, shadow: map[ir.RegionID][]crb.Instance{}}
 }
 
 // Stats returns the injection counters.
 func (in *Injector) Stats() Stats { return in.stats }
-
-// next advances the seeded splitmix64 stream.
-func (in *Injector) next() uint64 {
-	in.state += 0x9E3779B97F4A7C15
-	z := in.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-// fire decides whether the current eligible operation is faulted.
-func (in *Injector) fire() bool {
-	in.stats.Eligible++
-	rate := in.cfg.Rate
-	if rate <= 0 {
-		rate = 1
-	}
-	if rate < 1 && float64(in.next()>>11)/float64(1<<53) >= rate {
-		return false
-	}
-	in.stats.Injected++
-	return true
-}
 
 // cloneInstance deep-copies an instance so perturbing the copy never
 // corrupts real CRB state.

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"ccr/internal/ir"
+	"ccr/internal/reuse"
+)
+
+// TraceInjector is the DTM-side fault instrument: the same five fault
+// classes as the CRB Injector, expressed against the dynamic trace
+// memoization buffer behind the emulator's TraceBuffer interface. It
+// exists for the same reason — to prove the transparency oracle detects
+// every way a trace buffer can lie — and, like the CRB injector, nothing
+// in the production pipeline constructs one.
+type TraceInjector struct {
+	sampler
+	dtm *reuse.DTM
+	// scratch holds perturbed copies of hit traces so a fault never
+	// corrupts real DTM state (the DTM's own scratch included).
+	scratch reuse.Trace
+}
+
+// WrapTrace builds a trace injector around d.
+func WrapTrace(d *reuse.DTM, cfg Config) *TraceInjector {
+	return &TraceInjector{sampler: sampler{cfg: cfg, state: cfg.Seed}, dtm: d}
+}
+
+// Stats returns the injection counters.
+func (in *TraceInjector) Stats() Stats { return in.stats }
+
+// clone copies a trace into the injector's scratch so perturbations never
+// write through to the DTM's internal scratch buffer.
+func (in *TraceInjector) clone(tr *reuse.Trace) *reuse.Trace {
+	out := &in.scratch
+	out.Outputs = append(out.Outputs[:0], tr.Outputs...)
+	out.NextPC = tr.NextPC
+	out.Len = tr.Len
+	out.UsesMem = tr.UsesMem
+	return out
+}
+
+// Lookup delegates to the DTM, then perturbs the outcome for the
+// lookup-side fault classes: corrupted or reclaimed output banks on a
+// hit, comparator and memory-valid-bit failures resurrecting a trace on
+// a miss (through the DTM's chaos seams — those states cannot be reached
+// via the architectural interface).
+func (in *TraceInjector) Lookup(fn ir.FuncID, head int32, regs []int64) (*reuse.Trace, bool) {
+	tr, ok := in.dtm.Lookup(fn, head, regs)
+	switch in.cfg.Fault {
+	case CorruptOutput:
+		if ok && len(tr.Outputs) > 0 && in.fire() {
+			ghost := in.clone(tr)
+			slot := int(in.next() % uint64(len(ghost.Outputs)))
+			ghost.Outputs[slot].Val ^= int64(in.next() | 1)
+			return ghost, true
+		}
+	case EvictDuringRead:
+		if ok && in.fire() {
+			ghost := in.clone(tr)
+			for i := range ghost.Outputs {
+				ghost.Outputs[i].Val = 0
+			}
+			return ghost, true
+		}
+	case SpuriousHit:
+		if !ok {
+			if any, found := in.dtm.LookupAny(fn, head); found && in.fire() {
+				return in.clone(any), true
+			}
+		}
+	case StaleMemValid:
+		if !ok {
+			if stale, found := in.dtm.LookupStale(fn, head, regs); found && in.fire() {
+				return in.clone(stale), true
+			}
+		}
+	}
+	return tr, ok
+}
+
+// Begin delegates unchanged.
+func (in *TraceInjector) Begin(fn ir.FuncID, head int32, regs []int64) bool {
+	return in.dtm.Begin(fn, head, regs)
+}
+
+// Complete delegates unchanged.
+func (in *TraceInjector) Complete(fn ir.FuncID, landing int32, regs []int64) bool {
+	return in.dtm.Complete(fn, landing, regs)
+}
+
+// Abort delegates unchanged.
+func (in *TraceInjector) Abort() { in.dtm.Abort() }
+
+// Store swallows the invalidation channel under DropInvalidation —
+// a lost store notification, the DTM analogue of a lost invalidate
+// message — else delegates.
+func (in *TraceInjector) Store(m ir.MemID) int {
+	if in.cfg.Fault == DropInvalidation && in.fire() {
+		return 0
+	}
+	return in.dtm.Store(m)
+}

@@ -24,6 +24,7 @@ import (
 	"ccr/internal/ir"
 	"ccr/internal/oracle"
 	"ccr/internal/region"
+	"ccr/internal/reuse"
 	"ccr/internal/telemetry"
 	"ccr/internal/uarch"
 	"ccr/internal/vprof"
@@ -34,17 +35,23 @@ import (
 type Options struct {
 	Region region.Options
 	CRB    crb.Config
-	Uarch  uarch.Config
+	// DTM is the trace-buffer geometry used by the dtm/both reuse schemes
+	// (see internal/reuse); irrelevant — and excluded from cache keys —
+	// when only the CCR scheme runs.
+	DTM   reuse.DTMConfig
+	Uarch uarch.Config
 	// Limit bounds each emulated run's dynamic instructions (0 = default).
 	Limit int64
 }
 
 // DefaultOptions returns the paper's configuration: §4.4 heuristics, a
-// 128-entry × 8-instance direct-mapped CRB and the §5.1 machine.
+// 128-entry × 8-instance direct-mapped CRB and the §5.1 machine, plus the
+// default trace-buffer geometry for the DTM scheme.
 func DefaultOptions() Options {
 	return Options{
 		Region: region.DefaultOptions(),
 		CRB:    crb.DefaultConfig(),
+		DTM:    reuse.DefaultDTMConfig(),
 		Uarch:  uarch.DefaultConfig(),
 	}
 }
@@ -127,6 +134,11 @@ type SimResult struct {
 	Emu    emu.Stats
 	Uarch  uarch.Stats
 	CRB    *crb.Stats // nil when run without a CRB
+	// DTM and DTMHeads report the trace-memoization buffer of a dtm/both
+	// run: flat counters and the per-head reuse contributions the
+	// decanting figures decompose. Both nil otherwise.
+	DTM      *reuse.Stats
+	DTMHeads []reuse.HeadStat
 }
 
 // Telemetry bundles the opt-in observability attachments of one simulated
@@ -150,16 +162,49 @@ func Simulate(prog *ir.Program, crbCfg *crb.Config, ucfg uarch.Config, args []in
 
 // SimulateWith is Simulate with an optional telemetry attachment.
 func SimulateWith(prog *ir.Program, crbCfg *crb.Config, ucfg uarch.Config, args []int64, limit int64, tel *Telemetry) (*SimResult, error) {
-	m := emu.New(prog)
-	m.Limit = limit
+	return SimulateReuse(prog, reuseConfigOf(crbCfg), ucfg, args, limit, tel)
+}
+
+// reuseConfigOf maps the legacy optional-CRB calling convention onto the
+// scheme seam: nil means no reuse hardware at all (scheme off), non-nil
+// means the classic CCR configuration.
+func reuseConfigOf(crbCfg *crb.Config) reuse.Config {
+	if crbCfg == nil {
+		return reuse.Config{Scheme: reuse.Off}
+	}
+	return reuse.CCR(*crbCfg)
+}
+
+// attachReuse builds and attaches the reuse backends rc selects to m,
+// wiring the telemetry sink when present. Either return may be nil.
+func attachReuse(m *emu.Machine, prog *ir.Program, rc reuse.Config, tel *Telemetry) (*crb.CRB, *reuse.DTM) {
 	var buf *crb.CRB
-	if crbCfg != nil {
-		buf = crb.New(*crbCfg, prog)
+	var dtm *reuse.DTM
+	if rc.Scheme.UsesCCR() {
+		buf = crb.New(rc.CRB, prog)
 		if tel != nil && tel.Metrics != nil {
 			buf.SetSink(tel.Metrics)
 		}
 		m.CRB = buf
 	}
+	if rc.Scheme.UsesDTM() {
+		dtm = reuse.NewDTM(rc.DTM, prog)
+		if tel != nil && tel.Metrics != nil {
+			dtm.SetSink(tel.Metrics)
+		}
+		m.DTM = dtm
+	}
+	return buf, dtm
+}
+
+// SimulateReuse executes prog with the cycle-level timing model under an
+// arbitrary reuse scheme: a CRB for ccr, a trace-memoization buffer for
+// dtm, both side by side for both, and neither for off. It is the
+// scheme-generic core that SimulateWith wraps.
+func SimulateReuse(prog *ir.Program, rc reuse.Config, ucfg uarch.Config, args []int64, limit int64, tel *Telemetry) (*SimResult, error) {
+	m := emu.New(prog)
+	m.Limit = limit
+	buf, dtm := attachReuse(m, prog, rc, tel)
 	sim := uarch.NewSimulator(ucfg, prog)
 	if tel != nil && tel.Trace != nil {
 		tel.Trace.SetClock(sim.CycleCount)
@@ -181,19 +226,25 @@ func SimulateWith(prog *ir.Program, crbCfg *crb.Config, ucfg uarch.Config, args 
 		st := buf.Stats()
 		out.CRB = &st
 	}
+	if dtm != nil {
+		st := dtm.Stats()
+		out.DTM = &st
+		out.DTMHeads = dtm.HeadStats()
+	}
 	return out, nil
 }
 
 // RunFunctional executes prog without timing, optionally with a CRB —
 // used by correctness tests and the reuse-potential study.
 func RunFunctional(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64) (*SimResult, error) {
+	return RunFunctionalReuse(prog, reuseConfigOf(crbCfg), args, limit)
+}
+
+// RunFunctionalReuse is RunFunctional generalized over the reuse scheme.
+func RunFunctionalReuse(prog *ir.Program, rc reuse.Config, args []int64, limit int64) (*SimResult, error) {
 	m := emu.New(prog)
 	m.Limit = limit
-	var buf *crb.CRB
-	if crbCfg != nil {
-		buf = crb.New(*crbCfg, prog)
-		m.CRB = buf
-	}
+	buf, dtm := attachReuse(m, prog, rc, nil)
 	res, err := m.Run(args...)
 	if err != nil {
 		return nil, err
@@ -202,6 +253,11 @@ func RunFunctional(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int
 	if buf != nil {
 		st := buf.Stats()
 		out.CRB = &st
+	}
+	if dtm != nil {
+		st := dtm.Stats()
+		out.DTM = &st
+		out.DTMHeads = dtm.HeadStats()
 	}
 	return out, nil
 }
@@ -213,7 +269,7 @@ func RunFunctional(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int
 // then oracle.Compare-ing the two, checks the paper's §3.1 transparency
 // contract for that benchmark, input and CRB geometry.
 func DigestRun(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64) (oracle.Digest, error) {
-	return digestRun(prog, crbCfg, args, limit, emu.New)
+	return digestRun(prog, reuseConfigOf(crbCfg), args, limit, emu.New)
 }
 
 // DigestRunEngine is DigestRun with the execution engine pinned: interp
@@ -222,19 +278,31 @@ func DigestRun(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64) 
 // Comparing the two digests for one (program, config, input) point is the
 // engine-equivalence gate (TestEngineDifferential, ci's sweep).
 func DigestRunEngine(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64, interp bool) (oracle.Digest, error) {
-	return digestRun(prog, crbCfg, args, limit, func(p *ir.Program) *emu.Machine {
+	return DigestRunReuseEngine(prog, reuseConfigOf(crbCfg), args, limit, interp)
+}
+
+// DigestRunReuse is DigestRun generalized over the reuse scheme: it
+// digests a run with whichever backends rc selects attached, so the
+// transparency contract can be checked for ccr, dtm and both alike
+// against a scheme-off base digest of the same program and input.
+func DigestRunReuse(prog *ir.Program, rc reuse.Config, args []int64, limit int64) (oracle.Digest, error) {
+	return digestRun(prog, rc, args, limit, emu.New)
+}
+
+// DigestRunReuseEngine is DigestRunReuse with the execution engine pinned
+// (see DigestRunEngine).
+func DigestRunReuseEngine(prog *ir.Program, rc reuse.Config, args []int64, limit int64, interp bool) (oracle.Digest, error) {
+	return digestRun(prog, rc, args, limit, func(p *ir.Program) *emu.Machine {
 		m := emu.New(p)
 		m.Interp = interp
 		return m
 	})
 }
 
-func digestRun(prog *ir.Program, crbCfg *crb.Config, args []int64, limit int64, newMachine func(*ir.Program) *emu.Machine) (oracle.Digest, error) {
+func digestRun(prog *ir.Program, rc reuse.Config, args []int64, limit int64, newMachine func(*ir.Program) *emu.Machine) (oracle.Digest, error) {
 	m := newMachine(prog)
 	m.Limit = limit
-	if crbCfg != nil {
-		m.CRB = crb.New(*crbCfg, prog)
-	}
+	attachReuse(m, prog, rc, nil)
 	col := oracle.NewCollector(prog)
 	m.Trace = col.Tracer()
 	res, err := m.Run(args...)

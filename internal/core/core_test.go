@@ -4,7 +4,11 @@ import (
 	"testing"
 
 	"ccr/internal/crb"
+	"ccr/internal/emu"
 	"ccr/internal/ir"
+	"ccr/internal/oracle"
+	"ccr/internal/reuse"
+	"ccr/internal/workloads"
 )
 
 // buildScanBench builds an m88ksim-like benchmark: main repeatedly calls
@@ -149,6 +153,48 @@ func TestCCRWithoutBufferMatchesBase(t *testing.T) {
 	}
 	if got.Result != want.Result {
 		t.Fatalf("result %d, want %d", got.Result, want.Result)
+	}
+}
+
+// TestSchemeOffBitIdenticalToLegacyRun proves the reuse-scheme seam is
+// inert when disabled: selecting scheme "off" through the full scheme
+// plumbing must produce the complete identity digest — invariant
+// components plus Trace and DynInstrs — of a hand-rolled legacy machine
+// run that never touches the CRB or DTM fields. Checked on both engines
+// for a synthetic benchmark and a real workload.
+func TestSchemeOffBitIdenticalToLegacyRun(t *testing.T) {
+	type tc struct {
+		name string
+		prog *ir.Program
+		args []int64
+	}
+	cases := []tc{{"scanbench", buildScanBench(t), []int64{300}}}
+	b := workloads.Load("compress", workloads.Tiny)
+	cases = append(cases, tc{"compress", b.Prog, b.Train})
+
+	legacy := func(prog *ir.Program, args []int64, interp bool) oracle.Digest {
+		m := emu.New(prog)
+		m.Interp = interp
+		col := oracle.NewCollector(prog)
+		m.Trace = col.Tracer()
+		res, err := m.Run(args...)
+		if err != nil {
+			t.Fatalf("legacy run: %v", err)
+		}
+		return col.Finish(res, m.Mem)
+	}
+	for _, c := range cases {
+		for _, interp := range []bool{false, true} {
+			want := legacy(c.prog, c.args, interp)
+			got, err := DigestRunReuseEngine(c.prog, reuse.Config{Scheme: reuse.Off}, c.args, 0, interp)
+			if err != nil {
+				t.Fatalf("%s: scheme-off run: %v", c.name, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s (interp=%v): scheme off diverged from legacy run:\n got %+v\nwant %+v",
+					c.name, interp, got, want)
+			}
+		}
 	}
 }
 

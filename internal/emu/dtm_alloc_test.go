@@ -1,0 +1,39 @@
+package emu
+
+import (
+	"testing"
+
+	"ccr/internal/reuse"
+	"ccr/internal/workloads"
+)
+
+// TestRunAllocsDTM extends the batch tier's allocation-free guarantee to
+// the trace-memoization scheme: with a warm DTM attached (and still no
+// tracer), steady-state Reset+Run performs zero heap allocations — the
+// DTM's lookup, recording and store-invalidation paths all work out of
+// preallocated entry storage. The hit count is checked so the guarantee
+// is not proved on a buffer that never engaged.
+func TestRunAllocsDTM(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented runtime allocates outside the engine's control")
+	}
+	w := workloads.Load("compress", workloads.Tiny)
+	d := reuse.NewDTM(reuse.DefaultDTMConfig(), w.Prog)
+	m := New(w.Prog)
+	m.DTM = d
+	if _, err := m.Run(w.Train...); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Hits == 0 {
+		t.Fatal("warm-up run never hit a trace — the alloc check is vacuous")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		m.Reset()
+		if _, err := m.Run(w.Train...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Run with DTM allocates %v times per run, want 0", allocs)
+	}
+}

@@ -138,6 +138,7 @@ func (m *Machine) runFast(args []int64) (int64, error) {
 		limit = DefaultLimit
 	}
 	trace := m.Trace
+	dtm := m.DTM
 	mem := m.Mem
 
 	// Hot state hoisted out of the frame, reloaded after call/return. The
@@ -150,6 +151,22 @@ func (m *Machine) runFast(args []int64) (int64, error) {
 
 outer:
 	for {
+		// ---- trace-memoization landing hook ----------------------------
+		// Every arrival here is a landing (branch, jump, call, return or
+		// reuse transfer; with DTM attached the batch tier exits at every
+		// control transfer). The armed-memo gate matches the interpreter:
+		// the careful recording path owns execution inside a region body.
+		if dtm != nil && !m.memo.active {
+			m.Stats.DynInstrs = limit - rem
+			npc, err := m.dtmEnter(df, pc, fr.regs, limit)
+			if err != nil {
+				m.flushOpCounts()
+				return 0, err
+			}
+			pc = npc
+			rem = limit - m.Stats.DynInstrs
+		}
+
 		// ---- batch tier ------------------------------------------------
 		// Eligible only when execution is unobservable (no tracer, no armed
 		// memo) and the function has a batch form. The run containing pc is
@@ -348,6 +365,9 @@ outer:
 								fmt.Sprintf("store address %d outside hinted object %s [%d,%d)", a, o.Name, o.Base, o.Base+o.Size))
 						}
 						mem[a] = rp[in.Src2]
+						if dtm != nil {
+							dtm.Store(ir.MemID(df.Code[pc].Aux))
+						}
 						if len(m.funcMemos) > 0 {
 							m.dropFuncMemos()
 						}
@@ -510,8 +530,15 @@ outer:
 						return m.batchFault(df, pc, &rem, limit,
 							fmt.Sprintf("invalid opcode %d", df.Code[pc].Op))
 					}
-					// Control transferred: charge the next run, or hand the
-					// endgame to the careful tier when it no longer fits.
+					// Control transferred. With DTM attached every transfer
+					// is a landing: return to the tier dispatch so the
+					// hook above runs. Otherwise charge the next run, or
+					// hand the endgame to the careful tier when it no
+					// longer fits.
+					if dtm != nil {
+						pc = npc
+						continue outer
+					}
 					k := int64(runEnd[npc]-int32(npc)) + 1
 					if rem < k {
 						pc = npc
@@ -698,6 +725,9 @@ outer:
 						fmt.Sprintf("store address %d outside hinted object %s [%d,%d)", addr, o.Name, o.Base, o.Base+o.Size)}
 				}
 				mem[addr] = v2
+				if dtm != nil {
+					dtm.Store(ir.MemID(in.Aux))
+				}
 				if memoActive {
 					// Regions never contain stores; defensive abort.
 					m.abortMemo()

@@ -96,6 +96,11 @@ type Stats struct {
 	// ReusedInstrs is the total dynamic instructions eliminated.
 	ReuseHits, ReuseMisses int64
 	ReusedInstrs           int64
+	// DTMHits counts trace-memoization replays (each charges one dynamic
+	// instruction); DTMReusedInstrs is the dynamic instructions those
+	// replays eliminated. Zero unless a Machine.DTM is attached.
+	DTMHits         int64
+	DTMReusedInstrs int64
 	// MemoAborts counts abandoned memoization attempts (region exits).
 	MemoAborts int64
 	// Invalidations counts executed invalidate instructions.

@@ -33,6 +33,7 @@ import (
 
 	"ccr/internal/crb"
 	"ccr/internal/ir"
+	"ccr/internal/reuse"
 )
 
 // ErrLimit is returned when a run exceeds its dynamic instruction budget.
@@ -160,6 +161,42 @@ type ReuseBuffer interface {
 	Invalidate(m ir.MemID) int
 }
 
+// TraceBuffer is the emulator's view of a dynamic trace memoization buffer
+// (reuse.DTM): the second reuse scheme, which forms and replays
+// straight-line runs at runtime with no compiler support. The engine calls
+// it at every *landing* — a PC where control arrives by branch, jump,
+// call, return or reuse transfer — and notifies it of every executed
+// store. *reuse.DTM is the real backend; internal/chaos substitutes
+// fault-injecting wrappers.
+//
+// The transparency contract a backend must honor (DESIGN.md §13): a hit
+// returned by Lookup must write exactly the register values the replaced
+// run would have computed from the current register file and memory, and
+// NextPC must be the landing the run would have transferred to. The
+// returned Trace may alias internal scratch and is only valid until the
+// next call.
+type TraceBuffer interface {
+	// Lookup probes for a replayable trace headed at flat PC head of
+	// function fn. regs is the executing frame's register file; the
+	// backend must not retain or modify it.
+	Lookup(fn ir.FuncID, head int32, regs []int64) (*reuse.Trace, bool)
+	// Begin arms a recording of the run headed at head after a miss,
+	// snapshotting its input values. Returns whether a recording was
+	// armed (ineligible heads arm nothing).
+	Begin(fn ir.FuncID, head int32, regs []int64) bool
+	// Complete finishes the pending recording, if any, at the next
+	// landing; the backend validates the landing against the recorded
+	// run's static successors and reads the outputs from regs.
+	Complete(fn ir.FuncID, landing int32, regs []int64) bool
+	// Abort abandons the pending recording, if any (machine reset, fault
+	// recovery).
+	Abort()
+	// Store reports one executed store to object m (ir.NoMem for unknown
+	// provenance) — the invalidation channel. Returns the number of
+	// traces killed.
+	Store(m ir.MemID) int
+}
+
 // interpDefault selects the legacy block-structured interpreter for every
 // new Machine when CCR_ENGINE=interp is set in the environment — the
 // escape hatch for re-running a whole sweep on the reference engine
@@ -174,6 +211,11 @@ type Machine struct {
 	// instructions always miss and nothing is memoized (the transformed
 	// program then behaves exactly like the base program, with overhead).
 	CRB ReuseBuffer
+	// DTM enables dynamic trace memoization (the second reuse scheme):
+	// when non-nil, both engines probe it at every control-transfer
+	// landing and report every executed store to it. Attach a *reuse.DTM
+	// (or a chaos wrapper); nil runs are bit-identical to pre-DTM builds.
+	DTM TraceBuffer
 	// Trace, when non-nil, receives every executed dynamic instruction.
 	Trace Tracer
 	// Limit bounds the number of dynamic instructions executed
@@ -359,6 +401,11 @@ func (m *Machine) Reset() {
 	m.fframes = m.fframes[:0]
 	m.funcMemos = m.funcMemos[:0]
 	m.memo.active = false
+	if m.DTM != nil {
+		// Recorded traces are external warm state like the CRB; only the
+		// in-flight recording must die with the aborted execution.
+		m.DTM.Abort()
+	}
 	m.lastInval = 0
 	m.byCorr = m.byCorr[:0]
 	regions := m.Stats.Regions
@@ -420,6 +467,79 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 	return m.runFast(args)
 }
 
+// dtmEnter is the trace-memoization landing hook, shared verbatim by both
+// engines (their flat PCs agree position-for-position — see engine.go's
+// equivalence notes). At a landing it completes any pending recording,
+// then chains lookups: every hit applies a trace's outputs, charges one
+// dynamic instruction (so an infinite replay chain still terminates at
+// the limit, exactly like executed instructions would), and moves pc to
+// the trace's landing; the first miss arms a fresh recording and returns.
+// Replayed instructions are never executed, so they emit no trace events,
+// update no per-op histograms, and cost no cycles — the idealized
+// zero-cycle reuse model, same as the CCR scheme's hit path.
+// Stats.DynInstrs must be synced before calling and is current on return.
+func (m *Machine) dtmEnter(df *ir.DecodedFunc, pc int, regs []int64, limit int64) (int, error) {
+	d := m.DTM
+	fn := df.Fn.ID
+	if pc < 0 || pc >= len(df.Code)-1 {
+		// The sentinel slot (or a corrupt PC): about to fault — nothing
+		// to look up, and a pending recording must not commit here.
+		d.Abort()
+		return pc, nil
+	}
+	d.Complete(fn, int32(pc), regs)
+	for {
+		tr, ok := d.Lookup(fn, int32(pc), regs)
+		if !ok {
+			d.Begin(fn, int32(pc), regs)
+			return pc, nil
+		}
+		if m.Stats.DynInstrs >= limit {
+			return pc, ErrLimit
+		}
+		for _, out := range tr.Outputs {
+			regs[out.Reg] = out.Val
+		}
+		m.Stats.DynInstrs++
+		m.Stats.DTMHits++
+		m.Stats.DTMReusedInstrs += int64(tr.Len)
+		pc = int(tr.NextPC)
+		if pc < 0 || pc >= len(df.Code)-1 {
+			// Backends never record sentinel landings; defensive only.
+			d.Abort()
+			return pc, nil
+		}
+	}
+}
+
+// dtmInterpEnter adapts dtmEnter to the interpreter's (block, index)
+// coordinates: the flat landing PC is BlockPC[b]+idx (valid for
+// one-past-block-end fall-through positions too, since blocks are laid
+// out contiguously), and an advanced PC maps back through Meta. No-op
+// while a region memoization is armed — the careful recording path owns
+// execution then, exactly like the fast engine's gate.
+func (m *Machine) dtmInterpEnter(limit int64) error {
+	if m.memo.active {
+		return nil
+	}
+	fr := &m.frames[len(m.frames)-1]
+	df := m.dec.Funcs[fr.f.ID]
+	if int(fr.b) >= len(df.BlockPC) {
+		m.DTM.Abort()
+		return nil
+	}
+	pc := int(df.BlockPC[fr.b]) + fr.idx
+	npc, err := m.dtmEnter(df, pc, fr.regs, limit)
+	if err != nil {
+		return err
+	}
+	if npc != pc {
+		mt := &df.Meta[npc]
+		fr.b, fr.idx = mt.Block, int(mt.Index)
+	}
+	return nil
+}
+
 // runInterp is the legacy block-structured interpreter: the reference
 // implementation the predecoded engine is differentially tested against.
 func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
@@ -435,6 +555,13 @@ func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
 
 	ev := &m.ev
 	trace := m.Trace
+	if m.DTM != nil {
+		// Program entry is a landing too (the fast engine's tier dispatch
+		// fires there before the first instruction).
+		if err := m.dtmInterpEnter(limit); err != nil {
+			return 0, err
+		}
+	}
 	for len(m.frames) > 0 {
 		fr := &m.frames[len(m.frames)-1]
 		blk := fr.f.Blocks[fr.b]
@@ -592,6 +719,9 @@ func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
 				}
 			}
 			m.Mem[addr] = v2
+			if m.DTM != nil {
+				m.DTM.Store(in.Mem)
+			}
 			if memoActive {
 				// Regions never contain stores; defensive abort.
 				m.abortMemo()
@@ -643,6 +773,11 @@ func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
 				m.emit(trace, ev, caller.f, origB, origIdx, in, v1, v2, 0, 0,
 					true, m.addrBase[callee.ID][0])
 			}
+			if m.DTM != nil {
+				if err := m.dtmInterpEnter(limit); err != nil {
+					return 0, err
+				}
+			}
 			continue
 		case ir.Ret:
 			if memoActive {
@@ -672,6 +807,11 @@ func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
 			if dest != ir.NoReg {
 				m.frames[len(m.frames)-1].regs[dest] = retVal
 			}
+			if m.DTM != nil {
+				if err := m.dtmInterpEnter(limit); err != nil {
+					return 0, err
+				}
+			}
 			continue
 		case ir.Reuse:
 			hit, rin, rout, reused := m.execReuse(in.Region, regs, fr.f.NumRegs, len(m.frames))
@@ -694,6 +834,11 @@ func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
 				trace(ev)
 			}
 			fr.b, fr.idx = nextB, nextI
+			if m.DTM != nil {
+				if err := m.dtmInterpEnter(limit); err != nil {
+					return 0, err
+				}
+			}
 			continue
 		case ir.Inval:
 			m.Stats.Invalidations++
@@ -724,6 +869,13 @@ func (m *Machine) runInterp(mainFn *ir.Func, args []int64) (int64, error) {
 			m.emit(trace, ev, fr.f, fr.b, fr.idx, in, v1, v2, addr, result, taken, tpc)
 		}
 		fr.b, fr.idx = nextB, nextI
+		if m.DTM != nil && in.Op.IsBranch() {
+			// Jumps and conditional branches (either direction) end a
+			// straight-line run: their successor is a landing.
+			if err := m.dtmInterpEnter(limit); err != nil {
+				return 0, err
+			}
+		}
 	}
 	return 0, errors.New("emu: no frames")
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ccr/internal/core"
+	"ccr/internal/reuse"
 	"ccr/internal/stats"
 	"ccr/internal/workloads"
 )
@@ -55,7 +56,7 @@ func AblationAssoc(s *Suite) (*AblationResult, error) {
 	for _, a := range []int{1, 2, 4} {
 		c := s.cfg.Opts.CRB
 		c.Entries, c.Instances, c.Assoc = 32, 8, a
-		points = append(points, SweepPoint{Label: fmt.Sprintf("%d-way", a), CRB: c})
+		points = append(points, SweepPoint{Label: fmt.Sprintf("%d-way", a), Reuse: reuse.CCR(c)})
 	}
 	return runAblation(s, res, points)
 }
@@ -71,7 +72,7 @@ func AblationNoMem(s *Suite) (*AblationResult, error) {
 	for _, frac := range []float64{0, 0.5, 0.75, 1} {
 		c := s.cfg.Opts.CRB
 		c.Entries, c.Instances, c.NoMemEntriesFrac = 128, 8, frac
-		points = append(points, SweepPoint{Label: fmt.Sprintf("%.0f%%", 100*frac), CRB: c})
+		points = append(points, SweepPoint{Label: fmt.Sprintf("%.0f%%", 100*frac), Reuse: reuse.CCR(c)})
 	}
 	return runAblation(s, res, points)
 }
@@ -94,7 +95,7 @@ func runAblation(s *Suite, res *AblationResult, points []SweepPoint) (*AblationR
 		},
 		func(i int) error {
 			b, pt := s.Benches[i/np], points[i%np]
-			sp, err := s.Speedup(b, b.Train, pt.CRB)
+			sp, err := s.SpeedupPoint(b, b.Train, pt.Reuse)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"ccr/internal/workloads"
+)
+
+// TestDecantShape checks the decanting lab's internal consistency: one
+// column per scheme, one ablation row per benchmark, and the two reuse
+// decompositions (by loop depth, by mechanism shape) summing to the same
+// totals — they split the same reused instructions two ways. The pure
+// schemes must also attribute reuse only to their own mechanism.
+func TestDecantShape(t *testing.T) {
+	s := tinySuite(t)
+	r, err := Decant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schemes) != 3 || len(r.Ablation.Rows) != len(s.Benches) {
+		t.Fatalf("shape: %d schemes, %d rows", len(r.Schemes), len(r.Ablation.Rows))
+	}
+	for si, scheme := range r.Schemes {
+		var byDepth, byShape int64
+		for _, v := range r.ByDepth[si] {
+			byDepth += v
+		}
+		for _, v := range r.ByShape[si] {
+			byShape += v
+		}
+		if byDepth != byShape {
+			t.Fatalf("%s: depth total %d != shape total %d", scheme, byDepth, byShape)
+		}
+		if byDepth == 0 {
+			t.Fatalf("%s: no reuse attributed — the decomposition is vacuous", scheme)
+		}
+		switch scheme {
+		case "ccr":
+			if r.ByShape[si][2] != 0 {
+				t.Fatalf("ccr attributed %d instrs to traces", r.ByShape[si][2])
+			}
+		case "dtm":
+			if r.ByShape[si][0] != 0 || r.ByShape[si][1] != 0 {
+				t.Fatalf("dtm attributed %v to compiler regions", r.ByShape[si][:2])
+			}
+		}
+	}
+}
+
+// TestDecantDeterministicAcrossJobs renders the lab from two fresh suites
+// at different worker counts: the aggregation pass must be ordered by
+// benchmark, not by cell completion, so the outputs are byte-identical.
+func TestDecantDeterministicAcrossJobs(t *testing.T) {
+	render := func(jobs int) string {
+		cfg := DefaultConfig()
+		cfg.Scale = workloads.Tiny
+		cfg.Jobs = jobs
+		r, err := Decant(NewSuite(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Render()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Fatalf("decant output depends on -jobs:\n-- jobs=1 --\n%s\n-- jobs=4 --\n%s", serial, parallel)
+	}
+}

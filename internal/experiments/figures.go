@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
-	"ccr/internal/crb"
 	"ccr/internal/ir"
+	"ccr/internal/reuse"
 	"ccr/internal/stats"
 )
 
@@ -72,10 +72,13 @@ func (r *Fig4Result) Render() string {
 	return "Figure 4: dynamic reuse potential (8-record histories)\n" + t.String()
 }
 
-// SweepPoint names one CRB configuration of a Figure 8 sweep.
+// SweepPoint names one reuse-scheme configuration of a sweep: a label for
+// table headers and manifest IDs plus the full scheme selection (ccr, dtm,
+// both or off, with each backend's geometry). The classic Figure 8 sweeps
+// build pure-CCR points via reuse.CCR.
 type SweepPoint struct {
 	Label string
-	CRB   crb.Config
+	Reuse reuse.Config
 }
 
 // Fig8Result holds a speedup sweep: one column per configuration.
@@ -106,7 +109,7 @@ func sweep(s *Suite, points []SweepPoint) (*Fig8Result, error) {
 		},
 		func(i int) error {
 			b, pt := s.Benches[i/np], points[i%np]
-			sp, err := s.Speedup(b, b.Train, pt.CRB)
+			sp, err := s.SpeedupPoint(b, b.Train, pt.Reuse)
 			if err != nil {
 				return err
 			}
@@ -141,7 +144,7 @@ func Figure8a(s *Suite) (*Fig8Result, error) {
 	for _, ci := range []int{4, 8, 16} {
 		c := base
 		c.Entries, c.Instances = 128, ci
-		points = append(points, SweepPoint{Label: fmt.Sprintf("128E,%dCI", ci), CRB: c})
+		points = append(points, SweepPoint{Label: fmt.Sprintf("128E,%dCI", ci), Reuse: reuse.CCR(c)})
 	}
 	return sweep(s, points)
 }
@@ -154,7 +157,7 @@ func Figure8b(s *Suite) (*Fig8Result, error) {
 	for _, e := range []int{32, 64, 128} {
 		c := base
 		c.Entries, c.Instances = e, 8
-		points = append(points, SweepPoint{Label: fmt.Sprintf("%dE,8CI", e), CRB: c})
+		points = append(points, SweepPoint{Label: fmt.Sprintf("%dE,8CI", e), Reuse: reuse.CCR(c)})
 	}
 	return sweep(s, points)
 }

@@ -23,6 +23,7 @@ import (
 	"ccr/internal/ir"
 	"ccr/internal/oracle"
 	"ccr/internal/potential"
+	"ccr/internal/reuse"
 	"ccr/internal/runner"
 	"ccr/internal/store"
 	"ccr/internal/telemetry"
@@ -80,7 +81,7 @@ type Suite struct {
 	prep     *runner.Cache // name → *alias.Result (the only b.Prog mutation)
 	compiled *runner.Cache // name → *core.CompileResult
 	baseSim  *runner.Cache // name|dataset → *core.SimResult
-	ccrSim   *runner.Cache // name|dataset|crb-key → *core.SimResult
+	ccrSim   *runner.Cache // name|dataset|reuse-key → *core.SimResult
 	limit    *runner.Cache // name|dataset → potential.Result
 	digest   *runner.Cache // name|dataset → oracle.Digest of the base run
 
@@ -373,12 +374,83 @@ func (s *Suite) BaseSim(b *workloads.Benchmark, args []int64) (*core.SimResult, 
 	return v.(*core.SimResult), nil
 }
 
-// CCRSim returns the cached CCR timing run of b on args with the given
-// CRB configuration.
-func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*core.SimResult, error) {
-	key := b.Name + "|" + dsKey(args) + "|" + cc.Key()
+// progFor returns the program a reuse scheme runs on: schemes with a CCR
+// component need the transformed binary (reuse/invalidate instructions),
+// while off and dtm run the untransformed base program — DTM is a pure
+// runtime mechanism with no compiler support. The base program is
+// prepared first so it is never annotated concurrently with a run.
+func (s *Suite) progFor(b *workloads.Benchmark, rc reuse.Config) (*ir.Program, error) {
+	if rc.Scheme.UsesCCR() {
+		cr, err := s.Compiled(b)
+		if err != nil {
+			return nil, err
+		}
+		return cr.Prog, nil
+	}
+	if _, err := s.prepared(b); err != nil {
+		return nil, err
+	}
+	return b.Prog, nil
+}
+
+// ReuseSim returns the cached timing run of b on args under an arbitrary
+// reuse scheme. Scheme off delegates to BaseSim — the two are the same
+// run by construction, so they share one cache slot and are bit-identical.
+// Cache and store keys embed the full scheme key (reuse.Config.Key), so a
+// CCR and a DTM run with coinciding numeric geometry can never alias.
+func (s *Suite) ReuseSim(b *workloads.Benchmark, args []int64, rc reuse.Config) (*core.SimResult, error) {
+	if rc.Scheme == reuse.Off {
+		return s.BaseSim(b, args)
+	}
+	key := b.Name + "|" + dsKey(args) + "|" + rc.Key()
 	v, err := s.ccrSim.Do(key, func() (any, error) {
-		skey, err := s.storeKey(b, "ds="+dsKey(args)+"|"+cc.Key())
+		skey, err := s.storeKey(b, "ds="+dsKey(args)+"|"+rc.Key())
+		if err != nil {
+			return nil, err
+		}
+		var cached core.SimResult
+		if s.fromStore("ccr_sim", skey, &cached) {
+			return &cached, nil
+		}
+		prog, err := s.progFor(b, rc)
+		if err != nil {
+			return nil, err
+		}
+		var tel *core.Telemetry
+		if s.cfg.Telemetry {
+			tel = &core.Telemetry{Metrics: telemetry.NewMetrics()}
+		}
+		r, err := core.SimulateReuse(prog, rc, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit, tel)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s sim %s: %w", rc.Scheme, b.Name, err)
+		}
+		if tel != nil && s.pool.Manifest != nil {
+			s.pool.Manifest.SetTelemetry("ccr_sim/"+key, tel.Metrics.Summary())
+		}
+		s.toStore("ccr_sim", skey, r)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.SimResult), nil
+}
+
+// CCRSim returns the cached CCR timing run of b on args with the given
+// CRB configuration — the classic scheme through the generic seam.
+func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*core.SimResult, error) {
+	return s.ReuseSim(b, args, reuse.CCR(cc))
+}
+
+// OverheadSim returns the cached timing run of the *transformed* program
+// with no reuse hardware attached: every reuse instruction misses and
+// every invalidate is a no-op, so the run prices the pure instruction
+// overhead of the CCR transformation. The decanting analysis diffs its
+// opcode histogram against reuse runs to attribute eliminated work.
+func (s *Suite) OverheadSim(b *workloads.Benchmark, args []int64) (*core.SimResult, error) {
+	key := b.Name + "|" + dsKey(args) + "|overhead"
+	v, err := s.ccrSim.Do(key, func() (any, error) {
+		skey, err := s.storeKey(b, "ds="+dsKey(args)+"|overhead")
 		if err != nil {
 			return nil, err
 		}
@@ -390,16 +462,9 @@ func (s *Suite) CCRSim(b *workloads.Benchmark, args []int64, cc crb.Config) (*co
 		if err != nil {
 			return nil, err
 		}
-		var tel *core.Telemetry
-		if s.cfg.Telemetry {
-			tel = &core.Telemetry{Metrics: telemetry.NewMetrics()}
-		}
-		r, err := core.SimulateWith(cr.Prog, &cc, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit, tel)
+		r, err := core.Simulate(cr.Prog, nil, s.cfg.Opts.Uarch, args, s.cfg.Opts.Limit)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ccr sim %s: %w", b.Name, err)
-		}
-		if tel != nil && s.pool.Manifest != nil {
-			s.pool.Manifest.SetTelemetry("ccr_sim/"+key, tel.Metrics.Summary())
+			return nil, fmt.Errorf("experiments: overhead sim %s: %w", b.Name, err)
 		}
 		s.toStore("ccr_sim", skey, r)
 		return r, nil
@@ -466,35 +531,50 @@ func (s *Suite) BaseDigest(b *workloads.Benchmark, args []int64) (oracle.Digest,
 	return v.(oracle.Digest), nil
 }
 
-// CCRDigest runs the transformed program functionally under the given CRB
-// configuration and returns its architectural digest. It is not cached:
-// each (benchmark, dataset, config) point is checked exactly once by the
-// verification sweep.
-func (s *Suite) CCRDigest(b *workloads.Benchmark, args []int64, cc crb.Config) (oracle.Digest, error) {
-	cr, err := s.Compiled(b)
+// ReuseDigest runs b's program functionally under an arbitrary reuse
+// scheme and returns its architectural digest. It is not cached: each
+// (benchmark, dataset, scheme point) is checked exactly once by the
+// verification sweep. Scheme off recomputes a fresh digest of the base
+// program rather than returning the cached BaseDigest, so comparing the
+// two genuinely re-executes the nil-reuse path.
+func (s *Suite) ReuseDigest(b *workloads.Benchmark, args []int64, rc reuse.Config) (oracle.Digest, error) {
+	prog, err := s.progFor(b, rc)
 	if err != nil {
 		return oracle.Digest{}, err
 	}
-	d, err := core.DigestRun(cr.Prog, &cc, args, s.cfg.Opts.Limit)
+	d, err := core.DigestRunReuse(prog, rc, args, s.cfg.Opts.Limit)
 	if err != nil {
-		return oracle.Digest{}, fmt.Errorf("experiments: ccr digest %s: %w", b.Name, err)
+		return oracle.Digest{}, fmt.Errorf("experiments: %s digest %s: %w", rc.Scheme, b.Name, err)
 	}
 	return d, nil
 }
 
-// Speedup computes the paper's metric for b on args under CRB config cc.
-func (s *Suite) Speedup(b *workloads.Benchmark, args []int64, cc crb.Config) (float64, error) {
+// CCRDigest runs the transformed program functionally under the given CRB
+// configuration and returns its architectural digest.
+func (s *Suite) CCRDigest(b *workloads.Benchmark, args []int64, cc crb.Config) (oracle.Digest, error) {
+	return s.ReuseDigest(b, args, reuse.CCR(cc))
+}
+
+// SpeedupPoint computes the paper's metric for b on args under an
+// arbitrary reuse scheme, with the architectural-result cross-check every
+// timed pair gets.
+func (s *Suite) SpeedupPoint(b *workloads.Benchmark, args []int64, rc reuse.Config) (float64, error) {
 	base, err := s.BaseSim(b, args)
 	if err != nil {
 		return 0, err
 	}
-	ccr, err := s.CCRSim(b, args, cc)
+	run, err := s.ReuseSim(b, args, rc)
 	if err != nil {
 		return 0, err
 	}
-	if ccr.Result != base.Result {
-		return 0, fmt.Errorf("experiments: %s: architectural mismatch (base %d, ccr %d)",
-			b.Name, base.Result, ccr.Result)
+	if run.Result != base.Result {
+		return 0, fmt.Errorf("experiments: %s: architectural mismatch (base %d, %s %d)",
+			b.Name, base.Result, rc.Scheme, run.Result)
 	}
-	return core.Speedup(base, ccr), nil
+	return core.Speedup(base, run), nil
+}
+
+// Speedup computes the paper's metric for b on args under CRB config cc.
+func (s *Suite) Speedup(b *workloads.Benchmark, args []int64, cc crb.Config) (float64, error) {
+	return s.SpeedupPoint(b, args, reuse.CCR(cc))
 }

@@ -6,6 +6,7 @@ import (
 	"ccr/internal/core"
 	"ccr/internal/crb"
 	"ccr/internal/oracle"
+	"ccr/internal/reuse"
 	"ccr/internal/runner"
 	"ccr/internal/stats"
 	"ccr/internal/workloads"
@@ -34,39 +35,50 @@ type VerifyResult struct {
 func (r *VerifyResult) Failed() int { return len(r.Rows) }
 
 // VerifySweepPoints is the configuration matrix the verification sweep
-// covers: the default CRB plus every Figure 8 and ablation geometry,
-// deduplicated by configuration key.
+// covers: the off scheme (a genuine re-execution of the nil-reuse path),
+// the default CRB plus every Figure 8 and ablation geometry, and the DTM
+// and combined schemes at their default plus a stressed small-capacity DTM
+// geometry (where eviction and re-recording churn is highest) —
+// deduplicated by scheme key.
 func VerifySweepPoints(s *Suite) []SweepPoint {
 	base := s.cfg.Opts.CRB
+	tc := s.cfg.Opts.DTM
 	seen := map[string]bool{}
 	var pts []SweepPoint
-	add := func(label string, c crb.Config) {
-		if k := c.Key(); !seen[k] {
+	add := func(label string, rc reuse.Config) {
+		if k := rc.Key(); !seen[k] {
 			seen[k] = true
-			pts = append(pts, SweepPoint{Label: label, CRB: c})
+			pts = append(pts, SweepPoint{Label: label, Reuse: rc})
 		}
 	}
-	add("default", base)
+	addCRB := func(label string, c crb.Config) { add(label, reuse.CCR(c)) }
+	add("off", reuse.Config{Scheme: reuse.Off})
+	addCRB("default", base)
 	for _, ci := range []int{4, 8, 16} { // Figure 8a
 		c := base
 		c.Entries, c.Instances = 128, ci
-		add(fmt.Sprintf("128E,%dCI", ci), c)
+		addCRB(fmt.Sprintf("128E,%dCI", ci), c)
 	}
 	for _, e := range []int{32, 64, 128} { // Figure 8b
 		c := base
 		c.Entries, c.Instances = e, 8
-		add(fmt.Sprintf("%dE,8CI", e), c)
+		addCRB(fmt.Sprintf("%dE,8CI", e), c)
 	}
 	for _, a := range []int{1, 2, 4} { // associativity ablation
 		c := base
 		c.Entries, c.Instances, c.Assoc = 32, 8, a
-		add(fmt.Sprintf("32E,8CI,%d-way", a), c)
+		addCRB(fmt.Sprintf("32E,8CI,%d-way", a), c)
 	}
 	for _, frac := range []float64{0, 0.5, 0.75, 1} { // no-mem ablation
 		c := base
 		c.Entries, c.Instances, c.NoMemEntriesFrac = 128, 8, frac
-		add(fmt.Sprintf("nomem=%.0f%%", 100*frac), c)
+		addCRB(fmt.Sprintf("nomem=%.0f%%", 100*frac), c)
 	}
+	add("dtm", reuse.DTMOnly(tc))
+	small := tc
+	small.Entries, small.Assoc = 16, 1
+	add("dtm-small", reuse.DTMOnly(small))
+	add("both", reuse.Both(base, tc))
 	return pts
 }
 
@@ -144,7 +156,7 @@ func Verify(s *Suite) (*VerifyResult, error) {
 					return err
 				}
 			} else {
-				got, err = s.CCRDigest(b, args, points[ci].CRB)
+				got, err = s.ReuseDigest(b, args, points[ci].Reuse)
 				if err != nil {
 					return err
 				}

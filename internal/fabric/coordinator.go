@@ -681,14 +681,23 @@ func remoteCompute(cl *serve.Client, scaleName string, spec CellSpec) (CellOut, 
 	if err != nil {
 		return CellOut{}, err
 	}
-	geom := &serve.CRBGeom{
-		Entries: spec.CRB.Entries, Instances: spec.CRB.Instances,
-		Assoc: spec.CRB.Assoc, NoMemFrac: spec.CRB.NoMemEntriesFrac,
-	}
-	ccr, err := cl.Simulate(serve.SimulateReq{
+	req := serve.SimulateReq{
 		Bench: spec.Bench, Scale: scaleName, Dataset: spec.Dataset,
-		CRB: geom, Digest: true,
-	})
+		Scheme: string(spec.Reuse.Scheme), Digest: true,
+	}
+	if spec.Reuse.Scheme.UsesCCR() {
+		req.CRB = &serve.CRBGeom{
+			Entries: spec.Reuse.CRB.Entries, Instances: spec.Reuse.CRB.Instances,
+			Assoc: spec.Reuse.CRB.Assoc, NoMemFrac: spec.Reuse.CRB.NoMemEntriesFrac,
+		}
+	}
+	if spec.Reuse.Scheme.UsesDTM() {
+		req.DTM = &serve.DTMGeom{
+			Entries: spec.Reuse.DTM.Entries, Instances: spec.Reuse.DTM.Instances,
+			Assoc: spec.Reuse.DTM.Assoc, MinRun: spec.Reuse.DTM.MinRun,
+		}
+	}
+	ccr, err := cl.Simulate(req)
 	if err != nil {
 		return CellOut{}, err
 	}

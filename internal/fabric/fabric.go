@@ -8,34 +8,38 @@
 // The durability contract is differential: a sweep that is SIGKILLed at
 // any point and resumed must produce a digests.json byte-identical to an
 // uninterrupted serial run. That holds because every cell is a pure
-// deterministic function of (benchmark bytes, dataset, CRB configuration,
-// build revision), the journal only records fully computed cells (torn
-// tails are discarded on load), and the store quarantines — never serves —
-// entries that fail integrity or revision checks.
+// deterministic function of (benchmark bytes, dataset, reuse-scheme
+// configuration, build revision), the journal only records fully computed
+// cells (torn tails are discarded on load), and the store quarantines —
+// never serves — entries that fail integrity or revision checks.
 package fabric
 
 import (
 	"fmt"
 
-	"ccr/internal/crb"
 	"ccr/internal/experiments"
 	"ccr/internal/oracle"
+	"ccr/internal/reuse"
 	"ccr/internal/workloads"
 )
 
-// CellSpec names one sweep cell: a (benchmark, dataset, CRB configuration)
-// point of the verification/speedup grid. It is the unit of sharding,
-// journaling and lease accounting.
+// CellSpec names one sweep cell: a (benchmark, dataset, reuse scheme
+// configuration) point of the verification/speedup grid. It is the unit
+// of sharding, journaling and lease accounting.
 type CellSpec struct {
-	Bench   string     `json:"bench"`
-	Dataset string     `json:"dataset"` // "train" or "ref"
-	Label   string     `json:"label"`   // sweep-point label, e.g. "128E,8CI"
-	CRB     crb.Config `json:"crb"`
+	Bench   string       `json:"bench"`
+	Dataset string       `json:"dataset"` // "train" or "ref"
+	Label   string       `json:"label"`   // sweep-point label, e.g. "128E,8CI"
+	Reuse   reuse.Config `json:"reuse"`
 }
 
 // ID is the cell's stable identity across runs, processes and machines —
-// the journal key a resume matches against.
-func (c CellSpec) ID() string { return c.Bench + "/" + c.Dataset + "/" + c.Label }
+// the journal key a resume matches against. The reuse scheme is part of
+// the identity, so a CCR and a DTM cell whose labels or geometries
+// coincide can never satisfy each other's journal entry.
+func (c CellSpec) ID() string {
+	return c.Bench + "/" + c.Dataset + "/" + string(c.Reuse.Scheme) + "/" + c.Label
+}
 
 // CellOut is one completed cell's result: both sides of the transparency
 // check plus the paper's speedup metric. It round-trips through JSON
@@ -59,7 +63,7 @@ func Plan(s *experiments.Suite) []CellSpec {
 		for _, ds := range []string{"train", "ref"} {
 			for _, pt := range points {
 				plan = append(plan, CellSpec{
-					Bench: b.Name, Dataset: ds, Label: pt.Label, CRB: pt.CRB,
+					Bench: b.Name, Dataset: ds, Label: pt.Label, Reuse: pt.Reuse,
 				})
 			}
 		}
@@ -101,11 +105,11 @@ func computeCell(s *experiments.Suite, spec CellSpec) (CellOut, error) {
 	if err != nil {
 		return CellOut{}, err
 	}
-	ccr, err := s.CCRDigest(b, args, spec.CRB)
+	ccr, err := s.ReuseDigest(b, args, spec.Reuse)
 	if err != nil {
 		return CellOut{}, err
 	}
-	sp, err := s.Speedup(b, args, spec.CRB)
+	sp, err := s.SpeedupPoint(b, args, spec.Reuse)
 	if err != nil {
 		return CellOut{}, err
 	}

@@ -160,6 +160,76 @@ func (op Opcode) IsCompare() bool { return op >= Slt && op <= Sne }
 // (arithmetic, bitwise, shift or comparison).
 func (op Opcode) IsBinaryALU() bool { return op >= Add && op <= Sne }
 
+// OpClass buckets opcodes for workload characterization (the decanting
+// analysis groups eliminated instructions by these classes). Coarser than
+// FUClass: it separates the cheap ALU ops from the multi-cycle ones and
+// data movement from real computation, which is the distinction that
+// matters when asking *what kind* of work a reuse scheme eliminates.
+type OpClass uint8
+
+const (
+	ClassMove    OpClass = iota // Mov, MovI, Lea, Nop
+	ClassALU                    // Add, Sub, bitwise, shifts
+	ClassMulDiv                 // Mul, Div, Rem (multi-cycle units)
+	ClassCompare                // Slt..Sne
+	ClassLoad                   // Ld
+	ClassStore                  // St
+	ClassBranch                 // Jmp, Beq..Bgt
+	ClassCall                   // Call, Ret
+	ClassCCR                    // Reuse, Inval (scheme overhead)
+	NumOpClasses
+)
+
+// String returns the class label used in figure rows.
+func (c OpClass) String() string {
+	switch c {
+	case ClassMove:
+		return "move"
+	case ClassALU:
+		return "alu"
+	case ClassMulDiv:
+		return "muldiv"
+	case ClassCompare:
+		return "compare"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassCall:
+		return "call"
+	case ClassCCR:
+		return "ccr"
+	}
+	return "class?"
+}
+
+// Class returns the opcode's characterization bucket.
+func (op Opcode) Class() OpClass {
+	switch {
+	case op == Nop || op == Mov || op == MovI || op == Lea:
+		return ClassMove
+	case op == Mul || op == Div || op == Rem:
+		return ClassMulDiv
+	case op.IsCompare():
+		return ClassCompare
+	case op.IsBinaryALU():
+		return ClassALU
+	case op == Ld:
+		return ClassLoad
+	case op == St:
+		return ClassStore
+	case op == Call || op == Ret:
+		return ClassCall
+	case op == Reuse || op == Inval:
+		return ClassCCR
+	case op.IsBranch():
+		return ClassBranch
+	}
+	return ClassMove
+}
+
 // Uses returns the source registers the instruction reads, appending them
 // to dst and returning the extended slice. NoReg operands are skipped.
 func (in *Instr) Uses(dst []Reg) []Reg {

@@ -119,7 +119,9 @@ func TestManifestSchemaStability(t *testing.T) {
 		"store.Stats":  {"corrupt", "hits", "misses", "puts", "stale"},
 		"buildinfo.Info": {"go_version", "module", "vcs_modified", "vcs_revision",
 			"vcs_time", "version"},
-		"telemetry.Summary": {"commit_fails", "commits", "evictions", "hits",
+		"telemetry.Summary": {"commit_fails", "commits", "dtm_commits",
+			"dtm_evictions", "dtm_heads", "dtm_hits", "dtm_invalidated",
+			"dtm_invalidations", "dtm_lookups", "evictions", "hits",
 			"invalidated", "invalidations", "lookups", "miss_cold",
 			"miss_conflict", "miss_input", "miss_mem_invalid", "regions"},
 	}

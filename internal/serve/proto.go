@@ -23,6 +23,7 @@ import (
 	"ccr/internal/crb"
 	"ccr/internal/experiments"
 	"ccr/internal/oracle"
+	"ccr/internal/reuse"
 	"ccr/internal/runner"
 	"ccr/internal/workloads"
 )
@@ -77,16 +78,50 @@ func (g CRBGeom) Config() crb.Config {
 	return c
 }
 
+// DTMGeom selects a trace-memoization buffer geometry on the wire; the
+// zero value means the default configuration.
+type DTMGeom struct {
+	Entries   int `json:"entries,omitempty"`
+	Instances int `json:"instances,omitempty"`
+	Assoc     int `json:"assoc,omitempty"`
+	MinRun    int `json:"min_run,omitempty"`
+}
+
+// Config materializes the geometry over the default configuration.
+func (g DTMGeom) Config() reuse.DTMConfig {
+	c := reuse.DefaultDTMConfig()
+	if g.Entries > 0 {
+		c.Entries = g.Entries
+	}
+	if g.Instances > 0 {
+		c.Instances = g.Instances
+	}
+	if g.Assoc > 0 {
+		c.Assoc = g.Assoc
+	}
+	if g.MinRun > 0 {
+		c.MinRun = g.MinRun
+	}
+	return c
+}
+
 // SimulateReq asks for one simulation cell: a (benchmark, scale, dataset)
-// point run either as the base program without a CRB (Base) or as the CCR-
-// transformed program against the requested CRB geometry.
+// point run either as the base program without reuse hardware (Base) or
+// under the requested reuse scheme and geometry.
 type SimulateReq struct {
 	Bench   string `json:"bench"`
 	Scale   string `json:"scale,omitempty"`   // tiny|small|medium|large; default small
 	Dataset string `json:"dataset,omitempty"` // train|ref; default train
 	Base    bool   `json:"base,omitempty"`
-	// CRB overrides the default geometry for CCR runs; ignored with Base.
+	// Scheme selects the reuse scheme for non-Base cells: ccr (default),
+	// dtm, both or off.
+	Scheme string `json:"scheme,omitempty"`
+	// CRB overrides the default geometry for runs with a CCR component;
+	// ignored with Base or a pure-DTM scheme.
 	CRB *CRBGeom `json:"crb,omitempty"`
+	// DTM overrides the default trace-buffer geometry for runs with a DTM
+	// component; ignored otherwise.
+	DTM *DTMGeom `json:"dtm,omitempty"`
 	// Digest additionally runs the functional oracle digest of the cell
 	// (cached server-side) — the client-checkable transparency receipt.
 	Digest bool `json:"digest,omitempty"`
@@ -95,28 +130,60 @@ type SimulateReq struct {
 	NoTiming bool `json:"no_timing,omitempty"`
 }
 
+// reuseConfig resolves a request's scheme selection. Base requests map to
+// the off scheme; non-Base requests default to the classic CCR scheme.
+func reuseConfig(req SimulateReq) (reuse.Config, error) {
+	if req.Base {
+		return reuse.Config{Scheme: reuse.Off}, nil
+	}
+	sch := reuse.CCRScheme
+	if req.Scheme != "" {
+		var err error
+		if sch, err = reuse.ParseScheme(req.Scheme); err != nil {
+			return reuse.Config{}, fmt.Errorf("serve: %w", err)
+		}
+	}
+	rc := reuse.Config{Scheme: sch}
+	if sch.UsesCCR() {
+		rc.CRB = crb.DefaultConfig()
+		if req.CRB != nil {
+			rc.CRB = req.CRB.Config()
+		}
+	}
+	if sch.UsesDTM() {
+		rc.DTM = reuse.DefaultDTMConfig()
+		if req.DTM != nil {
+			rc.DTM = req.DTM.Config()
+		}
+	}
+	return rc, nil
+}
+
 // EmuStats is the wire subset of the emulator's run statistics.
 type EmuStats struct {
-	DynInstrs     int64 `json:"dyn_instrs"`
-	ReuseHits     int64 `json:"reuse_hits,omitempty"`
-	ReuseMisses   int64 `json:"reuse_misses,omitempty"`
-	ReusedInstrs  int64 `json:"reused_instrs,omitempty"`
-	MemoAborts    int64 `json:"memo_aborts,omitempty"`
-	Invalidations int64 `json:"invalidations,omitempty"`
+	DynInstrs       int64 `json:"dyn_instrs"`
+	ReuseHits       int64 `json:"reuse_hits,omitempty"`
+	ReuseMisses     int64 `json:"reuse_misses,omitempty"`
+	ReusedInstrs    int64 `json:"reused_instrs,omitempty"`
+	DTMHits         int64 `json:"dtm_hits,omitempty"`
+	DTMReusedInstrs int64 `json:"dtm_reused_instrs,omitempty"`
+	MemoAborts      int64 `json:"memo_aborts,omitempty"`
+	Invalidations   int64 `json:"invalidations,omitempty"`
 }
 
 // SimulateResp is one cell's answer.
 type SimulateResp struct {
 	Bench   string `json:"bench"`
 	Dataset string `json:"dataset"`
-	// Config is the canonical crb.Config.Key() of the simulated geometry,
-	// or "base" for a CRB-off baseline run.
+	// Config is the canonical reuse.Config.Key() of the simulated scheme
+	// point, or "base" for a reuse-off baseline run.
 	Config string `json:"config"`
 	Result int64  `json:"result"`
 	// Cycles is the timing model's cycle count (0 with NoTiming).
-	Cycles   int64      `json:"cycles,omitempty"`
-	Emu      EmuStats   `json:"emu"`
-	CRB      *crb.Stats `json:"crb,omitempty"`
+	Cycles   int64        `json:"cycles,omitempty"`
+	Emu      EmuStats     `json:"emu"`
+	CRB      *crb.Stats   `json:"crb,omitempty"`
+	DTM      *reuse.Stats `json:"dtm,omitempty"`
 	// Digest is the functional run's architectural digest when requested.
 	Digest *oracle.Digest `json:"digest,omitempty"`
 	// ServerNS is the server-side wall time of this cell, nanoseconds —
@@ -283,15 +350,16 @@ func datasetArgs(b *workloads.Benchmark, dataset string) ([]int64, string, error
 	return nil, "", fmt.Errorf("serve: unknown dataset %q (want train or ref)", dataset)
 }
 
-// simKey canonically names a simulate cell for manifests.
+// simKey canonically names a simulate cell for manifests. The scheme key
+// embeds the scheme name, so cells of different schemes never alias.
 func simKey(req SimulateReq) string {
 	cfg := "base"
 	if !req.Base {
-		c := crb.DefaultConfig()
-		if req.CRB != nil {
-			c = req.CRB.Config()
+		if rc, err := reuseConfig(req); err == nil {
+			cfg = rc.Key()
+		} else {
+			cfg = "invalid"
 		}
-		cfg = c.Key()
 	}
 	ds := req.Dataset
 	if ds == "" {

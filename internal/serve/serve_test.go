@@ -11,6 +11,7 @@ import (
 	"ccr/internal/core"
 	"ccr/internal/crb"
 	"ccr/internal/oracle"
+	"ccr/internal/reuse"
 	"ccr/internal/serve/wire"
 	"ccr/internal/workloads"
 )
@@ -147,8 +148,8 @@ func TestCompileAndSimulateMatchInProcess(t *testing.T) {
 		t.Errorf("ccr reuse stats diverged: daemon %+v, local hits=%d reused=%d",
 			gotCCR.Emu, wantCCR.Emu.ReuseHits, wantCCR.Emu.ReusedInstrs)
 	}
-	if gotCCR.Config != opts.CRB.Key() {
-		t.Errorf("Config = %q, want %q", gotCCR.Config, opts.CRB.Key())
+	if gotCCR.Config != reuse.CCR(opts.CRB).Key() {
+		t.Errorf("Config = %q, want %q", gotCCR.Config, reuse.CCR(opts.CRB).Key())
 	}
 }
 
@@ -193,7 +194,7 @@ func TestConcurrentClientsByteIdentical(t *testing.T) {
 				}
 				p := point{bench: bn, dataset: ds, geom: g}
 				points = append(points, p)
-				want[fmt.Sprintf("%s/%s/%s", bn, ds, cc.Key())] = d
+				want[fmt.Sprintf("%s/%s/%s", bn, ds, reuse.CCR(cc).Key())] = d
 			}
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"ccr/internal/crb"
 	"ccr/internal/experiments"
 	"ccr/internal/oracle"
+	"ccr/internal/reuse"
 	"ccr/internal/runner"
 	"ccr/internal/serve/wire"
 	"ccr/internal/store"
@@ -536,17 +537,13 @@ func (s *Server) doSimulate(req SimulateReq) (*SimulateResp, error) {
 	if err != nil {
 		return nil, err
 	}
-	var cc *crb.Config
-	if !req.Base {
-		cfg := crb.DefaultConfig()
-		if req.CRB != nil {
-			cfg = req.CRB.Config()
-		}
-		cc = &cfg
+	rc, err := reuseConfig(req)
+	if err != nil {
+		return nil, err
 	}
 	resp := &SimulateResp{Bench: b.Name, Dataset: dsName, Config: "base"}
-	if cc != nil {
-		resp.Config = cc.Key()
+	if !req.Base {
+		resp.Config = rc.Key()
 	}
 
 	if !req.NoTiming {
@@ -554,7 +551,7 @@ func (s *Server) doSimulate(req SimulateReq) (*SimulateResp, error) {
 		if req.Base {
 			sim, err = e.suite.BaseSim(b, args)
 		} else {
-			sim, err = e.suite.CCRSim(b, args, *cc)
+			sim, err = e.suite.ReuseSim(b, args, rc)
 		}
 		if err != nil {
 			return nil, err
@@ -564,12 +561,14 @@ func (s *Server) doSimulate(req SimulateReq) (*SimulateResp, error) {
 		resp.Emu = EmuStats{
 			DynInstrs: sim.Emu.DynInstrs, ReuseHits: sim.Emu.ReuseHits,
 			ReuseMisses: sim.Emu.ReuseMisses, ReusedInstrs: sim.Emu.ReusedInstrs,
+			DTMHits: sim.Emu.DTMHits, DTMReusedInstrs: sim.Emu.DTMReusedInstrs,
 			MemoAborts: sim.Emu.MemoAborts, Invalidations: sim.Emu.Invalidations,
 		}
 		resp.CRB = sim.CRB
+		resp.DTM = sim.DTM
 	}
 	if req.Digest || req.NoTiming {
-		d, err := s.cellDigest(e, b, args, dsName, cc)
+		d, err := s.cellDigest(e, b, args, dsName, req.Base, rc)
 		if err != nil {
 			return nil, err
 		}
@@ -584,15 +583,16 @@ func (s *Server) doSimulate(req SimulateReq) (*SimulateResp, error) {
 }
 
 // cellDigest returns the cell's functional oracle digest: the suite's
-// cached base digest for CRB-off cells, or the server-cached CCR digest.
+// cached base digest for baseline cells, or the server-cached scheme-run
+// digest keyed by the full scheme key.
 func (s *Server) cellDigest(e *suiteEntry, b *workloads.Benchmark,
-	args []int64, dsName string, cc *crb.Config) (oracle.Digest, error) {
-	if cc == nil {
+	args []int64, dsName string, base bool, rc reuse.Config) (oracle.Digest, error) {
+	if base {
 		return e.suite.BaseDigest(b, args)
 	}
-	key := b.Name + "|" + dsName + "|" + cc.Key()
+	key := b.Name + "|" + dsName + "|" + rc.Key()
 	v, err := e.ccrDigests.Do(key, func() (any, error) {
-		d, err := e.suite.CCRDigest(b, args, *cc)
+		d, err := e.suite.ReuseDigest(b, args, rc)
 		if err != nil {
 			return nil, err
 		}
@@ -672,12 +672,12 @@ func (s *Server) doSweep(req SweepReq, sink runner.ProgressSink) (*SweepResp, er
 			if datasets[di] == "ref" {
 				args = b.Ref
 			}
-			sp, err := view.Speedup(b, args, points[pi].CRB)
+			sp, err := view.SpeedupPoint(b, args, points[pi].Reuse)
 			if err != nil {
 				return err
 			}
 			rows[i] = SweepRow{Bench: b.Name, Dataset: datasets[di],
-				Config: points[pi].CRB.Key(), Speedup: sp}
+				Config: points[pi].Reuse.Key(), Speedup: sp}
 			return nil
 		})
 	failed := 0
@@ -685,7 +685,7 @@ func (s *Server) doSweep(req SweepReq, sink runner.ProgressSink) (*SweepResp, er
 		if errs[i] != nil {
 			bi, di, pi := decode(i)
 			rows[i] = SweepRow{Bench: benches[bi].Name, Dataset: datasets[di],
-				Config: points[pi].CRB.Key(), Err: errs[i].Error()}
+				Config: points[pi].Reuse.Key(), Err: errs[i].Error()}
 			failed++
 		}
 	}

@@ -45,20 +45,27 @@ type MemMetrics struct {
 	Fanout        int64 `json:"fanout"`
 }
 
-// Metrics is the Sink that accumulates cause-attributed per-region CRB
-// counters and per-object invalidation fan-out. It is not synchronized:
-// attach one Metrics per simulated machine (the suite and CLIs allocate a
-// fresh one per run cell).
+// Metrics is the Sink (and TraceSink) that accumulates cause-attributed
+// per-region CRB counters, per-head DTM trace counters and per-object
+// invalidation fan-out. It is not synchronized: attach one Metrics per
+// simulated machine (the suite and CLIs allocate a fresh one per run
+// cell).
 type Metrics struct {
 	regions map[ir.RegionID]*RegionMetrics
 	mems    map[ir.MemID]*MemMetrics
+	// traces reuses the RegionMetrics counter block keyed by opaque DTM
+	// head keys (reuse.EncodeHead values; telemetry does not decode them).
+	traces      map[uint64]*RegionMetrics
+	traceStores map[ir.MemID]*MemMetrics
 }
 
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		regions: map[ir.RegionID]*RegionMetrics{},
-		mems:    map[ir.MemID]*MemMetrics{},
+		regions:     map[ir.RegionID]*RegionMetrics{},
+		mems:        map[ir.MemID]*MemMetrics{},
+		traces:      map[uint64]*RegionMetrics{},
+		traceStores: map[ir.MemID]*MemMetrics{},
 	}
 }
 
@@ -124,6 +131,72 @@ func (m *Metrics) Invalidate(mem ir.MemID, fanout int) {
 	mm.Fanout += int64(fanout)
 }
 
+func (m *Metrics) trace(head uint64) *RegionMetrics {
+	tm := m.traces[head]
+	if tm == nil {
+		tm = &RegionMetrics{}
+		m.traces[head] = tm
+	}
+	return tm
+}
+
+// TraceLookup implements TraceSink.
+func (m *Metrics) TraceLookup(head uint64, outcome LookupOutcome) {
+	tm := m.trace(head)
+	tm.Lookups++
+	switch outcome {
+	case Hit:
+		tm.Hits++
+	case MissCold:
+		tm.MissCold++
+	case MissConflict:
+		tm.MissConflict++
+	case MissInput:
+		tm.MissInput++
+	case MissMemInvalid:
+		tm.MissMemInvalid++
+	}
+}
+
+// TraceCommit implements TraceSink.
+func (m *Metrics) TraceCommit(head uint64, stored bool) {
+	tm := m.trace(head)
+	if stored {
+		tm.Commits++
+	} else {
+		tm.CommitFails++
+	}
+}
+
+// TraceEvict implements TraceSink.
+func (m *Metrics) TraceEvict(head uint64, cause EvictCause, instances int) {
+	tm := m.trace(head)
+	switch cause {
+	case EvictCapacity:
+		tm.EvictionsCapacity++
+		tm.EvictedInstances += int64(instances)
+	case EvictSlotLRU:
+		tm.SlotOverwrites += int64(instances)
+	case EvictInvalidation:
+		tm.InvalidatedInstances += int64(instances)
+	}
+}
+
+// TraceStore implements TraceSink.
+func (m *Metrics) TraceStore(mem ir.MemID, fanout int) {
+	mm := m.traceStores[mem]
+	if mm == nil {
+		mm = &MemMetrics{}
+		m.traceStores[mem] = mm
+	}
+	mm.Invalidations++
+	mm.Fanout += int64(fanout)
+}
+
+// TraceHead returns the counters of one DTM head (nil when never
+// observed).
+func (m *Metrics) TraceHead(head uint64) *RegionMetrics { return m.traces[head] }
+
 // Region returns the counters of one region (nil when never observed).
 func (m *Metrics) Region(id ir.RegionID) *RegionMetrics { return m.regions[id] }
 
@@ -145,6 +218,17 @@ type Summary struct {
 	Evictions      int64 `json:"evictions,omitempty"`
 	Invalidated    int64 `json:"invalidated,omitempty"`
 	Invalidations  int64 `json:"invalidations,omitempty"`
+
+	// DTM totals mirror the CRB block for the trace-memoization scheme;
+	// all zero (and omitted from JSON) on pure-CCR runs, keeping legacy
+	// manifests byte-stable.
+	DTMHeads         int   `json:"dtm_heads,omitempty"`
+	DTMLookups       int64 `json:"dtm_lookups,omitempty"`
+	DTMHits          int64 `json:"dtm_hits,omitempty"`
+	DTMCommits       int64 `json:"dtm_commits,omitempty"`
+	DTMEvictions     int64 `json:"dtm_evictions,omitempty"`
+	DTMInvalidated   int64 `json:"dtm_invalidated,omitempty"`
+	DTMInvalidations int64 `json:"dtm_invalidations,omitempty"`
 }
 
 // Summary folds the per-region counters into totals.
@@ -165,6 +249,17 @@ func (m *Metrics) Summary() Summary {
 	for _, mm := range m.mems {
 		s.Invalidations += mm.Invalidations
 	}
+	s.DTMHeads = len(m.traces)
+	for _, tm := range m.traces {
+		s.DTMLookups += tm.Lookups
+		s.DTMHits += tm.Hits
+		s.DTMCommits += tm.Commits
+		s.DTMEvictions += tm.EvictionsCapacity
+		s.DTMInvalidated += tm.InvalidatedInstances
+	}
+	for _, mm := range m.traceStores {
+		s.DTMInvalidations += mm.Invalidations
+	}
 	return s
 }
 
@@ -180,12 +275,22 @@ type MemReport struct {
 	MemMetrics
 }
 
+// TraceReport is one DTM head's row in the JSON metrics report. Head is
+// the opaque reuse.EncodeHead key (function ID in the upper half, head pc
+// in the lower).
+type TraceReport struct {
+	Head uint64 `json:"head"`
+	RegionMetrics
+}
+
 // Report is the serializable form of a Metrics collection (ccrsim
 // -metrics writes one).
 type Report struct {
-	Totals  Summary        `json:"totals"`
-	Regions []RegionReport `json:"regions"`
-	Mem     []MemReport    `json:"mem,omitempty"`
+	Totals      Summary        `json:"totals"`
+	Regions     []RegionReport `json:"regions"`
+	Mem         []MemReport    `json:"mem,omitempty"`
+	Traces      []TraceReport  `json:"traces,omitempty"`
+	TraceStores []MemReport    `json:"trace_stores,omitempty"`
 }
 
 // Report snapshots the metrics, regions and objects in ID order.
@@ -199,6 +304,14 @@ func (m *Metrics) Report() Report {
 		r.Mem = append(r.Mem, MemReport{Mem: id, MemMetrics: *mm})
 	}
 	sort.Slice(r.Mem, func(i, j int) bool { return r.Mem[i].Mem < r.Mem[j].Mem })
+	for head, tm := range m.traces {
+		r.Traces = append(r.Traces, TraceReport{Head: head, RegionMetrics: *tm})
+	}
+	sort.Slice(r.Traces, func(i, j int) bool { return r.Traces[i].Head < r.Traces[j].Head })
+	for id, mm := range m.traceStores {
+		r.TraceStores = append(r.TraceStores, MemReport{Mem: id, MemMetrics: *mm})
+	}
+	sort.Slice(r.TraceStores, func(i, j int) bool { return r.TraceStores[i].Mem < r.TraceStores[j].Mem })
 	return r
 }
 

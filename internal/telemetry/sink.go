@@ -104,6 +104,27 @@ type Sink interface {
 	Invalidate(mem ir.MemID, fanout int)
 }
 
+// TraceSink receives the trace buffer's architectural event stream — the
+// DTM analogue of Sink, with heads (packed function+PC keys, see
+// reuse.EncodeHead) in place of region IDs. The same contract applies:
+// methods are hot-path cheap, every call is nil-guarded by the buffer, and
+// the sink must be attached before the first operation for cold/conflict
+// attribution to be complete.
+type TraceSink interface {
+	// TraceLookup reports one landing at an eligible trace head and its
+	// outcome, classified with the same LookupOutcome vocabulary as CRB
+	// lookups.
+	TraceLookup(head uint64, outcome LookupOutcome)
+	// TraceCommit reports one trace recording.
+	TraceCommit(head uint64, stored bool)
+	// TraceEvict reports recorded traces leaving the buffer.
+	TraceEvict(head uint64, cause EvictCause, instances int)
+	// TraceStore reports one watched store that killed traces, with its
+	// fan-out. Stores with zero fan-out — the overwhelmingly common case
+	// — are not reported; the flat counters still see them.
+	TraceStore(mem ir.MemID, fanout int)
+}
+
 // NopSink is a Sink whose methods do nothing. It exists to measure the
 // cost of the instrumentation seam itself (an interface call per CRB
 // operation) against the nil-sink fast path — see BenchmarkTelemetrySink.
