@@ -12,6 +12,8 @@
 //	ccrctl verify   [-addr A] [-scale S]              §3.1 transparency sweep
 //	ccrctl phases   [-addr A] -bench B                warm-buffer train→ref study
 //	ccrctl stats    [-addr A]                         daemon self-report
+//	ccrctl top      [-addr A] [-interval D] [-n N]    live refreshing status view
+//	ccrctl status   [-addr A] [-json]                 one status snapshot
 //	ccrctl drain    [-addr A]                         graceful shutdown
 //	ccrctl bench    [-addr A] [-clients N] [...]      load test, BENCH_serve.json
 //
@@ -46,6 +48,8 @@ commands:
   verify    run the transparency-verification sweep
   phases    run the warm-buffer train-then-ref study
   stats     print the daemon's self-report
+  top       live refreshing status view (in-flight requests, reuse rates)
+  status    print one status snapshot (text, or -json)
   drain     ask the daemon to shut down gracefully
   bench     load-test the daemon and gate/record BENCH_serve.json
 
@@ -67,7 +71,7 @@ func main() {
 		usage(os.Stdout)
 		return
 	case "ping", "compile", "simulate", "batch", "sweep", "verify",
-		"phases", "stats", "drain", "bench":
+		"phases", "stats", "top", "status", "drain", "bench":
 		run(cmd, args)
 	default:
 		fmt.Fprintf(os.Stderr, "ccrctl: unknown command %q\n\n", cmd)
@@ -107,6 +111,11 @@ func run(cmd string, args []string) {
 	heartbeat := fs.Int("heartbeat", 0, "streaming heartbeat interval, ms (0 = 500)")
 	cellsPath := fs.String("cells", "", "batch cells JSON file ('-' = stdin): [{\"bench\":...},...]")
 	strict := fs.Bool("strict", true, "exit 1 when verification fails at any point")
+
+	// top/status-only flags.
+	topInterval := fs.Duration("interval", 0, "top: snapshot interval (default 1s)")
+	topN := fs.Int("n", -1, "top: stop after N snapshots (-1 = stream until interrupted)")
+	jsonOut := fs.Bool("json", false, "status: print the raw snapshot JSON")
 
 	// bench-only flags.
 	clients := fs.Int("clients", 8, "bench: concurrent client connections")
@@ -266,6 +275,12 @@ func run(cmd string, args []string) {
 			fatal(err)
 		}
 		emit(resp)
+
+	case "top":
+		doTop(cl, *topInterval, *topN)
+
+	case "status":
+		doStatus(cl, *jsonOut)
 
 	case "drain":
 		if err := cl.Drain(); err != nil {

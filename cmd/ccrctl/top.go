@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ccr/internal/serve"
+)
+
+// doTop streams live status snapshots and renders each as a full-screen
+// refresh (home + clear-to-end ANSI codes), htop-style. n bounds the
+// stream (-1 = until interrupted or the daemon drains).
+func doTop(cl *serve.Client, interval time.Duration, n int) {
+	ms := int(interval / time.Millisecond)
+	first := true
+	resp, err := cl.Top(serve.TopReq{IntervalMS: ms, Count: n}, func(snap serve.TopSnapshot) {
+		if first {
+			fmt.Print("\x1b[2J") // clear once; afterwards overdraw in place
+			first = false
+		}
+		fmt.Print("\x1b[H", renderSnapshot(snap), "\x1b[J")
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ccrctl top: stream closed after %d snapshots\n", resp.Snapshots)
+}
+
+// doStatus fetches exactly one snapshot and prints it, as text or JSON.
+func doStatus(cl *serve.Client, asJSON bool) {
+	var got *serve.TopSnapshot
+	_, err := cl.Top(serve.TopReq{Count: 1}, func(snap serve.TopSnapshot) {
+		got = &snap
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if got == nil {
+		fatal(fmt.Errorf("daemon sent no snapshot"))
+	}
+	if asJSON {
+		emit(got)
+		return
+	}
+	fmt.Print(renderSnapshot(*got))
+}
+
+// renderSnapshot formats one TopSnapshot as an aligned text block.
+func renderSnapshot(s serve.TopSnapshot) string {
+	var b strings.Builder
+	drain := ""
+	if s.Draining {
+		drain = "  DRAINING"
+	}
+	fmt.Fprintf(&b, "ccrd up %s  conns %d  in-flight %d  goroutines %d  heap %s%s\n",
+		fmtDur(s.UptimeSeconds), s.Conns, s.InFlight, s.Goroutines, fmtBytes(s.HeapBytes), drain)
+
+	if len(s.Requests) > 0 {
+		ops := make([]string, 0, len(s.Requests))
+		for op := range s.Requests {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		b.WriteString("requests ")
+		for _, op := range ops {
+			fmt.Fprintf(&b, " %s=%d", op, s.Requests[op])
+		}
+		b.WriteString("\n")
+	}
+
+	for i, a := range s.Active {
+		tag := "active   "
+		if i > 0 {
+			tag = "         "
+		}
+		fmt.Fprintf(&b, "%s %-9s %8.0fms\n", tag, a.Op, a.ElapsedMS)
+	}
+
+	if st := s.Store; st != nil {
+		fmt.Fprintf(&b, "store     puts=%d hits=%d misses=%d stale=%d corrupt=%d\n",
+			st.Puts, st.Hits, st.Misses, st.Stale, st.Corrupt)
+	}
+
+	scales := make([]string, 0, len(s.Suites))
+	for sc := range s.Suites {
+		scales = append(scales, sc)
+	}
+	sort.Strings(scales)
+	for _, sc := range scales {
+		su := s.Suites[sc]
+		caches := make([]string, 0, len(su.Caches))
+		for c := range su.Caches {
+			caches = append(caches, c)
+		}
+		sort.Strings(caches)
+		fmt.Fprintf(&b, "suite     %s: %d benches;", sc, su.Benches)
+		for _, c := range caches {
+			cs := su.Caches[c]
+			fmt.Fprintf(&b, " %s=%d/%d", c, cs.Hits, cs.Hits+cs.Misses)
+		}
+		b.WriteString("\n")
+	}
+
+	schemes := make([]string, 0, len(s.Reuse))
+	for sc := range s.Reuse {
+		schemes = append(schemes, sc)
+	}
+	sort.Strings(schemes)
+	for i, sc := range schemes {
+		t := s.Reuse[sc]
+		tag := "reuse    "
+		if i > 0 {
+			tag = "         "
+		}
+		fmt.Fprintf(&b, "%s %-5s cells=%d instrs=%d", tag, sc, t.Cells, t.DynInstrs)
+		if t.ReuseHits+t.ReuseMisses > 0 {
+			fmt.Fprintf(&b, "  crb %d/%d (%s reused)",
+				t.ReuseHits, t.ReuseHits+t.ReuseMisses, fmtPct(t.ReusedInstrs, t.DynInstrs))
+		}
+		if t.DTMLookups > 0 || t.DTMHits > 0 {
+			fmt.Fprintf(&b, "  dtm %d/%d (%s reused)",
+				t.DTMHits, t.DTMLookups, fmtPct(t.DTMReusedInstrs, t.DynInstrs))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func fmtDur(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Second).String()
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func fmtPct(num, den int64) string {
+	if den == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}

@@ -34,6 +34,10 @@
 // daemons, and a rerun after any interruption (including SIGKILL) resumes
 // from the journal, skipping completed cells. digests.json is
 // byte-identical however the sweep is sharded or interrupted.
+// -fabric-spans additionally records per-process span logs under
+// DIR/spans; merge them with `ccrviz timeline -dir DIR/spans -journal
+// DIR/journal.jsonl` into a Perfetto-loadable trace of the whole sweep,
+// kill/resume seams included.
 //
 //	ccrpaper [-scale tiny|small|medium|large]
 //	         [-fig 4|8a|8b|9|10|11|scalars|compare|ablations|decant|all]
@@ -41,7 +45,8 @@
 //	         [-verify] [-strict] [-cell-timeout 30s] [-retries 1]
 //	         [-store DIR]
 //	         [-fabric DIR] [-fabric-workers N] [-fabric-remotes a,b]
-//	         [-fabric-benches x,y] [-fabric-lease 2m] [-version]
+//	         [-fabric-benches x,y] [-fabric-lease 2m] [-fabric-spans]
+//	         [-version]
 package main
 
 import (
@@ -49,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -83,6 +89,7 @@ func main() {
 	fabricBenches := flag.String("fabric-benches", "", "fabric: restrict the sweep to these comma-separated benchmarks")
 	fabricLease := flag.Duration("fabric-lease", 0, "fabric: per-cell lease before the cell is requeued (0 = default 2m)")
 	fabricDieAfter := flag.Int("fabric-die-after", 0, "fabric: SIGKILL self after N journaled cells (crash-drill knob)")
+	fabricSpans := flag.Bool("fabric-spans", false, "fabric: record span logs under DIR/spans for 'ccrviz timeline'")
 	showVersion := flag.Bool("version", false, "print build/version info and exit")
 	flag.Parse()
 
@@ -95,6 +102,7 @@ func main() {
 			dir: *fabricDir, scale: *scale, storeDir: *storeDir,
 			workers: *fabricWorkers, remotes: *fabricRemotes,
 			benches: *fabricBenches, lease: *fabricLease, dieAfter: *fabricDieAfter,
+			spans: *fabricSpans,
 		}))
 	}
 	cfg := experiments.DefaultConfig()
@@ -262,6 +270,7 @@ type fabricConfig struct {
 	dir, scale, storeDir, remotes, benches string
 	workers, dieAfter                      int
 	lease                                  time.Duration
+	spans                                  bool
 }
 
 // runFabric runs (or resumes) a resumable sweep and returns the exit code.
@@ -272,6 +281,9 @@ func runFabric(fc fabricConfig) int {
 		Workers:   fc.workers,
 		StoreDir:  fc.storeDir,
 		Lease:     fc.lease,
+	}
+	if fc.spans {
+		cfg.SpanDir = filepath.Join(fc.dir, "spans")
 	}
 	if fc.remotes != "" {
 		cfg.Remotes = strings.Split(fc.remotes, ",")

@@ -5,6 +5,14 @@
 //
 //	ccrviz -bench m88ksim -func ckbrkpts -ccr | dot -Tsvg > ckbrkpts.svg
 //	ccrviz -run prog.ccr -func main
+//
+// The timeline subcommand merges the span logs of a distributed fabric
+// sweep — every coordinator incarnation, every worker — into one Chrome
+// trace-event JSON file, ordered by the journal's commit sequence so the
+// picture survives kill/resume seams. Open the output in Perfetto or
+// chrome://tracing.
+//
+//	ccrviz timeline -dir RUN/spans -journal RUN/journal.jsonl -o timeline.json
 package main
 
 import (
@@ -17,11 +25,17 @@ import (
 	"ccr/internal/analysis"
 	"ccr/internal/buildinfo"
 	"ccr/internal/core"
+	"ccr/internal/fabric"
 	"ccr/internal/ir"
+	"ccr/internal/obsv"
 	"ccr/internal/workloads"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		timelineMain(os.Args[2:])
+		return
+	}
 	bench := flag.String("bench", "", "benchmark to visualize")
 	scale := flag.String("scale", "tiny", "workload scale")
 	ccrForm := flag.Bool("ccr", false, "visualize the CCR-transformed program")
@@ -75,6 +89,66 @@ func main() {
 		log.Fatalf("no function %q; available:", *fn)
 	}
 	fmt.Print(dot(prog, f))
+}
+
+// timelineMain merges span logs into a Chrome trace-event document.
+func timelineMain(args []string) {
+	fs := flag.NewFlagSet("ccrviz timeline", flag.ExitOnError)
+	dir := fs.String("dir", "", "span-log directory (fabric -spans / ccrd -spans)")
+	journal := fs.String("journal", "", "fabric journal.jsonl supplying the commit-order time axis")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "ccrviz timeline: -dir is required")
+		os.Exit(2)
+	}
+
+	procs, err := obsv.ReadSpanDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccrviz timeline:", err)
+		os.Exit(1)
+	}
+	if len(procs) == 0 {
+		fmt.Fprintf(os.Stderr, "ccrviz timeline: no span logs under %s\n", *dir)
+		os.Exit(1)
+	}
+
+	var cells []string
+	if *journal != "" {
+		var torn bool
+		cells, torn, err = fabric.JournalCellOrder(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccrviz timeline:", err)
+			os.Exit(1)
+		}
+		if torn {
+			fmt.Fprintf(os.Stderr, "ccrviz timeline: journal %s has a torn tail; using the valid prefix (%d cells)\n",
+				*journal, len(cells))
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccrviz timeline:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obsv.WriteTimeline(w, procs, cells); err != nil {
+		fmt.Fprintln(os.Stderr, "ccrviz timeline:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		var spans int
+		for _, p := range procs {
+			spans += len(p.Spans)
+		}
+		fmt.Fprintf(os.Stderr, "ccrviz timeline: %d procs, %d spans, %d journal cells -> %s\n",
+			len(procs), spans, len(cells), *out)
+	}
 }
 
 // dot renders one function as a Graphviz digraph.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ccr/internal/experiments"
+	"ccr/internal/obsv"
 	"ccr/internal/oracle"
 	"ccr/internal/serve"
 	"ccr/internal/store"
@@ -52,6 +53,11 @@ type Config struct {
 	// Exe is the worker executable (default: this executable, re-exec'd
 	// with the EnvWorker contract).
 	Exe string
+	// SpanDir, when set, records per-process span logs under it — the
+	// coordinator writes coord-<pid>.jsonl, spawned workers get the dir via
+	// EnvSpans and write worker-<pid>.jsonl — for `ccrviz timeline`. Empty
+	// disables span recording entirely (the SpanLog stays nil).
+	SpanDir string
 	// Log receives supervision events (default slog.Default()).
 	Log *slog.Logger
 
@@ -183,11 +189,13 @@ type coordinator struct {
 	sched   *sched
 	journal *Journal
 	log     *slog.Logger
+	spans   *obsv.SpanLog // nil without Config.SpanDir; all emits nil-safe
 
 	mu       sync.Mutex
 	done     map[string]Record
 	man      Manifest
 	liveSlot int
+	retried  map[int]bool // cells that have been requeued at least once
 }
 
 // Run executes (or resumes) one fabric sweep. Cells already present in
@@ -261,10 +269,19 @@ func Run(cfg Config) (*Result, error) {
 		journal: journal,
 		log:     cfg.Log,
 		done:    map[string]Record{},
+		retried: map[int]bool{},
 		man: Manifest{
 			Scale: cfg.ScaleName, Revision: cfg.Revision,
 			Start: time.Now(), Cells: len(plan), TornTail: torn,
 		},
+	}
+	if cfg.SpanDir != "" {
+		sl, err := obsv.OpenSpanLog(cfg.SpanDir, fmt.Sprintf("coord-%d", os.Getpid()))
+		if err != nil {
+			return nil, err
+		}
+		defer sl.Close()
+		c.spans = sl
 	}
 	var pending []int
 	for i, spec := range plan {
@@ -350,11 +367,17 @@ func (c *coordinator) finishSlot(rec SlotRecord) {
 }
 
 // recordDone journals one computed cell and updates the run accounting.
+// The commit span it emits is the one span kind that carries the cell's
+// journal sequence number — the anchor the timeline merge validates
+// exactly-once coverage against.
 func (c *coordinator) recordDone(i int, out CellOut, slot string, secs float64) error {
+	commitStart := c.spans.Now()
 	rec := Record{Cell: c.plan[i].ID(), Out: out, Slot: slot, Seconds: secs}
-	if err := c.journal.Append(rec); err != nil {
+	seq, err := c.journal.Append(rec)
+	if err != nil {
 		return err
 	}
+	c.spans.EmitPhase(rec.Cell, "commit", slot, seq, commitStart, "")
 	c.mu.Lock()
 	c.done[rec.Cell] = rec
 	c.man.Computed++
@@ -373,9 +396,23 @@ func (c *coordinator) noteRequeue(i int, slot, cause string) {
 	if cause == "lease expired" {
 		c.man.LeaseExpiries++
 	}
+	c.retried[i] = true
 	c.mu.Unlock()
+	now := c.spans.Now()
+	c.spans.EmitPhase(c.plan[i].ID(), "requeue", slot, -1, now, cause)
 	c.log.Warn("fabric: cell requeued", "cell", c.plan[i].ID(), "slot", slot, "cause", cause)
 	c.sched.requeue(i)
+}
+
+// leasePhase names a slot-side cell span: "retry" after any requeue of
+// the cell, "lease" on the first attempt.
+func (c *coordinator) leasePhase(i int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.retried[i] {
+		return "retry"
+	}
+	return "lease"
 }
 
 func (c *coordinator) addStoreStats(st *store.Stats) {
@@ -413,11 +450,27 @@ func (c *coordinator) runInline(scale workloads.Scale) error {
 			break
 		}
 		start := time.Now()
+		spanStart := c.spans.Now()
+		var before store.Stats
+		if st := suite.Store(); c.spans != nil && st != nil {
+			before = st.Stats()
+		}
 		out, err := computeCell(suite, c.plan[i])
 		if err != nil {
+			c.spans.EmitPhase(c.plan[i].ID(), "attempt", "inline", -1, spanStart, err.Error())
 			c.sched.fail(i, err.Error())
 			continue
 		}
+		// A cell fully served from the store did puts-free hits; anything
+		// else counts as computed work.
+		phase := "compute"
+		if st := suite.Store(); c.spans != nil && st != nil {
+			after := st.Stats()
+			if after.Hits > before.Hits && after.Puts == before.Puts {
+				phase = "store-hit"
+			}
+		}
+		c.spans.EmitPhase(c.plan[i].ID(), phase, "inline", -1, spanStart, "")
 		if err := c.recordDone(i, out, "inline", time.Since(start).Seconds()); err != nil {
 			return err
 		}
@@ -454,6 +507,7 @@ func (c *coordinator) spawnWorker() (*workerProc, error) {
 		EnvScale+"="+c.cfg.ScaleName,
 		EnvStore+"="+c.cfg.StoreDir,
 		EnvRevision+"="+c.cfg.Revision,
+		EnvSpans+"="+c.cfg.SpanDir,
 	)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
@@ -549,6 +603,8 @@ func (c *coordinator) serveWorker(name string, w *workerProc, rec *SlotRecord) b
 			return true
 		}
 		start := time.Now()
+		phase := c.leasePhase(i)
+		spanStart := c.spans.Now()
 		if err := w.stdin.Encode(c.plan[i]); err != nil {
 			c.noteRequeue(i, name, "worker write failed")
 			return false
@@ -572,9 +628,11 @@ func (c *coordinator) serveWorker(name string, w *workerProc, rec *SlotRecord) b
 			}
 			lastStore = res.Store
 			if res.Err != "" {
+				c.spans.EmitPhase(c.plan[i].ID(), "attempt", name, -1, spanStart, res.Err)
 				c.sched.fail(i, res.Err)
 				continue
 			}
+			c.spans.EmitPhase(c.plan[i].ID(), phase, name, -1, spanStart, "")
 			if err := c.recordDone(i, *res.Out, name, time.Since(start).Seconds()); err != nil {
 				c.log.Error("fabric: journal append failed", "err", err)
 				c.sched.fail(i, "journal: "+err.Error())
@@ -627,15 +685,19 @@ func (c *coordinator) serveRemote(name string, cl *serve.Client, rec *SlotRecord
 			return true
 		}
 		start := time.Now()
+		phase := c.leasePhase(i)
+		spanStart := c.spans.Now()
 		out, err, transient := c.remoteCell(cl, c.plan[i])
 		if err != nil {
 			if transient {
 				c.noteRequeue(i, name, "remote: "+err.Error())
 				return false
 			}
+			c.spans.EmitPhase(c.plan[i].ID(), "attempt", name, -1, spanStart, err.Error())
 			c.sched.fail(i, err.Error())
 			continue
 		}
+		c.spans.EmitPhase(c.plan[i].ID(), phase, name, -1, spanStart, "")
 		if err := c.recordDone(i, out, name, time.Since(start).Seconds()); err != nil {
 			c.sched.fail(i, "journal: "+err.Error())
 			continue

@@ -48,6 +48,7 @@ func coordMain() {
 		Workers:   workers,
 		StoreDir:  os.Getenv("CCR_FABRIC_TEST_STORE"),
 		Revision:  "fabric-test",
+		SpanDir:   os.Getenv("CCR_FABRIC_TEST_SPANS"),
 	}
 	if dieAfter > 0 {
 		cfg.HookAfterCell = func(n int) {

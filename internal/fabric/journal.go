@@ -25,8 +25,9 @@ type Record struct {
 // most one unterminated final line; anything ending in a newline is a
 // complete record.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu  sync.Mutex
+	f   *os.File
+	seq int64 // next record's journal sequence number
 }
 
 // OpenJournal opens (creating if absent) the journal at path for
@@ -43,25 +44,30 @@ func OpenJournal(path string) (*Journal, error) {
 
 // Append durably records one completed cell: marshal, one write, fsync.
 // The record is visible to a subsequent load only if the whole line made
-// it to disk.
-func (j *Journal) Append(r Record) error {
+// it to disk. The returned sequence number is the record's position in
+// journal order — RecoverJournal seeds it past the resumed cells, so it
+// is the global virtual-time coordinate the timeline merge lays spans
+// out by (callers never append a cell that is already journaled).
+func (j *Journal) Append(r Record) (int64, error) {
 	if r.Cell == "" {
-		return fmt.Errorf("fabric: journal record without cell id")
+		return 0, fmt.Errorf("fabric: journal record without cell id")
 	}
 	line, err := json.Marshal(r)
 	if err != nil {
-		return fmt.Errorf("fabric: journal marshal: %w", err)
+		return 0, fmt.Errorf("fabric: journal marshal: %w", err)
 	}
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("fabric: journal append: %w", err)
+		return 0, fmt.Errorf("fabric: journal append: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("fabric: journal sync: %w", err)
+		return 0, fmt.Errorf("fabric: journal sync: %w", err)
 	}
-	return nil
+	seq := j.seq
+	j.seq++
+	return seq, nil
 }
 
 // Close closes the underlying file.
@@ -113,7 +119,43 @@ func RecoverJournal(path string) (*Journal, map[string]Record, bool, error) {
 	if err != nil {
 		return nil, nil, false, err
 	}
+	j.seq = int64(len(done))
 	return j, done, torn, nil
+}
+
+// JournalCellOrder returns the journal's cells in first-occurrence order
+// — the authoritative virtual-time axis for the sweep timeline (wall
+// clocks across killed and resumed processes cannot be compared; journal
+// order can). It validates via the same parser as LoadJournal, then
+// re-scans the valid prefix for ordering.
+func JournalCellOrder(path string) (cells []string, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("fabric: read journal: %w", err)
+	}
+	done, good, err := parseJournal(data)
+	if err != nil {
+		return nil, false, err
+	}
+	seen := make(map[string]bool, len(done))
+	for _, raw := range bytes.Split(data[:good], []byte{'\n'}) {
+		line := bytes.TrimSpace(raw)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if uerr := strictUnmarshal(line, &rec); uerr != nil {
+			return nil, false, fmt.Errorf("fabric: journal reparse: %v", uerr)
+		}
+		if !seen[rec.Cell] {
+			seen[rec.Cell] = true
+			cells = append(cells, rec.Cell)
+		}
+	}
+	return cells, good < len(data), nil
 }
 
 // parseJournal decodes journal bytes, returning the completed cells and

@@ -31,7 +31,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		testRecord("lex/train/128E,8CI", 2.0),
 	}
 	for _, r := range recs {
-		if err := j.Append(r); err != nil {
+		if _, err := j.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -74,10 +74,10 @@ func TestJournalTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Append(testRecord("a/train/default", 1.5)); err != nil {
+	if _, err := j.Append(testRecord("a/train/default", 1.5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Append(testRecord("b/train/default", 1.75)); err != nil {
+	if _, err := j.Append(testRecord("b/train/default", 1.75)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -110,7 +110,7 @@ func TestJournalTornTail(t *testing.T) {
 	if !wasTorn2 || len(done2) != 2 {
 		t.Fatalf("recover: torn=%v done=%d", wasTorn2, len(done2))
 	}
-	if err := j2.Append(testRecord("c/train/default", 2.0)); err != nil {
+	if _, err := j2.Append(testRecord("c/train/default", 2.0)); err != nil {
 		t.Fatal(err)
 	}
 	j2.Close()
@@ -159,10 +159,10 @@ func TestJournalDuplicateFirstWins(t *testing.T) {
 	first := testRecord("a/train/default", 1.5)
 	second := testRecord("a/train/default", 1.5)
 	second.Slot = "w1"
-	if err := j.Append(first); err != nil {
+	if _, err := j.Append(first); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Append(second); err != nil {
+	if _, err := j.Append(second); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"ccr/internal/experiments"
+	"ccr/internal/obsv"
 	"ccr/internal/store"
 	"ccr/internal/workloads"
 )
@@ -21,6 +22,9 @@ const (
 	EnvScale    = "CCR_FABRIC_SCALE"
 	EnvStore    = "CCR_FABRIC_STORE"
 	EnvRevision = "CCR_FABRIC_REVISION"
+	// EnvSpans, when non-empty, is the span-log directory the worker
+	// records its per-cell compute/store-hit spans into (worker-<pid>).
+	EnvSpans = "CCR_FABRIC_SPANS"
 )
 
 // workerResult is one response line on the worker's stdout: the cell it
@@ -77,6 +81,14 @@ func WorkerMain(r io.Reader, w io.Writer) error {
 	}
 	suite := experiments.NewSuite(cfg)
 
+	var spans *obsv.SpanLog
+	if dir := os.Getenv(EnvSpans); dir != "" {
+		if spans, err = obsv.OpenSpanLog(dir, fmt.Sprintf("worker-%d", os.Getpid())); err != nil {
+			return err
+		}
+		defer spans.Close()
+	}
+
 	dec := json.NewDecoder(r)
 	enc := json.NewEncoder(w)
 	for {
@@ -86,11 +98,28 @@ func WorkerMain(r io.Reader, w io.Writer) error {
 		} else if err != nil {
 			return fmt.Errorf("fabric worker: decode spec: %w", err)
 		}
+		spanStart := spans.Now()
+		var before store.Stats
+		if st := suite.Store(); spans != nil && st != nil {
+			before = st.Stats()
+		}
 		res := workerResult{Cell: spec.ID()}
 		if out, err := computeCell(suite, spec); err != nil {
 			res.Err = strings.ReplaceAll(err.Error(), "\n", " ")
 		} else {
 			res.Out = &out
+		}
+		phase := "compute"
+		if st := suite.Store(); spans != nil && st != nil {
+			after := st.Stats()
+			if after.Hits > before.Hits && after.Puts == before.Puts {
+				phase = "store-hit"
+			}
+		}
+		if res.Err == "" {
+			spans.EmitPhase(spec.ID(), phase, "worker", -1, spanStart, "")
+		} else {
+			spans.EmitPhase(spec.ID(), "attempt", "worker", -1, spanStart, res.Err)
 		}
 		if suite.Store() != nil {
 			st := suite.Store().Stats()

@@ -1,0 +1,177 @@
+package obsv
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format, version 0.0.4: a # HELP / # TYPE header per family
+// (families in registration order, series in registration order within
+// each), histograms expanded to cumulative _bucket{le=...} lines plus
+// _sum and _count. Output is deterministic for a fixed registration
+// sequence, which is what the golden test pins.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// Snapshot under the lock — concurrent registrations append to the
+	// family slices — then sample and render lock-free: sampler funcs may
+	// take their own locks, and series internals are immutable once
+	// registered.
+	type famSnap struct {
+		name, help, typ string
+		series          []*series
+	}
+	r.mu.Lock()
+	fams := make([]famSnap, len(r.fams))
+	for i, f := range r.fams {
+		fams[i] = famSnap{name: f.name, help: f.help, typ: f.typ,
+			series: append([]*series(nil), f.series...)}
+	}
+	r.mu.Unlock()
+	for _, fam := range fams {
+		if fam.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.typ)
+		bw.WriteByte('\n')
+		for _, s := range fam.series {
+			if s.hist != nil {
+				writeHistogram(bw, fam.name, s)
+				continue
+			}
+			writeSample(bw, fam.name, "", s.labels, "", s.col.value())
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket lines, +Inf, _sum, _count.
+// Bucket counts are read once so the cumulative sums are self-consistent
+// even while Observe runs concurrently ( _count may trail by in-flight
+// observations; it always equals the +Inf bucket of the same scrape).
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	h := s.hist
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(bw, name, "_bucket", s.labels, formatFloat(bound), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(bw, name, "_bucket", s.labels, "+Inf", float64(cum))
+	writeSample(bw, name, "_sum", s.labels, "", h.Sum())
+	writeSample(bw, name, "_count", s.labels, "", float64(cum))
+}
+
+// writeSample emits one exposition line; le, when non-empty, is appended
+// as the trailing le="..." label of a histogram bucket.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values without exponent
+// or fraction, specials as +Inf/-Inf/NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders sorted labels as a canonical signature (also the
+// duplicate-series key).
+func labelString(labels []Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

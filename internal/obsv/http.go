@@ -1,0 +1,79 @@
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HTTPConfig configures the observability sidecar handler.
+type HTTPConfig struct {
+	// Registry backs /metrics (required).
+	Registry *Registry
+	// Ready backs /healthz: nil means always ready; false answers 503,
+	// which is how a draining daemon tells its load balancer to back off.
+	Ready func() bool
+}
+
+// Handler builds the sidecar's mux: /metrics (Prometheus text format),
+// /healthz (readiness), /debug/pprof/* (profiling), and a / index. The
+// pprof handlers are mounted explicitly on this private mux — nothing is
+// registered on http.DefaultServeMux.
+func Handler(cfg HTTPConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.Registry != nil {
+			cfg.Registry.WriteText(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Ready != nil && !cfg.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "ccr observability plane\n/metrics\n/healthz\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// HTTP is a running observability sidecar.
+type HTTP struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (host:port; :0 picks a free port) and serves the
+// sidecar handler on it until Close.
+func Serve(addr string, cfg HTTPConfig) (*HTTP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	h := &HTTP{
+		srv: &http.Server{Handler: Handler(cfg), ReadHeaderTimeout: 10 * time.Second},
+		ln:  ln,
+	}
+	go h.srv.Serve(ln)
+	return h, nil
+}
+
+// Addr returns the bound address (with the resolved port).
+func (h *HTTP) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the sidecar listener and in-flight handlers.
+func (h *HTTP) Close() error { return h.srv.Close() }

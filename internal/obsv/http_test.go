@@ -1,0 +1,85 @@
+package obsv
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res.StatusCode, string(body), res.Header
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	r := New()
+	c, _ := r.Counter("up_total", "h")
+	c.Add(7)
+	h := Handler(HTTPConfig{Registry: r})
+	code, body, hdr := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(body, "up_total 7") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	ready := true
+	h := Handler(HTTPConfig{Registry: New(), Ready: func() bool { return ready }})
+	if code, body, _ := get(t, h, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("ready /healthz = %d %q", code, body)
+	}
+	ready = false
+	if code, body, _ := get(t, h, "/healthz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /healthz = %d %q", code, body)
+	}
+	// nil Ready: always ok.
+	h2 := Handler(HTTPConfig{Registry: New()})
+	if code, _, _ := get(t, h2, "/healthz"); code != 200 {
+		t.Fatalf("nil-Ready /healthz = %d", code)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	h := Handler(HTTPConfig{Registry: New()})
+	if code, body, _ := get(t, h, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", code)
+	}
+	if code, body, _ := get(t, h, "/debug/pprof/goroutine?debug=1"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("goroutine profile = %d %q", code, body[:min(len(body), 80)])
+	}
+	if code, _, _ := get(t, h, "/no-such"); code != 404 {
+		t.Fatal("unknown path not 404")
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", HTTPConfig{Registry: New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("live /healthz = %d", res.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+// Package obsv is the live observability plane: a hand-rolled metrics
+// registry with a Prometheus text exposition, an HTTP sidecar serving
+// /metrics, /healthz and /debug/pprof, per-process span logs for
+// distributed sweeps, and the journal-ordered timeline merge.
+//
+// The registry follows the telemetry sink's zero-overhead contract
+// (DESIGN.md §9): every instrument type is nil-receiver safe, so
+// instrumented code paths hold possibly-nil *Counter/*Gauge/*Histogram
+// fields and call them unconditionally — a process that never built a
+// Registry pays a nil check and nothing else, and stays bit-transparent.
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one name="value" pair on a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing metric. The fast path is one
+// atomic add; a nil *Counter drops the update.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// Add adds d; negative deltas are ignored (counters never decrease).
+func (c *Counter) Add(d int64) {
+	if c != nil && d > 0 {
+		c.n.Add(d)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a settable instantaneous value stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by d (CAS loop; contended gauges should prefer
+// Set from a single owner).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is one
+// binary search plus two atomic adds; bucket bounds are immutable after
+// registration. A nil *Histogram drops the observation.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the le bucket
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DefBuckets is the default latency bucket layout, in seconds.
+var DefBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// collector is one registered series' sampling interface; histograms
+// expand to multiple exposition lines.
+type collector interface {
+	value() float64
+}
+
+type funcGauge func() float64
+
+func (f funcGauge) value() float64 { return f() }
+
+func (c *Counter) value() float64   { return float64(c.Value()) }
+func (g *Gauge) value() float64     { return g.Value() }
+func (h *Histogram) value() float64 { return 0 } // unused: histograms render specially
+
+// series is one labeled instance within a family.
+type series struct {
+	labels []Label // sorted by name
+	col    collector
+	hist   *Histogram // non-nil iff the family is a histogram
+}
+
+// family groups every series sharing a metric name: one HELP/TYPE header
+// in the exposition, consistent label keys and type across instances.
+type family struct {
+	name, help, typ string
+	keys            []string // sorted label names all series must carry
+	series          []*series
+	bySig           map[string]bool
+}
+
+// Registry holds registered metric families and renders them in the
+// Prometheus text exposition format (version 0.0.4). Registration takes
+// a mutex; the returned instruments are lock-free on their hot paths.
+// All registration errors are returned, never panicked.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	byNm map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byNm: map[string]*family{}}
+}
+
+// Counter registers (or errors) one counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) (*Counter, error) {
+	c := &Counter{}
+	if err := r.register(name, help, "counter", labels, c, nil); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Gauge registers one settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) (*Gauge, error) {
+	g := &Gauge{}
+	if err := r.register(name, help, "gauge", labels, g, nil); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// GaugeFunc registers a gauge sampled by calling fn at scrape time. fn
+// must be safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) error {
+	if fn == nil {
+		return fmt.Errorf("obsv: gauge func %s: nil sampler", name)
+	}
+	return r.register(name, help, "gauge", labels, funcGauge(fn), nil)
+}
+
+// CounterFunc registers a counter sampled by calling fn at scrape time —
+// for monotonic totals a subsystem already maintains (cache and store
+// stats) that would be double-counted by a separate Counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) error {
+	if fn == nil {
+		return fmt.Errorf("obsv: counter func %s: nil sampler", name)
+	}
+	return r.register(name, help, "counter", labels, funcGauge(fn), nil)
+}
+
+// Histogram registers one histogram series over the given ascending
+// bucket upper bounds (nil = DefBuckets). Bounds are sorted and
+// de-duplicated; a trailing +Inf is implicit and must not be supplied.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) (*Histogram, error) {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	uniq := bounds[:0]
+	for _, b := range bounds {
+		if math.IsInf(b, +1) {
+			return nil, fmt.Errorf("obsv: histogram %s: +Inf bucket is implicit", name)
+		}
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("obsv: histogram %s: NaN bucket bound", name)
+		}
+		if len(uniq) == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("obsv: histogram %s: no buckets", name)
+	}
+	h := &Histogram{bounds: uniq, counts: make([]atomic.Int64, len(uniq)+1)}
+	if err := r.register(name, help, "histogram", labels, h, h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// register validates one series and files it under its family.
+func (r *Registry) register(name, help, typ string, labels []Label, col collector, hist *Histogram) error {
+	if !validMetricName(name) {
+		return fmt.Errorf("obsv: invalid metric name %q", name)
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	keys := make([]string, len(ls))
+	for i, l := range ls {
+		if !validLabelName(l.Name) {
+			return fmt.Errorf("obsv: metric %s: invalid label name %q", name, l.Name)
+		}
+		if typ == "histogram" && l.Name == "le" {
+			return fmt.Errorf("obsv: histogram %s: label %q is reserved", name, l.Name)
+		}
+		if i > 0 && ls[i-1].Name == l.Name {
+			return fmt.Errorf("obsv: metric %s: duplicate label name %q", name, l.Name)
+		}
+		keys[i] = l.Name
+	}
+	sig := labelString(ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.byNm[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, typ: typ, keys: keys, bySig: map[string]bool{}}
+		r.byNm[name] = fam
+		r.fams = append(r.fams, fam)
+	} else {
+		if fam.typ != typ {
+			return fmt.Errorf("obsv: metric %s already registered as %s, not %s", name, fam.typ, typ)
+		}
+		if !equalKeys(fam.keys, keys) {
+			return fmt.Errorf("obsv: metric %s: label keys %v do not match existing %v", name, keys, fam.keys)
+		}
+		if fam.bySig[sig] {
+			return fmt.Errorf("obsv: duplicate series %s{%s}", name, sig)
+		}
+	}
+	fam.bySig[sig] = true
+	fam.series = append(fam.series, &series{labels: ls, col: col, hist: hist})
+	return nil
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]* and is
+// not a reserved double-underscore name.
+func validLabelName(s string) bool {
+	if s == "" || (len(s) >= 2 && s[0] == '_' && s[1] == '_') {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

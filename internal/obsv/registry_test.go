@@ -1,0 +1,263 @@
+package obsv
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c, err := r.Counter("reqs_total", "Requests.", L("op", "ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // counters never decrease
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g, err := r.Gauge("inflight", "In-flight requests.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	// The zero-overhead seam: uninstrumented processes hold nil pointers
+	// and call them unconditionally.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var l *SpanLog
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	l.Emit(Span{Cell: "x"})
+	l.EmitPhase("x", "compute", "", -1, l.Now(), "")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments returned non-zero values")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h, err := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+		want += v
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// le semantics: 0.01 lands in the le="0.01" bucket.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	r := New()
+	if _, err := r.Counter("x", "ok"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"empty name", func() error { _, err := r.Counter("", "h"); return err }},
+		{"bad name", func() error { _, err := r.Counter("1x", "h"); return err }},
+		{"bad rune", func() error { _, err := r.Counter("a-b", "h"); return err }},
+		{"dup series", func() error { _, err := r.Counter("x", "h"); return err }},
+		{"type clash", func() error { _, err := r.Gauge("x", "h", L("a", "1")); return err }},
+		{"key clash", func() error { _, err := r.Counter("x", "h", L("a", "1")); return err }},
+		{"bad label", func() error { _, err := r.Counter("y", "h", L("0a", "1")); return err }},
+		{"reserved label", func() error { _, err := r.Counter("y", "h", L("__n", "1")); return err }},
+		{"dup label", func() error { _, err := r.Counter("y", "h", L("a", "1"), L("a", "2")); return err }},
+		{"le on histogram", func() error { _, err := r.Histogram("hh", "h", nil, L("le", "1")); return err }},
+		{"inf bucket", func() error {
+			_, err := r.Histogram("hh", "h", []float64{1, inf()})
+			return err
+		}},
+		{"empty buckets", func() error { _, err := r.Histogram("hh", "h", []float64{}); return err }},
+		{"nil func", func() error { return r.GaugeFunc("z", "h", nil) }},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Distinct label values on the same family are fine.
+	if _, err := r.Counter("x", "h2"); err == nil {
+		t.Error("duplicate unlabeled series accepted")
+	}
+	if _, err := r.Counter("labeled", "h", L("op", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Counter("labeled", "h", L("op", "b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func inf() float64 {
+	var z float64
+	return 1 / z
+}
+
+// TestExpositionGolden pins the full exposition byte-for-byte: header
+// order, label escaping, histogram expansion, float formatting.
+func TestExpositionGolden(t *testing.T) {
+	r := New()
+	reqs, _ := r.Counter("ccrd_requests_total", "Requests received, by operation.", L("op", "ping"))
+	reqs.Add(3)
+	sim, _ := r.Counter("ccrd_requests_total", "", L("op", "simulate"))
+	sim.Add(12)
+	g, _ := r.Gauge("ccrd_inflight_requests", "Requests currently being handled.")
+	g.Set(2)
+	r.GaugeFunc("ccrd_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return 42.5 })
+	esc, _ := r.Counter("weird_total", "Help with \\ and\nnewline.",
+		L("path", `a"b\c`+"\n"))
+	esc.Inc()
+	h, _ := r.Histogram("ccrd_request_seconds", "Request latency.",
+		[]float64{0.001, 0.01, 0.1}, L("op", "simulate"))
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		os.MkdirAll("testdata", 0o755)
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestConcurrentInstruments hammers one counter and one histogram from
+// many goroutines while scraping; totals must be exact (run under -race
+// in CI).
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	c, _ := r.Counter("hits_total", "h")
+	h, _ := r.Histogram("lat", "h", []float64{1, 10})
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	// Concurrent scrapes must not disturb the totals.
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+}
+
+func TestRegisterGoStats(t *testing.T) {
+	r := New()
+	if err := RegisterGoStats(r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"go_goroutines", "go_mem_heap_alloc_bytes", "go_gc_runs_total"} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("missing %s in:\n%s", name, out)
+		}
+	}
+	if err := RegisterGoStats(r); err == nil {
+		t.Error("double registration did not error")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c, _ := r.Counter("bench_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h, _ := r.Histogram("bench_lat", "b", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+}

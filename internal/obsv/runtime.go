@@ -1,0 +1,58 @@
+package obsv
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats snapshot per scrape window
+// so the several go_* gauges sampled during a single /metrics render
+// share a single (briefly stop-the-world) read.
+type memSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (s *memSampler) read(f func(*runtime.MemStats) float64) func() float64 {
+	return func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if time.Since(s.at) > 100*time.Millisecond {
+			runtime.ReadMemStats(&s.ms)
+			s.at = time.Now()
+		}
+		return f(&s.ms)
+	}
+}
+
+// RegisterGoStats registers the Go runtime gauges (goroutines, heap and
+// total allocation, GC activity) on r. It returns the first registration
+// error, which can only occur if the go_* names are already taken.
+func RegisterGoStats(r *Registry) error {
+	s := &memSampler{}
+	regs := []struct {
+		name, help string
+		fn         func() float64
+	}{
+		{"go_goroutines", "Number of live goroutines.",
+			func() float64 { return float64(runtime.NumGoroutine()) }},
+		{"go_mem_heap_alloc_bytes", "Bytes of allocated heap objects.",
+			s.read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) })},
+		{"go_mem_sys_bytes", "Bytes of memory obtained from the OS.",
+			s.read(func(m *runtime.MemStats) float64 { return float64(m.Sys) })},
+		{"go_mem_total_alloc_bytes", "Cumulative bytes allocated for heap objects.",
+			s.read(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) })},
+		{"go_gc_runs_total", "Completed GC cycles.",
+			s.read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) })},
+		{"go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+			s.read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 })},
+	}
+	for _, g := range regs {
+		if err := r.GaugeFunc(g.name, g.help, g.fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

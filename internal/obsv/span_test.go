@@ -1,0 +1,97 @@
+package obsv
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSpanLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSpanLog(dir, "coord-123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := l.Now()
+	time.Sleep(time.Millisecond)
+	l.EmitPhase("a/train/ccr/default", "compute", "inline", -1, start, "")
+	l.Emit(Span{Cell: "a/train/ccr/default", Phase: "commit", Slot: "inline", Seq: 0, StartUS: 10, DurUS: 1})
+	l.EmitPhase("b/ref/dtm/default", "attempt", "w0", -1, l.Now(), "boom")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, torn, err := ReadSpanLog(filepath.Join(dir, "coord-123.jsonl"))
+	if err != nil || torn {
+		t.Fatalf("read: torn=%v err=%v", torn, err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Phase != "compute" || spans[0].DurUS < 900 {
+		t.Errorf("first span %+v: duration not measured", spans[0])
+	}
+	if spans[1].Seq != 0 || spans[1].Phase != "commit" {
+		t.Errorf("commit span %+v", spans[1])
+	}
+	if spans[2].Err != "boom" {
+		t.Errorf("attempt span lost its error: %+v", spans[2])
+	}
+}
+
+func TestSpanLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := OpenSpanLog(dir, "w-1")
+	l.Emit(Span{Cell: "x", Phase: "compute", Seq: -1})
+	l.Close()
+	path := filepath.Join(dir, "w-1.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"cell":"y","ph`) // mid-append SIGKILL shape
+	f.Close()
+
+	spans, torn, err := ReadSpanLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(spans) != 1 || spans[0].Cell != "x" {
+		t.Fatalf("torn tail mishandled: torn=%v spans=%+v", torn, spans)
+	}
+}
+
+func TestSpanLogRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.jsonl")
+	os.WriteFile(path, []byte("not json\n"), 0o644)
+	if _, _, err := ReadSpanLog(path); err == nil {
+		t.Fatal("terminated garbage line accepted")
+	}
+}
+
+func TestReadSpanDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, proc := range []string{"w-2", "coord-1"} {
+		l, _ := OpenSpanLog(dir, proc)
+		l.Emit(Span{Cell: "c", Phase: "compute", Slot: proc, Seq: -1})
+		l.Close()
+	}
+	procs, err := ReadSpanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 2 || procs[0].Proc != "coord-1" || procs[1].Proc != "w-2" {
+		t.Fatalf("procs %+v: want sorted coord-1, w-2", procs)
+	}
+	// Process names with path separators are sanitized, not traversed.
+	l, err := OpenSpanLog(dir, "remote:unix/tmp/x.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := os.Stat(filepath.Join(dir, "remote:unix_tmp_x.sock.jsonl")); err != nil {
+		t.Fatal("sanitized span log not created in dir")
+	}
+}

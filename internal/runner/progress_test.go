@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestProgressFirstTick pins the degenerate heartbeat snapshots: a tick
+// that fires before any cell has completed (or before the clock has
+// advanced) must report zero — not NaN, not Inf, not a bogus 0s ETA
+// presented as knowledge.
+func TestProgressFirstTick(t *testing.T) {
+	cases := []struct {
+		name                string
+		done, total, failed int
+		elapsed, busy       time.Duration
+		jobs                int
+		wantETA             time.Duration
+		wantUtil            float64
+	}{
+		{name: "nothing done yet", total: 10, elapsed: 5 * time.Millisecond, jobs: 4},
+		{name: "zero elapsed", done: 2, total: 10, jobs: 4},
+		{name: "zero elapsed and zero done", total: 10, jobs: 4},
+		{name: "zero jobs", done: 2, total: 10, elapsed: time.Second, busy: time.Second,
+			wantETA: 4 * time.Second},
+		{name: "all done", done: 10, total: 10, elapsed: time.Second,
+			busy: 2 * time.Second, jobs: 2, wantUtil: 1},
+		{name: "mid-run", done: 5, total: 10, failed: 1, elapsed: 10 * time.Second,
+			busy: 15 * time.Second, jobs: 2, wantETA: 10 * time.Second, wantUtil: 0.75},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pr := computeProgress(tc.done, tc.total, tc.failed, tc.elapsed, tc.busy, tc.jobs)
+			if pr.Done != tc.done || pr.Total != tc.total || pr.Failed != tc.failed || pr.Elapsed != tc.elapsed {
+				t.Errorf("counters not passed through: %+v", pr)
+			}
+			if pr.ETA != tc.wantETA {
+				t.Errorf("ETA = %v, want %v", pr.ETA, tc.wantETA)
+			}
+			if pr.Utilization != tc.wantUtil {
+				t.Errorf("Utilization = %v, want %v", pr.Utilization, tc.wantUtil)
+			}
+			if math.IsNaN(pr.Utilization) || math.IsInf(pr.Utilization, 0) {
+				t.Errorf("Utilization is not finite: %v", pr.Utilization)
+			}
+		})
+	}
+}
+
+// TestProgressFirstTickLogLine pins the rendered first-tick heartbeat: the
+// structured log line a user actually sees at tick one of a long sweep.
+func TestProgressFirstTickLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{} // drop the wall-clock stamp for determinism
+			}
+			return a
+		},
+	}))
+	first := computeProgress(0, 42, 0, 0, 0, 8)
+	SlogSink{Logger: l}.Progress(first)
+	got := buf.String()
+	want := `level=INFO msg="runner heartbeat" progress.done=0 progress.total=42` +
+		` progress.failed=0 progress.elapsed=0s progress.eta=0s progress.utilization=0` + "\n"
+	if got != want {
+		t.Errorf("first-tick heartbeat line:\n got %q\nwant %q", got, want)
+	}
+}

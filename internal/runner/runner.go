@@ -246,19 +246,26 @@ func (p *Pool) beat(stop <-chan struct{}, start time.Time, total, jobs int,
 
 func (p *Pool) snapshot(start time.Time, total, jobs int,
 	done, failed, busyNS *atomic.Int64) Progress {
-	pr := Progress{
-		Done:    int(done.Load()),
-		Total:   total,
-		Failed:  int(failed.Load()),
-		Elapsed: time.Since(start),
-	}
-	if pr.Done > 0 && pr.Done < total {
+	return computeProgress(int(done.Load()), total, int(failed.Load()),
+		time.Since(start), time.Duration(busyNS.Load()), jobs)
+}
+
+// computeProgress derives one heartbeat snapshot from the raw counters —
+// the pure core of snapshot, separated so the degenerate first-tick cases
+// are testable without a live pool. Before the first cell completes, or
+// before the clock has visibly advanced, there is no completion rate to
+// extrapolate: a naive elapsed/done quotient would divide by zero (or
+// promise a 0s ETA for an arbitrarily long run), so both ETA and
+// utilization stay zero — "unknown" — until the inputs can support them.
+func computeProgress(done, total, failed int, elapsed, busy time.Duration, jobs int) Progress {
+	pr := Progress{Done: done, Total: total, Failed: failed, Elapsed: elapsed}
+	if done > 0 && done < total && elapsed > 0 {
 		// Mean completed-cell wall time × remaining cells: elapsed time
 		// already amortizes the worker parallelism, so no jobs division.
-		pr.ETA = time.Duration(float64(pr.Elapsed) / float64(pr.Done) * float64(total-pr.Done))
+		pr.ETA = time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 	}
-	if pr.Elapsed > 0 && jobs > 0 {
-		pr.Utilization = float64(busyNS.Load()) / (float64(pr.Elapsed) * float64(jobs))
+	if elapsed > 0 && jobs > 0 {
+		pr.Utilization = float64(busy) / (float64(elapsed) * float64(jobs))
 	}
 	return pr
 }

@@ -167,6 +167,23 @@ func (c *Client) Close() error { return c.nc.Close() }
 // do issues one request and decodes the final response into resp,
 // forwarding any progress frames to onProgress.
 func (c *Client) do(op string, req, resp any, onProgress func(ProgressBody)) error {
+	var onFrame func(wire.Msg)
+	if onProgress != nil {
+		onFrame = func(m wire.Msg) {
+			var p ProgressBody
+			if err := m.Decode(&p); err == nil {
+				onProgress(p)
+			}
+		}
+	}
+	return c.doRaw(op, req, resp, onFrame)
+}
+
+// doRaw issues one request and decodes the final response into resp,
+// handing raw progress frames for this request to onFrame — the seam
+// that lets top decode its frames as TopSnapshot rather than
+// ProgressBody.
+func (c *Client) doRaw(op string, req, resp any, onFrame func(wire.Msg)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
@@ -181,11 +198,8 @@ func (c *Client) do(op string, req, resp any, onProgress func(ProgressBody)) err
 		}
 		switch m.Type {
 		case wire.TypeProgress:
-			if m.ID == id && onProgress != nil {
-				var p ProgressBody
-				if err := m.Decode(&p); err == nil {
-					onProgress(p)
-				}
+			if m.ID == id && onFrame != nil {
+				onFrame(m)
 			}
 		case wire.TypeResult:
 			if m.ID != id {
@@ -278,6 +292,23 @@ func (c *Client) Phases(req PhasesReq) (*PhasesResp, error) {
 func (c *Client) Stats() (*StatsResp, error) {
 	var resp StatsResp
 	if err := c.do(OpStats, nil, &resp, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Top streams live-status snapshots: onSnap receives each TopSnapshot as
+// it arrives (req.Count bounds how many; -1 streams until the daemon
+// drains or the connection drops).
+func (c *Client) Top(req TopReq, onSnap func(TopSnapshot)) (*TopResp, error) {
+	var resp TopResp
+	err := c.doRaw(OpTop, req, &resp, func(m wire.Msg) {
+		var snap TopSnapshot
+		if err := m.Decode(&snap); err == nil && onSnap != nil {
+			onSnap(snap)
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"ccr/internal/core"
+	"ccr/internal/obsv"
+	"ccr/internal/runner"
+)
+
+// This file is the server side of the observability plane: the obsv
+// registry instrumentation behind -http, the always-on (constant-cost)
+// live-status state behind the top op, and the per-request span hook.
+//
+// The split matters for the zero-overhead contract: everything keyed on
+// s.met / s.cfg.Spans is nil-guarded and completely absent without
+// -http/-spans; the always-on state (request counts, active table, reuse
+// totals) is a few mutex-protected integer updates per request — never
+// per instruction — and feeds the wire-level stats/top ops that must
+// work on an uninstrumented daemon too.
+
+// knownOps enumerates the dispatchable operations; per-op series are
+// registered up front so /metrics exposes a stable set from the first
+// scrape.
+var knownOps = []string{OpPing, OpCompile, OpSimulate, OpBatch, OpSweep,
+	OpVerify, OpPhases, OpStats, OpTop, OpDrain}
+
+// srvMetrics holds the registry instruments. A nil *srvMetrics (daemon
+// without -http) makes every method a no-op.
+type srvMetrics struct {
+	reg     *obsv.Registry
+	reqs    map[string]*obsv.Counter
+	errs    map[string]*obsv.Counter
+	lat     map[string]*obsv.Histogram
+	unknown *obsv.Counter
+}
+
+// newSrvMetrics registers the daemon's instruments on reg. Registration
+// errors are impossible for the static names used here; any that do
+// occur (e.g. a caller pre-registered a colliding name) are logged once
+// and leave the corresponding instrument nil — which is safe to use.
+func newSrvMetrics(s *Server, reg *obsv.Registry) *srvMetrics {
+	m := &srvMetrics{
+		reg:  reg,
+		reqs: map[string]*obsv.Counter{},
+		errs: map[string]*obsv.Counter{},
+		lat:  map[string]*obsv.Histogram{},
+	}
+	fail := func(err error) {
+		if err != nil {
+			s.log.Warn("ccrd: metric registration failed", "err", err)
+		}
+	}
+	for _, op := range knownOps {
+		c, err := reg.Counter("ccrd_requests_total",
+			"Requests received, by operation.", obsv.L("op", op))
+		fail(err)
+		m.reqs[op] = c
+		e, err := reg.Counter("ccrd_request_errors_total",
+			"Requests answered with an error frame, by operation.", obsv.L("op", op))
+		fail(err)
+		m.errs[op] = e
+		h, err := reg.Histogram("ccrd_request_seconds",
+			"Request handling latency in seconds, by operation.", nil, obsv.L("op", op))
+		fail(err)
+		m.lat[op] = h
+	}
+	var err error
+	m.unknown, err = reg.Counter("ccrd_requests_unknown_total",
+		"Requests for an operation the daemon does not implement.")
+	fail(err)
+	fail(reg.GaugeFunc("ccrd_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() }))
+	fail(reg.GaugeFunc("ccrd_inflight_requests", "Requests being handled right now.",
+		func() float64 { return float64(s.inflight.Load()) }))
+	fail(reg.GaugeFunc("ccrd_open_connections", "Open client connections.",
+		func() float64 { return float64(s.connN.Load()) }))
+	fail(reg.GaugeFunc("ccrd_draining", "1 while graceful shutdown is in progress.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		}))
+	if st := s.cfg.Store; st != nil {
+		samples := []struct {
+			name, help string
+			fn         func() float64
+		}{
+			{"ccrd_store_puts_total", "Artifact-store entries written.",
+				func() float64 { return float64(st.Stats().Puts) }},
+			{"ccrd_store_hits_total", "Artifact-store reads served.",
+				func() float64 { return float64(st.Stats().Hits) }},
+			{"ccrd_store_misses_total", "Artifact-store reads missed.",
+				func() float64 { return float64(st.Stats().Misses) }},
+			{"ccrd_store_stale_total", "Store misses from a revision mismatch.",
+				func() float64 { return float64(st.Stats().Stale) }},
+			{"ccrd_store_quarantined_total", "Corrupt store entries quarantined.",
+				func() float64 { return float64(st.Stats().Corrupt) }},
+		}
+		for _, sm := range samples {
+			fail(reg.CounterFunc(sm.name, sm.help, sm.fn))
+		}
+	}
+	return m
+}
+
+// observe records one handled request's op, latency and outcome.
+func (m *srvMetrics) observe(op string, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	c, ok := m.reqs[op]
+	if !ok {
+		m.unknown.Inc()
+		return
+	}
+	c.Inc()
+	m.lat[op].Observe(d.Seconds())
+	if failed {
+		m.errs[op].Inc()
+	}
+}
+
+// registerSuite exposes one resident suite's cache counters. Called from
+// entry() under s.mu at suite creation; the sampler closures read the
+// suite's own atomic counters at scrape time, so no double accounting.
+func (m *srvMetrics) registerSuite(s *Server, scale string, e *suiteEntry) {
+	if m == nil {
+		return
+	}
+	fams := make([]string, 0, 8)
+	for fam := range e.suite.CacheStats() {
+		fams = append(fams, fam)
+	}
+	fams = append(fams, "ccr_digest")
+	sort.Strings(fams)
+	stats := func(fam string) runner.CacheStats {
+		if fam == "ccr_digest" {
+			return e.ccrDigests.Stats()
+		}
+		return e.suite.CacheStats()[fam]
+	}
+	for _, fam := range fams {
+		fam := fam
+		err := m.reg.CounterFunc("ccrd_suite_cache_hits_total",
+			"Resident suite cache hits, by scale and cache family.",
+			func() float64 { return float64(stats(fam).Hits) },
+			obsv.L("scale", scale), obsv.L("cache", fam))
+		if err != nil {
+			s.log.Warn("ccrd: metric registration failed", "err", err)
+		}
+		err = m.reg.CounterFunc("ccrd_suite_cache_misses_total",
+			"Resident suite cache misses, by scale and cache family.",
+			func() float64 { return float64(stats(fam).Misses) },
+			obsv.L("scale", scale), obsv.L("cache", fam))
+		if err != nil {
+			s.log.Warn("ccrd: metric registration failed", "err", err)
+		}
+	}
+}
+
+// registerReuse exposes one scheme's reuse totals the first time the
+// scheme is served. Called under s.totalsMu; the samplers re-take it.
+func (m *srvMetrics) registerReuse(s *Server, scheme string, t *ReuseTotals) {
+	if m == nil {
+		return
+	}
+	samples := []struct {
+		name, help string
+		fn         func(*ReuseTotals) int64
+	}{
+		{"ccrd_reuse_cells_total", "Timed simulate cells served, by scheme.",
+			func(t *ReuseTotals) int64 { return t.Cells }},
+		{"ccrd_reuse_dyn_instrs_total", "Dynamic instructions simulated, by scheme.",
+			func(t *ReuseTotals) int64 { return t.DynInstrs }},
+		{"ccrd_reuse_hits_total", "CRB reuse hits, by scheme.",
+			func(t *ReuseTotals) int64 { return t.ReuseHits }},
+		{"ccrd_reuse_misses_total", "CRB reuse misses, by scheme.",
+			func(t *ReuseTotals) int64 { return t.ReuseMisses }},
+		{"ccrd_reuse_reused_instrs_total", "Instructions eliminated by CRB reuse, by scheme.",
+			func(t *ReuseTotals) int64 { return t.ReusedInstrs }},
+		{"ccrd_dtm_hits_total", "DTM trace hits, by scheme.",
+			func(t *ReuseTotals) int64 { return t.DTMHits }},
+		{"ccrd_dtm_reused_instrs_total", "Instructions eliminated by DTM traces, by scheme.",
+			func(t *ReuseTotals) int64 { return t.DTMReusedInstrs }},
+		{"ccrd_dtm_records_total", "DTM traces committed, by scheme.",
+			func(t *ReuseTotals) int64 { return t.DTMRecords }},
+	}
+	for _, sm := range samples {
+		fn := sm.fn
+		err := m.reg.CounterFunc(sm.name, sm.help, func() float64 {
+			s.totalsMu.Lock()
+			defer s.totalsMu.Unlock()
+			return float64(fn(t))
+		}, obsv.L("scheme", scheme))
+		if err != nil {
+			s.log.Warn("ccrd: metric registration failed", "err", err)
+		}
+	}
+}
+
+// recordSim folds one timed simulation into the per-scheme totals (and,
+// on a scheme's first appearance, registers its registry series).
+func (s *Server) recordSim(scheme string, sim *core.SimResult) {
+	s.totalsMu.Lock()
+	t := s.totals[scheme]
+	if t == nil {
+		t = &ReuseTotals{}
+		s.totals[scheme] = t
+		s.met.registerReuse(s, scheme, t)
+	}
+	t.Cells++
+	t.DynInstrs += sim.Emu.DynInstrs
+	t.ReuseHits += sim.Emu.ReuseHits
+	t.ReuseMisses += sim.Emu.ReuseMisses
+	t.ReusedInstrs += sim.Emu.ReusedInstrs
+	t.Invalidations += sim.Emu.Invalidations
+	t.DTMHits += sim.Emu.DTMHits
+	t.DTMReusedInstrs += sim.Emu.DTMReusedInstrs
+	if d := sim.DTM; d != nil {
+		t.DTMLookups += d.Lookups
+		t.DTMRecords += d.Records
+		t.DTMInvalidates += d.Invalidates
+	}
+	t.DTMHeads += int64(len(sim.DTMHeads))
+	s.totalsMu.Unlock()
+}
+
+// reuseSnapshot copies the per-scheme totals for a stats/top reply.
+func (s *Server) reuseSnapshot() map[string]ReuseTotals {
+	s.totalsMu.Lock()
+	defer s.totalsMu.Unlock()
+	if len(s.totals) == 0 {
+		return nil
+	}
+	out := make(map[string]ReuseTotals, len(s.totals))
+	for k, t := range s.totals {
+		out[k] = *t
+	}
+	return out
+}
+
+// trackActive files one in-flight request in the live table and returns
+// a handle for untrackActive.
+func (s *Server) trackActive(op string) uint64 {
+	s.activeMu.Lock()
+	s.activeID++
+	id := s.activeID
+	s.active[id] = activeEntry{op: op, start: time.Now()}
+	s.activeMu.Unlock()
+	return id
+}
+
+func (s *Server) untrackActive(id uint64) {
+	s.activeMu.Lock()
+	delete(s.active, id)
+	s.activeMu.Unlock()
+}
+
+type activeEntry struct {
+	op    string
+	start time.Time
+}
+
+// activeSnapshot lists in-flight requests, oldest first, capped at 32.
+func (s *Server) activeSnapshot() []ActiveReq {
+	now := time.Now()
+	s.activeMu.Lock()
+	entries := make([]activeEntry, 0, len(s.active))
+	for _, e := range s.active {
+		entries = append(entries, e)
+	}
+	s.activeMu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].start.Before(entries[j].start) })
+	if len(entries) > 32 {
+		entries = entries[:32]
+	}
+	out := make([]ActiveReq, len(entries))
+	for i, e := range entries {
+		out[i] = ActiveReq{Op: e.op, ElapsedMS: float64(now.Sub(e.start).Microseconds()) / 1e3}
+	}
+	return out
+}
+
+// suitesSnapshot copies every resident suite's cache stats.
+func (s *Server) suitesSnapshot() map[string]SuiteStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.suites) == 0 {
+		return nil
+	}
+	out := make(map[string]SuiteStats, len(s.suites))
+	for name, e := range s.suites {
+		caches := e.suite.CacheStats()
+		caches["ccr_digest"] = e.ccrDigests.Stats()
+		out[name] = SuiteStats{Benches: len(e.suite.Benches), Caches: caches}
+	}
+	return out
+}
+
+// topSnapshot assembles one live-status frame.
+func (s *Server) topSnapshot() TopSnapshot {
+	snap := TopSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Conns:         s.connN.Load(),
+		InFlight:      s.inflight.Load(),
+		Draining:      s.draining.Load(),
+		Requests:      map[string]int64{},
+		Active:        s.activeSnapshot(),
+		Suites:        s.suitesSnapshot(),
+		Reuse:         s.reuseSnapshot(),
+		Goroutines:    runtime.NumGoroutine(),
+	}
+	s.reqMu.Lock()
+	for op, n := range s.reqs {
+		snap.Requests[op] = n
+	}
+	s.reqMu.Unlock()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		snap.Store = &st
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap.HeapBytes = ms.HeapAlloc
+	return snap
+}
+
+// doTop streams periodic snapshots through emit until the requested
+// count is reached, the client vanishes, or the daemon drains.
+func (s *Server) doTop(req TopReq, emit func(TopSnapshot) error) (*TopResp, error) {
+	interval := time.Duration(req.IntervalMS) * time.Millisecond
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	count := req.Count
+	if count == 0 {
+		count = 1
+	}
+	if count < -1 {
+		return nil, fmt.Errorf("serve: top count %d (want -1, 0 or a positive bound)", req.Count)
+	}
+	n := 0
+	for {
+		if err := emit(s.topSnapshot()); err != nil {
+			break // client gone; the final write will fail too, and that's fine
+		}
+		n++
+		if count > 0 && n >= count {
+			break
+		}
+		// An unbounded top must not wedge a drain: sleep in slices and
+		// re-check, so Drain waits at most ~100ms on this request.
+		deadline := time.Now().Add(interval)
+		for !s.draining.Load() && time.Now().Before(deadline) {
+			d := time.Until(deadline)
+			if d > 100*time.Millisecond {
+				d = 100 * time.Millisecond
+			}
+			time.Sleep(d)
+		}
+		if s.draining.Load() {
+			break
+		}
+	}
+	return &TopResp{Snapshots: n}, nil
+}

@@ -25,6 +25,7 @@ import (
 	"ccr/internal/oracle"
 	"ccr/internal/reuse"
 	"ccr/internal/runner"
+	"ccr/internal/store"
 	"ccr/internal/workloads"
 )
 
@@ -38,6 +39,7 @@ const (
 	OpVerify   = "verify"
 	OpPhases   = "phases"
 	OpStats    = "stats"
+	OpTop      = "top"
 	OpDrain    = "drain"
 )
 
@@ -180,10 +182,10 @@ type SimulateResp struct {
 	Config string `json:"config"`
 	Result int64  `json:"result"`
 	// Cycles is the timing model's cycle count (0 with NoTiming).
-	Cycles   int64        `json:"cycles,omitempty"`
-	Emu      EmuStats     `json:"emu"`
-	CRB      *crb.Stats   `json:"crb,omitempty"`
-	DTM      *reuse.Stats `json:"dtm,omitempty"`
+	Cycles int64        `json:"cycles,omitempty"`
+	Emu    EmuStats     `json:"emu"`
+	CRB    *crb.Stats   `json:"crb,omitempty"`
+	DTM    *reuse.Stats `json:"dtm,omitempty"`
 	// Digest is the functional run's architectural digest when requested.
 	Digest *oracle.Digest `json:"digest,omitempty"`
 	// ServerNS is the server-side wall time of this cell, nanoseconds —
@@ -316,6 +318,28 @@ type SuiteStats struct {
 	Caches  map[string]runner.CacheStats `json:"caches"`
 }
 
+// ReuseTotals aggregates the emulator and DTM statistics of every timed
+// simulation the daemon has served, by scheme key ("base", "off", "ccr",
+// "dtm", "both") — the per-scheme reuse-rate view of stats and top.
+type ReuseTotals struct {
+	// Cells counts the timed simulate cells aggregated here.
+	Cells           int64 `json:"cells"`
+	DynInstrs       int64 `json:"dyn_instrs"`
+	ReuseHits       int64 `json:"reuse_hits,omitempty"`
+	ReuseMisses     int64 `json:"reuse_misses,omitempty"`
+	ReusedInstrs    int64 `json:"reused_instrs,omitempty"`
+	Invalidations   int64 `json:"invalidations,omitempty"`
+	DTMHits         int64 `json:"dtm_hits,omitempty"`
+	DTMReusedInstrs int64 `json:"dtm_reused_instrs,omitempty"`
+	// DTM trace-buffer counters (dtm/both schemes): buffer lookups and
+	// hits, traces committed, instances invalidated by store watching,
+	// and distinct heads observed (summed over cells).
+	DTMLookups     int64 `json:"dtm_lookups,omitempty"`
+	DTMRecords     int64 `json:"dtm_records,omitempty"`
+	DTMInvalidates int64 `json:"dtm_invalidates,omitempty"`
+	DTMHeads       int64 `json:"dtm_heads,omitempty"`
+}
+
 // StatsResp is the daemon's self-report.
 type StatsResp struct {
 	Build         buildinfo.Info        `json:"build"`
@@ -326,6 +350,51 @@ type StatsResp struct {
 	Conns         int64                 `json:"conns"`
 	Draining      bool                  `json:"draining"`
 	Suites        map[string]SuiteStats `json:"suites,omitempty"`
+	// Store reports the artifact-store counters when the daemon runs with
+	// -store (warm-store visibility from the client).
+	Store *store.Stats `json:"store,omitempty"`
+	// Reuse reports the per-scheme reuse totals of every timed simulation
+	// served so far, including the DTM head/trace counters.
+	Reuse map[string]ReuseTotals `json:"reuse,omitempty"`
+}
+
+// TopReq asks the daemon to stream periodic live-status snapshots as
+// progress frames, answered by a final TopResp.
+type TopReq struct {
+	// IntervalMS is the snapshot period (default 1000, clamped to
+	// [50ms, 60s]).
+	IntervalMS int `json:"interval_ms,omitempty"`
+	// Count bounds the stream: 0 means one snapshot, n > 0 means n
+	// snapshots, -1 streams until the connection drops or the daemon
+	// drains.
+	Count int `json:"count,omitempty"`
+}
+
+// ActiveReq is one in-flight request in a top snapshot.
+type ActiveReq struct {
+	Op        string  `json:"op"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// TopSnapshot is one live-status frame: what the daemon is doing right
+// now plus its cumulative counters.
+type TopSnapshot struct {
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Conns         int64                  `json:"conns"`
+	InFlight      int64                  `json:"in_flight"`
+	Draining      bool                   `json:"draining,omitempty"`
+	Requests      map[string]int64       `json:"requests"`
+	Active        []ActiveReq            `json:"active,omitempty"`
+	Suites        map[string]SuiteStats  `json:"suites,omitempty"`
+	Store         *store.Stats           `json:"store,omitempty"`
+	Reuse         map[string]ReuseTotals `json:"reuse,omitempty"`
+	Goroutines    int                    `json:"goroutines"`
+	HeapBytes     uint64                 `json:"heap_bytes"`
+}
+
+// TopResp closes a top stream.
+type TopResp struct {
+	Snapshots int `json:"snapshots"`
 }
 
 // PingBody is echoed verbatim.

@@ -18,6 +18,7 @@ import (
 	"ccr/internal/core"
 	"ccr/internal/crb"
 	"ccr/internal/experiments"
+	"ccr/internal/obsv"
 	"ccr/internal/oracle"
 	"ccr/internal/reuse"
 	"ccr/internal/runner"
@@ -38,6 +39,15 @@ type Config struct {
 	// Scales share the one store safely: keys are content-addressed by
 	// program digest, so entries from different scales never collide.
 	Store *store.Store
+	// Metrics, when set, registers the daemon's instruments (per-op request
+	// counters and latency histograms, suite-cache and store samplers,
+	// per-scheme reuse totals) on the registry the -http sidecar scrapes.
+	// A nil Metrics leaves every instrument pointer nil — the zero-overhead
+	// contract of DESIGN.md §9/§14.
+	Metrics *obsv.Registry
+	// Spans, when set, records one "serve" span per handled request into
+	// the process's span log (ccrd -spans).
+	Spans *obsv.SpanLog
 	// Logger receives structured server logs (nil = slog.Default).
 	Logger *slog.Logger
 	// build overrides the handshake identity (tests only).
@@ -60,6 +70,20 @@ type Server struct {
 
 	reqMu sync.Mutex
 	reqs  map[string]int64
+
+	// met is the registry instrumentation (nil without Config.Metrics; all
+	// methods are nil-safe).
+	met *srvMetrics
+
+	// totals aggregates per-scheme reuse statistics of timed simulations;
+	// always on — the top/stats ops report it with or without -http.
+	totalsMu sync.Mutex
+	totals   map[string]*ReuseTotals
+
+	// active is the live table of in-flight requests behind the top op.
+	activeMu sync.Mutex
+	active   map[uint64]activeEntry
+	activeID uint64
 
 	inflight atomic.Int64 // requests being processed right now
 	connN    atomic.Int64 // open connections
@@ -93,16 +117,21 @@ func NewServer(cfg Config) *Server {
 		b = *cfg.build
 	}
 	s := &Server{
-		cfg:    cfg,
-		log:    log,
-		build:  b,
-		start:  time.Now(),
-		suites: map[string]*suiteEntry{},
-		conns:  map[*srvConn]struct{}{},
-		reqs:   map[string]int64{},
+		cfg:     cfg,
+		log:     log,
+		build:   b,
+		start:   time.Now(),
+		suites:  map[string]*suiteEntry{},
+		conns:   map[*srvConn]struct{}{},
+		reqs:    map[string]int64{},
+		totals:  map[string]*ReuseTotals{},
+		active:  map[uint64]activeEntry{},
 		drained: make(chan struct{}),
 	}
 	s.manifest = runner.NewManifest("ccrd", cfg.Jobs)
+	if cfg.Metrics != nil {
+		s.met = newSrvMetrics(s, cfg.Metrics)
+	}
 	return s
 }
 
@@ -300,6 +329,7 @@ func (s *Server) entry(scale string) (*suiteEntry, error) {
 		ccrDigests: runner.NewCache(),
 	}
 	s.suites[name] = e
+	s.met.registerSuite(s, name, e)
 	return e, nil
 }
 
@@ -408,8 +438,24 @@ func (c *srvConn) handle(m wire.Msg) {
 	}
 	s := c.srv
 	s.countReq(m.Op)
+	began := time.Now()
+	spanStart := s.cfg.Spans.Now()
+	aid := s.trackActive(m.Op)
+	failed := false
+	// Registered before the recover defer so it runs after recovery and
+	// observes panics as failures too.
+	defer func() {
+		s.untrackActive(aid)
+		s.met.observe(m.Op, time.Since(began), failed)
+		errMsg := ""
+		if failed {
+			errMsg = "error"
+		}
+		s.cfg.Spans.EmitPhase(m.Op, "serve", "", -1, spanStart, errMsg)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
+			failed = true
 			s.log.Error("ccrd: handler panic", "op", m.Op, "panic", r,
 				"stack", string(debug.Stack()))
 			c.codec.WriteError(m.ID, fmt.Errorf("serve: %s handler panicked: %v", m.Op, r))
@@ -457,6 +503,13 @@ func (c *srvConn) handle(m wire.Msg) {
 		}
 	case OpStats:
 		resp = s.doStats()
+	case OpTop:
+		var req TopReq
+		if err = m.Decode(&req); err == nil {
+			resp, err = s.doTop(req, func(snap TopSnapshot) error {
+				return c.codec.Write(wire.TypeProgress, "", m.ID, snap)
+			})
+		}
 	case OpDrain:
 		resp = DrainResp{Draining: true}
 		// Answer first, then begin shutdown: the requester gets its ack.
@@ -469,6 +522,7 @@ func (c *srvConn) handle(m wire.Msg) {
 		err = fmt.Errorf("serve: unknown operation %q", m.Op)
 	}
 	if err != nil {
+		failed = true
 		c.codec.WriteError(m.ID, err)
 		return
 	}
@@ -556,6 +610,11 @@ func (s *Server) doSimulate(req SimulateReq) (*SimulateResp, error) {
 		if err != nil {
 			return nil, err
 		}
+		scheme := "base"
+		if !req.Base {
+			scheme = string(rc.Scheme)
+		}
+		s.recordSim(scheme, sim)
 		resp.Result = sim.Result
 		resp.Cycles = sim.Cycles
 		resp.Emu = EmuStats{
@@ -752,5 +811,10 @@ func (s *Server) doStats() *StatsResp {
 		resp.Suites[name] = SuiteStats{Benches: len(e.suite.Benches), Caches: caches}
 	}
 	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		resp.Store = &st
+	}
+	resp.Reuse = s.reuseSnapshot()
 	return resp
 }

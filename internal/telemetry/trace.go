@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"ccr/internal/ir"
 )
@@ -57,9 +58,11 @@ const DefaultTraceCap = 1 << 16
 
 // Trace is a bounded ring buffer of reuse-relevant events. When full, the
 // oldest events are overwritten — a long run keeps its most recent window
-// and reports how much was dropped. Not synchronized; one Trace per
-// simulated machine.
+// and reports how much was dropped. Safe for concurrent use: the
+// observability plane may snapshot (Len/Total/Dropped/Events) a Trace
+// that a simulation is still appending to.
 type Trace struct {
+	mu    sync.Mutex
 	clock func() int64
 	buf   []TraceEvent
 	next  int   // ring write index
@@ -77,10 +80,16 @@ func NewTrace(capacity int) *Trace {
 
 // SetClock installs the timestamp source (e.g. the timing model's cycle
 // counter). With no clock, events are stamped with their sequence number.
-func (t *Trace) SetClock(clock func() int64) { t.clock = clock }
+func (t *Trace) SetClock(clock func() int64) {
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
 
 // Add stamps and records one event.
 func (t *Trace) Add(ev TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.clock != nil {
 		ev.When = t.clock()
 	} else {
@@ -100,12 +109,28 @@ func (t *Trace) Add(ev TraceEvent) {
 
 // Len reports the number of retained events; Total the number ever added;
 // Dropped how many the ring overwrote.
-func (t *Trace) Len() int       { return len(t.buf) }
-func (t *Trace) Total() int64   { return t.total }
-func (t *Trace) Dropped() int64 { return t.total - int64(len(t.buf)) }
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
 
-// Events returns the retained events in chronological order.
+func (t *Trace) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(len(t.buf))
+}
+
+// Events returns a copy of the retained events in chronological order.
 func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]TraceEvent, 0, len(t.buf))
 	out = append(out, t.buf[t.next:]...)
 	out = append(out, t.buf[:t.next]...)
