@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
@@ -216,7 +217,24 @@ func load(path string) *File {
 	return f
 }
 
+// headCommit asks git for the short id of HEAD; empty when unavailable
+// (not a git checkout, no git binary).
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func doUpdate(path, section string, run map[string][]sample, env map[string]string, commit, note string) {
+	// A record without a commit id is useless for archaeology (and -check
+	// refuses to gate against one), so stamp HEAD when the caller didn't.
+	if commit == "" {
+		if commit = headCommit(); commit == "" {
+			fatal("-update %s: no -commit given and git rev-parse failed; a section must record the commit it measures", section)
+		}
+	}
 	f := load(path)
 	f.Goos, f.Goarch, f.CPU = env["goos"], env["goarch"], env["cpu"]
 	sec := &Section{Commit: commit, Note: note, Benchmarks: reduce(run)}
@@ -241,7 +259,11 @@ func doCheck(path string, run map[string][]sample, gatePct, minSpeedup float64) 
 	failed := false
 
 	// Regression gate: nothing may be more than gatePct slower than the
-	// committed "current" record.
+	// committed "current" record. A record that doesn't say which commit
+	// it measured can't be trusted as a gate.
+	if f.Current != nil && f.Current.Commit == "" {
+		fatal("%s: current section has no commit stamp; re-record it (scripts/bench.sh update-current)", path)
+	}
 	if f.Current != nil {
 		for name, want := range f.Current.Benchmarks {
 			g, ok := got[name]
@@ -280,11 +302,14 @@ func doCheck(path string, run map[string][]sample, gatePct, minSpeedup float64) 
 	}
 
 	// The batch tier must stay allocation-free with the trace-memoization
-	// buffer attached: DTM lookup, recording and invalidation all work out
-	// of preallocated entry storage.
-	if g, ok := got["MachineRunDTM"]; ok && g.AllocsPerOp != 0 {
-		fmt.Printf("MachineRunDTM allocs/op: %v, want 0 FAIL\n", g.AllocsPerOp)
-		failed = true
+	// buffer attached (DTM lookup, recording and invalidation all work out
+	// of preallocated entry storage), and likewise with the specialization
+	// tier disabled (generic fused batch execution).
+	for _, name := range []string{"MachineRunDTM", "MachineRunFused"} {
+		if g, ok := got[name]; ok && g.AllocsPerOp != 0 {
+			fmt.Printf("%s allocs/op: %v, want 0 FAIL\n", name, g.AllocsPerOp)
+			failed = true
+		}
 	}
 
 	if failed {

@@ -1,0 +1,73 @@
+// Command ccrgen regenerates the committed hot-region specializations in
+// internal/specgen/gen: it profiles each workload's training input on the
+// careful tier (vprof), ranks straight-line runs by dynamic weight,
+// selects specialization regions, and emits them as Go source registered
+// in internal/spec. The output is deterministic for a fixed workload set,
+// which is what the CI gen-check step verifies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ccr/internal/core"
+	"ccr/internal/specgen"
+	"ccr/internal/workloads"
+)
+
+func main() {
+	out := flag.String("out", "internal/specgen/gen", "output directory for generated *_gen.go files")
+	scaleName := flag.String("scale", "tiny", "workload scale to profile (tiny|small|medium)")
+	topk := flag.Int("topk", 24, "ranked runs seeding region growth per workload")
+	maxInstrs := flag.Int("maxinstrs", 512, "max member instructions per region")
+	benches := flag.String("bench", "", "comma-separated workload names (default: all)")
+	flag.Parse()
+
+	scale, err := workloads.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	names := workloads.Names()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	for _, name := range names {
+		b, err := workloads.Lookup(strings.TrimSpace(name), scale)
+		if err != nil {
+			fatal(err)
+		}
+		prof, _, err := core.ProfileRun(b.Prog, b.Train, 0)
+		if err != nil {
+			fatal(fmt.Errorf("%s: profile: %w", b.Name, err))
+		}
+		ranks := prof.TopRuns(*topk)
+		regions := specgen.SelectRegions(b.Prog.Decoded(), ranks,
+			specgen.Options{TopK: *topk, MaxInstrs: *maxInstrs})
+		src, err := specgen.Generate("gen", b.Name, *scaleName, regions)
+		if err != nil {
+			fatal(fmt.Errorf("%s: generate: %w", b.Name, err))
+		}
+		path := filepath.Join(*out, b.Name+"_gen.go")
+		if src == nil {
+			// No specializable hot region: make sure no stale file lingers.
+			if err := os.Remove(path); err == nil {
+				fmt.Printf("ccrgen: %-10s no regions, removed %s\n", b.Name, path)
+			} else {
+				fmt.Printf("ccrgen: %-10s no regions\n", b.Name)
+			}
+			continue
+		}
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ccrgen: %-10s %d region(s) -> %s\n", b.Name, len(regions), path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccrgen:", err)
+	os.Exit(1)
+}

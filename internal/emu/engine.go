@@ -126,6 +126,33 @@ func (m *Machine) batchFault(df *ir.DecodedFunc, pc int, rem *int64, limit int64
 	return 0, &Fault{df.Fn.Name, mt.Block, int(mt.Index), msg}
 }
 
+// specFault finalizes a Ld/St bounds fault raised inside a specialized
+// region at flat PC pc. The spec has already charged the faulting run and
+// written every register up to the fault back into the frame, so the
+// interpreter's exact message is reconstructed from architectural state
+// (the faulting op never executes, so its address operands are live) and
+// the run tail is refunded through batchFault as usual.
+func (m *Machine) specFault(df *ir.DecodedFunc, pc int, rem *int64, limit int64) (int64, error) {
+	fr := &m.fframes[len(m.fframes)-1]
+	in := &df.Code[pc]
+	a := in.Imm
+	if in.Src1 != ir.NoReg {
+		a += fr.regs[in.Src1]
+	}
+	word := "load"
+	if in.Op == ir.St {
+		word = "store"
+	}
+	var msg string
+	if uint64(a) >= uint64(len(m.Mem)) {
+		msg = fmt.Sprintf("%s address %d out of range", word, a)
+	} else {
+		o := m.Prog.Objects[in.Aux]
+		msg = fmt.Sprintf("%s address %d outside hinted object %s [%d,%d)", word, a, o.Name, o.Base, o.Base+o.Size)
+	}
+	return m.batchFault(df, pc, rem, limit, msg)
+}
+
 // runFast executes main over the predecoded program form.
 func (m *Machine) runFast(args []int64) (int64, error) {
 	dec := m.dec
@@ -140,6 +167,12 @@ func (m *Machine) runFast(args []int64) (int64, error) {
 	trace := m.Trace
 	dtm := m.DTM
 	mem := m.Mem
+	if m.specs == nil {
+		m.bindSpecs()
+	}
+	if dtm != nil {
+		m.ensureDTMElig()
+	}
 
 	// Hot state hoisted out of the frame, reloaded after call/return. The
 	// instruction budget counts down in rem; Stats.DynInstrs is restored
@@ -177,7 +210,42 @@ outer:
 			runEnd := df.RunEnd
 			cnt := m.entryCnt[df.Fn.ID]
 			rp := (*[ir.RegFileCap]int64)(fr.regs[:ir.RegFileCap])
-			if k := int64(runEnd[pc]-int32(pc)) + 1; rem >= k {
+			sfn := m.specs[df.Fn.ID]
+			var elig []bool
+			if m.dtmElig != nil {
+				elig = m.dtmElig[df.Fn.ID]
+			}
+		charge:
+			for {
+				k := int64(runEnd[pc]-int32(pc)) + 1
+				if rem < k {
+					// The run no longer fits: the careful tier owns the
+					// limit endgame.
+					break charge
+				}
+				// ---- specialization tier -------------------------------
+				// A natively-compiled region body (internal/spec) takes
+				// over at its bound entries. Specs charge the budget run
+				// by run under the same rem>=k precondition, so the
+				// careful tier still finds the exact ErrLimit point. They
+				// never observe DTM landings, so the tier stands down
+				// entirely while a trace buffer is attached; a region
+				// containing stores stands down while function-level memo
+				// markers are pending (the store must drop them).
+				if sfn != nil && dtm == nil {
+					if s := &sfn[pc]; s.fn != nil && (!s.hasStore || len(m.funcMemos) == 0) {
+						npc32, srem, tkn, flt := s.fn(rp, mem, cnt, rem, int32(pc))
+						if flt != -2 {
+							rem = srem
+							m.Stats.TakenBranches += tkn
+							if flt >= 0 {
+								return m.specFault(df, int(flt), &rem, limit)
+							}
+							pc = int(npc32)
+							continue charge
+						}
+					}
+				}
 				rem -= k
 				cnt[pc]++
 				for {
@@ -373,6 +441,108 @@ outer:
 						}
 						pc++
 						continue
+					// ---- fused superinstructions -----------------------
+					// Each XF case executes the adjacent pair (pc, pc+1)
+					// in one dispatch; the second slot keeps its original
+					// encoding and is read directly (fusion never pairs
+					// across a run-entry PC, so no walk can land on it).
+					case ir.XFShlIAdd:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] << (uint64(in.Imm) & 63)
+						rp[in2.Dest] = rp[in2.Src1] + rp[in2.Src2]
+						pc += 2
+						continue
+					case ir.XFShrIAndI:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = int64(uint64(rp[in.Src1]) >> (uint64(in.Imm) & 63))
+						rp[in2.Dest] = rp[in2.Src1] & in2.Imm
+						pc += 2
+						continue
+					case ir.XFSraIAndI:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] >> (uint64(in.Imm) & 63)
+						rp[in2.Dest] = rp[in2.Src1] & in2.Imm
+						pc += 2
+						continue
+					case ir.XFMulIAddI:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] * in.Imm
+						rp[in2.Dest] = rp[in2.Src1] + in2.Imm
+						pc += 2
+						continue
+					case ir.XFXorShlI:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] ^ rp[in.Src2]
+						rp[in2.Dest] = rp[in2.Src1] << (uint64(in2.Imm) & 63)
+						pc += 2
+						continue
+					case ir.XFXorIAdd:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] ^ in.Imm
+						rp[in2.Dest] = rp[in2.Src1] + rp[in2.Src2]
+						pc += 2
+						continue
+					case ir.XFAddMulI:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] + rp[in.Src2]
+						rp[in2.Dest] = rp[in2.Src1] * in2.Imm
+						pc += 2
+						continue
+					case ir.XFAddAdd:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] + rp[in.Src2]
+						rp[in2.Dest] = rp[in2.Src1] + rp[in2.Src2]
+						pc += 2
+						continue
+					case ir.XFAddAddI:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] + rp[in.Src2]
+						rp[in2.Dest] = rp[in2.Src1] + in2.Imm
+						pc += 2
+						continue
+					case ir.XFAddAndI:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] + rp[in.Src2]
+						rp[in2.Dest] = rp[in2.Src1] & in2.Imm
+						pc += 2
+						continue
+					case ir.XFAddXor:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] + rp[in.Src2]
+						rp[in2.Dest] = rp[in2.Src1] ^ rp[in2.Src2]
+						pc += 2
+						continue
+					case ir.XFAndILeaR:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] & in.Imm
+						rp[in2.Dest] = in2.Imm + rp[in2.Src1]
+						pc += 2
+						continue
+					case ir.XFShlIXor:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] << (uint64(in.Imm) & 63)
+						rp[in2.Dest] = rp[in2.Src1] ^ rp[in2.Src2]
+						pc += 2
+						continue
+					case ir.XFAddLd:
+						in2 := &xcode[pc+1]
+						rp[in.Dest] = rp[in.Src1] + rp[in.Src2]
+						a := rp[in2.Src1] + in2.Imm
+						if uint64(a) >= uint64(len(mem)) {
+							return m.batchFault(df, pc+1, &rem, limit,
+								fmt.Sprintf("load address %d out of range", a))
+						}
+						if in2.ObjHi >= 0 && (a < in2.ObjLo || a >= in2.ObjHi) {
+							o := m.Prog.Objects[df.Code[pc+1].Aux]
+							return m.batchFault(df, pc+1, &rem, limit,
+								fmt.Sprintf("load address %d outside hinted object %s [%d,%d)", a, o.Name, o.Base, o.Base+o.Size))
+						}
+						rp[in2.Dest] = mem[a]
+						pc += 2
+						continue
+					case ir.XFAddIJmp:
+						rp[in.Dest] = rp[in.Src1] + in.Imm
+						npc = int(xcode[pc+1].Target)
 					case ir.XJmp:
 						npc = int(in.Target)
 					case ir.XBeqRR:
@@ -530,23 +700,19 @@ outer:
 						return m.batchFault(df, pc, &rem, limit,
 							fmt.Sprintf("invalid opcode %d", df.Code[pc].Op))
 					}
-					// Control transferred. With DTM attached every transfer
-					// is a landing: return to the tier dispatch so the
-					// hook above runs. Otherwise charge the next run, or
-					// hand the endgame to the careful tier when it no
-					// longer fits.
-					if dtm != nil {
+					// Control transferred. With DTM attached a transfer is
+					// a landing: return to the tier dispatch so the hook
+					// above runs — unless nothing is armed and the landing
+					// head is statically ineligible, making the hook a
+					// proven no-op; then (as with no DTM at all) loop back
+					// to charge the next run, or hand the endgame to the
+					// careful tier when it no longer fits.
+					if dtm != nil && (m.dtmArmed || elig == nil || elig[npc]) {
 						pc = npc
 						continue outer
 					}
-					k := int64(runEnd[npc]-int32(npc)) + 1
-					if rem < k {
-						pc = npc
-						continue outer
-					}
-					rem -= k
-					cnt[npc]++
 					pc = npc
+					continue charge
 				}
 			}
 		}

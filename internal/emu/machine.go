@@ -225,6 +225,10 @@ type Machine struct {
 	// the predecoded engine (differential testing; see the package
 	// comment). Defaults to false unless CCR_ENGINE=interp is set.
 	Interp bool
+	// NoSpec disables the hot-region specialization tier for this machine
+	// (the batch tier, fused superinstructions included, still runs). Set
+	// before the first Run; CCR_SPEC=off disables it for every machine.
+	NoSpec bool
 
 	Stats Stats
 
@@ -267,6 +271,20 @@ type Machine struct {
 	// ev is the event value reused across every emitted instruction, so
 	// attaching a tracer never forces a per-run heap allocation.
 	ev Event
+	// specs[f][pc] is the specialization bound at run-entry pc of
+	// function f (nil inner slice: none); nil until the lazy bind on the
+	// first fast run (see spec.go).
+	specs [][]specSlot
+	// dtmArmed mirrors whether the attached DTM has a recording pending:
+	// the batch tier may skip a landing hook only when nothing is armed
+	// and the landing head is statically ineligible (both Lookup and
+	// Begin are then proven no-ops).
+	dtmArmed bool
+	// dtmElig[f][pc] caches the DTM's static head-eligibility predicate
+	// (nil when the attached buffer doesn't expose one); dtmEligFor
+	// remembers which buffer it was built for.
+	dtmElig    [][]bool
+	dtmEligFor TraceBuffer
 }
 
 // DefaultLimit is the dynamic-instruction budget applied when Machine.Limit
@@ -303,33 +321,26 @@ type opCorr struct {
 
 // flushOpCounts folds the batch loop's per-run entry counters into
 // Stats.ByOp and Stats.Branches. Every execution that enters a run at pc
-// executes exactly the instructions [pc, RunEnd[pc]], so a forward sweep
-// with a carry that resets after each control transfer reconstructs the
-// exact per-instruction execution counts; byCorr ranges then subtract the
+// executes exactly the instructions [pc, RunEnd[pc]], whose opcode and
+// branch counts are precomputed per run head in the decoded form
+// (ir.DecodedFunc.RunOps/RunBr) — one table fold per entered run replaces
+// the old whole-text carry sweep; byCorr ranges then subtract the
 // pre-counted tails of runs that faulted mid-way. Called on every path out
 // of runFast, after which the counters are zero again.
 func (m *Machine) flushOpCounts() {
 	for fid, cnt := range m.entryCnt {
 		df := m.dec.Funcs[fid]
-		code := df.Code
-		runEnd := df.RunEnd
-		var carry int64
-		for pc := range code {
-			if c := cnt[pc]; c != 0 {
-				carry += c
-				cnt[pc] = 0
+		runOps := df.RunOps
+		runBr := df.RunBr
+		for pc, c := range cnt {
+			if c == 0 {
+				continue
 			}
-			if carry != 0 {
-				op := code[pc].Op
-				m.Stats.ByOp[op] += carry
-				switch op {
-				case ir.Beq, ir.Bne, ir.Blt, ir.Bge, ir.Ble, ir.Bgt:
-					m.Stats.Branches += carry
-				}
+			cnt[pc] = 0
+			for _, oc := range runOps[pc] {
+				m.Stats.ByOp[oc.Op] += c * int64(oc.N)
 			}
-			if runEnd[pc] == int32(pc) {
-				carry = 0
-			}
+			m.Stats.Branches += c * int64(runBr[pc])
 		}
 	}
 	for _, co := range m.byCorr {
@@ -401,6 +412,7 @@ func (m *Machine) Reset() {
 	m.fframes = m.fframes[:0]
 	m.funcMemos = m.funcMemos[:0]
 	m.memo.active = false
+	m.dtmArmed = false
 	if m.DTM != nil {
 		// Recorded traces are external warm state like the CRB; only the
 		// in-flight recording must die with the aborted execution.
@@ -485,13 +497,15 @@ func (m *Machine) dtmEnter(df *ir.DecodedFunc, pc int, regs []int64, limit int64
 		// The sentinel slot (or a corrupt PC): about to fault — nothing
 		// to look up, and a pending recording must not commit here.
 		d.Abort()
+		m.dtmArmed = false
 		return pc, nil
 	}
 	d.Complete(fn, int32(pc), regs)
+	m.dtmArmed = false
 	for {
 		tr, ok := d.Lookup(fn, int32(pc), regs)
 		if !ok {
-			d.Begin(fn, int32(pc), regs)
+			m.dtmArmed = d.Begin(fn, int32(pc), regs)
 			return pc, nil
 		}
 		if m.Stats.DynInstrs >= limit {
@@ -510,6 +524,41 @@ func (m *Machine) dtmEnter(df *ir.DecodedFunc, pc int, regs []int64, limit int64
 			return pc, nil
 		}
 	}
+}
+
+// headEligible is the optional TraceBuffer fast-path interface: a static
+// per-(function, head) predicate that is false only when Lookup and Begin
+// at that head are unconditionally no-ops (no stats, no state). The batch
+// tier then skips the landing hook at such heads while no recording is
+// pending. Chaos wrappers deliberately don't implement it, so injected
+// runs keep the hook at every landing.
+type headEligible interface {
+	EligibleHead(fn ir.FuncID, head int32) bool
+}
+
+// ensureDTMElig (re)builds the per-PC eligibility cache for the attached
+// trace buffer; a buffer without the fast-path interface leaves the cache
+// nil, which disables hook skipping entirely.
+func (m *Machine) ensureDTMElig() {
+	d := m.DTM
+	if m.dtmEligFor == d {
+		return
+	}
+	m.dtmEligFor = d
+	m.dtmElig = nil
+	he, ok := d.(headEligible)
+	if !ok {
+		return
+	}
+	elig := make([][]bool, len(m.dec.Funcs))
+	for fid, df := range m.dec.Funcs {
+		e := make([]bool, len(df.Code))
+		for pc := 0; pc < len(df.Code)-1; pc++ {
+			e[pc] = he.EligibleHead(df.Fn.ID, int32(pc))
+		}
+		elig[fid] = e
+	}
+	m.dtmElig = elig
 }
 
 // dtmInterpEnter adapts dtmEnter to the interpreter's (block, index)

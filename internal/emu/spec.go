@@ -1,0 +1,89 @@
+package emu
+
+// This file binds the hot-region specialization registry (internal/spec)
+// to a machine's decoded program — the third execution tier's link step.
+// Binding is by content digest: a region attaches to a function only when
+// every region entry's run digest matches the function's RunKeys, so a
+// relink that changes any member instruction, branch target, or folded
+// object address unbinds the specialization instead of running stale code.
+// Bindings are per-machine and built lazily on the first fast run, which
+// is what makes NoSpec settable after New and re-linked programs start
+// from a clean table.
+
+import (
+	"os"
+
+	"ccr/internal/spec"
+	// Arm the shipped specializations for the built-in workloads; other
+	// programs never digest-match them and run the generic tiers.
+	_ "ccr/internal/specgen/gen"
+)
+
+// specDisabled turns the specialization tier off for every new Machine
+// when CCR_SPEC=off is set in the environment — the sweep-wide escape
+// hatch, mirroring CCR_ENGINE.
+var specDisabled = os.Getenv("CCR_SPEC") == "off"
+
+// specSlot is one bound region entry: the compiled body to run when the
+// batch tier reaches this PC, plus the store flag that gates entry while
+// function-level memo markers are pending.
+type specSlot struct {
+	fn       spec.Fn
+	hasStore bool
+}
+
+// bindSpecs resolves the registry against the decoded program into
+// specs[f][pc] tables. Regions are applied in spec.Regions() order, so a
+// later (name-sorted) region wins a contested entry deterministically.
+func (m *Machine) bindSpecs() {
+	m.specs = make([][]specSlot, len(m.dec.Funcs))
+	if m.NoSpec || specDisabled {
+		return
+	}
+	for _, rg := range spec.Regions() {
+		if rg.Fn == nil || len(rg.Entries) == 0 {
+			continue
+		}
+		for fid, df := range m.dec.Funcs {
+			if df.RunKeys == nil {
+				continue
+			}
+			ok := true
+			for _, e := range rg.Entries {
+				if e.PC < 0 || int(e.PC) >= len(df.RunKeys) || df.RunKeys[e.PC] != e.Key {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			sl := m.specs[fid]
+			if sl == nil {
+				sl = make([]specSlot, len(df.Code))
+				m.specs[fid] = sl
+			}
+			for _, e := range rg.Entries {
+				sl[e.PC] = specSlot{fn: rg.Fn, hasStore: rg.HasStore}
+			}
+		}
+	}
+}
+
+// SpecsBound reports how many region entry PCs are bound to this
+// machine's program (forcing the lazy bind). Tests use it to pin the
+// digest-matching and relink-invalidation discipline.
+func (m *Machine) SpecsBound() int {
+	if m.specs == nil {
+		m.bindSpecs()
+	}
+	n := 0
+	for _, sl := range m.specs {
+		for i := range sl {
+			if sl[i].fn != nil {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,258 @@
+package emu
+
+// Tests for the third execution tier: spec.Fn dispatch from the batch
+// loop, digest binding/unbinding across Link and registry changes, and
+// the limit/fault/stats parity contract a region body must keep.
+//
+// The registered test region is a hand-written closure implementing the
+// sum-loop's two member runs exactly as a generated body would (per-run
+// budget pre-charge, cnt[head]++, taken counting, fault exit with
+// registers written back) — it pins the engine side of the contract
+// independently of cmd/ccrgen's code generator, which is exercised by the
+// committed workload specializations in the full sweeps.
+
+import (
+	"testing"
+
+	"ccr/internal/ir"
+	"ccr/internal/spec"
+)
+
+// sumLoopRegion locates the sum loop's two runs (the Bge header and the
+// body ending in Jmp), registers a closure specialization for them, and
+// returns the region name. Callers own unregistration (t.Cleanup).
+func sumLoopRegion(t *testing.T, p *ir.Program) string {
+	t.Helper()
+	dec := p.Decoded()
+	var df *ir.DecodedFunc
+	for _, d := range dec.Funcs {
+		if d.Fn.Name == "main" {
+			df = d
+		}
+	}
+	if df == nil || df.RunKeys == nil {
+		t.Fatal("sum loop main not decoded for batch")
+	}
+	var hB int32 = -1
+	for pc := range df.Code {
+		if df.Code[pc].Op == ir.Bge {
+			hB = int32(pc)
+		}
+	}
+	if hB < 0 {
+		t.Fatal("no Bge header in sum loop")
+	}
+	hJ := hB + 1 // body head
+	endJ := df.RunEnd[hJ]
+	if df.Code[endJ].Op != ir.Jmp {
+		t.Fatalf("body run ends in %v, want Jmp", df.Code[endJ].Op)
+	}
+	kJ := int64(endJ-hJ) + 1
+	bge := &df.Code[hB]
+
+	fn := func(rp *[ir.RegFileCap]int64, mem []int64, cnt []int64, rem int64, pc int32) (int32, int64, int64, int32) {
+		if len(cnt) < len(df.Code) {
+			return pc, rem, 0, -2
+		}
+		var taken int64
+		for {
+			switch pc {
+			case hB: // run [hB,hB]: the loop header branch
+				if rem < 1 {
+					return hB, rem, taken, -1
+				}
+				rem--
+				cnt[hB]++
+				if rp[bge.Src1] >= rp[bge.Src2] {
+					taken++
+					return bge.Target, rem, taken, -1
+				}
+				pc = hJ
+			case hJ: // run [hJ,endJ]: Add, Ld, Add, AddI, Jmp
+				if rem < kJ {
+					return hJ, rem, taken, -1
+				}
+				rem -= kJ
+				cnt[hJ]++
+				for j := hJ; j < endJ; j++ {
+					in := &df.Code[j]
+					switch in.Op {
+					case ir.Add:
+						v2 := in.Imm
+						if in.Src2 != ir.NoReg {
+							v2 = rp[in.Src2]
+						}
+						rp[in.Dest] = rp[in.Src1] + v2
+					case ir.Ld:
+						a := rp[in.Src1] + in.Imm
+						if uint64(a) >= uint64(len(mem)) {
+							return pc, rem, taken, j
+						}
+						if in.ObjHi >= 0 && (a < in.ObjLo || a >= in.ObjHi) {
+							return pc, rem, taken, j
+						}
+						rp[in.Dest] = mem[a]
+					default:
+						t.Fatalf("unexpected body op %v", in.Op)
+					}
+				}
+				pc = df.Code[endJ].Target // the back edge (Jmp: no taken count)
+			default:
+				return pc, rem, taken, -2
+			}
+		}
+	}
+	name := "test/sumloop"
+	spec.Register(spec.Region{
+		Name: name,
+		Entries: []spec.HeadKey{
+			{PC: hB, Key: df.RunKeys[hB]},
+			{PC: hJ, Key: df.RunKeys[hJ]},
+		},
+		Fn: fn,
+	})
+	return name
+}
+
+// TestSpecTierDifferential pins result and statistics identity across the
+// three execution configurations: spec tier bound, spec disabled (NoSpec,
+// generic fused batch tier), and the reference interpreter.
+func TestSpecTierDifferential(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	p := buildSumLoop(t, vals)
+	name := sumLoopRegion(t, p)
+	t.Cleanup(func() { spec.Unregister(name) })
+
+	ms := New(p)
+	if got := ms.SpecsBound(); got != 2 {
+		t.Fatalf("SpecsBound = %d, want 2", got)
+	}
+	mn := New(p)
+	mn.NoSpec = true
+	ref := interpOf(p)
+
+	sres, serr := ms.Run(int64(len(vals)))
+	nres, nerr := mn.Run(int64(len(vals)))
+	rres, rerr := ref.Run(int64(len(vals)))
+	if serr != nil || nerr != nil || rerr != nil {
+		t.Fatalf("errs: spec %v, nospec %v, interp %v", serr, nerr, rerr)
+	}
+	if sres != rres || nres != rres {
+		t.Fatalf("results: spec %d, nospec %d, interp %d", sres, nres, rres)
+	}
+	compareStats(t, ms, ref)
+	compareStats(t, mn, ref)
+	if mn.SpecsBound() != 0 {
+		t.Fatal("NoSpec machine bound specializations")
+	}
+}
+
+// TestSpecTierLimitParity sweeps the instruction limit across every cut
+// position with the specialization bound: the spec body's per-run budget
+// bailout must land the careful tier on exactly the interpreter's ErrLimit
+// point, with identical partial statistics.
+func TestSpecTierLimitParity(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	p := buildSumLoop(t, vals)
+	name := sumLoopRegion(t, p)
+	t.Cleanup(func() { spec.Unregister(name) })
+
+	ref0 := interpOf(p)
+	if _, err := ref0.Run(int64(len(vals))); err != nil {
+		t.Fatal(err)
+	}
+	full := ref0.Stats.DynInstrs
+	for limit := int64(1); limit <= full+1; limit++ {
+		fast, ref, fres, rres, ferr, rerr := runBoth(t, p, limit, int64(len(vals)))
+		if (ferr == nil) != (rerr == nil) || (ferr != nil && ferr.Error() != rerr.Error()) {
+			t.Fatalf("limit %d: errs engine %v, interp %v", limit, ferr, rerr)
+		}
+		if fres != rres {
+			t.Fatalf("limit %d: result engine %d, interp %d", limit, fres, rres)
+		}
+		compareStats(t, fast, ref)
+	}
+}
+
+// TestSpecTierFaultParity drives the spec region into a load fault (index
+// past the hinted object) and checks the engine reconstructs the
+// interpreter's exact error and partial statistics from the spec's fault
+// exit.
+func TestSpecTierFaultParity(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	p := buildSumLoop(t, vals)
+	name := sumLoopRegion(t, p)
+	t.Cleanup(func() { spec.Unregister(name) })
+
+	n := int64(len(vals)) + 3 // walks off the end of A
+	fast, ref, _, _, ferr, rerr := runBoth(t, p, 0, n)
+	if ferr == nil || rerr == nil {
+		t.Fatalf("expected faults, got engine %v, interp %v", ferr, rerr)
+	}
+	if ferr.Error() != rerr.Error() {
+		t.Fatalf("fault text:\nengine: %v\ninterp: %v", ferr, rerr)
+	}
+	compareStats(t, fast, ref)
+}
+
+// TestSpecBindingInvalidation is the relink-invalidation contract: a
+// machine built after the program changed (Link) must not bind stale
+// specializations, and registry changes take effect for new machines.
+func TestSpecBindingInvalidation(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	p := buildSumLoop(t, vals)
+	name := sumLoopRegion(t, p)
+	t.Cleanup(func() { spec.Unregister(name) })
+
+	if got := New(p).SpecsBound(); got != 2 {
+		t.Fatalf("initial SpecsBound = %d, want 2", got)
+	}
+
+	// Mutate one member instruction and relink: run digests change, so the
+	// region must silently unbind rather than execute stale code.
+	var f *ir.Func
+	for _, fn := range p.Funcs {
+		if fn.Name == "main" {
+			f = fn
+		}
+	}
+	var mut *ir.Instr
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Add && in.Src2 == ir.NoReg && in.Imm == 1 {
+				mut = in // the AddI i, i, 1 induction step
+			}
+		}
+	}
+	if mut == nil {
+		t.Fatal("induction AddI not found")
+	}
+	mut.Imm = 2
+	p.Link()
+	if got := New(p).SpecsBound(); got != 0 {
+		t.Fatalf("SpecsBound after mutating relink = %d, want 0", got)
+	}
+
+	// Restore and relink: digests match again, new machines rebind.
+	mut.Imm = 1
+	p.Link()
+	m := New(p)
+	if got := m.SpecsBound(); got != 2 {
+		t.Fatalf("SpecsBound after restoring relink = %d, want 2", got)
+	}
+	ref := interpOf(p)
+	mres, merr := m.Run(int64(len(vals)))
+	rres, rerr := ref.Run(int64(len(vals)))
+	if merr != nil || rerr != nil || mres != rres {
+		t.Fatalf("post-relink run: spec %d (%v), interp %d (%v)", mres, merr, rres, rerr)
+	}
+
+	// Unregistration unbinds for machines created afterwards.
+	if !spec.Unregister(name) {
+		t.Fatal("Unregister reported region missing")
+	}
+	if got := New(p).SpecsBound(); got != 0 {
+		t.Fatalf("SpecsBound after Unregister = %d, want 0", got)
+	}
+}

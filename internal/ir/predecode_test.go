@@ -196,12 +196,14 @@ func TestPredecodeBatchShapes(t *testing.T) {
 	wantOps := map[Opcode]uint8{MovI: XMovI, Blt: XBltRR, Ret: XRetR, OpSentinel: XEnd}
 	for pc := range df.Code {
 		if want, ok := wantOps[df.Code[pc].Op]; ok {
-			if got := df.XCode[pc].XOp; got != want {
+			if got := df.XCode[pc].XOp; got != want && got < XFFirst {
 				t.Errorf("pc %d (%v): XOp = %d, want %d", pc, df.Code[pc].Op, got, want)
 			}
 		}
 	}
-	// The operand shape picks the RR vs RI specialization.
+	// The operand shape picks the RR vs RI specialization. The first slot
+	// of a fused pair is rewritten to a superinstruction opcode (pinned
+	// separately in fuse_test.go); every other slot keeps its shape.
 	for pc := range df.Code {
 		in := &df.Code[pc]
 		if in.Op != Add {
@@ -211,8 +213,8 @@ func TestPredecodeBatchShapes(t *testing.T) {
 		if in.Src2 == NoReg {
 			want = XAddRI
 		}
-		if df.XCode[pc].XOp != want {
-			t.Errorf("pc %d add (src2=%d): XOp = %d, want %d", pc, in.Src2, df.XCode[pc].XOp, want)
+		if got := df.XCode[pc].XOp; got != want && got < XFFirst {
+			t.Errorf("pc %d add (src2=%d): XOp = %d, want %d", pc, in.Src2, got, want)
 		}
 	}
 

@@ -374,6 +374,16 @@ func (d *DTM) planFor(fn ir.FuncID, head int32) *headPlan {
 	return p
 }
 
+// EligibleHead reports whether the run headed at flat PC head of fn is
+// statically recordable. At an ineligible head both Lookup and Begin are
+// unconditional no-ops (no stats, no state transitions), which is what
+// lets the emulator's batch tier skip the landing hook there while no
+// recording is pending (emu's headEligible fast path). The predicate is
+// pure program analysis: it never changes over the DTM's lifetime.
+func (d *DTM) EligibleHead(fn ir.FuncID, head int32) bool {
+	return d.planFor(fn, head) != nil
+}
+
 // buildPlan runs the static trace-eligibility analysis for the run headed
 // at flat PC head. See headPlan for the eligibility contract.
 func (d *DTM) buildPlan(fn ir.FuncID, df *ir.DecodedFunc, head int32) *headPlan {

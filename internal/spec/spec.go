@@ -1,0 +1,112 @@
+// Package spec is the hot-region specialization registry: the table of
+// natively-compiled straight-line region bodies that the emulator's third
+// execution tier consults when it binds a decoded program.
+//
+// A specialization is a plain Go function implementing a whole control
+// region (one or more straight-line runs, typically a hot loop) of some
+// emulated function. Generated code (internal/specgen, cmd/ccrgen)
+// registers regions from init functions; the engine binds a region to a
+// decoded function only when every entry's content digest matches the
+// function's ir.DecodedFunc.RunKeys, so a relink, an edited instruction,
+// or a moved memory object silently unbinds every stale specialization —
+// there is no way to run a spec against code it was not generated from.
+package spec
+
+import (
+	"sort"
+	"sync"
+
+	"ccr/internal/ir"
+)
+
+// Fn executes a specialized region.
+//
+// Contract (mirrors the batch tier's per-run accounting exactly):
+//   - pc is a flat PC of the bound function and must be one of the
+//     region's entries; rem is the remaining dynamic-instruction budget.
+//   - At each run entry [h, RunEnd[h]] the body first checks the run's
+//     full cost k against rem: if rem < k it stops with npc = h (the
+//     careful tier then owns the limit endgame); otherwise it charges
+//     rem -= k, increments cnt[h], and executes the run.
+//   - taken counts conditional branches taken inside the region
+//     (unconditional jumps never count, matching the interpreter).
+//   - fault == -1: normal exit, npc is the next PC outside the region
+//     (or an entry whose run no longer fits the budget).
+//     fault == -2: pc was not a known entry; no state was touched and
+//     the caller falls back to the batch tier.
+//     fault >= 0: a Ld/St bounds fault at flat PC fault; the faulting
+//     run is charged and all register writes up to the fault are in rp
+//     (the engine reconstructs the message and refunds the tail).
+//   - All registers the region writes are stored back to rp on every
+//     exit path before returning.
+type Fn func(rp *[ir.RegFileCap]int64, mem []int64, cnt []int64, rem int64, pc int32) (npc int32, remOut int64, taken int64, fault int32)
+
+// HeadKey identifies one region entry: a flat PC and the content digest
+// of the run headed there (ir.DecodedFunc.RunKeys[PC]).
+type HeadKey struct {
+	PC  int32
+	Key uint64
+}
+
+// Region is one registered specialization.
+type Region struct {
+	// Name identifies the region in diagnostics (workload, function and
+	// entry PC, e.g. "m88ksim/mix@2").
+	Name string
+	// Entries are the flat PCs at which the region may be entered, each
+	// pinned by its run digest. A region binds to a decoded function only
+	// if every entry matches, which transitively pins every member run
+	// (regions are closed: member runs only reach other entries or exits).
+	Entries []HeadKey
+	// HasStore reports whether any member run contains a store; the
+	// engine then refuses to enter the region while function-level memo
+	// markers are pending (stores must drop them synchronously).
+	HasStore bool
+	// Fn is the compiled region body.
+	Fn Fn
+}
+
+var (
+	mu      sync.RWMutex
+	regions []Region
+)
+
+// Register adds a region to the registry. Generated code calls this from
+// init; when two regions claim the same entry of the same function, the
+// one later in Regions() order (name-sorted) wins at binding time.
+func Register(r Region) {
+	mu.Lock()
+	defer mu.Unlock()
+	regions = append(regions, r)
+}
+
+// Unregister removes every region with the given name and reports whether
+// any was removed. Machines bound before the call keep their bindings;
+// new machines will not see the region (tests use this to pin the
+// invalidation discipline).
+func Unregister(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	kept := regions[:0]
+	removed := false
+	for _, r := range regions {
+		if r.Name == name {
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	regions = kept
+	return removed
+}
+
+// Regions returns a stable snapshot of the registry, sorted by name with
+// registration order as the tiebreak.
+func Regions() []Region {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Region, len(regions))
+	copy(out, regions)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,13 @@
+// Package gen carries the committed hot-region specializations for the
+// built-in workloads: one ccrgen-generated file per workload, each
+// registering natively compiled region bodies in internal/spec at init
+// time. The emulator blank-imports this package, so the third execution
+// tier is armed for the shipped workloads out of the box; programs whose
+// run digests don't match (transformed, edited, or user-built programs)
+// simply never bind them.
+//
+// Regeneration is deterministic — CI's gen-check step runs go generate
+// and fails on any diff in *_gen.go files.
+package gen
+
+//go:generate go run ccr/cmd/ccrgen -out .

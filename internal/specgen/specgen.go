@@ -1,0 +1,186 @@
+// Package specgen selects hot control regions from a vprof run ranking
+// and compiles them to specialized Go source — the generator behind
+// cmd/ccrgen and the committed internal/specgen/gen files.
+//
+// A region is a set of straight-line runs of one function, closed under
+// the runs' control successors up to a size budget: typically an inner
+// loop (header, body, latch) or a hot straight block. Region bodies are
+// emitted as register-renamed Go functions implementing the spec.Fn
+// contract — constants (folded Lea bases, Ld/St bounds, immediates,
+// branch targets) are baked in, registers become locals, and each run
+// charges the instruction budget exactly as the batch tier would, so the
+// careful tier's limit endgame and the oracle digests are unaffected.
+// Every member run is pinned by its ir.RunKeys content digest, so a
+// regenerated program that changed in any way simply unbinds the region.
+package specgen
+
+import (
+	"sort"
+
+	"ccr/internal/ir"
+	"ccr/internal/vprof"
+)
+
+// Options bound region selection.
+type Options struct {
+	// TopK is how many ranked runs seed region growth (0: 24).
+	TopK int
+	// MaxInstrs bounds the member instructions per region (0: 512).
+	MaxInstrs int
+}
+
+func (o Options) topK() int {
+	if o.TopK <= 0 {
+		return 24
+	}
+	return o.TopK
+}
+
+func (o Options) maxInstrs() int {
+	if o.MaxInstrs <= 0 {
+		return 512
+	}
+	return o.MaxInstrs
+}
+
+// Region is one selected specialization region.
+type Region struct {
+	Func *ir.DecodedFunc
+	// Heads are the member run heads, ascending. Every member run
+	// [h, RunEnd[h]] is fully contained in the region's generated body;
+	// control leaving the member set exits the specialization.
+	Heads []int32
+	// HasStore reports whether any member instruction is a store.
+	HasStore bool
+}
+
+// SelectRegions grows one region around each of the heaviest ranked runs
+// (skipping seeds already absorbed by an earlier region) and returns them
+// ordered by (function name, first head) for deterministic generation.
+func SelectRegions(dec *ir.DecodedProgram, ranks []vprof.RunRank, opt Options) []Region {
+	covered := map[ir.FuncID]map[int32]bool{}
+	var out []Region
+	seeds := ranks
+	if k := opt.topK(); len(seeds) > k {
+		seeds = seeds[:k]
+	}
+	for _, rk := range seeds {
+		if int(rk.Func) >= len(dec.Funcs) {
+			continue
+		}
+		if covered[rk.Func][rk.Head] {
+			continue
+		}
+		df := dec.Funcs[rk.Func]
+		heads, hasStore, ok := grow(df, rk.Head, opt.maxInstrs())
+		if !ok {
+			continue
+		}
+		cv := covered[rk.Func]
+		if cv == nil {
+			cv = map[int32]bool{}
+			covered[rk.Func] = cv
+		}
+		for _, h := range heads {
+			cv[h] = true
+		}
+		out = append(out, Region{Func: df, Heads: heads, HasStore: hasStore})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Func.Fn.Name != b.Func.Fn.Name {
+			return a.Func.Fn.Name < b.Func.Fn.Name
+		}
+		return a.Heads[0] < b.Heads[0]
+	})
+	return out
+}
+
+// grow BFS-closes the region from seed over run successors: each member
+// run must be specializable (runEligible) and fit the instruction budget;
+// successors that don't qualify become region exits. Fails only when the
+// seed itself is not specializable.
+func grow(df *ir.DecodedFunc, seed int32, maxInstrs int) (heads []int32, hasStore bool, ok bool) {
+	if df.XCode == nil || df.RunKeys == nil || !runEligible(df, seed) {
+		return nil, false, false
+	}
+	members := map[int32]bool{}
+	total := 0
+	queue := []int32{seed}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if members[h] {
+			continue
+		}
+		end := df.RunEnd[h]
+		n := int(end-h) + 1
+		if total+n > maxInstrs {
+			continue // becomes an exit
+		}
+		members[h] = true
+		total += n
+		var succs [2]int32
+		ns := 0
+		switch df.Code[end].Op {
+		case ir.Jmp:
+			succs[0] = df.Code[end].Target
+			ns = 1
+		default: // a conditional branch (runEligible admits nothing else)
+			succs[0] = df.Code[end].Target
+			succs[1] = end + 1
+			ns = 2
+		}
+		for _, s := range succs[:ns] {
+			if !members[s] && runEligible(df, s) {
+				queue = append(queue, s)
+			}
+		}
+	}
+	for h := range members {
+		heads = append(heads, h)
+		for j := h; j <= df.RunEnd[h]; j++ {
+			if df.Code[j].Op == ir.St {
+				hasStore = true
+			}
+		}
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	return heads, hasStore, true
+}
+
+// runEligible reports whether the run headed at h can be a region member:
+// it must end in a plain jump or conditional branch (never Call, Ret,
+// Reuse, or the sentinel — those are observation or frame points the
+// engine owns) and contain only ALU, move, and memory operations.
+func runEligible(df *ir.DecodedFunc, h int32) bool {
+	if h < 0 || int(h) >= len(df.Code)-1 {
+		return false
+	}
+	end := df.RunEnd[h]
+	if int(end) >= len(df.Code)-1 {
+		return false // falls off the end
+	}
+	switch df.Code[end].Op {
+	case ir.Jmp, ir.Beq, ir.Bne, ir.Blt, ir.Bge, ir.Ble, ir.Bgt:
+	default:
+		return false
+	}
+	for j := h; j <= end; j++ {
+		op := df.Code[j].Op
+		switch {
+		case op == ir.Nop || op == ir.Mov || op == ir.MovI || op == ir.Lea:
+		case op.IsBinaryALU():
+		case op == ir.Ld || op == ir.St:
+		case op == ir.Jmp || op.IsCondBranch():
+			// Reuse is IsCondBranch but was excluded as the ender above
+			// and can't appear mid-run; still, be explicit.
+			if op == ir.Reuse {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package specgen_test
+
+// The generator's output is part of the repository (internal/specgen/gen)
+// and CI regenerates it, so these tests pin the two properties that make
+// that workflow sound: generation is a pure function of the workload
+// (byte-identical across runs), and the committed files are what the
+// current generator produces.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccr/internal/core"
+	"ccr/internal/specgen"
+	"ccr/internal/workloads"
+)
+
+// genFor regenerates one workload's specialization source with the same
+// parameters cmd/ccrgen uses by default.
+func genFor(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := workloads.Lookup(name, workloads.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := core.ProfileRun(b.Prog, b.Train, 0)
+	if err != nil {
+		t.Fatalf("%s: profile: %v", name, err)
+	}
+	regions := specgen.SelectRegions(b.Prog.Decoded(), prof.TopRuns(24),
+		specgen.Options{TopK: 24, MaxInstrs: 512})
+	src, err := specgen.Generate("gen", b.Name, "tiny", regions)
+	if err != nil {
+		t.Fatalf("%s: generate: %v", name, err)
+	}
+	return src
+}
+
+// TestGenerateDeterministic: two independent profile+select+generate
+// passes over a freshly built workload must agree to the byte.
+func TestGenerateDeterministic(t *testing.T) {
+	a := genFor(t, "m88ksim")
+	b := genFor(t, "m88ksim")
+	if !bytes.Equal(a, b) {
+		t.Fatal("generation is not deterministic for m88ksim")
+	}
+	if len(a) == 0 {
+		t.Fatal("m88ksim produced no specializations")
+	}
+}
+
+// TestCommittedSpecsAreClean regenerates every workload and compares
+// against the committed gen/*_gen.go files — the in-tree version of CI's
+// gen-check step. Skipped under -short (CI's test job): the profiling
+// pass over all workloads takes a few hundred milliseconds and CI checks
+// the same property via go generate + git diff.
+func TestCommittedSpecsAreClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regeneration sweep skipped in -short (CI gen-check covers it)")
+	}
+	for _, name := range workloads.Names() {
+		src := genFor(t, name)
+		path := filepath.Join("gen", name+"_gen.go")
+		committed, err := os.ReadFile(path)
+		if src == nil {
+			if err == nil {
+				t.Errorf("%s: no regions generated but %s is committed", name, path)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: committed file missing: %v (run go generate ./internal/specgen/gen)", name, err)
+			continue
+		}
+		if !bytes.Equal(src, committed) {
+			t.Errorf("%s: committed %s is stale (run go generate ./internal/specgen/gen)", name, path)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package vprof
+
+// Run ranking: the TopRuns export consumed by the hot-region
+// specialization generator (internal/specgen, cmd/ccrgen). It projects
+// the instruction-level execution profile onto the predecoded form's
+// straight-line runs, so the generator picks regions exactly where the
+// dynamic instructions were observed.
+
+import (
+	"sort"
+
+	"ccr/internal/ir"
+)
+
+// RunRank is one straight-line run of the predecoded program, ranked by
+// profiled dynamic weight.
+type RunRank struct {
+	Func ir.FuncID
+	// Head is the run's entry flat PC; End the PC of the control
+	// transfer (or sentinel) ending it — [Head, End] as in
+	// ir.DecodedFunc.RunEnd.
+	Head, End int32
+	// Weight is the total dynamic instruction count observed inside the
+	// run. Overlapping suffix runs each count their own span, so Weight
+	// ranks where execution time goes, not exclusive ownership.
+	Weight int64
+}
+
+// TopRuns ranks every run-entry head of the profiled program by dynamic
+// weight and returns the k heaviest (all of them when k <= 0). Runs with
+// zero observed weight are omitted; ties order deterministically by
+// (func, head) so generation from a fixed workload is reproducible.
+func (p *Profile) TopRuns(k int) []RunRank {
+	dec := p.prog.Decoded()
+	var out []RunRank
+	for _, df := range dec.Funcs {
+		base := int(df.Base >> 2)
+		for pc := 0; pc < len(df.Code)-1; pc++ {
+			if !df.EntryPC[pc] {
+				continue
+			}
+			var w int64
+			for j := pc; j <= int(df.RunEnd[pc]); j++ {
+				if g := base + j; g >= 0 && g < len(p.exec) {
+					w += p.exec[g]
+				}
+			}
+			if w > 0 {
+				out = append(out, RunRank{Func: df.Fn.ID, Head: int32(pc), End: df.RunEnd[pc], Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Head < b.Head
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package vprof
+
+import "testing"
+
+// TestTopRuns pins the run-ranking export the specialization generator
+// consumes: weights are exact per-run sums of the instruction-level exec
+// counts, ordering is weight-descending with deterministic tiebreaks, and
+// the heaviest run is the loop body (where the dynamic instructions are).
+func TestTopRuns(t *testing.T) {
+	p, prof := profiled(t, 64)
+	all := prof.TopRuns(0)
+	if len(all) == 0 {
+		t.Fatal("no ranked runs")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Weight > all[i-1].Weight {
+			t.Fatalf("ranking not weight-descending at %d: %+v > %+v", i, all[i], all[i-1])
+		}
+	}
+	dec := p.Decoded()
+	for _, r := range all {
+		df := dec.Funcs[r.Func]
+		if !df.EntryPC[r.Head] {
+			t.Fatalf("ranked head %d is not a run entry", r.Head)
+		}
+		if r.End != df.RunEnd[r.Head] {
+			t.Fatalf("rank end %d, want RunEnd %d", r.End, df.RunEnd[r.Head])
+		}
+		var want int64
+		base := int(df.Base >> 2)
+		for j := r.Head; j <= r.End; j++ {
+			want += prof.exec[base+int(j)]
+		}
+		if r.Weight != want {
+			t.Fatalf("run %d weight %d, want exec sum %d", r.Head, r.Weight, want)
+		}
+	}
+	// The heaviest run is the 6-instruction loop body (6*64 dynamic
+	// instructions), ahead of the 2-instruction latch and 1-instruction
+	// header runs.
+	df := dec.Funcs[all[0].Func]
+	bodyPC := df.BlockPC[2]
+	if all[0].Head != bodyPC {
+		t.Fatalf("top run head %d, want loop body %d (ranking: %+v)", all[0].Head, bodyPC, all[:3])
+	}
+	if k := prof.TopRuns(3); len(k) != 3 {
+		t.Fatalf("TopRuns(3) returned %d entries", len(k))
+	}
+}

@@ -25,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-check}"
 COUNT="${COUNT:-6}"
-BENCH="${BENCH:-MachineRun$|MachineRunCCR$|MachineRunDTM$|Emulator$|CRBLookup$|DTMLookup$|TelemetrySink$}"
+BENCH="${BENCH:-MachineRun$|MachineRunFused$|MachineRunCCR$|MachineRunDTM$|Emulator$|CRBLookup$|DTMLookup$|TelemetrySink$}"
 GATE="${GATE:-25}"
 MINSPEEDUP="${MINSPEEDUP:-1.5}"
 
@@ -46,13 +46,12 @@ check)
   go run ./cmd/ccrbench -bench "$OUT" -check -gate "$GATE" -minspeedup "$MINSPEEDUP"
   ;;
 update-current)
+  # ccrbench stamps HEAD itself (and refuses to write an unstamped record).
   go run ./cmd/ccrbench -bench "$OUT" -update current \
-    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -note "${NOTE:-predecoded engine}"
   ;;
 update-baseline)
   go run ./cmd/ccrbench -bench "$OUT" -update baseline \
-    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -note "${NOTE:-pre-predecode interpreter}"
   ;;
 *)
